@@ -1,0 +1,138 @@
+// Command smrbench reproduces the figures of "Applying Hazard Pointers to
+// More Concurrent Data Structures" (SPAA 2023) on this repository's Go
+// implementation.
+//
+// Reproduce a paper figure:
+//
+//	smrbench -fig 8              # throughput, read-write, thread sweep
+//	smrbench -fig 9              # HP vs HP++ max throughput per category
+//	smrbench -fig 10             # long-running reads vs key range
+//	smrbench -fig 11             # peak unreclaimed blocks, read-write
+//	smrbench -fig 12..23         # appendix figures
+//	smrbench -robustness hhslist # §4.4 stalled-thread scenario
+//
+// Or run a single free-form cell:
+//
+//	smrbench -ds hhslist -scheme hp++ -threads 4 -range 10000 \
+//	         -workload read-write -dur 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/bench"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "paper figure to reproduce (8-23)")
+		robustness = flag.String("robustness", "", "run the stalled-thread scenario for the given data structure")
+		ds         = flag.String("ds", "", "data structure for a free-form run")
+		scheme     = flag.String("scheme", "hp++", "reclamation scheme for a free-form run")
+		threads    = flag.Int("threads", 4, "worker count for a free-form run")
+		keyRange   = flag.Uint64("range", 10000, "key range for a free-form run")
+		workload   = flag.String("workload", "read-write", "workload: write-only | read-write | read-most")
+		dur        = flag.Duration("dur", time.Second, "duration per benchmark cell")
+		threadsCSV = flag.String("sweep", "1,2,4,8", "thread counts for figure sweeps")
+		schemesCSV = flag.String("schemes", "nr,ebr,pebr,hp,hp++,rc", "schemes for figure sweeps")
+		lo         = flag.Uint("lo", 10, "figure 10: smallest log2 key range")
+		hi         = flag.Uint("hi", 16, "figure 10: largest log2 key range")
+		list       = flag.Bool("list", false, "list registered targets and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("data structures:", strings.Join(bench.Registered(), " "))
+		fmt.Println("schemes:        ", strings.Join(bench.Schemes, " "))
+		return
+	}
+
+	sweep := bench.SweepConfig{
+		Threads:  parseInts(*threadsCSV),
+		Duration: *dur,
+		Schemes:  strings.Split(*schemesCSV, ","),
+	}
+
+	switch {
+	case *robustness != "":
+		check(bench.RobustnessFigure(os.Stdout, sweep, *robustness))
+	case *fig != 0:
+		check(runFigure(*fig, sweep, *lo, *hi))
+	case *ds != "":
+		wl, err := bench.ParseWorkload(*workload)
+		check(err)
+		t, err := bench.NewTarget(*ds, *scheme, arena.ModeReuse)
+		check(err)
+		res := bench.Run(t, bench.Config{
+			Threads:  *threads,
+			Duration: *dur,
+			Workload: wl,
+			KeyRange: *keyRange,
+		})
+		fmt.Printf("%-20s %10.3f Mops/s  ops=%d  peak-unreclaimed=%d  avg-unreclaimed=%.0f  peak-mem=%dKiB\n",
+			res.Target, res.MopsPerSec, res.Ops, res.PeakUnreclaimed, res.AvgUnreclaimed, res.PeakMemBytes/1024)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runFigure maps paper figure numbers to harness drivers.
+func runFigure(fig int, sweep bench.SweepConfig, lo, hi uint) error {
+	w := os.Stdout
+	fmt.Fprintf(w, "== Figure %d ==\n", fig)
+	switch fig {
+	case 8, 13:
+		return bench.WorkloadFigure(w, sweep, bench.ReadWrite, "throughput")
+	case 9:
+		return bench.Figure9(w, sweep)
+	case 10:
+		return bench.Figure10(w, sweep, lo, hi)
+	case 11, 16:
+		return bench.WorkloadFigure(w, sweep, bench.ReadWrite, "peak")
+	case 12:
+		return bench.WorkloadFigure(w, sweep, bench.WriteOnly, "throughput")
+	case 14:
+		return bench.WorkloadFigure(w, sweep, bench.ReadMost, "throughput")
+	case 15:
+		return bench.WorkloadFigure(w, sweep, bench.WriteOnly, "peak")
+	case 17:
+		return bench.WorkloadFigure(w, sweep, bench.ReadMost, "peak")
+	case 18:
+		return bench.WorkloadFigure(w, sweep, bench.WriteOnly, "mem")
+	case 19:
+		return bench.WorkloadFigure(w, sweep, bench.ReadWrite, "mem")
+	case 20:
+		return bench.WorkloadFigure(w, sweep, bench.ReadMost, "mem")
+	case 21:
+		return bench.WorkloadFigure(w, sweep, bench.WriteOnly, "avg")
+	case 22:
+		return bench.WorkloadFigure(w, sweep, bench.ReadWrite, "avg")
+	case 23:
+		return bench.WorkloadFigure(w, sweep, bench.ReadMost, "avg")
+	}
+	return fmt.Errorf("unknown figure %d (valid: 8-23)", fig)
+}
+
+func parseInts(csv string) []int {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		check(err)
+		out = append(out, n)
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smrbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: a lock-free sorted map (Harris's list) reclaimed with HP++.
+//
+// The program walks through the HP++ life cycle the paper describes:
+// allocate nodes from an arena pool, traverse optimistically under
+// TryProtect, unlink chains with TryUnlink, and watch invalidation +
+// reclamation return memory to the pool.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+)
+
+func main() {
+	// An HP++ domain: Reclaim per 128 unlinks, DoInvalidation per 32 —
+	// the paper's defaults. EpochFence selects Algorithm 5.
+	dom := core.NewDomain(core.Options{})
+
+	// Nodes live in an arena pool; ModeReuse recycles freed slots like a
+	// real allocator (use ModeDetect in tests to catch use-after-free).
+	pool := hhslist.NewPool(arena.ModeReuse)
+	list := hhslist.NewListHPP(pool)
+
+	// One handle per goroutine; it owns that worker's hazard slots.
+	h := list.NewHandleHPP(dom)
+
+	fmt.Println("== insert ==")
+	for k := uint64(1); k <= 10; k++ {
+		h.Insert(k, k*100)
+	}
+	if v, ok := h.Get(7); ok {
+		fmt.Printf("get(7)  = %d\n", v)
+	}
+	if _, ok := h.Get(42); !ok {
+		fmt.Println("get(42) = miss")
+	}
+
+	fmt.Println("\n== delete ==")
+	for k := uint64(2); k <= 10; k += 2 {
+		h.Delete(k)
+	}
+	for k := uint64(1); k <= 10; k++ {
+		if v, ok := h.Get(k); ok {
+			fmt.Printf("  %2d -> %d\n", k, v)
+		}
+	}
+
+	st := pool.Stats()
+	fmt.Printf("\narena: %d allocated, %d freed, %d live (%d B)\n",
+		st.Allocs, st.Frees, st.Live, st.Bytes)
+	fmt.Printf("hp++ : %d retired blocks not yet reclaimed (peak %d)\n",
+		dom.Unreclaimed(), dom.PeakUnreclaimed())
+
+	// Finish flushes this worker's deferred invalidations and retire
+	// bags; a final Reclaim pass frees whatever is unprotected.
+	h.Thread().Finish()
+	dom.NewThread(0).Reclaim()
+	fmt.Printf("after drain: %d unreclaimed, %d live nodes\n",
+		dom.Unreclaimed(), pool.Stats().Live)
+}

@@ -1,0 +1,3 @@
+module github.com/gosmr/gosmr
+
+go 1.22

@@ -1,0 +1,259 @@
+// Package arena provides typed slab pools with explicit Free, simulating a
+// manual memory allocator inside a garbage-collected runtime.
+//
+// The paper this repository reproduces (HP++, SPAA 2023) is about *manual*
+// memory reclamation: data-structure nodes are malloc'd, retired, and
+// eventually free'd, and a buggy reclamation scheme manifests as
+// use-after-free or ABA. Go has neither free() nor dangling pointers, so the
+// arena recreates those semantics:
+//
+//   - Nodes live in slabs owned by a Pool[T]. A node is identified by a
+//     Ref (uint64 index); links between nodes store Refs, not Go pointers,
+//     so the garbage collector never keeps a "freed" node alive on behalf
+//     of a stale reader.
+//   - Free returns the slot to a lock-free free list and a later Alloc may
+//     recycle it (ModeReuse). A reclamation scheme that frees too early
+//     therefore produces genuine ABA and use-after-free phenomena.
+//   - In ModeDetect, freed slots are quarantined (never recycled) and every
+//     Deref validates that the slot is still live, so stress tests can
+//     prove a scheme unsafe — the moral equivalent of running under ASAN.
+//
+// Pools are safe for concurrent use by any number of goroutines.
+package arena
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+)
+
+// Mode selects how a Pool treats freed slots.
+type Mode int
+
+const (
+	// ModeReuse recycles freed slots through a free list, like a real
+	// allocator. Use for benchmarks.
+	ModeReuse Mode = iota
+	// ModeDetect quarantines freed slots forever and makes Deref validate
+	// liveness, turning any use-after-free into a reported error. Use for
+	// correctness stress tests.
+	ModeDetect
+)
+
+// Ref identifies a slot within a Pool. Zero is the nil reference.
+type Ref = uint64
+
+const (
+	slabBits = 13
+	slabSize = 1 << slabBits
+	slabMask = slabSize - 1
+	maxSlabs = 1 << 15 // capacity: 2^28 slots per pool
+
+	// free-list head packing: version (24 bits) | ref (40 bits)
+	refBits = 40
+	refMask = 1<<refBits - 1
+)
+
+// slot state word: sequence<<1 | live
+const liveBit = 1
+
+type slot[T any] struct {
+	state    atomic.Uint64 // sequence<<1 | liveBit
+	nextFree atomic.Uint64 // free-list link (Ref of next free slot)
+	val      T
+}
+
+type slab[T any] struct {
+	slots [slabSize]slot[T]
+}
+
+// Pool is a typed slab allocator with explicit Free.
+type Pool[T any] struct {
+	name     string
+	mode     Mode
+	elemSize int64
+
+	slabs    [maxSlabs]atomic.Pointer[slab[T]]
+	next     atomic.Uint64 // next fresh index; index 0 is reserved for nil
+	freeHead atomic.Uint64 // packed version|ref Treiber stack head
+
+	allocs  atomic.Int64
+	frees   atomic.Int64
+	hiwater atomic.Int64
+
+	uaf        atomic.Int64 // detected use-after-free derefs (ModeDetect)
+	doubleFree atomic.Int64 // detected double frees (any mode)
+	panicOnBug bool
+}
+
+// NewPool creates a pool for values of type T. In ModeDetect the pool
+// panics on the first detected use-after-free or double free; call
+// SetCount to make it count instead.
+func NewPool[T any](name string, mode Mode) *Pool[T] {
+	var zero T
+	p := &Pool[T]{
+		name:       name,
+		mode:       mode,
+		elemSize:   int64(reflect.TypeOf(zero).Size()),
+		panicOnBug: mode == ModeDetect,
+	}
+	p.next.Store(1) // Ref 0 is nil
+	p.slabs[0].Store(&slab[T]{})
+	return p
+}
+
+// SetCount makes detected memory bugs increment counters instead of
+// panicking. Intended for tests that assert a scheme IS unsafe.
+func (p *Pool[T]) SetCount() { p.panicOnBug = false }
+
+// Name returns the pool's diagnostic name.
+func (p *Pool[T]) Name() string { return p.name }
+
+// Mode returns the pool's reuse mode.
+func (p *Pool[T]) Mode() Mode { return p.mode }
+
+func (p *Pool[T]) slotOf(ref Ref) *slot[T] {
+	sb := p.slabs[ref>>slabBits].Load()
+	if sb == nil {
+		panic(fmt.Sprintf("arena %s: deref of never-allocated ref %d", p.name, ref))
+	}
+	return &sb.slots[ref&slabMask]
+}
+
+// Alloc returns a fresh (or recycled) slot. The returned value is NOT
+// zeroed when recycled; callers must initialize every field they use.
+func (p *Pool[T]) Alloc() (Ref, *T) {
+	ref := p.popFree()
+	if ref == 0 {
+		ref = p.next.Add(1) - 1
+		si := ref >> slabBits
+		if si >= maxSlabs {
+			panic(fmt.Sprintf("arena %s: pool exhausted (%d slots)", p.name, ref))
+		}
+		if p.slabs[si].Load() == nil {
+			p.slabs[si].CompareAndSwap(nil, &slab[T]{})
+		}
+	}
+	s := p.slotOf(ref)
+	s.state.Store(s.state.Load() + 2 | liveBit) // bump sequence, set live
+	n := p.allocs.Add(1) - p.frees.Load()
+	for {
+		hw := p.hiwater.Load()
+		if n <= hw || p.hiwater.CompareAndSwap(hw, n) {
+			break
+		}
+	}
+	return ref, &s.val
+}
+
+// Free releases a slot. Freeing an already-free slot is detected and
+// reported in every mode.
+func (p *Pool[T]) Free(ref Ref) {
+	if ref == 0 {
+		panic("arena " + p.name + ": free of nil ref")
+	}
+	s := p.slotOf(ref)
+	for {
+		st := s.state.Load()
+		if st&liveBit == 0 {
+			p.doubleFree.Add(1)
+			if p.panicOnBug {
+				panic(fmt.Sprintf("arena %s: double free of ref %d", p.name, ref))
+			}
+			return
+		}
+		if s.state.CompareAndSwap(st, st&^uint64(liveBit)) {
+			break
+		}
+	}
+	p.frees.Add(1)
+	if p.mode == ModeReuse {
+		p.pushFree(ref)
+	}
+}
+
+// FreeRef implements smr.Deallocator.
+func (p *Pool[T]) FreeRef(ref uint64) { p.Free(ref) }
+
+// Deref returns the value stored at ref. In ModeDetect it validates that
+// the slot is live and reports use-after-free otherwise. Deref of the nil
+// reference always panics.
+func (p *Pool[T]) Deref(ref Ref) *T {
+	if ref == 0 {
+		panic("arena " + p.name + ": deref of nil ref")
+	}
+	s := p.slotOf(ref)
+	if p.mode == ModeDetect && s.state.Load()&liveBit == 0 {
+		p.uaf.Add(1)
+		if p.panicOnBug {
+			panic(fmt.Sprintf("arena %s: use-after-free deref of ref %d", p.name, ref))
+		}
+	}
+	return &s.val
+}
+
+// Live reports whether ref currently addresses a live (allocated,
+// un-freed) slot.
+func (p *Pool[T]) Live(ref Ref) bool {
+	if ref == 0 {
+		return false
+	}
+	return p.slotOf(ref).state.Load()&liveBit != 0
+}
+
+func (p *Pool[T]) popFree() Ref {
+	for {
+		head := p.freeHead.Load()
+		ref := head & refMask
+		if ref == 0 {
+			return 0
+		}
+		next := p.slotOf(ref).nextFree.Load()
+		ver := head >> refBits
+		if p.freeHead.CompareAndSwap(head, (ver+1)<<refBits|next&refMask) {
+			return ref
+		}
+	}
+}
+
+func (p *Pool[T]) pushFree(ref Ref) {
+	s := p.slotOf(ref)
+	for {
+		head := p.freeHead.Load()
+		s.nextFree.Store(head & refMask)
+		ver := head >> refBits
+		if p.freeHead.CompareAndSwap(head, (ver+1)<<refBits|ref) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of a pool's accounting.
+type Stats struct {
+	Name       string
+	Allocs     int64 // total allocations
+	Frees      int64 // total frees
+	Live       int64 // Allocs - Frees
+	HighWater  int64 // maximum simultaneous live slots
+	Bytes      int64 // Live * sizeof(T)
+	PeakBytes  int64 // HighWater * sizeof(T)
+	UAF        int64 // detected use-after-free derefs (ModeDetect)
+	DoubleFree int64 // detected double frees
+}
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *Pool[T]) Stats() Stats {
+	a, f := p.allocs.Load(), p.frees.Load()
+	hw := p.hiwater.Load()
+	return Stats{
+		Name:       p.name,
+		Allocs:     a,
+		Frees:      f,
+		Live:       a - f,
+		HighWater:  hw,
+		Bytes:      (a - f) * p.elemSize,
+		PeakBytes:  hw * p.elemSize,
+		UAF:        p.uaf.Load(),
+		DoubleFree: p.doubleFree.Load(),
+	}
+}

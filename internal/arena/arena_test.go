@@ -1,0 +1,227 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type payload struct {
+	a, b uint64
+}
+
+func TestAllocDerefFree(t *testing.T) {
+	p := NewPool[payload]("t", ModeReuse)
+	ref, v := p.Alloc()
+	if ref == 0 {
+		t.Fatal("ref 0 must be reserved for nil")
+	}
+	v.a, v.b = 1, 2
+	got := p.Deref(ref)
+	if got.a != 1 || got.b != 2 {
+		t.Fatalf("deref = %+v", got)
+	}
+	if !p.Live(ref) {
+		t.Fatal("allocated slot should be live")
+	}
+	p.Free(ref)
+	if p.Live(ref) {
+		t.Fatal("freed slot should not be live")
+	}
+}
+
+func TestReuseRecyclesSlots(t *testing.T) {
+	p := NewPool[payload]("t", ModeReuse)
+	ref1, _ := p.Alloc()
+	p.Free(ref1)
+	ref2, _ := p.Alloc()
+	if ref1 != ref2 {
+		t.Fatalf("expected recycled slot %d, got %d", ref1, ref2)
+	}
+	st := p.Stats()
+	if st.Allocs != 2 || st.Frees != 1 || st.Live != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDetectModeQuarantines(t *testing.T) {
+	p := NewPool[payload]("t", ModeDetect)
+	ref1, _ := p.Alloc()
+	p.Free(ref1)
+	ref2, _ := p.Alloc()
+	if ref1 == ref2 {
+		t.Fatal("detect mode must not recycle slots")
+	}
+}
+
+func TestDetectUseAfterFreePanics(t *testing.T) {
+	p := NewPool[payload]("t", ModeDetect)
+	ref, _ := p.Alloc()
+	p.Free(ref)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on use-after-free deref")
+		}
+	}()
+	p.Deref(ref)
+}
+
+func TestDetectUseAfterFreeCounts(t *testing.T) {
+	p := NewPool[payload]("t", ModeDetect)
+	p.SetCount()
+	ref, _ := p.Alloc()
+	p.Free(ref)
+	p.Deref(ref)
+	p.Deref(ref)
+	if got := p.Stats().UAF; got != 2 {
+		t.Fatalf("UAF count = %d, want 2", got)
+	}
+}
+
+func TestDoubleFreeDetected(t *testing.T) {
+	p := NewPool[payload]("t", ModeReuse)
+	ref, _ := p.Alloc()
+	p.Free(ref)
+	// In reuse mode the pool counts rather than panics by default.
+	p.Free(ref)
+	if got := p.Stats().DoubleFree; got != 1 {
+		t.Fatalf("DoubleFree count = %d, want 1", got)
+	}
+}
+
+func TestDerefNilPanics(t *testing.T) {
+	p := NewPool[payload]("t", ModeReuse)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil deref")
+		}
+	}()
+	p.Deref(0)
+}
+
+func TestHighWaterTracksPeak(t *testing.T) {
+	p := NewPool[payload]("t", ModeReuse)
+	var refs []Ref
+	for i := 0; i < 10; i++ {
+		r, _ := p.Alloc()
+		refs = append(refs, r)
+	}
+	for _, r := range refs {
+		p.Free(r)
+	}
+	r, _ := p.Alloc()
+	_ = r
+	st := p.Stats()
+	if st.HighWater != 10 {
+		t.Fatalf("high water = %d, want 10", st.HighWater)
+	}
+	if st.Live != 1 {
+		t.Fatalf("live = %d, want 1", st.Live)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	p := NewPool[payload]("t", ModeReuse)
+	p.Alloc()
+	st := p.Stats()
+	if st.Bytes != 16 {
+		t.Fatalf("bytes = %d, want sizeof(payload)=16", st.Bytes)
+	}
+}
+
+func TestSlabGrowth(t *testing.T) {
+	p := NewPool[uint64]("t", ModeReuse)
+	n := slabSize*2 + 5
+	seen := make(map[Ref]bool, n)
+	for i := 0; i < n; i++ {
+		r, v := p.Alloc()
+		if seen[r] {
+			t.Fatalf("duplicate ref %d", r)
+		}
+		seen[r] = true
+		*v = uint64(i)
+	}
+	// Spot-check a ref in the third slab.
+	for r := range seen {
+		if *p.Deref(r) > uint64(n) {
+			t.Fatalf("corrupted value at %d", r)
+		}
+	}
+}
+
+// TestConcurrentAllocFree hammers the free list from many goroutines; the
+// version-stamped head must keep it consistent (no duplicate live refs).
+func TestConcurrentAllocFree(t *testing.T) {
+	p := NewPool[payload]("t", ModeReuse)
+	const workers = 8
+	const iters = 20000
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			local := make([]Ref, 0, 16)
+			for i := 0; i < iters; i++ {
+				r, v := p.Alloc()
+				v.a = id
+				local = append(local, r)
+				if len(local) == 16 {
+					for _, lr := range local {
+						if p.Deref(lr).a != id {
+							errs <- "slot owned by two workers"
+							return
+						}
+						p.Free(lr)
+					}
+					local = local[:0]
+				}
+			}
+			for _, lr := range local {
+				p.Free(lr)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+	st := p.Stats()
+	if st.Live != 0 {
+		t.Fatalf("leaked %d slots", st.Live)
+	}
+	if st.Allocs != workers*iters {
+		t.Fatalf("allocs = %d, want %d", st.Allocs, workers*iters)
+	}
+}
+
+// TestAllocFreeProperty: any interleaved sequence of allocs and frees keeps
+// Live == Allocs - Frees and never hands out a live ref twice.
+func TestAllocFreeProperty(t *testing.T) {
+	prop := func(ops []bool) bool {
+		p := NewPool[uint64]("q", ModeReuse)
+		live := make(map[Ref]bool)
+		for _, alloc := range ops {
+			if alloc || len(live) == 0 {
+				r, _ := p.Alloc()
+				if live[r] {
+					return false // double-handed-out
+				}
+				live[r] = true
+			} else {
+				for r := range live {
+					p.Free(r)
+					delete(live, r)
+					break
+				}
+			}
+		}
+		st := p.Stats()
+		return st.Live == int64(len(live)) && st.Allocs-st.Frees == st.Live
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/arena"
+)
+
+// TestDetectSweep runs every registered (data structure, scheme) pair
+// concurrently for a short burst with the arena in detect mode: any
+// use-after-free anywhere in the stack panics. This is the harness-level
+// safety net over the per-package stress tests — it also exercises the
+// exact wiring the benchmarks use.
+func TestDetectSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, ds := range DataStructures() {
+		for _, scheme := range Schemes {
+			if !Applicable(ds, scheme) {
+				continue
+			}
+			ds, scheme := ds, scheme
+			t.Run(ds+"/"+scheme, func(t *testing.T) {
+				target, err := NewTarget(ds, scheme, arena.ModeDetect)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := Run(target, Config{
+					Threads:  4,
+					Duration: 80 * time.Millisecond,
+					Workload: WriteOnly,
+					KeyRange: 128,
+				})
+				if res.Ops == 0 {
+					t.Fatalf("%s/%s made no progress", ds, scheme)
+				}
+			})
+		}
+	}
+}

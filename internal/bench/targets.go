@@ -1,0 +1,364 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/hashmap"
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/ds/hmlist"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nr"
+	"github.com/gosmr/gosmr/internal/pebr"
+	"github.com/gosmr/gosmr/internal/rc"
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+// Scheme names accepted by NewTarget.
+var Schemes = []string{"nr", "ebr", "pebr", "hp", "hp++", "hp++ef", "rc"}
+
+// DataStructures lists the registered data structures.
+func DataStructures() []string {
+	return []string{"hmlist", "hhslist", "hashmap", "skiplist", "nmtree", "efrbtree", "bonsai"}
+}
+
+// Applicable reports whether scheme applies to ds — the Table 2 facts the
+// benchmark enforces: original HP cannot protect optimistic traversal
+// (hhslist, nmtree, skiplist's wait-free gets use a dedicated HP variant),
+// and RC cannot break the EFRB tree's descriptor cycles.
+func Applicable(ds, scheme string) bool {
+	switch scheme {
+	case "hp":
+		return ds != "hhslist" && ds != "nmtree"
+	case "rc":
+		return ds != "efrbtree" && ds != "nmtree"
+	}
+	return true
+}
+
+// guardDomain builds the CS-style domain for a scheme name, or nil if the
+// scheme is not CS-style.
+func guardDomain(scheme string) (smr.GuardDomain, smr.Domain) {
+	switch scheme {
+	case "nr":
+		d := nr.NewDomain()
+		return d, d
+	case "ebr":
+		d := ebr.NewDomain()
+		return d, d
+	case "pebr":
+		d := pebr.NewDomain()
+		return d, d
+	}
+	return nil, nil
+}
+
+// NewTarget builds a fresh benchmark target for one (ds, scheme) pair.
+func NewTarget(ds, scheme string, mode arena.Mode) (Target, error) {
+	if !Applicable(ds, scheme) {
+		return Target{}, fmt.Errorf("bench: %s is not applicable to %s (Table 2)", scheme, ds)
+	}
+	switch ds {
+	case "hmlist":
+		return newHMListTarget(scheme, mode)
+	case "hhslist":
+		return newHHSListTarget(scheme, mode)
+	case "hashmap":
+		return newHashMapTarget(scheme, mode)
+	case "skiplist":
+		return newSkipListTarget(scheme, mode)
+	case "nmtree":
+		return newNMTreeTarget(scheme, mode)
+	case "efrbtree":
+		return newEFRBTarget(scheme, mode)
+	case "bonsai":
+		return newBonsaiTarget(scheme, mode)
+	}
+	return Target{}, fmt.Errorf("bench: unknown data structure %q", ds)
+}
+
+func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
+	t := Target{DS: "hmlist", Scheme: scheme}
+	switch scheme {
+	case "nr", "ebr", "pebr":
+		gd, d := guardDomain(scheme)
+		pool := hmlist.NewPool(mode)
+		l := hmlist.NewListCS(pool)
+		var hs []*hmlist.HandleCS
+		t.NewHandle = func() Handle {
+			h := l.NewHandleCS(gd)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() { drainGuards(guardsOfHM(hs)) }
+		t.Unreclaimed = d.Unreclaimed
+		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { gd.NewGuard(1).Pin() }
+	case "hp":
+		dom := hp.NewDomain()
+		pool := hmlist.NewPool(mode)
+		l := hmlist.NewListHP(pool)
+		var hs []*hmlist.HandleHP
+		t.NewHandle = func() Handle {
+			h := l.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		pool := hmlist.NewPool(mode)
+		l := hmlist.NewListHPP(pool)
+		var hs []*hmlist.HandleHPP
+		t.NewHandle = func() Handle {
+			h := l.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "rc":
+		dom := rc.NewDomain()
+		pool := hmlist.NewPoolRC(mode)
+		l := hmlist.NewListRC(pool)
+		var hs []*hmlist.HandleRC
+		t.NewHandle = func() Handle {
+			h := l.NewHandleRC(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			// Bounded collection: Drain would spin forever when the
+			// robustness scenario leaves a stalled pin behind.
+			for i := 0; i < 8; i++ {
+				for _, h := range hs {
+					h.Guard().Collect()
+				}
+			}
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewGuard().Pin() }
+	default:
+		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
+	}
+	return t, nil
+}
+
+func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
+	t := Target{DS: "hhslist", Scheme: scheme}
+	switch scheme {
+	case "nr", "ebr", "pebr":
+		gd, d := guardDomain(scheme)
+		pool := hhslist.NewPool(mode)
+		l := hhslist.NewListCS(pool)
+		var hs []*hhslist.HandleCS
+		t.NewHandle = func() Handle {
+			h := l.NewHandleCS(gd)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() { drainGuards(guardsOfHHS(hs)) }
+		t.Unreclaimed = d.Unreclaimed
+		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { gd.NewGuard(1).Pin() }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		pool := hhslist.NewPool(mode)
+		l := hhslist.NewListHPP(pool)
+		var hs []*hhslist.HandleHPP
+		t.NewHandle = func() Handle {
+			h := l.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "rc":
+		dom := rc.NewDomain()
+		pool := hhslist.NewPoolRC(mode)
+		l := hhslist.NewListRC(pool)
+		var hs []*hhslist.HandleRC
+		t.NewHandle = func() Handle {
+			h := l.NewHandleRC(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			// Bounded collection: Drain would spin forever when the
+			// robustness scenario leaves a stalled pin behind.
+			for i := 0; i < 8; i++ {
+				for _, h := range hs {
+					h.Guard().Collect()
+				}
+			}
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewGuard().Pin() }
+	default:
+		return t, fmt.Errorf("bench: scheme %q not applicable to hhslist", scheme)
+	}
+	return t, nil
+}
+
+func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
+	t := Target{DS: "hashmap", Scheme: scheme}
+	nb := hashmap.DefaultBuckets
+	switch scheme {
+	case "nr", "ebr", "pebr":
+		gd, d := guardDomain(scheme)
+		pool := hhslist.NewPool(mode)
+		m := hashmap.NewMapCS(pool, nb)
+		var hs []*hashmap.HandleCS
+		t.NewHandle = func() Handle {
+			h := m.NewHandleCS(gd)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			var gs []smr.Guard
+			for _, h := range hs {
+				gs = append(gs, h.Guard())
+			}
+			drainGuards(gs)
+		}
+		t.Unreclaimed = d.Unreclaimed
+		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { gd.NewGuard(1).Pin() }
+	case "hp":
+		dom := hp.NewDomain()
+		pool := hmlist.NewPool(mode)
+		m := hashmap.NewMapHP(pool, nb)
+		var hs []*hashmap.HandleHP
+		t.NewHandle = func() Handle {
+			h := m.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		pool := hhslist.NewPool(mode)
+		m := hashmap.NewMapHPP(pool, nb)
+		var hs []*hashmap.HandleHPP
+		t.NewHandle = func() Handle {
+			h := m.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "rc":
+		dom := rc.NewDomain()
+		pool := hhslist.NewPoolRC(mode)
+		m := hashmap.NewMapRC(pool, nb)
+		var hs []*hashmap.HandleRC
+		t.NewHandle = func() Handle {
+			h := m.NewHandleRC(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			// Bounded collection: Drain would spin forever when the
+			// robustness scenario leaves a stalled pin behind.
+			for i := 0; i < 8; i++ {
+				for _, h := range hs {
+					h.Guard().Collect()
+				}
+			}
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewGuard().Pin() }
+	default:
+		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
+	}
+	return t, nil
+}
+
+func guardsOfHM(hs []*hmlist.HandleCS) []smr.Guard {
+	var gs []smr.Guard
+	for _, h := range hs {
+		gs = append(gs, h.Guard())
+	}
+	return gs
+}
+
+func guardsOfHHS(hs []*hhslist.HandleCS) []smr.Guard {
+	var gs []smr.Guard
+	for _, h := range hs {
+		gs = append(gs, h.Guard())
+	}
+	return gs
+}
+
+// drainGuards drains CS-style guards after a run.
+func drainGuards(gs []smr.Guard) {
+	for _, g := range gs {
+		switch gg := g.(type) {
+		case *pebr.Guard:
+			gg.ClearShields()
+		}
+	}
+	for i := 0; i < 8; i++ {
+		for _, g := range gs {
+			switch gg := g.(type) {
+			case *ebr.Guard:
+				gg.Collect()
+			case *pebr.Guard:
+				gg.Collect()
+			}
+		}
+	}
+}

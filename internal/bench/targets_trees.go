@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/bonsai"
+	"github.com/gosmr/gosmr/internal/ds/efrbtree"
+	"github.com/gosmr/gosmr/internal/ds/nmtree"
+	"github.com/gosmr/gosmr/internal/ds/skiplist"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/rc"
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+// The tree and skiplist targets are registered in this file as their
+// packages land; see targets.go for the list/list-based registrations.
+
+func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
+	t := Target{DS: "skiplist", Scheme: scheme}
+	var seed uint64 = 0x51ED5EED
+	nextSeed := func() uint64 { seed += 0x9E3779B97F4A7C15; return seed }
+	switch scheme {
+	case "nr", "ebr", "pebr":
+		gd, d := guardDomain(scheme)
+		pool := skiplist.NewPool(mode)
+		l := skiplist.NewListCS(pool)
+		var gs []smr.Guard
+		t.NewHandle = func() Handle {
+			h := l.NewHandleCS(gd)
+			h.Seed(nextSeed())
+			gs = append(gs, h.Guard())
+			return h
+		}
+		t.Finish = func() { drainGuards(gs) }
+		t.Unreclaimed = d.Unreclaimed
+		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { gd.NewGuard(1).Pin() }
+	case "hp":
+		dom := hp.NewDomain()
+		pool := skiplist.NewPool(mode)
+		l := skiplist.NewListHP(pool)
+		var hs []*skiplist.HandleHP
+		t.NewHandle = func() Handle {
+			h := l.NewHandleHP(dom)
+			h.Seed(nextSeed())
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		pool := skiplist.NewPool(mode)
+		l := skiplist.NewListHPP(pool)
+		var hs []*skiplist.HandleHPP
+		t.NewHandle = func() Handle {
+			h := l.NewHandleHPP(dom)
+			h.Seed(nextSeed())
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "rc":
+		dom := rc.NewDomain()
+		pool := skiplist.NewPoolRC(mode)
+		l := skiplist.NewListRC(pool)
+		var hs []*skiplist.HandleRC
+		t.NewHandle = func() Handle {
+			h := l.NewHandleRC(dom)
+			h.Seed(nextSeed())
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			// Bounded collection: Drain would spin forever when the
+			// robustness scenario leaves a stalled pin behind.
+			for i := 0; i < 8; i++ {
+				for _, h := range hs {
+					h.Guard().Collect()
+				}
+			}
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewGuard().Pin() }
+	default:
+		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
+	}
+	return t, nil
+}
+
+func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
+	t := Target{DS: "nmtree", Scheme: scheme}
+	switch scheme {
+	case "nr", "ebr", "pebr":
+		gd, d := guardDomain(scheme)
+		pool := nmtree.NewPool(mode)
+		tr := nmtree.NewTreeCS(pool)
+		var gs []smr.Guard
+		t.NewHandle = func() Handle {
+			h := tr.NewHandleCS(gd)
+			gs = append(gs, h.Guard())
+			return h
+		}
+		t.Finish = func() { drainGuards(gs) }
+		t.Unreclaimed = d.Unreclaimed
+		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { gd.NewGuard(1).Pin() }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		pool := nmtree.NewPool(mode)
+		tr := nmtree.NewTreeHPP(pool)
+		var hs []*nmtree.HandleHPP
+		t.NewHandle = func() Handle {
+			h := tr.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	default:
+		return t, fmt.Errorf("bench: scheme %q not applicable to nmtree", scheme)
+	}
+	return t, nil
+}
+
+func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
+	t := Target{DS: "efrbtree", Scheme: scheme}
+	switch scheme {
+	case "nr", "ebr", "pebr":
+		gd, d := guardDomain(scheme)
+		nodes := efrbtree.NewNodePool(mode)
+		infos := efrbtree.NewInfoPool(mode)
+		tr := efrbtree.NewTreeCS(nodes, infos)
+		var gs []smr.Guard
+		t.NewHandle = func() Handle {
+			h := tr.NewHandleCS(gd)
+			gs = append(gs, h.Guard())
+			return h
+		}
+		t.Finish = func() { drainGuards(gs) }
+		t.Unreclaimed = d.Unreclaimed
+		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
+		t.Stall = func() { gd.NewGuard(1).Pin() }
+	case "hp":
+		dom := hp.NewDomain()
+		nodes := efrbtree.NewNodePool(mode)
+		infos := efrbtree.NewInfoPool(mode)
+		tr := efrbtree.NewTreeHP(nodes, infos)
+		var hs []*efrbtree.HandleHP
+		t.NewHandle = func() Handle {
+			h := tr.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		nodes := efrbtree.NewNodePool(mode)
+		infos := efrbtree.NewInfoPool(mode)
+		tr := efrbtree.NewTreeHPP(nodes, infos)
+		var hs []*efrbtree.HandleHPP
+		t.NewHandle = func() Handle {
+			h := tr.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	default:
+		return t, fmt.Errorf("bench: scheme %q not applicable to efrbtree", scheme)
+	}
+	return t, nil
+}
+
+func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
+	t := Target{DS: "bonsai", Scheme: scheme}
+	switch scheme {
+	case "nr", "ebr", "pebr":
+		gd, d := guardDomain(scheme)
+		pool := bonsai.NewPool(mode)
+		tr := bonsai.NewTreeCS(pool)
+		var gs []smr.Guard
+		t.NewHandle = func() Handle {
+			h := tr.NewHandleCS(gd)
+			gs = append(gs, h.Guard())
+			return h
+		}
+		t.Finish = func() { drainGuards(gs) }
+		t.Unreclaimed = d.Unreclaimed
+		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { gd.NewGuard(1).Pin() }
+	case "hp":
+		dom := hp.NewDomain()
+		pool := bonsai.NewPool(mode)
+		tr := bonsai.NewTreeHP(pool)
+		var hs []*bonsai.HandleHP
+		t.NewHandle = func() Handle {
+			h := tr.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		pool := bonsai.NewPool(mode)
+		tr := bonsai.NewTreeHPP(pool)
+		var hs []*bonsai.HandleHPP
+		t.NewHandle = func() Handle {
+			h := tr.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "rc":
+		dom := rc.NewDomain()
+		pool := bonsai.NewPoolRC(mode)
+		tr := bonsai.NewTreeRC(pool)
+		var hs []*bonsai.HandleRC
+		t.NewHandle = func() Handle {
+			h := tr.NewHandleRC(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			// Bounded collection: Drain would spin forever when the
+			// robustness scenario leaves a stalled pin behind.
+			for i := 0; i < 8; i++ {
+				for _, h := range hs {
+					h.Guard().Collect()
+				}
+			}
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewGuard().Pin() }
+	default:
+		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
+	}
+	return t, nil
+}

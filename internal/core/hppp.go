@@ -1,0 +1,395 @@
+// Package core implements HP++, the paper's primary contribution
+// (Algorithm 3), together with its epoched-heavy-fence optimization
+// (Algorithm 5): a backward-compatible extension of hazard pointers that
+// supports data structures with optimistic traversal.
+//
+// Where the original HP validates a protection by *over-approximating*
+// unreachability ("the source link changed, or the source node is
+// logically deleted, so the target might be freed"), HP++ validates by
+// *under-approximating* it: deleters first physically unlink nodes and only
+// afterwards mark them invalidated, so a traversing thread refuses to take
+// a step only from nodes that are certainly unlinked. The unsafe windows a
+// false-negative opens are patched up by the unlinker, which must
+//
+//  1. protect the unlink *frontier* (nodes reachable by one link from the
+//     unlinked chain but not themselves unlinked) with hazard pointers
+//     before unlinking, and
+//  2. invalidate all unlinked nodes before any of them is freed.
+//
+// TryProtect and TryUnlink below are the two halves of that contract.
+//
+// Note on fences: every fence(SC) in the paper's pseudocode is implicit
+// here because Go's sync/atomic operations are sequentially consistent.
+// The asymmetric-fence optimization of §3.4 (light fence in TryProtect,
+// heavy process-wide fence in DoInvalidation) therefore has no observable
+// synchronization cost to remove, but its *structural* consequences —
+// batched deferred invalidation and, with Options.EpochFence, the epoched
+// revocation of frontier hazard pointers (Algorithm 5) — are implemented
+// literally and benchmarked as an ablation.
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/hazards"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Defaults match the paper's evaluation (§5): Reclaim per 128 TryUnlinks,
+// DoInvalidation per 32 TryUnlinks.
+const (
+	DefaultReclaimEvery    = 128
+	DefaultInvalidateEvery = 32
+)
+
+// Options configures an HP++ domain.
+type Options struct {
+	// ReclaimEvery is the number of TryUnlink/Retire calls between
+	// reclamation passes (default 128).
+	ReclaimEvery int
+	// InvalidateEvery is the number of TryUnlink calls between deferred
+	// invalidation passes (default 32).
+	InvalidateEvery int
+	// EpochFence selects Algorithm 5: frontier hazard pointers are
+	// revoked lazily by piggybacking on other threads' heavy fences,
+	// tracked with a global fence epoch, instead of eagerly at the end of
+	// each DoInvalidation.
+	EpochFence bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ReclaimEvery <= 0 {
+		o.ReclaimEvery = DefaultReclaimEvery
+	}
+	if o.InvalidateEvery <= 0 {
+		o.InvalidateEvery = DefaultInvalidateEvery
+	}
+	return o
+}
+
+// Invalidator marks an unlinked node as invalidated, typically by setting
+// tagptr.Invalid on one of the node's link words with a plain store —
+// legal because unlinked nodes' links are immutable (Assumption 1).
+// Arena pool wrappers in the data-structure packages implement it.
+type Invalidator interface {
+	Invalidate(ref uint64)
+}
+
+// Domain is an HP++ reclamation domain.
+type Domain struct {
+	opts    Options
+	reg     hazards.Registry
+	g       smr.Garbage
+	orphans smr.OrphanList
+
+	fenceEpoch atomic.Uint64 // Algorithm 5 global fence epoch
+}
+
+// NewDomain creates an HP++ domain with the given options.
+func NewDomain(opts Options) *Domain {
+	return &Domain{opts: opts.withDefaults()}
+}
+
+// Unreclaimed returns the number of unlinked-or-retired but unfreed nodes.
+func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
+
+// PeakUnreclaimed returns the peak unreclaimed count.
+func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
+
+// Registry exposes the hazard-slot registry (for tests).
+func (d *Domain) Registry() *hazards.Registry { return &d.reg }
+
+// FenceEpoch performs the paper's FENCEEPOCH: a heavy fence wrapped in a
+// read and a CAS-increment of the global fence epoch (Algorithm 5).
+func (d *Domain) FenceEpoch() {
+	e := d.fenceEpoch.Load()
+	// heavy fence — implicit (SC atomics).
+	d.fenceEpoch.CompareAndSwap(e, e+1)
+}
+
+// ReadEpoch performs the paper's READEPOCH: a light fence bracketed by two
+// reads of the fence epoch that must agree (Algorithm 5).
+func (d *Domain) ReadEpoch() uint64 {
+	e := d.fenceEpoch.Load()
+	for {
+		// light fence — implicit.
+		ne := d.fenceEpoch.Load()
+		if e == ne {
+			return e
+		}
+		e = ne
+	}
+}
+
+// unlinkBatch records one successful TryUnlink pending invalidation: the
+// unlinked nodes, how to invalidate them, and the frontier hazard pointers
+// that must stay announced until after invalidation.
+type unlinkBatch struct {
+	nodes []smr.Retired
+	inv   Invalidator
+	hps   []*hazards.Slot
+}
+
+type epochedHP struct {
+	epoch uint64
+	s     *hazards.Slot
+}
+
+// Thread is a per-worker HP++ handle with named protection slots for
+// traversal plus internally managed frontier slots. Not safe for
+// concurrent use.
+type Thread struct {
+	d     *Domain
+	slots []*hazards.Slot // traversal slots, indexed by the caller
+
+	cache      []*hazards.Slot // released frontier slots kept for reuse
+	unlinkeds  []unlinkBatch
+	retireds   []smr.Retired
+	epochedHPs []epochedHP
+
+	unlinks int
+	retires int
+	scratch map[uint64]struct{}
+}
+
+// NewThread returns a handle with nslots named traversal slots.
+func (d *Domain) NewThread(nslots int) *Thread {
+	t := &Thread{d: d, scratch: make(map[uint64]struct{})}
+	for i := 0; i < nslots; i++ {
+		t.slots = append(t.slots, d.reg.Acquire())
+	}
+	return t
+}
+
+// Protect announces protection of ref in slot i without validation (for
+// entry-point loads whose reachability the caller validates otherwise).
+func (t *Thread) Protect(i int, ref uint64) { t.slots[i].Set(ref) }
+
+// Clear revokes slot i's announcement.
+func (t *Thread) Clear(i int) { t.slots[i].Clear() }
+
+// ClearAll revokes every named slot's announcement.
+func (t *Thread) ClearAll() {
+	for _, s := range t.slots {
+		s.Clear()
+	}
+}
+
+// Swap exchanges named slots i and j (hand-over-hand traversal).
+func (t *Thread) Swap(i, j int) { t.slots[i], t.slots[j] = t.slots[j], t.slots[i] }
+
+// TryProtect implements Algorithm 3's TRYPROTECT. It announces protection
+// of *ptr in slot i, then validates by under-approximation:
+//
+//   - srcInvalid, if non-nil, is the link word of the source node that
+//     carries its tagptr.Invalid bit. If the source has been invalidated
+//     it is unsafe to create new protections from it: TryProtect returns
+//     false and the caller must restart its operation.
+//   - Otherwise srcLink (the field *ptr was loaded from) is re-read with
+//     tags ignored — so protection succeeds regardless of logical
+//     deletion, which is precisely what permits optimistic traversal. If
+//     it now references a different node, *ptr is updated and the loop
+//     retries.
+//
+// On true, *ptr holds a protected reference (possibly updated, possibly
+// nil). The is-invalid check precedes the link recheck, as in the paper.
+func (t *Thread) TryProtect(i int, ptr *uint64, srcInvalid, srcLink *atomic.Uint64) bool {
+	slot := t.slots[i]
+	for {
+		slot.Set(*ptr)
+		// fence(SC) — implicit.
+		if srcInvalid != nil && srcInvalid.Load()&tagptr.Invalid != 0 {
+			return false
+		}
+		cur := tagptr.RefOf(srcLink.Load())
+		if cur == *ptr {
+			return true
+		}
+		*ptr = cur
+	}
+}
+
+// Retire announces retirement of a node whose unreachability is validated
+// by over-approximation, exactly as in the original HP. This is the
+// backward-compatible hybrid path (§4.2): nodes retired this way are never
+// invalidated, so the data structure must guarantee that TryProtect-style
+// validation cannot newly protect them after retirement.
+func (t *Thread) Retire(ref uint64, dealloc smr.Deallocator) {
+	t.retireds = append(t.retireds, smr.Retired{Ref: ref, D: dealloc})
+	t.d.g.AddRetired(1)
+	t.retires++
+	if t.retires%t.d.opts.ReclaimEvery == 0 {
+		t.Reclaim()
+	}
+}
+
+// TryUnlink implements Algorithm 3's TRYUNLINK. frontier lists the nodes
+// that remain reachable by one link from the to-be-unlinked chain; they
+// are protected with fresh hazard pointers *before* doUnlink runs, and
+// those protections persist until the unlinked nodes have been
+// invalidated. doUnlink performs the actual physical deletion (typically
+// one CAS) and returns the unlinked nodes, or ok=false if it lost the
+// race. inv will be used to invalidate each unlinked node during a later
+// DoInvalidation. Reports whether the unlink succeeded.
+func (t *Thread) TryUnlink(frontier []uint64, doUnlink func() ([]smr.Retired, bool), inv Invalidator) bool {
+	var hps []*hazards.Slot
+	if n := len(frontier); n > 0 {
+		hps = make([]*hazards.Slot, 0, n)
+		for _, f := range frontier {
+			s := t.acquire()
+			s.Set(f)
+			hps = append(hps, s)
+		}
+	}
+	// The frontier protections above are not validated: the data
+	// structure guarantees the frontier cannot change once decided.
+	nodes, ok := doUnlink()
+	if !ok {
+		for _, s := range hps {
+			t.release(s)
+		}
+		return false
+	}
+	t.unlinkeds = append(t.unlinkeds, unlinkBatch{nodes: nodes, inv: inv, hps: hps})
+	t.d.g.AddRetired(int64(len(nodes)))
+	t.unlinks++
+	if t.unlinks%t.d.opts.InvalidateEvery == 0 {
+		t.DoInvalidation()
+	}
+	if t.unlinks%t.d.opts.ReclaimEvery == 0 {
+		t.Reclaim()
+	}
+	return true
+}
+
+// DoInvalidation executes the deferred invalidations: every node unlinked
+// since the last pass is invalidated, then (after the implied SC fence)
+// the frontier hazard pointers are revoked — eagerly under Algorithm 3,
+// or lazily via the fence epoch under Algorithm 5 — and the nodes move to
+// the retired set for the next Reclaim.
+func (t *Thread) DoInvalidation() {
+	if len(t.unlinkeds) == 0 {
+		return
+	}
+	var hps []*hazards.Slot
+	for _, b := range t.unlinkeds {
+		for _, r := range b.nodes {
+			b.inv.Invalidate(r.Ref)
+			t.retireds = append(t.retireds, r)
+		}
+		hps = append(hps, b.hps...)
+	}
+	t.unlinkeds = t.unlinkeds[:0]
+	// fence(SC) — implicit; orders invalidation before hazard revocation.
+	if !t.d.opts.EpochFence {
+		for _, s := range hps {
+			t.release(s)
+		}
+		return
+	}
+	// Algorithm 5: piggyback revocation on heavy fences. A frontier
+	// hazard pointer tagged with epoch e may be revoked once the fence
+	// epoch reaches e+2, because a heavy fence must have been issued
+	// between the two READEPOCH calls returning e and e+2 (Lemma A.2).
+	epoch := t.d.ReadEpoch()
+	kept := t.epochedHPs[:0]
+	for _, eh := range t.epochedHPs {
+		if eh.epoch+2 <= epoch {
+			t.release(eh.s)
+		} else {
+			kept = append(kept, eh)
+		}
+	}
+	t.epochedHPs = kept
+	for _, s := range hps {
+		t.epochedHPs = append(t.epochedHPs, epochedHP{epoch: epoch, s: s})
+	}
+}
+
+// Reclaim scans the hazard slots and frees every retired (and invalidated)
+// node that no slot protects. Under Algorithm 5 it first issues a
+// FenceEpoch and revokes all of this thread's epoched frontier hazard
+// pointers, which also bounds their number (§4.4).
+func (t *Thread) Reclaim() {
+	d := t.d
+	t.retireds = d.orphans.Adopt(t.retireds)
+	if d.opts.EpochFence {
+		d.FenceEpoch()
+		for _, eh := range t.epochedHPs {
+			t.release(eh.s)
+		}
+		t.epochedHPs = t.epochedHPs[:0]
+	}
+	if len(t.retireds) == 0 {
+		return
+	}
+	// No fence needed here: DoInvalidation (Alg. 3) or FenceEpoch above
+	// (Alg. 5) already ordered invalidation with this scan.
+	clear(t.scratch)
+	d.reg.Snapshot(t.scratch)
+	kept := t.retireds[:0]
+	freed := int64(0)
+	for _, r := range t.retireds {
+		if _, p := t.scratch[r.Ref]; p {
+			kept = append(kept, r)
+		} else {
+			r.Free()
+			freed++
+		}
+	}
+	t.retireds = kept
+	if freed > 0 {
+		d.g.AddFreed(freed)
+	}
+}
+
+// Finish flushes pending invalidations, reclaims what it can, hands any
+// leftovers to the domain's orphan list, and releases all slots.
+func (t *Thread) Finish() {
+	t.DoInvalidation()
+	t.Reclaim()
+	for _, s := range t.slots {
+		t.d.reg.Release(s)
+	}
+	t.slots = nil
+	for _, s := range t.cache {
+		t.d.reg.Release(s)
+	}
+	t.cache = nil
+	if len(t.retireds) > 0 {
+		t.d.orphans.Push(t.retireds)
+		t.retireds = nil
+	}
+}
+
+// PendingUnlinked returns the number of unlinked, not-yet-invalidated
+// nodes held locally (for tests).
+func (t *Thread) PendingUnlinked() int {
+	n := 0
+	for _, b := range t.unlinkeds {
+		n += len(b.nodes)
+	}
+	return n
+}
+
+// RetiredLocal returns the number of locally retired, unfreed nodes.
+func (t *Thread) RetiredLocal() int { return len(t.retireds) }
+
+func (t *Thread) acquire() *hazards.Slot {
+	if n := len(t.cache); n > 0 {
+		s := t.cache[n-1]
+		t.cache = t.cache[:n-1]
+		return s
+	}
+	return t.d.reg.Acquire()
+}
+
+func (t *Thread) release(s *hazards.Slot) {
+	s.Clear()
+	if len(t.cache) < 64 {
+		t.cache = append(t.cache, s)
+		return
+	}
+	t.d.reg.Release(s)
+}

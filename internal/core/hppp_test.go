@@ -1,0 +1,308 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// node is a minimal linked node; the Invalid bit lives on next.
+type node struct {
+	next atomic.Uint64
+}
+
+type nodePool struct{ *arena.Pool[node] }
+
+func (p nodePool) Invalidate(ref uint64) {
+	n := p.Deref(ref)
+	n.next.Store(n.next.Load() | tagptr.Invalid)
+}
+
+func newPool(mode arena.Mode) nodePool {
+	return nodePool{arena.NewPool[node]("n", mode)}
+}
+
+func TestTryProtectFailsOnInvalidatedSource(t *testing.T) {
+	d := NewDomain(Options{})
+	p := newPool(arena.ModeDetect)
+	th := d.NewThread(1)
+
+	src, sn := p.Alloc()
+	dst, _ := p.Alloc()
+	sn.next.Store(tagptr.Pack(dst, 0))
+
+	ptr := dst
+	if !th.TryProtect(0, &ptr, &sn.next, &sn.next) {
+		t.Fatal("protection from a valid source should succeed")
+	}
+
+	p.Invalidate(src)
+	if th.TryProtect(0, &ptr, &sn.next, &sn.next) {
+		t.Fatal("protection from an invalidated source must fail")
+	}
+}
+
+func TestTryProtectSucceedsDespiteLogicalDeletion(t *testing.T) {
+	// The under-approximation at work: a *marked* (logically deleted) but
+	// not invalidated source still permits protection — this is what HP
+	// forbids and HP++ allows.
+	d := NewDomain(Options{})
+	p := newPool(arena.ModeDetect)
+	th := d.NewThread(1)
+
+	_, sn := p.Alloc()
+	dst, _ := p.Alloc()
+	sn.next.Store(tagptr.Pack(dst, tagptr.Mark))
+
+	ptr := dst
+	if !th.TryProtect(0, &ptr, &sn.next, &sn.next) {
+		t.Fatal("protection must ignore the logical-deletion tag")
+	}
+	if ptr != dst {
+		t.Fatalf("ptr rewritten to %d", ptr)
+	}
+}
+
+func TestTryProtectChasesChangedLink(t *testing.T) {
+	d := NewDomain(Options{})
+	p := newPool(arena.ModeDetect)
+	th := d.NewThread(1)
+
+	_, sn := p.Alloc()
+	first, _ := p.Alloc()
+	second, _ := p.Alloc()
+	sn.next.Store(tagptr.Pack(second, 0)) // moved on before the protect
+
+	ptr := first
+	if !th.TryProtect(0, &ptr, &sn.next, &sn.next) {
+		t.Fatal("protection should succeed with the updated target")
+	}
+	if ptr != second {
+		t.Fatalf("ptr = %d, want %d", ptr, second)
+	}
+	if !d.Registry().Protects(second) {
+		t.Fatal("slot does not announce the updated target")
+	}
+}
+
+func TestTryUnlinkProtectsFrontier(t *testing.T) {
+	d := NewDomain(Options{InvalidateEvery: 1 << 30, ReclaimEvery: 1 << 30})
+	p := newPool(arena.ModeDetect)
+	unlinker := d.NewThread(0)
+	other := d.NewThread(0)
+
+	victim, _ := p.Alloc()
+	frontier, _ := p.Alloc()
+
+	ok := unlinker.TryUnlink([]uint64{frontier}, func() ([]smr.Retired, bool) {
+		return []smr.Retired{{Ref: victim, D: p}}, true
+	}, p)
+	if !ok {
+		t.Fatal("unlink failed")
+	}
+
+	// Another thread retires the frontier node (as if it unlinked it
+	// next); the frontier hazard pointer must keep it alive.
+	other.Retire(frontier, p)
+	other.Reclaim()
+	if !p.Live(frontier) {
+		t.Fatal("frontier node freed while the unlinker still protects it")
+	}
+
+	// After invalidation the unlinker's frontier protection is revoked.
+	unlinker.DoInvalidation()
+	other.Reclaim()
+	if p.Live(frontier) {
+		t.Fatal("frontier node not freed after protection was revoked")
+	}
+}
+
+func TestTryUnlinkFailureReleasesProtection(t *testing.T) {
+	d := NewDomain(Options{})
+	p := newPool(arena.ModeDetect)
+	th := d.NewThread(0)
+
+	frontier, _ := p.Alloc()
+	ok := th.TryUnlink([]uint64{frontier}, func() ([]smr.Retired, bool) {
+		return nil, false // lost the CAS race
+	}, p)
+	if ok {
+		t.Fatal("unlink reported success")
+	}
+	if d.Registry().Protects(frontier) {
+		t.Fatal("failed unlink left the frontier protected")
+	}
+}
+
+func TestInvalidateBeforeFree(t *testing.T) {
+	// Guarantee (1) of §3.1: all unlinked nodes are invalidated before any
+	// is freed.
+	d := NewDomain(Options{InvalidateEvery: 1 << 30, ReclaimEvery: 1 << 30})
+	p := newPool(arena.ModeDetect)
+	th := d.NewThread(0)
+
+	a, an := p.Alloc()
+	b, bn := p.Alloc()
+	an.next.Store(tagptr.Pack(b, tagptr.Mark))
+	bn.next.Store(tagptr.Pack(0, tagptr.Mark))
+
+	th.TryUnlink(nil, func() ([]smr.Retired, bool) {
+		return []smr.Retired{{Ref: a, D: p}, {Ref: b, D: p}}, true
+	}, p)
+
+	// Before DoInvalidation: unlinked but valid, and must not be freed.
+	th.Reclaim()
+	if !p.Live(a) || !p.Live(b) {
+		t.Fatal("node freed before invalidation")
+	}
+	if tagptr.IsInvalid(an.next.Load()) || tagptr.IsInvalid(bn.next.Load()) {
+		t.Fatal("nodes invalidated too early")
+	}
+
+	th.DoInvalidation()
+	if !tagptr.IsInvalid(an.next.Load()) || !tagptr.IsInvalid(bn.next.Load()) {
+		t.Fatal("nodes not invalidated")
+	}
+	th.Reclaim()
+	if p.Live(a) || p.Live(b) {
+		t.Fatal("invalidated unprotected nodes not freed")
+	}
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed = %d", d.Unreclaimed())
+	}
+}
+
+func TestProtectedUnlinkedNodeSurvives(t *testing.T) {
+	// Scenario 1 of §3.1: a traverser protects q after it was unlinked but
+	// before invalidation; q must survive reclamation.
+	d := NewDomain(Options{InvalidateEvery: 1 << 30, ReclaimEvery: 1 << 30})
+	p := newPool(arena.ModeDetect)
+	unlinker := d.NewThread(0)
+	traverser := d.NewThread(1)
+
+	_, pn := p.Alloc() // p, logically deleted, points to q
+	q, _ := p.Alloc()
+	pn.next.Store(tagptr.Pack(q, tagptr.Mark))
+
+	unlinker.TryUnlink(nil, func() ([]smr.Retired, bool) {
+		return []smr.Retired{{Ref: q, D: p}}, true
+	}, p)
+
+	// p is not invalidated yet, so the traverser's protection succeeds.
+	ptr := q
+	if !traverser.TryProtect(0, &ptr, &pn.next, &pn.next) {
+		t.Fatal("protection should succeed before invalidation")
+	}
+
+	unlinker.DoInvalidation()
+	unlinker.Reclaim()
+	if !p.Live(q) {
+		t.Fatal("protected node freed — the patch-up failed")
+	}
+
+	traverser.Clear(0)
+	unlinker.Reclaim()
+	if p.Live(q) {
+		t.Fatal("node not freed after protection cleared")
+	}
+}
+
+func TestEpochFenceDefersRevocation(t *testing.T) {
+	d := NewDomain(Options{EpochFence: true, InvalidateEvery: 1 << 30, ReclaimEvery: 1 << 30})
+	p := newPool(arena.ModeDetect)
+	th := d.NewThread(0)
+
+	victim, _ := p.Alloc()
+	frontier, _ := p.Alloc()
+	th.TryUnlink([]uint64{frontier}, func() ([]smr.Retired, bool) {
+		return []smr.Retired{{Ref: victim, D: p}}, true
+	}, p)
+
+	// Algorithm 5: DoInvalidation does NOT revoke the frontier hazard
+	// pointer; it parks it with the current fence epoch.
+	th.DoInvalidation()
+	if !d.Registry().Protects(frontier) {
+		t.Fatal("epoched revocation released the hazard pointer eagerly")
+	}
+
+	// Two fence epochs later, a DoInvalidation pass may release it.
+	d.FenceEpoch()
+	d.FenceEpoch()
+	v2, _ := p.Alloc()
+	th.TryUnlink(nil, func() ([]smr.Retired, bool) {
+		return []smr.Retired{{Ref: v2, D: p}}, true
+	}, p)
+	th.DoInvalidation()
+	if d.Registry().Protects(frontier) {
+		t.Fatal("hazard pointer not released after epoch+2")
+	}
+}
+
+func TestEpochFenceReclaimReleasesAll(t *testing.T) {
+	d := NewDomain(Options{EpochFence: true, InvalidateEvery: 1 << 30, ReclaimEvery: 1 << 30})
+	p := newPool(arena.ModeDetect)
+	th := d.NewThread(0)
+
+	victim, _ := p.Alloc()
+	frontier, _ := p.Alloc()
+	th.TryUnlink([]uint64{frontier}, func() ([]smr.Retired, bool) {
+		return []smr.Retired{{Ref: victim, D: p}}, true
+	}, p)
+	th.DoInvalidation()
+
+	th.Reclaim() // FenceEpoch + release all epoched hazard pointers
+	if d.Registry().Protects(frontier) {
+		t.Fatal("Reclaim did not release epoched hazard pointers")
+	}
+	if p.Live(victim) {
+		t.Fatal("victim not freed by Reclaim")
+	}
+}
+
+func TestReadEpochFenceEpoch(t *testing.T) {
+	d := NewDomain(Options{EpochFence: true})
+	e0 := d.ReadEpoch()
+	d.FenceEpoch()
+	if got := d.ReadEpoch(); got != e0+1 {
+		t.Fatalf("epoch = %d, want %d", got, e0+1)
+	}
+}
+
+func TestHybridRetirePath(t *testing.T) {
+	// Backward compatibility (§4.2): plain Retire works like original HP.
+	d := NewDomain(Options{ReclaimEvery: 4})
+	p := newPool(arena.ModeReuse)
+	th := d.NewThread(0)
+	for i := 0; i < 16; i++ {
+		ref, _ := p.Alloc()
+		th.Retire(ref, p)
+	}
+	if got := p.Stats().Frees; got < 12 {
+		t.Fatalf("frees = %d; hybrid retire path not reclaiming", got)
+	}
+}
+
+func TestFinishHandsOffOrphans(t *testing.T) {
+	d := NewDomain(Options{InvalidateEvery: 1 << 30, ReclaimEvery: 1 << 30})
+	p := newPool(arena.ModeDetect)
+	blocker := d.NewThread(1)
+
+	dying := d.NewThread(0)
+	ref, _ := p.Alloc()
+	blocker.Protect(0, ref)
+	dying.Retire(ref, p)
+	dying.Finish()
+	if !p.Live(ref) {
+		t.Fatal("protected node freed at Finish")
+	}
+
+	blocker.Clear(0)
+	survivor := d.NewThread(0)
+	survivor.Reclaim()
+	if p.Live(ref) {
+		t.Fatal("orphan not adopted")
+	}
+}

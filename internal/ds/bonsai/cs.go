@@ -1,0 +1,146 @@
+package bonsai
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// maxDepth bounds the builder's per-depth protection slots. The (3,2)
+// weight balance keeps the tree height under ~2.41·log2(n), so 72 levels
+// cover ~2^29 keys; an attempt that somehow descends further aborts and
+// retries.
+const (
+	maxDepth = 72
+	slotGet  = maxDepth // traversal slot for Get
+	slotGet2 = maxDepth + 1
+)
+
+// TreeCS is the Bonsai tree for critical-section schemes (EBR, PEBR, NR).
+type TreeCS struct {
+	pool Pool
+	root atomic.Uint64
+}
+
+// NewTreeCS creates an empty tree over pool.
+func NewTreeCS(pool Pool) *TreeCS { return &TreeCS{pool: pool} }
+
+// NewHandleCS returns a per-worker handle.
+func (t *TreeCS) NewHandleCS(dom smr.GuardDomain) *HandleCS {
+	h := &HandleCS{t: t, g: dom.NewGuard(maxDepth + 2)}
+	h.b = builder{pool: t.pool, prot: h}
+	return h
+}
+
+// HandleCS is a per-worker handle; not safe for concurrent use.
+type HandleCS struct {
+	t *TreeCS
+	g smr.Guard
+	b builder
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleCS) Guard() smr.Guard { return h.g }
+
+// enter implements protector: a shield ring Track plus neutralization
+// check; ejection aborts the attempt.
+func (h *HandleCS) enter(depth int, ref, parent uint64, fromLeft bool) (view, bool) {
+	if depth >= maxDepth {
+		return view{}, false // out of slots: abort the attempt
+	}
+	if !h.g.Track(depth, ref) {
+		return view{}, false
+	}
+	nd := h.t.pool.Deref(ref)
+	return view{
+		key: nd.key, val: nd.val,
+		left:  tagptr.RefOf(nd.left.Load()),
+		right: tagptr.RefOf(nd.right.Load()),
+		size:  nd.size,
+	}, true
+}
+
+// Get returns the value stored under key by walking the current snapshot.
+func (h *HandleCS) Get(key uint64) (uint64, bool) {
+retry:
+	h.g.Pin()
+	cur := tagptr.RefOf(h.t.root.Load())
+	for cur != 0 {
+		if !h.g.Track(slotGet, cur) {
+			h.g.Unpin()
+			goto retry
+		}
+		nd := h.t.pool.Deref(cur)
+		switch {
+		case key == nd.key:
+			v := nd.val
+			h.g.Unpin()
+			return v, true
+		case key < nd.key:
+			cur = tagptr.RefOf(nd.left.Load())
+		default:
+			cur = tagptr.RefOf(nd.right.Load())
+		}
+	}
+	h.g.Unpin()
+	return 0, false
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleCS) Insert(key, val uint64) bool {
+	for {
+		h.g.Pin()
+		h.b.reset()
+		oldRoot := tagptr.RefOf(h.t.root.Load())
+		newRoot, _, existed := h.b.insertRec(0, oldRoot, 0, true, key, val)
+		if !h.b.ok {
+			h.b.abort()
+			h.g.Unpin() // re-pinned at the top of the loop
+			continue
+		}
+		if existed {
+			h.b.abort()
+			h.g.Unpin()
+			return false
+		}
+		if h.t.root.CompareAndSwap(tagptr.Pack(oldRoot, 0), tagptr.Pack(newRoot, 0)) {
+			for _, r := range h.b.splitGarbage() {
+				h.g.Retire(r, h.t.pool)
+			}
+			h.g.Unpin()
+			return true
+		}
+		h.b.abort()
+		h.g.Unpin()
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleCS) Delete(key uint64) bool {
+	for {
+		h.g.Pin()
+		h.b.reset()
+		oldRoot := tagptr.RefOf(h.t.root.Load())
+		newRoot, _, found := h.b.deleteRec(0, oldRoot, 0, true, key)
+		if !h.b.ok {
+			h.b.abort()
+			h.g.Unpin() // re-pinned at the top of the loop
+			continue
+		}
+		if !found {
+			h.b.abort()
+			h.g.Unpin()
+			return false
+		}
+		if h.t.root.CompareAndSwap(tagptr.Pack(oldRoot, 0), tagptr.Pack(newRoot, 0)) {
+			for _, r := range h.b.splitGarbage() {
+				h.g.Retire(r, h.t.pool)
+			}
+			h.g.Unpin()
+			return true
+		}
+		h.b.abort()
+		h.g.Unpin()
+	}
+}

@@ -1,0 +1,137 @@
+package bonsai
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// TreeHP is the Bonsai tree under original hazard pointers. Every
+// protection — readers' and writers' alike — is validated by re-reading
+// the root pointer: if ANY write committed since the operation began, the
+// snapshot may have lost nodes and the operation restarts. This is the
+// paper's explanation for Bonsai's poor throughput with HP (§5).
+type TreeHP struct {
+	pool Pool
+	root atomic.Uint64
+}
+
+// NewTreeHP creates an empty tree over pool.
+func NewTreeHP(pool Pool) *TreeHP { return &TreeHP{pool: pool} }
+
+// NewHandleHP returns a per-worker handle.
+func (t *TreeHP) NewHandleHP(dom *hp.Domain) *HandleHP {
+	h := &HandleHP{t: t, h: dom.NewThread(maxDepth + 2)}
+	h.b = builder{pool: t.pool, prot: h}
+	return h
+}
+
+// HandleHP is a per-worker handle; not safe for concurrent use.
+type HandleHP struct {
+	t     *TreeHP
+	h     *hp.Thread
+	b     builder
+	rootW tagptr.Word // the attempt's snapshot root word
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleHP) Thread() *hp.Thread { return h.h }
+
+// enter implements protector: protect, then validate that the root has
+// not moved — the over-approximation "root unchanged ⟹ every node of
+// this snapshot is still unretired".
+func (h *HandleHP) enter(depth int, ref, parent uint64, fromLeft bool) (view, bool) {
+	if depth >= maxDepth {
+		return view{}, false // out of slots: abort the attempt
+	}
+	h.h.Protect(depth, ref)
+	// fence(SC) — implicit.
+	if h.t.root.Load() != h.rootW {
+		return view{}, false
+	}
+	nd := h.t.pool.Deref(ref)
+	return view{
+		key: nd.key, val: nd.val,
+		left:  tagptr.RefOf(nd.left.Load()),
+		right: tagptr.RefOf(nd.right.Load()),
+		size:  nd.size,
+	}, true
+}
+
+// Get returns the value stored under key; it restarts whenever a write
+// commits mid-traversal.
+func (h *HandleHP) Get(key uint64) (uint64, bool) {
+	defer h.h.ClearAll()
+retry:
+	rootW := h.t.root.Load()
+	cur := tagptr.RefOf(rootW)
+	for cur != 0 {
+		h.h.Protect(slotGet, cur)
+		if h.t.root.Load() != rootW {
+			goto retry
+		}
+		nd := h.t.pool.Deref(cur)
+		switch {
+		case key == nd.key:
+			return nd.val, true
+		case key < nd.key:
+			cur = tagptr.RefOf(nd.left.Load())
+		default:
+			cur = tagptr.RefOf(nd.right.Load())
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHP) Insert(key, val uint64) bool {
+	defer h.h.ClearAll()
+	for {
+		h.b.reset()
+		h.rootW = h.t.root.Load()
+		oldRoot := tagptr.RefOf(h.rootW)
+		newRoot, _, existed := h.b.insertRec(0, oldRoot, 0, true, key, val)
+		if !h.b.ok {
+			h.b.abort()
+			continue
+		}
+		if existed {
+			h.b.abort()
+			return false
+		}
+		if h.t.root.CompareAndSwap(h.rootW, tagptr.Pack(newRoot, 0)) {
+			for _, r := range h.b.splitGarbage() {
+				h.h.Retire(r, h.t.pool)
+			}
+			return true
+		}
+		h.b.abort()
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHP) Delete(key uint64) bool {
+	defer h.h.ClearAll()
+	for {
+		h.b.reset()
+		h.rootW = h.t.root.Load()
+		oldRoot := tagptr.RefOf(h.rootW)
+		newRoot, _, found := h.b.deleteRec(0, oldRoot, 0, true, key)
+		if !h.b.ok {
+			h.b.abort()
+			continue
+		}
+		if !found {
+			h.b.abort()
+			return false
+		}
+		if h.t.root.CompareAndSwap(h.rootW, tagptr.Pack(newRoot, 0)) {
+			for _, r := range h.b.splitGarbage() {
+				h.h.Retire(r, h.t.pool)
+			}
+			return true
+		}
+		h.b.abort()
+	}
+}

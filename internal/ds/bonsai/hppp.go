@@ -1,0 +1,176 @@
+package bonsai
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// TreeHPP is the Bonsai tree under HP++. Protections are validated by
+// under-approximation — only an *invalidated* source node fails them — so
+// unrelated committed writes never force a restart, and the root CAS
+// needs no frontier protection at all (§5: "Bonsai does not require
+// frontier protection"): the replaced path is simply handed to TryUnlink
+// with an empty frontier.
+type TreeHPP struct {
+	pool Pool
+	root atomic.Uint64
+}
+
+// NewTreeHPP creates an empty tree over pool.
+func NewTreeHPP(pool Pool) *TreeHPP { return &TreeHPP{pool: pool} }
+
+// NewHandleHPP returns a per-worker handle.
+func (t *TreeHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
+	h := &HandleHPP{t: t, h: dom.NewThread(maxDepth + 2)}
+	h.b = builder{pool: t.pool, prot: h}
+	return h
+}
+
+// HandleHPP is a per-worker handle; not safe for concurrent use.
+type HandleHPP struct {
+	t *TreeHPP
+	h *core.Thread
+	b builder
+}
+
+// Thread exposes the underlying HP++ thread.
+func (h *HandleHPP) Thread() *core.Thread { return h.h }
+
+// enter implements protector via TryProtect: the source is the parent
+// node (whose links are immutable), so the protection loop never spins;
+// it fails only if the parent was invalidated. parent==0 protects from
+// the mutable root pointer; a concurrent root change there retries with
+// the fresh root.
+func (h *HandleHPP) enter(depth int, ref, parent uint64, fromLeft bool) (view, bool) {
+	if depth >= maxDepth {
+		return view{}, false // out of slots: abort the attempt
+	}
+	slot := depth
+	if parent == 0 {
+		r := ref
+		if !h.h.TryProtect(slot, &r, nil, &h.t.root) || r != ref {
+			return view{}, false // root moved: restart the attempt
+		}
+	} else {
+		pn := h.t.pool.Deref(parent)
+		link := &pn.right
+		if fromLeft {
+			link = &pn.left
+		}
+		r := ref
+		if !h.h.TryProtect(slot, &r, &pn.left, link) || r != ref {
+			return view{}, false // parent invalidated (or stale view)
+		}
+	}
+	nd := h.t.pool.Deref(ref)
+	return view{
+		key: nd.key, val: nd.val,
+		left:  tagptr.RefOf(nd.left.Load()),
+		right: tagptr.RefOf(nd.right.Load()),
+		size:  nd.size,
+	}, true
+}
+
+// Get returns the value stored under key. Unlike HP, a committed write
+// only disturbs this traversal if it invalidated a node on our path.
+func (h *HandleHPP) Get(key uint64) (uint64, bool) {
+	defer h.h.ClearAll()
+	a, b := slotGet, slotGet2 // ping-pong slots
+retry:
+	cur := tagptr.RefOf(h.t.root.Load())
+	if !h.h.TryProtect(a, &cur, nil, &h.t.root) {
+		goto retry
+	}
+	for cur != 0 {
+		nd := h.t.pool.Deref(cur)
+		switch {
+		case key == nd.key:
+			return nd.val, true
+		case key < nd.key:
+			next := tagptr.RefOf(nd.left.Load())
+			if next == 0 {
+				return 0, false
+			}
+			if !h.h.TryProtect(b, &next, &nd.left, &nd.left) {
+				goto retry
+			}
+			cur = next
+		default:
+			next := tagptr.RefOf(nd.right.Load())
+			if next == 0 {
+				return 0, false
+			}
+			if !h.h.TryProtect(b, &next, &nd.left, &nd.right) {
+				goto retry
+			}
+			cur = next
+		}
+		a, b = b, a
+	}
+	return 0, false
+}
+
+func (h *HandleHPP) commit(oldW tagptr.Word, newRoot uint64) bool {
+	root := &h.t.root
+	pool := h.t.pool
+	ok := h.h.TryUnlink(nil, func() ([]smr.Retired, bool) {
+		if !root.CompareAndSwap(oldW, tagptr.Pack(newRoot, 0)) {
+			return nil, false
+		}
+		var rs []smr.Retired
+		for _, r := range h.b.splitGarbage() {
+			rs = append(rs, smr.Retired{Ref: r, D: pool})
+		}
+		return rs, true
+	}, pool)
+	return ok
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHPP) Insert(key, val uint64) bool {
+	defer h.h.ClearAll()
+	for {
+		h.b.reset()
+		oldW := h.t.root.Load()
+		oldRoot := tagptr.RefOf(oldW)
+		newRoot, _, existed := h.b.insertRec(0, oldRoot, 0, true, key, val)
+		if !h.b.ok {
+			h.b.abort()
+			continue
+		}
+		if existed {
+			h.b.abort()
+			return false
+		}
+		if h.commit(oldW, newRoot) {
+			return true
+		}
+		h.b.abort()
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHPP) Delete(key uint64) bool {
+	defer h.h.ClearAll()
+	for {
+		h.b.reset()
+		oldW := h.t.root.Load()
+		oldRoot := tagptr.RefOf(oldW)
+		newRoot, _, found := h.b.deleteRec(0, oldRoot, 0, true, key)
+		if !h.b.ok {
+			h.b.abort()
+			continue
+		}
+		if !found {
+			h.b.abort()
+			return false
+		}
+		if h.commit(oldW, newRoot) {
+			return true
+		}
+		h.b.abort()
+	}
+}

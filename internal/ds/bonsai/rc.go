@@ -1,0 +1,353 @@
+package bonsai
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/rc"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// NodeRC is a counted immutable tree node.
+type NodeRC struct {
+	count atomic.Int64
+	left  atomic.Uint64
+	right atomic.Uint64
+	size  uint64
+	key   uint64
+	val   uint64
+}
+
+// PoolRC allocates counted nodes and implements rc.Object.
+type PoolRC struct {
+	*arena.Pool[NodeRC]
+}
+
+// NewPoolRC creates a counted node pool.
+func NewPoolRC(mode arena.Mode) PoolRC {
+	return PoolRC{arena.NewPool[NodeRC]("bonsai-rc", mode)}
+}
+
+// IncCount adds a strong reference.
+func (p PoolRC) IncCount(ref uint64) { p.Deref(ref).count.Add(1) }
+
+// DecCount drops a strong reference and returns the new count.
+func (p PoolRC) DecCount(ref uint64) int64 { return p.Deref(ref).count.Add(-1) }
+
+// Trace reports the node's outgoing strong references.
+func (p PoolRC) Trace(ref uint64, out []uint64) []uint64 {
+	n := p.Deref(ref)
+	if l := tagptr.RefOf(n.left.Load()); l != 0 {
+		out = append(out, l)
+	}
+	if r := tagptr.RefOf(n.right.Load()); r != 0 {
+		out = append(out, r)
+	}
+	return out
+}
+
+// TreeRC is the Bonsai tree under deferred reference counting. Every node
+// built by the copy-on-write path increments its children's counts — the
+// torrent of counter traffic that makes RC collapse on Bonsai in the
+// paper's Figure 8. Reclamation is fully automatic: committing defers one
+// decrement of the old root and the dead path cascades; aborting defers
+// one decrement of the speculative root.
+type TreeRC struct {
+	pool PoolRC
+	root atomic.Uint64
+}
+
+// NewTreeRC creates an empty tree over pool.
+func NewTreeRC(pool PoolRC) *TreeRC { return &TreeRC{pool: pool} }
+
+// NewHandleRC returns a per-worker handle.
+func (t *TreeRC) NewHandleRC(dom *rc.Domain) *HandleRC {
+	return &HandleRC{t: t, g: dom.NewGuard(), dt: rc.NewDecTask(dom, t.pool)}
+}
+
+// HandleRC is a per-worker handle; not safe for concurrent use.
+type HandleRC struct {
+	t        *TreeRC
+	g        *rc.Guard
+	dt       *rc.DecTask
+	newNodes []uint64 // nodes created by the current attempt
+}
+
+func (h *HandleRC) isNew(ref uint64) bool {
+	for _, n := range h.newNodes {
+		if n == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleRC) Guard() *rc.Guard { return h.g }
+
+// mk allocates a counted node: every heap link counts one reference, so
+// both children are incremented; the node itself starts unowned (count 0)
+// until a parent mk or the publish adopts it.
+func (h *HandleRC) mk(key, val, l, r, sl, sr uint64) (uint64, uint64) {
+	ref, nd := h.t.pool.Alloc()
+	nd.key, nd.val = key, val
+	nd.size = sl + sr + 1
+	nd.count.Store(0)
+	nd.left.Store(tagptr.Pack(l, 0))
+	nd.right.Store(tagptr.Pack(r, 0))
+	if l != 0 {
+		h.t.pool.IncCount(l)
+	}
+	if r != 0 {
+		h.t.pool.IncCount(r)
+	}
+	h.newNodes = append(h.newNodes, ref)
+	return ref, nd.size
+}
+
+// freeNew releases an unowned (count-0) node this attempt created,
+// dropping its links: private descendants cascade immediately, shared
+// targets get a deferred decrement.
+func (h *HandleRC) freeNew(ref uint64) {
+	v := h.viewOf(ref)
+	h.t.pool.Free(ref)
+	h.releaseRef(v.left)
+	h.releaseRef(v.right)
+}
+
+// releaseRef drops one counted link to ref.
+func (h *HandleRC) releaseRef(ref uint64) {
+	if ref == 0 {
+		return
+	}
+	if !h.isNew(ref) {
+		h.g.DeferDec(h.dt, ref)
+		return
+	}
+	if h.t.pool.DecCount(ref) == 0 {
+		h.freeNew(ref)
+	}
+}
+
+func (h *HandleRC) viewOf(ref uint64) view {
+	nd := h.t.pool.Deref(ref)
+	return view{
+		key: nd.key, val: nd.val,
+		left:  tagptr.RefOf(nd.left.Load()),
+		right: tagptr.RefOf(nd.right.Load()),
+		size:  nd.size,
+	}
+}
+
+func (h *HandleRC) sizeOf(ref uint64) uint64 {
+	if ref == 0 {
+		return 0
+	}
+	return h.t.pool.Deref(ref).size
+}
+
+// balance mirrors builder.balance with counted allocation. A rotation
+// destructures the heavy child: if that child was built by this attempt
+// it is now an unowned intermediate and is cascaded away after the
+// replacements have taken their references; consumed *shared* nodes die
+// with the old version through the committed root's cascade.
+func (h *HandleRC) balance(k, val, l, sl, r, sr uint64) (uint64, uint64) {
+	switch {
+	case tooHeavy(sr, sl):
+		rv := h.viewOf(r)
+		srl, srr := h.sizeOf(rv.left), h.sizeOf(rv.right)
+		var ref, size uint64
+		if srl+1 < 2*(srr+1) {
+			nl, nsl := h.mk(k, val, l, rv.left, sl, srl)
+			ref, size = h.mk(rv.key, rv.val, nl, rv.right, nsl, srr)
+		} else {
+			rlv := h.viewOf(rv.left)
+			srll, srlr := h.sizeOf(rlv.left), h.sizeOf(rlv.right)
+			nl, nsl := h.mk(k, val, l, rlv.left, sl, srll)
+			nr, nsr := h.mk(rv.key, rv.val, rlv.right, rv.right, srlr, srr)
+			ref, size = h.mk(rlv.key, rlv.val, nl, nr, nsl, nsr)
+		}
+		if h.isNew(r) {
+			h.freeNew(r)
+		}
+		return ref, size
+	case tooHeavy(sl, sr):
+		lv := h.viewOf(l)
+		sll, slr := h.sizeOf(lv.left), h.sizeOf(lv.right)
+		var ref, size uint64
+		if slr+1 < 2*(sll+1) {
+			nr, nsr := h.mk(k, val, lv.right, r, slr, sr)
+			ref, size = h.mk(lv.key, lv.val, lv.left, nr, sll, nsr)
+		} else {
+			lrv := h.viewOf(lv.right)
+			slrl, slrr := h.sizeOf(lrv.left), h.sizeOf(lrv.right)
+			nl, nsl := h.mk(lv.key, lv.val, lv.left, lrv.left, sll, slrl)
+			nr, nsr := h.mk(k, val, lrv.right, r, slrr, sr)
+			ref, size = h.mk(lrv.key, lrv.val, nl, nr, nsl, nsr)
+		}
+		if h.isNew(l) {
+			h.freeNew(l)
+		}
+		return ref, size
+	}
+	return h.mk(k, val, l, r, sl, sr)
+}
+
+// dropSpeculative releases a never-published attempt root: new roots are
+// unowned intermediates and cascade away; a shared root (a one-child
+// deletion promoting an old subtree) holds nothing of ours.
+func (h *HandleRC) dropSpeculative(root uint64) {
+	if root != 0 && h.isNew(root) {
+		h.freeNew(root)
+	}
+}
+
+func (h *HandleRC) insertRec(n uint64, key, val uint64) (ref, size uint64, existed bool) {
+	if n == 0 {
+		ref, size = h.mk(key, val, 0, 0, 0, 0)
+		return ref, size, false
+	}
+	v := h.viewOf(n)
+	if v.key == key {
+		return n, v.size, true
+	}
+	if key < v.key {
+		nl, sl, ex := h.insertRec(v.left, key, val)
+		if ex {
+			return n, v.size, true
+		}
+		ref, size = h.balance(v.key, v.val, nl, sl, v.right, h.sizeOf(v.right))
+		return ref, size, false
+	}
+	nr, sr, ex := h.insertRec(v.right, key, val)
+	if ex {
+		return n, v.size, true
+	}
+	ref, size = h.balance(v.key, v.val, v.left, h.sizeOf(v.left), nr, sr)
+	return ref, size, false
+}
+
+func (h *HandleRC) deleteRec(n uint64, key uint64) (ref, size uint64, found bool) {
+	if n == 0 {
+		return 0, 0, false
+	}
+	v := h.viewOf(n)
+	switch {
+	case key == v.key:
+		switch {
+		case v.left == 0 && v.right == 0:
+			return 0, 0, true
+		case v.left == 0:
+			// The shared child is adopted where it is re-linked: by the
+			// caller's mk, or by the commit if it becomes the root.
+			return v.right, h.sizeOf(v.right), true
+		case v.right == 0:
+			return v.left, h.sizeOf(v.left), true
+		default:
+			mk, mv, nr, snr := h.popMin(v.right)
+			ref, size = h.balance(mk, mv, v.left, h.sizeOf(v.left), nr, snr)
+			return ref, size, true
+		}
+	case key < v.key:
+		nl, sl, f := h.deleteRec(v.left, key)
+		if !f {
+			return n, v.size, false
+		}
+		ref, size = h.balance(v.key, v.val, nl, sl, v.right, h.sizeOf(v.right))
+		return ref, size, true
+	default:
+		nr, sr, f := h.deleteRec(v.right, key)
+		if !f {
+			return n, v.size, false
+		}
+		ref, size = h.balance(v.key, v.val, v.left, h.sizeOf(v.left), nr, sr)
+		return ref, size, true
+	}
+}
+
+func (h *HandleRC) popMin(n uint64) (minKey, minVal, ref, size uint64) {
+	v := h.viewOf(n)
+	if v.left == 0 {
+		return v.key, v.val, v.right, h.sizeOf(v.right)
+	}
+	mk, mv, nl, snl := h.popMin(v.left)
+	ref, size = h.balance(v.key, v.val, nl, snl, v.right, h.sizeOf(v.right))
+	return mk, mv, ref, size
+}
+
+// publish installs newRoot: the root pointer takes one reference, and on
+// success the old version loses its root reference (deferred, cascading
+// through the dead path). On failure the attempt's nodes are released by
+// the caller via dropSpeculative.
+func (h *HandleRC) publish(oldW tagptr.Word, oldRoot, newRoot uint64) bool {
+	if newRoot != 0 {
+		h.t.pool.IncCount(newRoot)
+	}
+	if !h.t.root.CompareAndSwap(oldW, tagptr.Pack(newRoot, 0)) {
+		if newRoot != 0 {
+			h.t.pool.DecCount(newRoot) // undo; dropSpeculative finishes up
+		}
+		return false
+	}
+	if oldRoot != 0 {
+		h.g.DeferDec(h.dt, oldRoot)
+	}
+	return true
+}
+
+// Get returns the value stored under key.
+func (h *HandleRC) Get(key uint64) (uint64, bool) {
+	h.g.Pin()
+	defer h.g.Unpin()
+	cur := tagptr.RefOf(h.t.root.Load())
+	for cur != 0 {
+		nd := h.t.pool.Deref(cur)
+		switch {
+		case key == nd.key:
+			return nd.val, true
+		case key < nd.key:
+			cur = tagptr.RefOf(nd.left.Load())
+		default:
+			cur = tagptr.RefOf(nd.right.Load())
+		}
+	}
+	return 0, false
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleRC) Insert(key, val uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		h.newNodes = h.newNodes[:0]
+		oldW := h.t.root.Load()
+		oldRoot := tagptr.RefOf(oldW)
+		newRoot, _, existed := h.insertRec(oldRoot, key, val)
+		if existed {
+			return false
+		}
+		if h.publish(oldW, oldRoot, newRoot) {
+			return true
+		}
+		h.dropSpeculative(newRoot)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleRC) Delete(key uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		h.newNodes = h.newNodes[:0]
+		oldW := h.t.root.Load()
+		oldRoot := tagptr.RefOf(oldW)
+		newRoot, _, found := h.deleteRec(oldRoot, key)
+		if !found {
+			return false
+		}
+		if h.publish(oldW, oldRoot, newRoot) {
+			return true
+		}
+		h.dropSpeculative(newRoot)
+	}
+}

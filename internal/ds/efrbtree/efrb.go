@@ -1,0 +1,164 @@
+// Package efrbtree implements the non-blocking external binary search
+// tree of Ellen, Fatourou, Ruppert and van Breugel (PODC 2010) —
+// "EFRBTree" in the HP++ paper's evaluation.
+//
+// Every internal node carries an *update* word packing an operation state
+// (CLEAN / IFLAG / DFLAG / MARK) with a reference to an operation
+// descriptor (Info record). Updates flag the relevant nodes with their
+// descriptor before mutating children, and any thread that encounters a
+// flagged node *helps* the pending operation to completion by reading the
+// descriptor — which is why the tree is compatible with original HP
+// (Table 2): helpers validate their protections against the very same
+// update words.
+//
+// Reclamation handles two object kinds: tree nodes (a delete's splice
+// removes the victim leaf and its parent) and descriptors (retired when a
+// node's update word moves on to a newer descriptor).
+//
+// Variants:
+//
+//	TreeCS  — critical-section schemes (EBR, PEBR, NR)
+//	TreeHP  — original hazard pointers
+//	TreeHPP — HP++ (TryUnlink at the splice; descriptors via the
+//	          backward-compatible Retire path, the hybrid mode of §4.2)
+//
+// RC is omitted exactly as in the paper: descriptors form reference
+// cycles that counting cannot collect without weak references.
+package efrbtree
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Sentinel keys; user keys must be smaller than Inf1.
+const (
+	Inf1 = ^uint64(0) - 1
+	Inf2 = ^uint64(0)
+)
+
+// Update-word states, stored in the low tag bits of the word.
+const (
+	stateClean = 0
+	stateIFlag = 1
+	stateDFlag = 2
+	stateMark  = 3
+	stateMask  = 3
+)
+
+// Node is a tree node; leaves have both children nil and a clean update
+// word forever.
+type Node struct {
+	update atomic.Uint64 // Info ref<<3 | state
+	left   atomic.Uint64
+	right  atomic.Uint64
+	key    uint64
+	val    uint64
+}
+
+// Info is an operation descriptor: an IInfo for inserts (p, l,
+// newInternal) or a DInfo for deletes (gp, p, l, pupdate).
+type Info struct {
+	kind        uint32 // 1 = insert, 2 = delete
+	gp          uint64
+	p           uint64
+	l           uint64
+	newInternal uint64
+	pupdate     uint64 // update word of p at the delete's search
+}
+
+const (
+	kindInsert = 1
+	kindDelete = 2
+)
+
+// NodePool allocates tree nodes and implements core.Invalidator.
+type NodePool struct {
+	*arena.Pool[Node]
+}
+
+// NewNodePool creates a node pool.
+func NewNodePool(mode arena.Mode) NodePool {
+	return NodePool{arena.NewPool[Node]("efrb-node", mode)}
+}
+
+// Invalidate sets the Invalid bit on the node's left word (plain store;
+// spliced-out nodes are frozen by their MARK/flag states).
+func (p NodePool) Invalidate(ref uint64) {
+	n := p.Deref(ref)
+	n.left.Store(n.left.Load() | tagptr.Invalid)
+}
+
+// InfoPool allocates descriptors.
+type InfoPool struct {
+	*arena.Pool[Info]
+}
+
+// NewInfoPool creates a descriptor pool.
+func NewInfoPool(mode arena.Mode) InfoPool {
+	return InfoPool{arena.NewPool[Info]("efrb-info", mode)}
+}
+
+// stateOf extracts the operation state from an update word.
+func stateOf(w tagptr.Word) uint64 { return w & stateMask }
+
+// infoOf extracts the descriptor reference from an update word.
+func infoOf(w tagptr.Word) uint64 { return w >> 3 }
+
+// packUpdate builds an update word.
+func packUpdate(info uint64, state uint64) tagptr.Word { return info<<3 | state }
+
+// childEdge returns the edge of nd a search for key follows.
+func childEdge(nd *Node, key uint64) *atomic.Uint64 {
+	if key < nd.key {
+		return &nd.left
+	}
+	return &nd.right
+}
+
+// newTree allocates the sentinel skeleton: root(Inf2) with leaves Inf1
+// and Inf2. The root can never be flagged for deletion (no grandparent),
+// so it is permanent.
+func newTree(pool NodePool) uint64 {
+	l1, _ := pool.Alloc()
+	n1 := pool.Deref(l1)
+	n1.key, n1.val = Inf1, 0
+	n1.update.Store(0)
+	n1.left.Store(0)
+	n1.right.Store(0)
+
+	l2, _ := pool.Alloc()
+	n2 := pool.Deref(l2)
+	n2.key, n2.val = Inf2, 0
+	n2.update.Store(0)
+	n2.left.Store(0)
+	n2.right.Store(0)
+
+	r, _ := pool.Alloc()
+	rn := pool.Deref(r)
+	rn.key = Inf2
+	rn.update.Store(0)
+	rn.left.Store(tagptr.Pack(l1, 0))
+	rn.right.Store(tagptr.Pack(l2, 0))
+	return r
+}
+
+// DbgMismatch counts hits of helpMarked's defensive descriptor/children
+// mismatch branch. It must stay zero in every legitimate execution (see
+// TestNoDescriptorMismatch); a nonzero value indicates descriptor ABA.
+var DbgMismatch atomic.Int64
+
+// edgeField is the atomic child-edge word type.
+type edgeField = atomic.Uint64
+
+// searchResult is the (gp, p, l) triple of the EFRB search with the
+// update words observed on the way down.
+type searchResult struct {
+	gp       uint64
+	p        uint64
+	l        uint64
+	pupdate  uint64
+	gpupdate uint64
+}

@@ -1,0 +1,381 @@
+package efrbtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nr"
+	"github.com/gosmr/gosmr/internal/pebr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+type handle interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, val uint64) bool
+	Delete(key uint64) bool
+}
+
+type variant struct {
+	name string
+	mk   func(mode arena.Mode) (mkHandle func() handle, finish func())
+}
+
+func variants() []variant {
+	return []variant{
+		{"CS/EBR", func(mode arena.Mode) (func() handle, func()) {
+			dom := ebr.NewDomain()
+			t := NewTreeCS(NewNodePool(mode), NewInfoPool(mode))
+			var hs []*HandleCS
+			return func() handle {
+					h := t.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*ebr.Guard).Drain()
+					}
+				}
+		}},
+		{"CS/PEBR", func(mode arena.Mode) (func() handle, func()) {
+			dom := pebr.NewDomain()
+			t := NewTreeCS(NewNodePool(mode), NewInfoPool(mode))
+			var hs []*HandleCS
+			return func() handle {
+					h := t.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*pebr.Guard).ClearShields()
+					}
+					for i := 0; i < 8; i++ {
+						for _, h := range hs {
+							h.Guard().(*pebr.Guard).Collect()
+						}
+					}
+				}
+		}},
+		{"CS/NR", func(mode arena.Mode) (func() handle, func()) {
+			dom := nr.NewDomain()
+			t := NewTreeCS(NewNodePool(mode), NewInfoPool(mode))
+			return func() handle { return t.NewHandleCS(dom) }, func() {}
+		}},
+		{"HP", func(mode arena.Mode) (func() handle, func()) {
+			dom := hp.NewDomain()
+			t := NewTreeHP(NewNodePool(mode), NewInfoPool(mode))
+			var hs []*HandleHP
+			return func() handle {
+					h := t.NewHandleHP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+		{"HPP", func(mode arena.Mode) (func() handle, func()) {
+			dom := core.NewDomain(core.Options{})
+			t := NewTreeHPP(NewNodePool(mode), NewInfoPool(mode))
+			var hs []*HandleHPP
+			return func() handle {
+					h := t.NewHandleHPP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			h := mk()
+			defer finish()
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(19))
+			for i := 0; i < 6000; i++ {
+				k := uint64(rng.Intn(128))
+				switch rng.Intn(3) {
+				case 0:
+					_, in := model[k]
+					if h.Insert(k, k+7000) == in {
+						t.Fatalf("op %d: Insert(%d) disagreed with model", i, k)
+					}
+					model[k] = k + 7000
+				case 1:
+					_, in := model[k]
+					if h.Delete(k) != in {
+						t.Fatalf("op %d: Delete(%d) disagreed with model", i, k)
+					}
+					delete(model, k)
+				default:
+					val, ok := h.Get(k)
+					mv, in := model[k]
+					if ok != in || (ok && val != mv) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v) want (%d,%v)", i, k, val, ok, mv, in)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			prop := func(ops []uint16) bool {
+				mk, finish := v.mk(arena.ModeDetect)
+				h := mk()
+				defer finish()
+				model := map[uint64]uint64{}
+				for _, op := range ops {
+					k := uint64(op % 64)
+					switch (op / 64) % 3 {
+					case 0:
+						_, in := model[k]
+						if h.Insert(k, k) == in {
+							return false
+						}
+						model[k] = k
+					case 1:
+						_, in := model[k]
+						if h.Delete(k) != in {
+							return false
+						}
+						delete(model, k)
+					default:
+						_, ok := h.Get(k)
+						if _, in := model[k]; ok != in {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 6000
+		keys    = 64
+	)
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						k := uint64(rng.Intn(keys))
+						switch rng.Intn(4) {
+						case 0:
+							h.Insert(k, k)
+						case 1:
+							h.Delete(k)
+						default:
+							h.Get(k)
+						}
+					}
+				}(handles[w], int64(w+31))
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}
+
+func TestDisjointKeysLinearizable(t *testing.T) {
+	const workers = 4
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, base uint64) {
+					defer wg.Done()
+					model := map[uint64]uint64{}
+					rng := rand.New(rand.NewSource(int64(base + 7)))
+					for i := 0; i < 2500; i++ {
+						k := base + uint64(rng.Intn(24))
+						switch rng.Intn(3) {
+						case 0:
+							_, in := model[k]
+							if h.Insert(k, k) == in {
+								t.Errorf("insert(%d) disagreed with private model", k)
+								return
+							}
+							model[k] = k
+						case 1:
+							_, in := model[k]
+							if h.Delete(k) != in {
+								t.Errorf("delete(%d) disagreed with private model", k)
+								return
+							}
+							delete(model, k)
+						default:
+							_, ok := h.Get(k)
+							if _, in := model[k]; ok != in {
+								t.Errorf("get(%d) disagreed with private model", k)
+								return
+							}
+						}
+					}
+				}(handles[w], uint64(w)*1000)
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}
+
+// TestNoNodeLeaksAfterDrain: after deleting every key, only the three
+// sentinel nodes remain live in the node pool.
+func TestNoNodeLeaksAfterDrain(t *testing.T) {
+	dom := ebr.NewDomain()
+	np := NewNodePool(arena.ModeDetect)
+	ip := NewInfoPool(arena.ModeDetect)
+	tr := NewTreeCS(np, ip)
+	h := tr.NewHandleCS(dom)
+	const n = 1000
+	for k := uint64(0); k < n; k++ {
+		if !h.Insert(k, k) {
+			t.Fatalf("insert(%d) failed", k)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		if !h.Delete(k) {
+			t.Fatalf("delete(%d) failed", k)
+		}
+	}
+	h.Guard().(*ebr.Guard).Drain()
+	if live := np.Stats().Live; live != 3 {
+		t.Fatalf("node pool live = %d, want 3 sentinels", live)
+	}
+	// Descriptors: each node carries at most one live descriptor in its
+	// update word; after the drain only the root's last descriptor (if
+	// any) plus descriptors still referenced by live update words remain.
+	if live := ip.Stats().Live; live > 2 {
+		t.Fatalf("info pool live = %d, want <= 2", live)
+	}
+}
+
+// TestExternalShape checks the external-BST invariants after a workload.
+func TestExternalShape(t *testing.T) {
+	dom := ebr.NewDomain()
+	np := NewNodePool(arena.ModeDetect)
+	tr := NewTreeCS(np, NewInfoPool(arena.ModeDetect))
+	h := tr.NewHandleCS(dom)
+	keys := []uint64{10, 4, 16, 2, 8, 12, 20, 6}
+	for _, k := range keys {
+		h.Insert(k, k)
+	}
+	h.Delete(4)
+	h.Delete(20)
+	var walk func(ref uint64) []uint64
+	walk = func(ref uint64) []uint64 {
+		nd := np.Pool.Deref(ref)
+		l := tagptr.RefOf(nd.left.Load())
+		r := tagptr.RefOf(nd.right.Load())
+		if (l == 0) != (r == 0) {
+			t.Fatalf("node %d has exactly one child", ref)
+		}
+		if l == 0 {
+			return []uint64{nd.key}
+		}
+		return append(walk(l), walk(r)...)
+	}
+	leaves := walk(tr.root)
+	for i := 1; i < len(leaves); i++ {
+		if leaves[i-1] >= leaves[i] {
+			t.Fatalf("leaves not strictly sorted: %v", leaves)
+		}
+	}
+	want := map[uint64]bool{10: true, 16: true, 2: true, 8: true, 12: true, 6: true}
+	for k := range want {
+		if _, ok := h.Get(k); !ok {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	for _, k := range []uint64{4, 20} {
+		if _, ok := h.Get(k); ok {
+			t.Fatalf("deleted key %d still present", k)
+		}
+	}
+}
+
+// TestNoDescriptorMismatch stresses the HP variant and asserts that the
+// defensive descriptor/children mismatch branch in helpMarked never fires:
+// with the update-word read ordering of search, a successful mark implies
+// the descriptor's leaf is still one of p's children.
+func TestNoDescriptorMismatch(t *testing.T) {
+	DbgMismatch.Store(0)
+	dom := hp.NewDomain()
+	tr := NewTreeHP(NewNodePool(arena.ModeDetect), NewInfoPool(arena.ModeDetect))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandleHP(dom)
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 5000; i++ {
+				k := uint64(rng.Intn(32))
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(k, k)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Get(k)
+				}
+			}
+		}(int64(w + 3))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("stress hung; mismatches=%d", DbgMismatch.Load())
+	}
+	if n := DbgMismatch.Load(); n != 0 {
+		t.Fatalf("descriptor/children mismatches observed: %d", n)
+	}
+}

@@ -1,0 +1,465 @@
+package efrbtree
+
+import (
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Extra slot for the HP variant: the descriptor found on p by a delete.
+const (
+	slotPOp = csSlots
+	hpSlots = csSlots + 1
+)
+
+// TreeHP is the EFRB tree under original hazard pointers. The search
+// validates each protection by re-reading the parent's child edge; the
+// helping paths validate theirs with over-approximations derived from the
+// update-word protocol — the properties the HP++ paper credits for
+// EFRB's (rare) HP compatibility:
+//
+//   - retiring a node requires a MARK that sticks forever, so a node
+//     whose update word is anything but a foreign MARK is not retired;
+//   - while gp carries (DFLAG, op), only op's own splice can remove p, so
+//     "p still reachable from gp" validates p's protection;
+//   - descriptors are retired only after their owner's update word moves
+//     on, and update words cannot recur while the descriptor is protected,
+//     so protect-then-revalidate covers every helper dereference.
+type TreeHP struct {
+	nodes NodePool
+	infos InfoPool
+	root  uint64
+}
+
+// NewTreeHP creates a tree (with sentinels) over the two pools.
+func NewTreeHP(nodes NodePool, infos InfoPool) *TreeHP {
+	return &TreeHP{nodes: nodes, infos: infos, root: newTree(nodes)}
+}
+
+// NewHandleHP returns a per-worker handle.
+func (t *TreeHP) NewHandleHP(dom *hp.Domain) *HandleHP {
+	return &HandleHP{t: t, h: dom.NewThread(hpSlots)}
+}
+
+// HandleHP is a per-worker handle; not safe for concurrent use.
+type HandleHP struct {
+	t *TreeHP
+	h *hp.Thread
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleHP) Thread() *hp.Thread { return h.h }
+
+// search descends with validated hand-over-hand protection. On return
+// l (slotL), p (slotP) and gp (slotGP) are protected.
+func (h *HandleHP) search(key uint64) searchResult {
+	t := h.t
+retry:
+	var res searchResult
+	res.l = t.root // the root is permanent
+	h.h.Protect(slotL, res.l)
+	for {
+		nd := t.nodes.Deref(res.l)
+		// Update word first: "unchanged update ⟹ unchanged children"
+		// only holds for this read order.
+		upd := nd.update.Load()
+		edge := childEdge(nd, key)
+		w := edge.Load()
+		child := tagptr.RefOf(w)
+		if child == 0 {
+			return res
+		}
+		res.gp, res.gpupdate = res.p, res.pupdate
+		res.p = res.l
+		res.pupdate = upd
+		h.h.Swap(slotGP, slotP)
+		h.h.Swap(slotP, slotL)
+		res.l = child
+		if !h.h.ProtectWord(slotL, edge, w) {
+			goto retry
+		}
+		// The edge check alone cannot cover the victim leaf: a delete
+		// splices p and l together without ever touching the p→l edge.
+		// p's MARK plays the role of the HM-list deletion tag — an
+		// unmarked p with an unchanged edge cannot have had this child
+		// retired.
+		if stateOf(nd.update.Load()) == stateMark {
+			goto retry
+		}
+	}
+}
+
+// protectInfo protects the descriptor currently installed on node in the
+// given slot and returns the stable update word. node must be protected.
+func (h *HandleHP) protectInfo(slot int, node uint64) tagptr.Word {
+	u := &h.t.nodes.Deref(node).update
+	for {
+		w := u.Load()
+		info := infoOf(w)
+		if info == 0 {
+			return w
+		}
+		h.h.Protect(slot, info)
+		if u.Load() == w {
+			return w
+		}
+	}
+}
+
+// protectWordInfo protects the descriptor referenced by the previously
+// read update word w of node and reports whether node still carries w.
+// Using the search-time word (not a fresh read) preserves the protocol's
+// "word unchanged since the child was read" invariant.
+func (h *HandleHP) protectWordInfo(slot int, node uint64, w tagptr.Word) bool {
+	if info := infoOf(w); info != 0 {
+		h.h.Protect(slot, info)
+	}
+	return h.t.nodes.Deref(node).update.Load() == w
+}
+
+// Get returns the value stored under key.
+func (h *HandleHP) Get(key uint64) (uint64, bool) {
+	defer h.h.ClearAll()
+	res := h.search(key)
+	nd := h.t.nodes.Deref(res.l)
+	if nd.key == key {
+		return nd.val, true
+	}
+	return 0, false
+}
+
+// help advances the operation in update word w; the descriptor must be
+// protected in slotOp by the caller.
+func (h *HandleHP) help(w tagptr.Word) {
+	info := infoOf(w)
+	if info == 0 {
+		return
+	}
+	switch stateOf(w) {
+	case stateIFlag:
+		h.helpInsert(info)
+	case stateDFlag:
+		h.helpDelete(info, false)
+	}
+	// MARK words are permanent, so they cannot validate that their
+	// descriptor is still unreclaimed; helping a marked parent happens
+	// through its grandparent's (transient) DFLAG word instead.
+}
+
+// protectNodeWhileFlagged protects ref in slot and validates that owner's
+// update word still equals w — which precludes ref's retirement for the
+// word kinds we use it with. The descriptor protection in the caller
+// prevents w from recurring, so the validation is an over-approximation.
+func (h *HandleHP) protectNodeWhileFlagged(slot int, ref, owner uint64, w tagptr.Word) bool {
+	h.h.Protect(slot, ref)
+	return h.t.nodes.Deref(owner).update.Load() == w
+}
+
+// helpInsert completes an insert (descriptor protected in slotOp).
+func (h *HandleHP) helpInsert(info uint64) {
+	t := h.t
+	op := t.infos.Deref(info)
+	p, l, newInternal := op.p, op.l, op.newInternal
+	flagged := packUpdate(info, stateIFlag)
+	// While p.update == (IFLAG, info), neither p nor newInternal can be
+	// retired: p is not marked, and newInternal is being inserted.
+	if !h.protectNodeWhileFlagged(slotP, p, p, flagged) {
+		return
+	}
+	if !h.protectNodeWhileFlagged(slotSib, newInternal, p, flagged) {
+		return
+	}
+	pn := t.nodes.Deref(p)
+	key := t.nodes.Deref(newInternal).key
+	childEdge(pn, key).CompareAndSwap(tagptr.Pack(l, 0), tagptr.Pack(newInternal, 0))
+	pn.update.CompareAndSwap(flagged, packUpdate(info, stateClean))
+}
+
+// pReachable reports whether gp still points at p, validated by
+// re-checking that gp still carries word w afterwards (no recurrence
+// while the descriptor is protected).
+func (h *HandleHP) pReachable(gpn *Node, p uint64, w tagptr.Word) (reachable, valid bool) {
+	r := gpn.left.Load() == tagptr.Pack(p, 0) || gpn.right.Load() == tagptr.Pack(p, 0)
+	if gpn.update.Load() != w {
+		return false, false
+	}
+	return r, true
+}
+
+// helpDelete drives a delete whose descriptor (protected in slotOp) has
+// been installed on gp. owner marks the deleting thread itself, whose
+// search protection of p licenses one extra dereference when the
+// operation has already finished. Reports whether the delete completed
+// (as opposed to backtracked).
+func (h *HandleHP) helpDelete(info uint64, owner bool) bool {
+	t := h.t
+	op := t.infos.Deref(info)
+	gp, p, pupdate := op.gp, op.p, op.pupdate
+	dflagged := packUpdate(info, stateDFlag)
+	marked := packUpdate(info, stateMark)
+
+	if !h.protectNodeWhileFlagged(slotGP, gp, gp, dflagged) {
+		// The operation already finished. Only the owner (whose p is
+		// still protected from its own search) needs to know how.
+		if owner {
+			return t.nodes.Deref(p).update.Load() == marked
+		}
+		return false
+	}
+	gpn := t.nodes.Deref(gp)
+	h.h.Protect(slotP, p)
+	reachable, valid := h.pReachable(gpn, p, dflagged)
+	if !valid {
+		if owner {
+			return t.nodes.Deref(p).update.Load() == marked
+		}
+		return false
+	}
+	if !reachable {
+		// While gp is DFLAGged only our own splice can remove p, so the
+		// splice already happened; finish the unflag.
+		gpn.update.CompareAndSwap(dflagged, packUpdate(info, stateClean))
+		return true
+	}
+	// p is reachable from the DFLAGged gp, hence not retired: safe.
+	pn := t.nodes.Deref(p)
+	w := pn.update.Load()
+	for {
+		if w == marked {
+			h.helpMarked(info)
+			return true
+		}
+		if w != pupdate {
+			break
+		}
+		if pn.update.CompareAndSwap(pupdate, marked) {
+			// The mark displaced p's previous descriptor: retire it.
+			if prev := infoOf(pupdate); prev != 0 {
+				h.h.Retire(prev, t.infos)
+			}
+			h.helpMarked(info)
+			return true
+		}
+		w = pn.update.Load()
+	}
+	// p is owned by a foreign operation: help it along (best effort),
+	// then back our delete out.
+	if stateOf(w) != stateMark {
+		fw := h.protectInfo(slotPOp, p)
+		if stateOf(fw) != stateClean && stateOf(fw) != stateMark {
+			h.h.Protect(slotOp, infoOf(fw))
+			h.help(fw)
+		}
+	}
+	gpn.update.CompareAndSwap(dflagged, packUpdate(info, stateClean))
+	return false
+}
+
+// helpMarked splices p (and the victim leaf) out of gp; descriptor
+// protected in slotOp.
+func (h *HandleHP) helpMarked(info uint64) {
+	t := h.t
+	op := t.infos.Deref(info)
+	gp, p, l := op.gp, op.p, op.l
+	dflagged := packUpdate(info, stateDFlag)
+	if !h.protectNodeWhileFlagged(slotGP, gp, gp, dflagged) {
+		return // already finished
+	}
+	gpn := t.nodes.Deref(gp)
+	h.h.Protect(slotP, p)
+	var edge *edgeField
+	switch {
+	case gpn.left.Load() == tagptr.Pack(p, 0):
+		edge = &gpn.left
+	case gpn.right.Load() == tagptr.Pack(p, 0):
+		edge = &gpn.right
+	}
+	if gpn.update.Load() != dflagged {
+		return
+	}
+	if edge == nil {
+		// Splice already done by another helper; finish the unflag.
+		gpn.update.CompareAndSwap(dflagged, packUpdate(info, stateClean))
+		return
+	}
+	pn := t.nodes.Deref(p) // reachable under our DFLAG: not retired
+	lc := tagptr.RefOf(pn.left.Load())
+	rc := tagptr.RefOf(pn.right.Load())
+	var other uint64
+	switch l {
+	case rc:
+		other = lc
+	case lc:
+		other = rc
+	default:
+		DbgMismatch.Add(1)
+		return // descriptor/children mismatch: never splice blindly
+	}
+	// Promote a fresh copy when the survivor is a leaf (see the CS
+	// variant: child-edge words must never repeat). other cannot be
+	// retired while our MARK owns p — a delete of other would need to
+	// DFLAG p first — so it is safe to dereference under slotSib.
+	h.h.Protect(slotSib, other)
+	if gpn.update.Load() != dflagged {
+		return
+	}
+	on := t.nodes.Deref(other)
+	if tagptr.RefOf(on.left.Load()) == 0 {
+		cp, cn := t.nodes.Alloc()
+		cn.key, cn.val = on.key, on.val
+		cn.update.Store(0)
+		cn.left.Store(0)
+		cn.right.Store(0)
+		if edge.CompareAndSwap(tagptr.Pack(p, 0), tagptr.Pack(cp, 0)) {
+			h.h.Retire(p, t.nodes)
+			h.h.Retire(l, t.nodes)
+			h.h.Retire(other, t.nodes)
+		} else {
+			t.nodes.Free(cp)
+		}
+	} else if edge.CompareAndSwap(tagptr.Pack(p, 0), tagptr.Pack(other, 0)) {
+		h.h.Retire(p, t.nodes)
+		h.h.Retire(l, t.nodes)
+	}
+	gpn.update.CompareAndSwap(dflagged, packUpdate(info, stateClean))
+}
+
+// flagCAS installs a new descriptor, retiring the one it replaces.
+func (h *HandleHP) flagCAS(node uint64, old tagptr.Word, info uint64, state uint64) bool {
+	if !h.t.nodes.Deref(node).update.CompareAndSwap(old, packUpdate(info, state)) {
+		return false
+	}
+	if prev := infoOf(old); prev != 0 {
+		h.h.Retire(prev, h.t.infos)
+	}
+	return true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHP) Insert(key, val uint64) bool {
+	defer h.h.ClearAll()
+	t := h.t
+	var newLeaf, newInternal, info uint64
+	for {
+		res := h.search(key)
+		leaf := t.nodes.Deref(res.l)
+		if leaf.key == key {
+			if newLeaf != 0 {
+				t.nodes.Free(newLeaf)
+				t.nodes.Free(newInternal)
+				t.infos.Free(info)
+			}
+			return false
+		}
+		pupdate := res.pupdate
+		if !h.protectWordInfo(slotOp, res.p, pupdate) {
+			continue // p changed since the search: retry
+		}
+		if stateOf(pupdate) == stateMark {
+			// p is being deleted: help through its parent's DFLAG.
+			if res.gp != 0 && h.protectWordInfo(slotOp, res.gp, res.gpupdate) &&
+				stateOf(res.gpupdate) == stateDFlag {
+				h.help(res.gpupdate)
+			}
+			continue
+		}
+		if stateOf(pupdate) != stateClean {
+			h.help(pupdate)
+			continue
+		}
+		if newLeaf == 0 {
+			newLeaf, _ = t.nodes.Alloc()
+			newInternal, _ = t.nodes.Alloc()
+			info, _ = t.infos.Alloc()
+		}
+		nl := t.nodes.Deref(newLeaf)
+		nl.key, nl.val = key, val
+		nl.update.Store(0)
+		nl.left.Store(0)
+		nl.right.Store(0)
+		ni := t.nodes.Deref(newInternal)
+		ni.update.Store(0)
+		if key < leaf.key {
+			ni.key = leaf.key
+			ni.left.Store(tagptr.Pack(newLeaf, 0))
+			ni.right.Store(tagptr.Pack(res.l, 0))
+		} else {
+			ni.key = key
+			ni.left.Store(tagptr.Pack(res.l, 0))
+			ni.right.Store(tagptr.Pack(newLeaf, 0))
+		}
+		op := t.infos.Deref(info)
+		op.kind = kindInsert
+		op.p, op.l, op.newInternal = res.p, res.l, newInternal
+		op.gp, op.pupdate = 0, 0
+
+		h.h.Protect(slotOp, info) // guard our descriptor before publishing
+		if h.flagCAS(res.p, pupdate, info, stateIFlag) {
+			h.helpInsert(info)
+			return true
+		}
+		uw := h.protectInfo(slotOp, res.p)
+		if stateOf(uw) != stateClean {
+			h.help(uw)
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHP) Delete(key uint64) bool {
+	defer h.h.ClearAll()
+	t := h.t
+	var info uint64
+	for {
+		res := h.search(key)
+		if t.nodes.Deref(res.l).key != key {
+			if info != 0 {
+				t.infos.Free(info)
+			}
+			return false
+		}
+		if res.gp == 0 {
+			return false // unreachable with sentinels
+		}
+		gpupdate := res.gpupdate
+		if !h.protectWordInfo(slotOp, res.gp, gpupdate) {
+			continue // gp changed since the search: retry
+		}
+		if stateOf(gpupdate) != stateClean {
+			h.help(gpupdate)
+			continue
+		}
+		pupdate := res.pupdate
+		if !h.protectWordInfo(slotPOp, res.p, pupdate) {
+			continue // p changed since the search: retry
+		}
+		if stateOf(pupdate) == stateMark {
+			continue // p is mid-deletion; its gp was observed clean: retry
+		}
+		if stateOf(pupdate) != stateClean {
+			h.h.Protect(slotOp, infoOf(pupdate))
+			h.help(pupdate)
+			continue
+		}
+		if info == 0 {
+			info, _ = t.infos.Alloc()
+		}
+		op := t.infos.Deref(info)
+		op.kind = kindDelete
+		op.gp, op.p, op.l = res.gp, res.p, res.l
+		op.pupdate = pupdate
+		op.newInternal = 0
+
+		h.h.Protect(slotOp, info) // guard our descriptor before publishing
+		if h.flagCAS(res.gp, gpupdate, info, stateDFlag) {
+			if h.helpDelete(info, true) {
+				return true
+			}
+			info = 0 // published on gp; retired by the next flag there
+		} else {
+			uw := h.protectInfo(slotOp, res.gp)
+			if stateOf(uw) != stateClean {
+				h.help(uw)
+			}
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package efrbtree
+
+import (
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// TreeHPP is the EFRB tree under HP++, demonstrating the hybrid mode of
+// §4.2: tree nodes removed by the delete splice go through TryUnlink
+// (frontier = the surviving sibling subtree; invalidation on the left
+// word), while descriptors — whose unreachability is already validated by
+// the update-word protocol — use the backward-compatible Retire path.
+// Search protections use TryProtect, which fails only when the source
+// node has been invalidated, never merely because an edge moved.
+type TreeHPP struct {
+	nodes NodePool
+	infos InfoPool
+	root  uint64
+}
+
+// NewTreeHPP creates a tree (with sentinels) over the two pools.
+func NewTreeHPP(nodes NodePool, infos InfoPool) *TreeHPP {
+	return &TreeHPP{nodes: nodes, infos: infos, root: newTree(nodes)}
+}
+
+// NewHandleHPP returns a per-worker handle.
+func (t *TreeHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
+	return &HandleHPP{t: t, h: dom.NewThread(hpSlots)}
+}
+
+// HandleHPP is a per-worker handle; not safe for concurrent use.
+type HandleHPP struct {
+	t *TreeHPP
+	h *core.Thread
+}
+
+// Thread exposes the underlying HP++ thread.
+func (h *HandleHPP) Thread() *core.Thread { return h.h }
+
+// search descends with TryProtect: a moved edge just re-routes, and only
+// an invalidated source forces a restart.
+func (h *HandleHPP) search(key uint64) searchResult {
+	t := h.t
+retry:
+	var res searchResult
+	res.l = t.root
+	h.h.Protect(slotL, res.l)
+	var nd *Node
+	for {
+		nd = t.nodes.Deref(res.l)
+		// Update word first: "unchanged update ⟹ unchanged children"
+		// only holds for this read order.
+		upd := nd.update.Load()
+		edge := childEdge(nd, key)
+		child := tagptr.RefOf(edge.Load())
+		if !h.h.TryProtect(slotSib, &child, &nd.left, edge) {
+			goto retry
+		}
+		if child == 0 {
+			return res
+		}
+		res.gp, res.gpupdate = res.p, res.pupdate
+		res.p = res.l
+		res.pupdate = upd
+		h.h.Swap(slotGP, slotP)
+		h.h.Swap(slotP, slotL)
+		res.l = child
+		h.h.Swap(slotL, slotSib)
+	}
+}
+
+// protectInfo protects the descriptor currently installed on node and
+// returns the stable update word (node must be protected by the caller).
+// Descriptor validation is the same over-approximation as under HP.
+func (h *HandleHPP) protectInfo(slot int, node uint64) tagptr.Word {
+	u := &h.t.nodes.Deref(node).update
+	for {
+		w := u.Load()
+		info := infoOf(w)
+		if info == 0 {
+			return w
+		}
+		h.h.Protect(slot, info)
+		if u.Load() == w {
+			return w
+		}
+	}
+}
+
+// protectWordInfo protects the descriptor referenced by the previously
+// read update word w of node and reports whether node still carries w.
+// Using the search-time word (not a fresh read) preserves the protocol's
+// "word unchanged since the child was read" invariant.
+func (h *HandleHPP) protectWordInfo(slot int, node uint64, w tagptr.Word) bool {
+	if info := infoOf(w); info != 0 {
+		h.h.Protect(slot, info)
+	}
+	return h.t.nodes.Deref(node).update.Load() == w
+}
+
+// Get returns the value stored under key.
+func (h *HandleHPP) Get(key uint64) (uint64, bool) {
+	defer h.h.ClearAll()
+	res := h.search(key)
+	nd := h.t.nodes.Deref(res.l)
+	if nd.key == key {
+		return nd.val, true
+	}
+	return 0, false
+}
+
+// help advances the operation in update word w (descriptor protected in
+// slotOp by the caller).
+func (h *HandleHPP) help(w tagptr.Word) {
+	info := infoOf(w)
+	if info == 0 {
+		return
+	}
+	switch stateOf(w) {
+	case stateIFlag:
+		h.helpInsert(info)
+	case stateDFlag:
+		h.helpDelete(info, false)
+	}
+	// MARK words are permanent, so they cannot validate that their
+	// descriptor is still unreclaimed; helping a marked parent happens
+	// through its grandparent's (transient) DFLAG word instead.
+}
+
+func (h *HandleHPP) protectNodeWhileFlagged(slot int, ref, owner uint64, w tagptr.Word) bool {
+	h.h.Protect(slot, ref)
+	return h.t.nodes.Deref(owner).update.Load() == w
+}
+
+// helpInsert completes an insert (descriptor protected in slotOp).
+func (h *HandleHPP) helpInsert(info uint64) {
+	t := h.t
+	op := t.infos.Deref(info)
+	p, l, newInternal := op.p, op.l, op.newInternal
+	flagged := packUpdate(info, stateIFlag)
+	if !h.protectNodeWhileFlagged(slotP, p, p, flagged) {
+		return
+	}
+	if !h.protectNodeWhileFlagged(slotSib, newInternal, p, flagged) {
+		return
+	}
+	pn := t.nodes.Deref(p)
+	key := t.nodes.Deref(newInternal).key
+	childEdge(pn, key).CompareAndSwap(tagptr.Pack(l, 0), tagptr.Pack(newInternal, 0))
+	pn.update.CompareAndSwap(flagged, packUpdate(info, stateClean))
+}
+
+func (h *HandleHPP) pReachable(gpn *Node, p uint64, w tagptr.Word) (reachable, valid bool) {
+	r := gpn.left.Load() == tagptr.Pack(p, 0) || gpn.right.Load() == tagptr.Pack(p, 0)
+	if gpn.update.Load() != w {
+		return false, false
+	}
+	return r, true
+}
+
+// helpDelete drives a delete (descriptor protected in slotOp); see the
+// HP variant for the validation discipline — identical here, since these
+// over-approximations imply HP++'s validation (§4.2).
+func (h *HandleHPP) helpDelete(info uint64, owner bool) bool {
+	t := h.t
+	op := t.infos.Deref(info)
+	gp, p, pupdate := op.gp, op.p, op.pupdate
+	dflagged := packUpdate(info, stateDFlag)
+	marked := packUpdate(info, stateMark)
+
+	if !h.protectNodeWhileFlagged(slotGP, gp, gp, dflagged) {
+		if owner {
+			return t.nodes.Deref(p).update.Load() == marked
+		}
+		return false
+	}
+	gpn := t.nodes.Deref(gp)
+	h.h.Protect(slotP, p)
+	reachable, valid := h.pReachable(gpn, p, dflagged)
+	if !valid {
+		if owner {
+			return t.nodes.Deref(p).update.Load() == marked
+		}
+		return false
+	}
+	if !reachable {
+		gpn.update.CompareAndSwap(dflagged, packUpdate(info, stateClean))
+		return true
+	}
+	pn := t.nodes.Deref(p)
+	w := pn.update.Load()
+	for {
+		if w == marked {
+			h.helpMarked(info)
+			return true
+		}
+		if w != pupdate {
+			break
+		}
+		if pn.update.CompareAndSwap(pupdate, marked) {
+			// The mark displaced p's previous descriptor: retire it.
+			if prev := infoOf(pupdate); prev != 0 {
+				h.h.Retire(prev, t.infos)
+			}
+			h.helpMarked(info)
+			return true
+		}
+		w = pn.update.Load()
+	}
+	if stateOf(w) != stateMark {
+		fw := h.protectInfo(slotPOp, p)
+		if stateOf(fw) != stateClean && stateOf(fw) != stateMark {
+			h.h.Protect(slotOp, infoOf(fw))
+			h.help(fw)
+		}
+	}
+	gpn.update.CompareAndSwap(dflagged, packUpdate(info, stateClean))
+	return false
+}
+
+// helpMarked splices p and the victim leaf out of gp with a TryUnlink:
+// the frontier is the surviving subtree's root, and both removed nodes
+// are invalidated before reclamation.
+func (h *HandleHPP) helpMarked(info uint64) {
+	t := h.t
+	op := t.infos.Deref(info)
+	gp, p, l := op.gp, op.p, op.l
+	dflagged := packUpdate(info, stateDFlag)
+	if !h.protectNodeWhileFlagged(slotGP, gp, gp, dflagged) {
+		return
+	}
+	gpn := t.nodes.Deref(gp)
+	h.h.Protect(slotP, p)
+	var edge *edgeField
+	switch {
+	case gpn.left.Load() == tagptr.Pack(p, 0):
+		edge = &gpn.left
+	case gpn.right.Load() == tagptr.Pack(p, 0):
+		edge = &gpn.right
+	}
+	if gpn.update.Load() != dflagged {
+		return
+	}
+	if edge == nil {
+		gpn.update.CompareAndSwap(dflagged, packUpdate(info, stateClean))
+		return
+	}
+	pn := t.nodes.Deref(p)
+	lc := tagptr.RefOf(pn.left.Load())
+	rc := tagptr.RefOf(pn.right.Load())
+	var other uint64
+	switch l {
+	case rc:
+		other = lc
+	case lc:
+		other = rc
+	default:
+		return
+	}
+	pool := t.nodes
+	// Promote a fresh copy when the survivor is a leaf (see the CS
+	// variant: child-edge words must never repeat). The original leaf
+	// joins the unlinked batch; the frontier still protects it for
+	// traversers stepping off the detached p.
+	h.h.Protect(slotSib, other)
+	if gpn.update.Load() != dflagged {
+		return
+	}
+	on := t.nodes.Deref(other)
+	if tagptr.RefOf(on.left.Load()) == 0 {
+		cp, cn := t.nodes.Alloc()
+		cn.key, cn.val = on.key, on.val
+		cn.update.Store(0)
+		cn.left.Store(0)
+		cn.right.Store(0)
+		ok := h.h.TryUnlink([]uint64{other}, func() ([]smr.Retired, bool) {
+			if !edge.CompareAndSwap(tagptr.Pack(p, 0), tagptr.Pack(cp, 0)) {
+				return nil, false
+			}
+			return []smr.Retired{{Ref: p, D: pool}, {Ref: l, D: pool}, {Ref: other, D: pool}}, true
+		}, pool)
+		if !ok {
+			t.nodes.Free(cp)
+		}
+	} else {
+		h.h.TryUnlink([]uint64{other}, func() ([]smr.Retired, bool) {
+			if !edge.CompareAndSwap(tagptr.Pack(p, 0), tagptr.Pack(other, 0)) {
+				return nil, false
+			}
+			return []smr.Retired{{Ref: p, D: pool}, {Ref: l, D: pool}}, true
+		}, pool)
+	}
+	gpn.update.CompareAndSwap(dflagged, packUpdate(info, stateClean))
+}
+
+// flagCAS installs a new descriptor, retiring the one it replaces via the
+// hybrid (original-HP) path.
+func (h *HandleHPP) flagCAS(node uint64, old tagptr.Word, info uint64, state uint64) bool {
+	if !h.t.nodes.Deref(node).update.CompareAndSwap(old, packUpdate(info, state)) {
+		return false
+	}
+	if prev := infoOf(old); prev != 0 {
+		h.h.Retire(prev, h.t.infos)
+	}
+	return true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHPP) Insert(key, val uint64) bool {
+	defer h.h.ClearAll()
+	t := h.t
+	var newLeaf, newInternal, info uint64
+	for {
+		res := h.search(key)
+		leaf := t.nodes.Deref(res.l)
+		if leaf.key == key {
+			if newLeaf != 0 {
+				t.nodes.Free(newLeaf)
+				t.nodes.Free(newInternal)
+				t.infos.Free(info)
+			}
+			return false
+		}
+		pupdate := res.pupdate
+		if !h.protectWordInfo(slotOp, res.p, pupdate) {
+			continue // p changed since the search: retry
+		}
+		if stateOf(pupdate) == stateMark {
+			// p is being deleted: help through its parent's DFLAG.
+			if res.gp != 0 && h.protectWordInfo(slotOp, res.gp, res.gpupdate) &&
+				stateOf(res.gpupdate) == stateDFlag {
+				h.help(res.gpupdate)
+			}
+			continue
+		}
+		if stateOf(pupdate) != stateClean {
+			h.help(pupdate)
+			continue
+		}
+		if newLeaf == 0 {
+			newLeaf, _ = t.nodes.Alloc()
+			newInternal, _ = t.nodes.Alloc()
+			info, _ = t.infos.Alloc()
+		}
+		nl := t.nodes.Deref(newLeaf)
+		nl.key, nl.val = key, val
+		nl.update.Store(0)
+		nl.left.Store(0)
+		nl.right.Store(0)
+		ni := t.nodes.Deref(newInternal)
+		ni.update.Store(0)
+		if key < leaf.key {
+			ni.key = leaf.key
+			ni.left.Store(tagptr.Pack(newLeaf, 0))
+			ni.right.Store(tagptr.Pack(res.l, 0))
+		} else {
+			ni.key = key
+			ni.left.Store(tagptr.Pack(res.l, 0))
+			ni.right.Store(tagptr.Pack(newLeaf, 0))
+		}
+		op := t.infos.Deref(info)
+		op.kind = kindInsert
+		op.p, op.l, op.newInternal = res.p, res.l, newInternal
+		op.gp, op.pupdate = 0, 0
+
+		h.h.Protect(slotOp, info)
+		if h.flagCAS(res.p, pupdate, info, stateIFlag) {
+			h.helpInsert(info)
+			return true
+		}
+		uw := h.protectInfo(slotOp, res.p)
+		if stateOf(uw) != stateClean {
+			h.help(uw)
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHPP) Delete(key uint64) bool {
+	defer h.h.ClearAll()
+	t := h.t
+	var info uint64
+	for {
+		res := h.search(key)
+		if t.nodes.Deref(res.l).key != key {
+			if info != 0 {
+				t.infos.Free(info)
+			}
+			return false
+		}
+		if res.gp == 0 {
+			return false
+		}
+		gpupdate := res.gpupdate
+		if !h.protectWordInfo(slotOp, res.gp, gpupdate) {
+			continue // gp changed since the search: retry
+		}
+		if stateOf(gpupdate) != stateClean {
+			h.help(gpupdate)
+			continue
+		}
+		pupdate := res.pupdate
+		if !h.protectWordInfo(slotPOp, res.p, pupdate) {
+			continue // p changed since the search: retry
+		}
+		if stateOf(pupdate) == stateMark {
+			continue // p is mid-deletion; its gp was observed clean: retry
+		}
+		if stateOf(pupdate) != stateClean {
+			h.h.Protect(slotOp, infoOf(pupdate))
+			h.help(pupdate)
+			continue
+		}
+		if info == 0 {
+			info, _ = t.infos.Alloc()
+		}
+		op := t.infos.Deref(info)
+		op.kind = kindDelete
+		op.gp, op.p, op.l = res.gp, res.p, res.l
+		op.pupdate = pupdate
+		op.newInternal = 0
+
+		h.h.Protect(slotOp, info)
+		if h.flagCAS(res.gp, gpupdate, info, stateDFlag) {
+			if h.helpDelete(info, true) {
+				return true
+			}
+			info = 0
+		} else {
+			uw := h.protectInfo(slotOp, res.gp)
+			if stateOf(uw) != stateClean {
+				h.help(uw)
+			}
+		}
+	}
+}

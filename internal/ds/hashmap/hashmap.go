@@ -1,0 +1,24 @@
+// Package hashmap implements the chaining hash table of the HP++ paper's
+// evaluation (§5): a fixed array of buckets, each an independent sorted
+// linked list — Harris-Michael lists for the HP variant (the only list HP
+// supports), Harris/HHS lists for every other scheme.
+//
+// Keys are mixed with a 64-bit finalizer before bucket selection so that
+// dense benchmark key ranges spread evenly.
+package hashmap
+
+// DefaultBuckets matches a typical load factor for the paper's 100K key
+// range workloads.
+const DefaultBuckets = 1 << 10
+
+// mix is the splitmix64 finalizer.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func bucket(key uint64, n int) int { return int(mix(key) % uint64(n)) }

@@ -1,0 +1,197 @@
+package hashmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/ds/hmlist"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/pebr"
+	"github.com/gosmr/gosmr/internal/rc"
+)
+
+type handle interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, val uint64) bool
+	Delete(key uint64) bool
+}
+
+type variant struct {
+	name string
+	mk   func() (mkHandle func() handle, finish func())
+}
+
+func variants() []variant {
+	const nb = 16 // few buckets → long chains → real list traffic
+	return []variant{
+		{"EBR", func() (func() handle, func()) {
+			dom := ebr.NewDomain()
+			m := NewMapCS(hhslist.NewPool(arena.ModeDetect), nb)
+			var hs []*HandleCS
+			return func() handle {
+					h := m.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*ebr.Guard).Drain()
+					}
+				}
+		}},
+		{"PEBR", func() (func() handle, func()) {
+			dom := pebr.NewDomain()
+			m := NewMapCS(hhslist.NewPool(arena.ModeDetect), nb)
+			var hs []*HandleCS
+			return func() handle {
+					h := m.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*pebr.Guard).ClearShields()
+					}
+					for i := 0; i < 8; i++ {
+						for _, h := range hs {
+							h.Guard().(*pebr.Guard).Collect()
+						}
+					}
+				}
+		}},
+		{"HP", func() (func() handle, func()) {
+			dom := hp.NewDomain()
+			m := NewMapHP(hmlist.NewPool(arena.ModeDetect), nb)
+			var hs []*HandleHP
+			return func() handle {
+					h := m.NewHandleHP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+		{"HPP", func() (func() handle, func()) {
+			dom := core.NewDomain(core.Options{})
+			m := NewMapHPP(hhslist.NewPool(arena.ModeDetect), nb)
+			var hs []*HandleHPP
+			return func() handle {
+					h := m.NewHandleHPP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+		{"RC", func() (func() handle, func()) {
+			dom := rc.NewDomain()
+			m := NewMapRC(hhslist.NewPoolRC(arena.ModeDetect), nb)
+			var hs []*HandleRC
+			return func() handle {
+					h := m.NewHandleRC(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().Drain()
+					}
+				}
+		}},
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk()
+			h := mk()
+			defer finish()
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 6000; i++ {
+				k := uint64(rng.Intn(512))
+				switch rng.Intn(3) {
+				case 0:
+					_, in := model[k]
+					if h.Insert(k, k^0xABCD) == in {
+						t.Fatalf("op %d: Insert(%d) disagreed with model", i, k)
+					}
+					model[k] = k ^ 0xABCD
+				case 1:
+					_, in := model[k]
+					if h.Delete(k) != in {
+						t.Fatalf("op %d: Delete(%d) disagreed with model", i, k)
+					}
+					delete(model, k)
+				default:
+					val, ok := h.Get(k)
+					mv, in := model[k]
+					if ok != in || (ok && val != mv) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v) want (%d,%v)", i, k, val, ok, mv, in)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBucketSpread(t *testing.T) {
+	counts := make([]int, 64)
+	for k := uint64(0); k < 64*64; k++ {
+		counts[bucket(k, 64)]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Fatalf("bucket %d empty over a dense key range — bad mixing", b)
+		}
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 6000
+		keys    = 256
+	)
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk()
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						k := uint64(rng.Intn(keys))
+						switch rng.Intn(4) {
+						case 0:
+							h.Insert(k, k)
+						case 1:
+							h.Delete(k)
+						default:
+							h.Get(k)
+						}
+					}
+				}(handles[w], int64(w+99))
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}

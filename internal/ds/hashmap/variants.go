@@ -1,0 +1,177 @@
+package hashmap
+
+import (
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/ds/hmlist"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/rc"
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+// MapCS is the chaining hash map for critical-section schemes (EBR, PEBR,
+// NR), with HHS-list buckets.
+type MapCS struct {
+	buckets []*hhslist.ListCS
+}
+
+// NewMapCS creates a map with n buckets sharing pool.
+func NewMapCS(pool hhslist.Pool, n int) *MapCS {
+	m := &MapCS{buckets: make([]*hhslist.ListCS, n)}
+	for i := range m.buckets {
+		m.buckets[i] = hhslist.NewListCS(pool)
+	}
+	return m
+}
+
+// NewHandleCS returns a per-worker handle.
+func (m *MapCS) NewHandleCS(dom smr.GuardDomain) *HandleCS {
+	return &HandleCS{m: m, h: m.buckets[0].NewHandleCS(dom)}
+}
+
+// HandleCS is a per-worker handle; not safe for concurrent use.
+type HandleCS struct {
+	m *MapCS
+	h *hhslist.HandleCS
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleCS) Guard() smr.Guard { return h.h.Guard() }
+
+func (h *HandleCS) at(key uint64) *hhslist.HandleCS {
+	return h.h.Rebind(h.m.buckets[bucket(key, len(h.m.buckets))])
+}
+
+// Get returns the value stored under key.
+func (h *HandleCS) Get(key uint64) (uint64, bool) { return h.at(key).Get(key) }
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleCS) Insert(key, val uint64) bool { return h.at(key).Insert(key, val) }
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleCS) Delete(key uint64) bool { return h.at(key).Delete(key) }
+
+// MapHP is the chaining hash map under original hazard pointers, with
+// Harris-Michael buckets (HHS lists are not HP-compatible).
+type MapHP struct {
+	buckets []*hmlist.ListHP
+}
+
+// NewMapHP creates a map with n buckets sharing pool.
+func NewMapHP(pool hmlist.Pool, n int) *MapHP {
+	m := &MapHP{buckets: make([]*hmlist.ListHP, n)}
+	for i := range m.buckets {
+		m.buckets[i] = hmlist.NewListHP(pool)
+	}
+	return m
+}
+
+// NewHandleHP returns a per-worker handle.
+func (m *MapHP) NewHandleHP(dom *hp.Domain) *HandleHP {
+	return &HandleHP{m: m, h: m.buckets[0].NewHandleHP(dom)}
+}
+
+// HandleHP is a per-worker handle; not safe for concurrent use.
+type HandleHP struct {
+	m *MapHP
+	h *hmlist.HandleHP
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleHP) Thread() *hp.Thread { return h.h.Thread() }
+
+func (h *HandleHP) at(key uint64) *hmlist.HandleHP {
+	return h.h.Rebind(h.m.buckets[bucket(key, len(h.m.buckets))])
+}
+
+// Get returns the value stored under key.
+func (h *HandleHP) Get(key uint64) (uint64, bool) { return h.at(key).Get(key) }
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHP) Insert(key, val uint64) bool { return h.at(key).Insert(key, val) }
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHP) Delete(key uint64) bool { return h.at(key).Delete(key) }
+
+// MapHPP is the chaining hash map under HP++, with HHS-list buckets.
+type MapHPP struct {
+	buckets []*hhslist.ListHPP
+}
+
+// NewMapHPP creates a map with n buckets sharing pool.
+func NewMapHPP(pool hhslist.Pool, n int) *MapHPP {
+	m := &MapHPP{buckets: make([]*hhslist.ListHPP, n)}
+	for i := range m.buckets {
+		m.buckets[i] = hhslist.NewListHPP(pool)
+	}
+	return m
+}
+
+// NewHandleHPP returns a per-worker handle.
+func (m *MapHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
+	return &HandleHPP{m: m, h: m.buckets[0].NewHandleHPP(dom)}
+}
+
+// HandleHPP is a per-worker handle; not safe for concurrent use.
+type HandleHPP struct {
+	m *MapHPP
+	h *hhslist.HandleHPP
+}
+
+// Thread exposes the underlying HP++ thread.
+func (h *HandleHPP) Thread() *core.Thread { return h.h.Thread() }
+
+func (h *HandleHPP) at(key uint64) *hhslist.HandleHPP {
+	return h.h.Rebind(h.m.buckets[bucket(key, len(h.m.buckets))])
+}
+
+// Get returns the value stored under key.
+func (h *HandleHPP) Get(key uint64) (uint64, bool) { return h.at(key).Get(key) }
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHPP) Insert(key, val uint64) bool { return h.at(key).Insert(key, val) }
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHPP) Delete(key uint64) bool { return h.at(key).Delete(key) }
+
+// MapRC is the chaining hash map under deferred reference counting, with
+// HHS-list buckets.
+type MapRC struct {
+	buckets []*hhslist.ListRC
+}
+
+// NewMapRC creates a map with n buckets sharing pool.
+func NewMapRC(pool hhslist.PoolRC, n int) *MapRC {
+	m := &MapRC{buckets: make([]*hhslist.ListRC, n)}
+	for i := range m.buckets {
+		m.buckets[i] = hhslist.NewListRC(pool)
+	}
+	return m
+}
+
+// NewHandleRC returns a per-worker handle.
+func (m *MapRC) NewHandleRC(dom *rc.Domain) *HandleRC {
+	return &HandleRC{m: m, h: m.buckets[0].NewHandleRC(dom)}
+}
+
+// HandleRC is a per-worker handle; not safe for concurrent use.
+type HandleRC struct {
+	m *MapRC
+	h *hhslist.HandleRC
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleRC) Guard() *rc.Guard { return h.h.Guard() }
+
+func (h *HandleRC) at(key uint64) *hhslist.HandleRC {
+	return h.h.Rebind(h.m.buckets[bucket(key, len(h.m.buckets))])
+}
+
+// Get returns the value stored under key.
+func (h *HandleRC) Get(key uint64) (uint64, bool) { return h.at(key).Get(key) }
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleRC) Insert(key, val uint64) bool { return h.at(key).Insert(key, val) }
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleRC) Delete(key uint64) bool { return h.at(key).Delete(key) }

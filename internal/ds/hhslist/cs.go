@@ -1,0 +1,200 @@
+package hhslist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Track slot indices for the smr.Guard protocol.
+const (
+	csPrev = iota
+	csCur
+	csAnchor
+	csAnchorNext
+	csSlots
+)
+
+// ListCS is Harris's list for critical-section reclamation schemes (EBR,
+// PEBR, NR). PEBR's shields additionally protect anchor and anchor_next
+// so the chain-unlink CAS cannot suffer ABA even if the guard is ejected
+// mid-operation.
+type ListCS struct {
+	pool Pool
+	head atomic.Uint64
+}
+
+// NewListCS creates an empty list over pool.
+func NewListCS(pool Pool) *ListCS { return &ListCS{pool: pool} }
+
+// NewHandleCS returns a per-worker handle using guards from dom.
+func (l *ListCS) NewHandleCS(dom smr.GuardDomain) *HandleCS {
+	return &HandleCS{l: l, g: dom.NewGuard(csSlots)}
+}
+
+// HandleCS is a per-worker handle; not safe for concurrent use.
+type HandleCS struct {
+	l *ListCS
+	g smr.Guard
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleCS) Guard() smr.Guard { return h.g }
+
+// Rebind points the handle at another list sharing the same pool and
+// domain; used by bucket containers (internal/ds/hashmap).
+func (h *HandleCS) Rebind(l *ListCS) *HandleCS { h.l = l; return h }
+
+type posCS struct {
+	prevLink *atomic.Uint64
+	cur      uint64
+	found    bool
+}
+
+func (h *HandleCS) restart() {
+	h.g.Unpin()
+	h.g.Pin()
+}
+
+// search is the Harris traversal with anchor-based chain unlinking.
+// Restarts internally on interference or guard neutralization.
+func (h *HandleCS) search(key uint64) posCS {
+	l, g := h.l, h.g
+retry:
+	prevLink := &l.head
+	prevRef := uint64(0)
+	cur := tagptr.RefOf(prevLink.Load())
+
+	anchorRef := uint64(0)
+	var anchorLink *atomic.Uint64
+	anchorNext := uint64(0)
+	found := false
+
+	for {
+		if cur == 0 {
+			break
+		}
+		if !g.Track(csCur, cur) {
+			h.restart()
+			goto retry
+		}
+		node := l.pool.Deref(cur)
+		nextW := node.next.Load()
+		next := tagptr.RefOf(nextW)
+		if !tagptr.IsMarked(nextW) {
+			if node.key < key {
+				if !g.Track(csPrev, cur) {
+					h.restart()
+					goto retry
+				}
+				prevRef, prevLink = cur, &node.next
+				anchorRef, anchorLink, anchorNext = 0, nil, 0
+				cur = next
+				continue
+			}
+			found = node.key == key
+			break
+		}
+		if anchorLink == nil {
+			anchorRef, anchorLink, anchorNext = prevRef, prevLink, cur
+			// Shield the anchor pair against ejection-time reuse.
+			if !g.Track(csAnchor, anchorRef) || !g.Track(csAnchorNext, anchorNext) {
+				h.restart()
+				goto retry
+			}
+		}
+		if !g.Track(csPrev, cur) {
+			h.restart()
+			goto retry
+		}
+		prevRef, prevLink = cur, &node.next
+		cur = next
+	}
+
+	if anchorLink != nil {
+		if !anchorLink.CompareAndSwap(tagptr.Pack(anchorNext, 0), tagptr.Pack(cur, 0)) {
+			goto retry
+		}
+		for r := anchorNext; r != cur; {
+			nxt := tagptr.RefOf(l.pool.Deref(r).next.Load())
+			g.Retire(r, l.pool)
+			r = nxt
+		}
+		prevLink = anchorLink
+	}
+	if cur != 0 && tagptr.IsMarked(l.pool.Deref(cur).next.Load()) {
+		goto retry
+	}
+	return posCS{prevLink: prevLink, cur: cur, found: found}
+}
+
+// Get is the wait-free Herlihy-Shavit read: no helping, marks ignored
+// while traversing. (Wait-free for EBR/NR; PEBR's ejection can force a
+// restart, making it lock-free, per §4.3.)
+func (h *HandleCS) Get(key uint64) (uint64, bool) {
+	h.g.Pin()
+	defer h.g.Unpin()
+retry:
+	cur := tagptr.RefOf(h.l.head.Load())
+	for cur != 0 {
+		if !h.g.Track(csCur, cur) {
+			h.restart()
+			goto retry
+		}
+		node := h.l.pool.Deref(cur)
+		nextW := node.next.Load()
+		if node.key >= key {
+			if node.key == key && !tagptr.IsMarked(nextW) {
+				return node.val, true
+			}
+			return 0, false
+		}
+		cur = tagptr.RefOf(nextW)
+	}
+	return 0, false
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleCS) Insert(key, val uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		pos := h.search(key)
+		if pos.found {
+			return false
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.val = key, val
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return true
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleCS) Delete(key uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		pos := h.search(key)
+		if !pos.found {
+			return false
+		}
+		node := h.l.pool.Deref(pos.cur)
+		nextW := node.next.Load()
+		if tagptr.IsMarked(nextW) {
+			continue
+		}
+		if !node.next.CompareAndSwap(nextW, tagptr.WithTag(nextW, tagptr.Mark)) {
+			continue
+		}
+		next := tagptr.RefOf(nextW)
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(next, 0)) {
+			h.g.Retire(pos.cur, h.l.pool)
+		}
+		return true
+	}
+}

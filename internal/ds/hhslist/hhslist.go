@@ -1,0 +1,58 @@
+// Package hhslist implements Harris's lock-free linked list (Harris, DISC
+// 2001) with the wait-free get() of Herlihy & Shavit — "HHSList" in the
+// HP++ paper's evaluation.
+//
+// Unlike the Harris-Michael list, traversal here is *optimistic*: it walks
+// straight through chains of logically deleted (marked) nodes, remembering
+// the last unmarked node as an *anchor*, and unlinks the whole marked
+// chain with a single CAS on the anchor's next field once it reaches an
+// unmarked node. get() ignores marks entirely.
+//
+// This traversal is fundamentally incompatible with original hazard
+// pointers (§2.3 of the paper): validating "prev still points at cur,
+// untagged" fails on every marked hop, and restarting instead would break
+// lock-freedom. The package therefore provides no HP variant — exactly the
+// applicability gap HP++ closes:
+//
+//	ListCS  — critical-section schemes (EBR, PEBR, NR)
+//	ListHPP — HP++ (Algorithm 4 of the paper)
+//	ListRC  — deferred reference counting
+package hhslist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Node is a list node. The next word packs the successor with Mark
+// (logical deletion) and Invalid (HP++) bits.
+type Node struct {
+	next atomic.Uint64
+	key  uint64
+	val  uint64
+}
+
+// Pool allocates list nodes and implements core.Invalidator.
+type Pool struct {
+	*arena.Pool[Node]
+}
+
+// NewPool creates a node pool.
+func NewPool(mode arena.Mode) Pool {
+	return Pool{arena.NewPool[Node]("hhslist", mode)}
+}
+
+// Invalidate sets the Invalid bit on the node's next word (plain store;
+// unlinked nodes' links are immutable).
+func (p Pool) Invalidate(ref uint64) {
+	n := p.Deref(ref)
+	n.next.Store(n.next.Load() | tagptr.Invalid)
+}
+
+// Key returns ref's key (for tests).
+func (p Pool) Key(ref uint64) uint64 { return p.Deref(ref).key }
+
+// NextWord returns ref's raw next word (for tests).
+func (p Pool) NextWord(ref uint64) tagptr.Word { return p.Deref(ref).next.Load() }

@@ -1,0 +1,388 @@
+package hhslist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/nr"
+	"github.com/gosmr/gosmr/internal/pebr"
+	"github.com/gosmr/gosmr/internal/rc"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+type handle interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, val uint64) bool
+	Delete(key uint64) bool
+}
+
+type variant struct {
+	name string
+	mk   func(mode arena.Mode) (mkHandle func() handle, finish func())
+}
+
+func variants() []variant {
+	return []variant{
+		{"CS/EBR", func(mode arena.Mode) (func() handle, func()) {
+			dom := ebr.NewDomain()
+			l := NewListCS(NewPool(mode))
+			var hs []*HandleCS
+			return func() handle {
+					h := l.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*ebr.Guard).Drain()
+					}
+				}
+		}},
+		{"CS/PEBR", func(mode arena.Mode) (func() handle, func()) {
+			dom := pebr.NewDomain()
+			l := NewListCS(NewPool(mode))
+			var hs []*HandleCS
+			return func() handle {
+					h := l.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*pebr.Guard).ClearShields()
+					}
+					for i := 0; i < 8; i++ {
+						for _, h := range hs {
+							h.Guard().(*pebr.Guard).Collect()
+						}
+					}
+				}
+		}},
+		{"CS/NR", func(mode arena.Mode) (func() handle, func()) {
+			dom := nr.NewDomain()
+			l := NewListCS(NewPool(mode))
+			return func() handle { return l.NewHandleCS(dom) }, func() {}
+		}},
+		{"HPP", func(mode arena.Mode) (func() handle, func()) {
+			dom := core.NewDomain(core.Options{})
+			l := NewListHPP(NewPool(mode))
+			var hs []*HandleHPP
+			return func() handle {
+					h := l.NewHandleHPP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+		{"HPP/EpochFence", func(mode arena.Mode) (func() handle, func()) {
+			dom := core.NewDomain(core.Options{EpochFence: true})
+			l := NewListHPP(NewPool(mode))
+			var hs []*HandleHPP
+			return func() handle {
+					h := l.NewHandleHPP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+		{"RC", func(mode arena.Mode) (func() handle, func()) {
+			dom := rc.NewDomain()
+			l := NewListRC(NewPoolRC(mode))
+			var hs []*HandleRC
+			return func() handle {
+					h := l.NewHandleRC(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().Drain()
+					}
+				}
+		}},
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			h := mk()
+			defer finish()
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 4000; i++ {
+				k := uint64(rng.Intn(64))
+				switch rng.Intn(3) {
+				case 0:
+					_, in := model[k]
+					if h.Insert(k, k*3) == in {
+						t.Fatalf("op %d: Insert(%d) disagreed with model", i, k)
+					}
+					model[k] = k * 3
+				case 1:
+					_, in := model[k]
+					if h.Delete(k) != in {
+						t.Fatalf("op %d: Delete(%d) disagreed with model", i, k)
+					}
+					delete(model, k)
+				default:
+					val, ok := h.Get(k)
+					mv, in := model[k]
+					if ok != in || (ok && val != mv) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v) want (%d,%v)", i, k, val, ok, mv, in)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			prop := func(ops []uint16) bool {
+				mk, finish := v.mk(arena.ModeDetect)
+				h := mk()
+				defer finish()
+				model := map[uint64]uint64{}
+				for _, op := range ops {
+					k := uint64(op % 32)
+					switch (op / 32) % 3 {
+					case 0:
+						_, in := model[k]
+						if h.Insert(k, k) == in {
+							return false
+						}
+						model[k] = k
+					case 1:
+						_, in := model[k]
+						if h.Delete(k) != in {
+							return false
+						}
+						delete(model, k)
+					default:
+						_, ok := h.Get(k)
+						if _, in := model[k]; ok != in {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 8000
+		keys    = 32
+	)
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						k := uint64(rng.Intn(keys))
+						switch rng.Intn(4) {
+						case 0:
+							h.Insert(k, k)
+						case 1:
+							h.Delete(k)
+						default:
+							h.Get(k)
+						}
+					}
+				}(handles[w], int64(w+1))
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}
+
+func TestDisjointKeysLinearizable(t *testing.T) {
+	const workers = 4
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, base uint64) {
+					defer wg.Done()
+					model := map[uint64]uint64{}
+					rng := rand.New(rand.NewSource(int64(base + 1)))
+					for i := 0; i < 3000; i++ {
+						k := base + uint64(rng.Intn(16))
+						switch rng.Intn(3) {
+						case 0:
+							_, in := model[k]
+							if h.Insert(k, k) == in {
+								t.Errorf("insert(%d) disagreed with private model", k)
+								return
+							}
+							model[k] = k
+						case 1:
+							_, in := model[k]
+							if h.Delete(k) != in {
+								t.Errorf("delete(%d) disagreed with private model", k)
+								return
+							}
+							delete(model, k)
+						default:
+							_, ok := h.Get(k)
+							if _, in := model[k]; ok != in {
+								t.Errorf("get(%d) disagreed with private model", k)
+								return
+							}
+						}
+					}
+				}(handles[w], uint64(w)*1000)
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}
+
+// TestChainUnlinkIsSingleCAS verifies the optimistic-traversal payoff: a
+// chain of logically deleted nodes is removed by ONE anchor CAS during the
+// next search, not node-by-node.
+func TestChainUnlinkIsSingleCAS(t *testing.T) {
+	dom := ebr.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	l := NewListCS(p)
+	h := l.NewHandleCS(dom)
+
+	// Build 0..9, then logically delete 3..7 by hand (mark only).
+	for k := uint64(0); k < 10; k++ {
+		h.Insert(k, k)
+	}
+	refs := map[uint64]uint64{} // key -> ref
+	cur := tagptr.RefOf(l.head.Load())
+	for cur != 0 {
+		refs[p.Key(cur)] = cur
+		cur = tagptr.RefOf(p.NextWord(cur))
+	}
+	for k := uint64(3); k <= 7; k++ {
+		n := p.Pool.Deref(refs[k])
+		w := n.next.Load()
+		if !n.next.CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark)) {
+			t.Fatalf("marking %d failed", k)
+		}
+	}
+
+	// One search past the chain must unlink all five at once: node 2's
+	// next should jump straight to node 8 afterwards.
+	if _, ok := h.Get(8); !ok {
+		t.Fatal("get(8) failed")
+	}
+	h.g.Pin()
+	pos := h.search(8)
+	h.g.Unpin()
+	if !pos.found {
+		t.Fatal("search(8) did not find 8")
+	}
+	if got := tagptr.RefOf(p.NextWord(refs[2])); got != refs[8] {
+		t.Fatalf("node 2 points at ref %d, want node 8 (ref %d) — chain not unlinked at once", got, refs[8])
+	}
+	// Marked keys must read as absent.
+	for k := uint64(3); k <= 7; k++ {
+		if _, ok := h.Get(k); ok {
+			t.Fatalf("get(%d) found a logically deleted key", k)
+		}
+	}
+}
+
+// TestGetTraversesMarkedChain verifies the wait-free read walks through
+// marked nodes instead of restarting: the target beyond a fully marked
+// prefix is still found.
+func TestGetTraversesMarkedChain(t *testing.T) {
+	dom := ebr.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	l := NewListCS(p)
+	h := l.NewHandleCS(dom)
+	for k := uint64(0); k < 6; k++ {
+		h.Insert(k, k+100)
+	}
+	// Mark 0..4; do not unlink.
+	cur := tagptr.RefOf(l.head.Load())
+	for cur != 0 {
+		n := p.Pool.Deref(cur)
+		if n.key < 5 {
+			w := n.next.Load()
+			n.next.CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark))
+		}
+		cur = tagptr.RefOf(n.next.Load())
+	}
+	if v, ok := h.Get(5); !ok || v != 105 {
+		t.Fatalf("Get(5) = (%d,%v) through marked chain", v, ok)
+	}
+}
+
+// TestHPPPNoExtraRestarts exercises the §4.2 claim on a live HPP list:
+// traversal over a marked-but-not-invalidated chain succeeds without
+// restarting (no protection failure), unlike HP which must restart.
+func TestHPPPTraversalOverMarkedChain(t *testing.T) {
+	dom := core.NewDomain(core.Options{})
+	p := NewPool(arena.ModeDetect)
+	l := NewListHPP(p)
+	h := l.NewHandleHPP(dom)
+	defer h.Thread().Finish()
+
+	for k := uint64(0); k < 6; k++ {
+		h.Insert(k, k+100)
+	}
+	cur := tagptr.RefOf(l.head.Load())
+	for cur != 0 {
+		n := p.Pool.Deref(cur)
+		if n.key < 5 {
+			w := n.next.Load()
+			n.next.CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark))
+		}
+		cur = tagptr.RefOf(n.next.Load())
+	}
+	if v, ok := h.Get(5); !ok || v != 105 {
+		t.Fatalf("Get(5) = (%d,%v): HP++ failed to traverse a marked chain", v, ok)
+	}
+	// And the next write unlinks the whole chain via one TryUnlink.
+	if !h.Insert(42, 42) {
+		t.Fatal("insert failed")
+	}
+	if _, ok := h.Get(0); ok {
+		t.Fatal("marked node still visible after chain unlink")
+	}
+}

@@ -1,0 +1,236 @@
+package hhslist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Hazard slot indices (Algorithm 4: hp_prev, hp_cur, hp_anchor,
+// hp_anchor_next).
+const (
+	hpPrev = iota
+	hpCur
+	hpAnchor
+	hpAnchorNext
+	hppSlots
+)
+
+// ListHPP is Harris's list under HP++ — a direct transcription of the
+// paper's Algorithm 4.
+type ListHPP struct {
+	pool Pool
+	head atomic.Uint64
+}
+
+// NewListHPP creates an empty list over pool.
+func NewListHPP(pool Pool) *ListHPP { return &ListHPP{pool: pool} }
+
+// NewHandleHPP returns a per-worker handle.
+func (l *ListHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
+	return &HandleHPP{l: l, t: dom.NewThread(hppSlots)}
+}
+
+// HandleHPP is a per-worker handle; not safe for concurrent use.
+type HandleHPP struct {
+	l *ListHPP
+	t *core.Thread
+}
+
+// Thread exposes the underlying HP++ thread.
+func (h *HandleHPP) Thread() *core.Thread { return h.t }
+
+// Rebind points the handle at another list sharing the same pool and
+// domain; used by bucket containers (internal/ds/hashmap).
+func (h *HandleHPP) Rebind(l *ListHPP) *HandleHPP { h.l = l; return h }
+
+type posHPP struct {
+	prevLink *atomic.Uint64
+	cur      uint64
+	found    bool
+}
+
+// trySearch is TRYSEARCH of Algorithm 4: traverse optimistically through
+// marked chains, keeping anchor / anchor_next protected hand-over-hand,
+// and unlink the chain immediately preceding the destination with one
+// TryUnlink. ok=false means a protection failed or an unlink raced; the
+// caller must restart.
+func (h *HandleHPP) trySearch(key uint64) (posHPP, bool) {
+	l, t := h.l, h.t
+	prevLink := &l.head
+	var prevInv *atomic.Uint64 // head is never invalidated
+	prevRef := uint64(0)
+	cur := tagptr.RefOf(prevLink.Load())
+
+	anchorRef := uint64(0)
+	var anchorLink *atomic.Uint64
+	anchorNext := uint64(0)
+	found := false
+
+	for {
+		if cur == 0 {
+			break
+		}
+		if !t.TryProtect(hpCur, &cur, prevInv, prevLink) {
+			return posHPP{}, false
+		}
+		if cur == 0 {
+			break
+		}
+		node := l.pool.Deref(cur)
+		nextW := node.next.Load()
+		next := tagptr.RefOf(nextW)
+		if !tagptr.IsMarked(nextW) {
+			if node.key < key {
+				prevRef, prevLink, prevInv = cur, &node.next, &node.next
+				t.Swap(hpCur, hpPrev)
+				anchorRef, anchorLink, anchorNext = 0, nil, 0
+				cur = next
+				continue
+			}
+			found = node.key == key
+			break
+		}
+		// cur is logically deleted: step through it optimistically.
+		if anchorLink == nil {
+			// prev is the last unmarked node: it becomes the anchor and
+			// inherits hp_prev's protection.
+			anchorRef, anchorLink, anchorNext = prevRef, prevLink, cur
+			t.Swap(hpAnchor, hpPrev)
+		} else if anchorNext == prevRef {
+			// prev is anchor's successor: preserve its protection so the
+			// unlink CAS below cannot suffer ABA through slot reuse.
+			t.Swap(hpAnchorNext, hpPrev)
+		}
+		prevRef, prevLink, prevInv = cur, &node.next, &node.next
+		t.Swap(hpPrev, hpCur)
+		cur = next
+	}
+
+	if anchorLink != nil {
+		// Unlink the whole marked chain anchor_next .. cur with one CAS.
+		// The frontier is cur: the unlinker protects it on behalf of
+		// threads still traversing the chain.
+		var frontier []uint64
+		if cur != 0 {
+			frontier = []uint64{cur}
+		}
+		aLink, aNext, target := anchorLink, anchorNext, cur
+		pool := l.pool
+		ok := t.TryUnlink(frontier, func() ([]smr.Retired, bool) {
+			if !aLink.CompareAndSwap(tagptr.Pack(aNext, 0), tagptr.Pack(target, 0)) {
+				return nil, false
+			}
+			var rs []smr.Retired
+			for r := aNext; r != target; {
+				rs = append(rs, smr.Retired{Ref: r, D: pool})
+				r = tagptr.RefOf(pool.Deref(r).next.Load())
+			}
+			return rs, true
+		}, pool)
+		if !ok {
+			return posHPP{}, false
+		}
+		prevLink = aLink // prev ← anchor (Algorithm 4 line 28)
+		_ = anchorRef
+	}
+	if cur != 0 && tagptr.IsMarked(l.pool.Deref(cur).next.Load()) {
+		return posHPP{}, false // line 30: destination got deleted; retry
+	}
+	return posHPP{prevLink: prevLink, cur: cur, found: found}, true
+}
+
+// Get is the Herlihy-Shavit read: it walks straight through marked nodes
+// without helping. Under HP++ each hop needs a TryProtect, so it is
+// lock-free rather than wait-free (§4.3 of the paper).
+func (h *HandleHPP) Get(key uint64) (uint64, bool) {
+	l, t := h.l, h.t
+	defer t.ClearAll()
+retry:
+	prevLink := &l.head
+	var prevInv *atomic.Uint64
+	cur := tagptr.RefOf(prevLink.Load())
+	for {
+		if cur == 0 {
+			return 0, false
+		}
+		if !t.TryProtect(hpCur, &cur, prevInv, prevLink) {
+			goto retry
+		}
+		if cur == 0 {
+			return 0, false
+		}
+		node := l.pool.Deref(cur)
+		nextW := node.next.Load()
+		if node.key >= key {
+			if node.key == key && !tagptr.IsMarked(nextW) {
+				return node.val, true
+			}
+			return 0, false
+		}
+		prevLink, prevInv = &node.next, &node.next
+		t.Swap(hpCur, hpPrev)
+		cur = tagptr.RefOf(nextW)
+	}
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHPP) Insert(key, val uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos, ok := h.trySearch(key)
+		if !ok {
+			continue
+		}
+		if pos.found {
+			return false
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.val = key, val
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return true
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHPP) Delete(key uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos, ok := h.trySearch(key)
+		if !ok {
+			continue
+		}
+		if !pos.found {
+			return false
+		}
+		node := h.l.pool.Deref(pos.cur)
+		nextW := node.next.Load()
+		if tagptr.IsMarked(nextW) {
+			continue // someone else is deleting it; re-search decides
+		}
+		if !node.next.CompareAndSwap(nextW, tagptr.WithTag(nextW, tagptr.Mark)) {
+			continue
+		}
+		// Logically deleted: attempt our own physical unlink; a failed
+		// attempt is fine — some traversal's chain unlink will cover it.
+		next := tagptr.RefOf(nextW)
+		var frontier []uint64
+		if next != 0 {
+			frontier = []uint64{next}
+		}
+		prevLink, cur := pos.prevLink, pos.cur
+		pool := h.l.pool
+		h.t.TryUnlink(frontier, func() ([]smr.Retired, bool) {
+			if prevLink.CompareAndSwap(tagptr.Pack(cur, 0), tagptr.Pack(next, 0)) {
+				return []smr.Retired{{Ref: cur, D: pool}}, true
+			}
+			return nil, false
+		}, pool)
+		return true
+	}
+}

@@ -1,0 +1,204 @@
+package hhslist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/rc"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// NodeRC is a counted list node.
+type NodeRC struct {
+	count atomic.Int64
+	next  atomic.Uint64
+	key   uint64
+	val   uint64
+}
+
+// PoolRC allocates counted nodes and implements rc.Object.
+type PoolRC struct {
+	*arena.Pool[NodeRC]
+}
+
+// NewPoolRC creates a counted node pool.
+func NewPoolRC(mode arena.Mode) PoolRC {
+	return PoolRC{arena.NewPool[NodeRC]("hhslist-rc", mode)}
+}
+
+// IncCount adds a strong reference.
+func (p PoolRC) IncCount(ref uint64) { p.Deref(ref).count.Add(1) }
+
+// DecCount drops a strong reference and returns the new count.
+func (p PoolRC) DecCount(ref uint64) int64 { return p.Deref(ref).count.Add(-1) }
+
+// Trace reports the node's outgoing strong references.
+func (p PoolRC) Trace(ref uint64, out []uint64) []uint64 {
+	if nxt := tagptr.RefOf(p.Deref(ref).next.Load()); nxt != 0 {
+		out = append(out, nxt)
+	}
+	return out
+}
+
+// ListRC is Harris's list under deferred reference counting. A chain
+// unlink transfers one strong count to the frontier node and defers the
+// decrement of the chain head; interior chain nodes are released
+// transitively when the head's count reaches zero.
+type ListRC struct {
+	pool PoolRC
+	head atomic.Uint64
+}
+
+// NewListRC creates an empty list over pool.
+func NewListRC(pool PoolRC) *ListRC { return &ListRC{pool: pool} }
+
+// NewHandleRC returns a per-worker handle.
+func (l *ListRC) NewHandleRC(dom *rc.Domain) *HandleRC {
+	return &HandleRC{l: l, g: dom.NewGuard(), dt: rc.NewDecTask(dom, l.pool)}
+}
+
+// HandleRC is a per-worker handle; not safe for concurrent use.
+type HandleRC struct {
+	l  *ListRC
+	g  *rc.Guard
+	dt *rc.DecTask
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleRC) Guard() *rc.Guard { return h.g }
+
+// Rebind points the handle at another list sharing the same pool and
+// domain; used by bucket containers (internal/ds/hashmap).
+func (h *HandleRC) Rebind(l *ListRC) *HandleRC { h.l = l; return h }
+
+func (h *HandleRC) incIfNonNil(ref uint64) {
+	if ref != 0 {
+		h.l.pool.IncCount(ref)
+	}
+}
+
+func (h *HandleRC) decIfNonNil(ref uint64) {
+	if ref != 0 {
+		h.g.DeferDec(h.dt, ref)
+	}
+}
+
+// search is the Harris traversal with anchor-based chain unlinking.
+func (h *HandleRC) search(key uint64) posCS {
+	l := h.l
+retry:
+	prevLink := &l.head
+	cur := tagptr.RefOf(prevLink.Load())
+
+	var anchorLink *atomic.Uint64
+	anchorNext := uint64(0)
+	found := false
+
+	for {
+		if cur == 0 {
+			break
+		}
+		node := l.pool.Deref(cur)
+		nextW := node.next.Load()
+		next := tagptr.RefOf(nextW)
+		if !tagptr.IsMarked(nextW) {
+			if node.key < key {
+				prevLink = &node.next
+				anchorLink, anchorNext = nil, 0
+				cur = next
+				continue
+			}
+			found = node.key == key
+			break
+		}
+		if anchorLink == nil {
+			anchorLink, anchorNext = prevLink, cur
+		}
+		prevLink = &node.next
+		cur = next
+	}
+
+	if anchorLink != nil {
+		h.incIfNonNil(cur) // the anchor's new link to cur
+		if !anchorLink.CompareAndSwap(tagptr.Pack(anchorNext, 0), tagptr.Pack(cur, 0)) {
+			h.decIfNonNil(cur)
+			goto retry
+		}
+		h.decIfNonNil(anchorNext) // anchor no longer points at the chain
+		prevLink = anchorLink
+	}
+	if cur != 0 && tagptr.IsMarked(l.pool.Deref(cur).next.Load()) {
+		goto retry
+	}
+	return posCS{prevLink: prevLink, cur: cur, found: found}
+}
+
+// Get is the wait-free read: marks ignored, no count traffic.
+func (h *HandleRC) Get(key uint64) (uint64, bool) {
+	h.g.Pin()
+	defer h.g.Unpin()
+	cur := tagptr.RefOf(h.l.head.Load())
+	for cur != 0 {
+		node := h.l.pool.Deref(cur)
+		nextW := node.next.Load()
+		if node.key >= key {
+			if node.key == key && !tagptr.IsMarked(nextW) {
+				return node.val, true
+			}
+			return 0, false
+		}
+		cur = tagptr.RefOf(nextW)
+	}
+	return 0, false
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleRC) Insert(key, val uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		pos := h.search(key)
+		if pos.found {
+			return false
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.val = key, val
+		n.count.Store(1)
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		h.incIfNonNil(pos.cur)
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			h.decIfNonNil(pos.cur) // prev's old link to cur is gone
+			return true
+		}
+		h.decIfNonNil(pos.cur)
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleRC) Delete(key uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		pos := h.search(key)
+		if !pos.found {
+			return false
+		}
+		node := h.l.pool.Deref(pos.cur)
+		nextW := node.next.Load()
+		if tagptr.IsMarked(nextW) {
+			continue
+		}
+		if !node.next.CompareAndSwap(nextW, tagptr.WithTag(nextW, tagptr.Mark)) {
+			continue
+		}
+		next := tagptr.RefOf(nextW)
+		h.incIfNonNil(next)
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(next, 0)) {
+			h.g.DeferDec(h.dt, pos.cur)
+		} else {
+			h.decIfNonNil(next)
+		}
+		return true
+	}
+}

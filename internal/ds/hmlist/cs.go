@@ -1,0 +1,145 @@
+package hmlist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// ListCS is the Harris-Michael list for critical-section reclamation
+// schemes (EBR, PEBR, NR). Every node dereference is preceded by a
+// Track announcement so that PEBR's shields cover it; for EBR and NR the
+// announcement is free.
+type ListCS struct {
+	pool Pool
+	head atomic.Uint64
+}
+
+// NewListCS creates an empty list over pool.
+func NewListCS(pool Pool) *ListCS { return &ListCS{pool: pool} }
+
+// Slots is the number of protection slots a guard needs (prev, cur).
+const slotsCS = 2
+
+// NewHandleCS returns a per-worker handle using guards from dom.
+func (l *ListCS) NewHandleCS(dom smr.GuardDomain) *HandleCS {
+	return &HandleCS{l: l, g: dom.NewGuard(slotsCS)}
+}
+
+// HandleCS is a per-worker handle; not safe for concurrent use.
+type HandleCS struct {
+	l *ListCS
+	g smr.Guard
+}
+
+// Guard exposes the underlying guard (for draining in benchmarks).
+func (h *HandleCS) Guard() smr.Guard { return h.g }
+
+// Rebind points the handle at another list sharing the same pool and
+// domain; used by bucket containers (internal/ds/hashmap).
+func (h *HandleCS) Rebind(l *ListCS) *HandleCS { h.l = l; return h }
+
+type posCS struct {
+	prev  *atomic.Uint64 // link that points at cur
+	cur   uint64         // first node with key >= search key, or 0
+	next  uint64         // cur's successor at observation time
+	found bool
+}
+
+// find locates the position for key, unlinking marked nodes on the way
+// (the Harris-Michael cleanup obligation). Restarts internally on
+// interference or guard neutralization.
+func (h *HandleCS) find(key uint64) posCS {
+	l, g := h.l, h.g
+retry:
+	prev := &l.head
+	cur := tagptr.RefOf(prev.Load())
+	for cur != 0 {
+		if !g.Track(1, cur) {
+			g.Unpin()
+			g.Pin()
+			goto retry
+		}
+		curNode := l.pool.Deref(cur)
+		nextW := curNode.next.Load()
+		next, tag := tagptr.Split(nextW)
+		// Re-validate that prev still points at cur with a clean tag;
+		// otherwise cur may already be unlinked or prev marked.
+		if prev.Load() != tagptr.Pack(cur, 0) {
+			goto retry
+		}
+		if tag&tagptr.Mark != 0 {
+			// cur is logically deleted: unlink it before moving on.
+			if !prev.CompareAndSwap(tagptr.Pack(cur, 0), tagptr.Pack(next, 0)) {
+				goto retry
+			}
+			g.Retire(cur, l.pool)
+			cur = next
+			continue
+		}
+		if curNode.key >= key {
+			return posCS{prev: prev, cur: cur, next: next, found: curNode.key == key}
+		}
+		g.Track(0, cur)
+		prev = &curNode.next
+		cur = next
+	}
+	return posCS{prev: prev, cur: 0}
+}
+
+// Get returns the value stored under key.
+func (h *HandleCS) Get(key uint64) (uint64, bool) {
+	h.g.Pin()
+	defer h.g.Unpin()
+	pos := h.find(key)
+	if !pos.found {
+		return 0, false
+	}
+	return h.l.pool.Deref(pos.cur).val, true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleCS) Insert(key, val uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		pos := h.find(key)
+		if pos.found {
+			return false
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.val = key, val
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return true
+		}
+		h.l.pool.Free(ref) // never published
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleCS) Delete(key uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		pos := h.find(key)
+		if !pos.found {
+			return false
+		}
+		curNode := h.l.pool.Deref(pos.cur)
+		nextW := curNode.next.Load()
+		if tagptr.TagOf(nextW)&tagptr.Mark != 0 {
+			continue // another deleter got here first; help via find
+		}
+		if !curNode.next.CompareAndSwap(nextW, tagptr.WithTag(nextW, tagptr.Mark)) {
+			continue
+		}
+		// Logical deletion succeeded; try the physical unlink ourselves,
+		// otherwise some traversal will do it.
+		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(tagptr.RefOf(nextW), 0)) {
+			h.g.Retire(pos.cur, h.l.pool)
+		}
+		return true
+	}
+}

@@ -1,0 +1,53 @@
+// Package hmlist implements the Harris-Michael lock-free linked list
+// (Michael, SPAA 2002) — the sorted key-value list designed to be
+// compatible with hazard pointers: deletion first *marks* a node's next
+// pointer (logical deletion) and traversals eagerly unlink marked nodes
+// one at a time, so validation can over-approximate unreachability by
+// checking "the previous link still equals cur, untagged".
+//
+// The package provides one implementation per protection style evaluated
+// in the HP++ paper:
+//
+//	ListCS  — critical-section schemes (EBR, PEBR, NR) via smr.Guard
+//	ListHP  — original hazard pointers, hand-over-hand validation (Fig. 3)
+//	ListHPP — HP++ in backward-compatible mode (§4.2)
+//	ListRC  — deferred reference counting
+package hmlist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Node is a list node. The next word packs the successor reference with
+// the Mark (logical deletion) and, for HP++, Invalid bits.
+type Node struct {
+	next atomic.Uint64
+	key  uint64
+	val  uint64
+}
+
+// Pool allocates list nodes and implements core.Invalidator.
+type Pool struct {
+	*arena.Pool[Node]
+}
+
+// NewPool creates a node pool.
+func NewPool(mode arena.Mode) Pool {
+	return Pool{arena.NewPool[Node]("hmlist", mode)}
+}
+
+// Invalidate sets the Invalid bit on the node's next word with a plain
+// store; legal because unlinked nodes' links never change (Assumption 1).
+func (p Pool) Invalidate(ref uint64) {
+	n := p.Deref(ref)
+	n.next.Store(n.next.Load() | tagptr.Invalid)
+}
+
+// Key returns ref's key (for tests and invariant checks).
+func (p Pool) Key(ref uint64) uint64 { return p.Deref(ref).key }
+
+// NextWord returns ref's raw next word (for tests and invariant checks).
+func (p Pool) NextWord(ref uint64) tagptr.Word { return p.Deref(ref).next.Load() }

@@ -1,0 +1,424 @@
+package hmlist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nr"
+	"github.com/gosmr/gosmr/internal/pebr"
+	"github.com/gosmr/gosmr/internal/rc"
+	"github.com/gosmr/gosmr/internal/unsafefree"
+)
+
+// handle is the common op surface of all four list variants.
+type handle interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, val uint64) bool
+	Delete(key uint64) bool
+}
+
+// variant describes one (list, scheme) construction for table-driven tests.
+type variant struct {
+	name string
+	mk   func(mode arena.Mode) (mkHandle func() handle, finish func(), stats func() int64)
+}
+
+func variants() []variant {
+	return []variant{
+		{"CS/EBR", func(mode arena.Mode) (func() handle, func(), func() int64) {
+			dom := ebr.NewDomain()
+			l := NewListCS(NewPool(mode))
+			var hs []*HandleCS
+			return func() handle {
+					h := l.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*ebr.Guard).Drain()
+					}
+				}, dom.Unreclaimed
+		}},
+		{"CS/PEBR", func(mode arena.Mode) (func() handle, func(), func() int64) {
+			dom := pebr.NewDomain()
+			l := NewListCS(NewPool(mode))
+			var hs []*HandleCS
+			return func() handle {
+					h := l.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*pebr.Guard).ClearShields()
+					}
+					for i := 0; i < 8; i++ {
+						for _, h := range hs {
+							h.Guard().(*pebr.Guard).Collect()
+						}
+					}
+				}, dom.Unreclaimed
+		}},
+		{"CS/NR", func(mode arena.Mode) (func() handle, func(), func() int64) {
+			dom := nr.NewDomain()
+			l := NewListCS(NewPool(mode))
+			return func() handle { return l.NewHandleCS(dom) }, func() {}, dom.Unreclaimed
+		}},
+		{"HP", func(mode arena.Mode) (func() handle, func(), func() int64) {
+			dom := hp.NewDomain()
+			l := NewListHP(NewPool(mode))
+			var hs []*HandleHP
+			return func() handle {
+					h := l.NewHandleHP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					fin := dom.NewThread(0)
+					fin.Reclaim()
+				}, dom.Unreclaimed
+		}},
+		{"HPP", func(mode arena.Mode) (func() handle, func(), func() int64) {
+			dom := core.NewDomain(core.Options{})
+			l := NewListHPP(NewPool(mode))
+			var hs []*HandleHPP
+			return func() handle {
+					h := l.NewHandleHPP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					fin := dom.NewThread(0)
+					fin.Reclaim()
+				}, dom.Unreclaimed
+		}},
+		{"HPP/EpochFence", func(mode arena.Mode) (func() handle, func(), func() int64) {
+			dom := core.NewDomain(core.Options{EpochFence: true})
+			l := NewListHPP(NewPool(mode))
+			var hs []*HandleHPP
+			return func() handle {
+					h := l.NewHandleHPP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					fin := dom.NewThread(0)
+					fin.Reclaim()
+					fin.Finish()
+				}, dom.Unreclaimed
+		}},
+		{"RC", func(mode arena.Mode) (func() handle, func(), func() int64) {
+			dom := rc.NewDomain()
+			l := NewListRC(NewPoolRC(mode))
+			var hs []*HandleRC
+			return func() handle {
+					h := l.NewHandleRC(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().Drain()
+					}
+				}, dom.Unreclaimed
+		}},
+	}
+}
+
+// TestSequentialModel drives each variant against a map model.
+func TestSequentialModel(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish, _ := v.mk(arena.ModeDetect)
+			h := mk()
+			defer finish()
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 4000; i++ {
+				k := uint64(rng.Intn(64))
+				switch rng.Intn(3) {
+				case 0:
+					_, inModel := model[k]
+					if got := h.Insert(k, k*10); got == inModel {
+						t.Fatalf("op %d: Insert(%d) = %v, model has=%v", i, k, got, inModel)
+					}
+					if !inModel {
+						model[k] = k * 10
+					}
+				case 1:
+					_, inModel := model[k]
+					if got := h.Delete(k); got != inModel {
+						t.Fatalf("op %d: Delete(%d) = %v, model has=%v", i, k, got, inModel)
+					}
+					delete(model, k)
+				default:
+					val, ok := h.Get(k)
+					mval, inModel := model[k]
+					if ok != inModel || (ok && val != mval) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v), model (%d,%v)", i, k, val, ok, mval, inModel)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuickModelEquivalence is a property-based variant of the model test.
+func TestQuickModelEquivalence(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			prop := func(ops []uint16) bool {
+				mk, finish, _ := v.mk(arena.ModeDetect)
+				h := mk()
+				defer finish()
+				model := map[uint64]uint64{}
+				for _, op := range ops {
+					k := uint64(op % 32)
+					switch (op / 32) % 3 {
+					case 0:
+						_, in := model[k]
+						if h.Insert(k, k) == in {
+							return false
+						}
+						model[k] = k
+					case 1:
+						_, in := model[k]
+						if h.Delete(k) != in {
+							return false
+						}
+						delete(model, k)
+					default:
+						_, ok := h.Get(k)
+						_, in := model[k]
+						if ok != in {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentStress hammers each variant from several goroutines over a
+// small key range with a detect-mode arena: any use-after-free panics.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 8000
+		keys    = 32
+	)
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish, _ := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						k := uint64(rng.Intn(keys))
+						switch rng.Intn(4) {
+						case 0:
+							h.Insert(k, k)
+						case 1:
+							h.Delete(k)
+						default:
+							h.Get(k)
+						}
+					}
+				}(handles[w], int64(w+1))
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}
+
+// TestDisjointKeysLinearizable: with per-worker disjoint key ranges, each
+// worker must observe its own keys with sequential semantics even under
+// full concurrency.
+func TestDisjointKeysLinearizable(t *testing.T) {
+	const workers = 4
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish, _ := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk()
+			}
+			var wg sync.WaitGroup
+			errc := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, base uint64) {
+					defer wg.Done()
+					model := map[uint64]uint64{}
+					rng := rand.New(rand.NewSource(int64(base)))
+					for i := 0; i < 3000; i++ {
+						k := base + uint64(rng.Intn(16))
+						switch rng.Intn(3) {
+						case 0:
+							_, in := model[k]
+							if h.Insert(k, k) == in {
+								t.Errorf("insert(%d) disagreed with private model", k)
+								return
+							}
+							model[k] = k
+						case 1:
+							_, in := model[k]
+							if h.Delete(k) != in {
+								t.Errorf("delete(%d) disagreed with private model", k)
+								return
+							}
+							delete(model, k)
+						default:
+							_, ok := h.Get(k)
+							_, in := model[k]
+							if ok != in {
+								t.Errorf("get(%d) disagreed with private model", k)
+								return
+							}
+						}
+					}
+				}(handles[w], uint64(w)*1000)
+			}
+			wg.Wait()
+			close(errc)
+			finish()
+		})
+	}
+}
+
+// TestNoLeaksAfterDrain checks that after deleting every key and draining
+// reclamation, the arena has no live nodes (NR excluded: it leaks by
+// design).
+func TestNoLeaksAfterDrain(t *testing.T) {
+	for _, v := range variants() {
+		if v.name == "CS/NR" {
+			continue
+		}
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			// Reach inside via a fresh pool per variant for stats.
+			mkWithPool := func() (handle, func(), func() arena.Stats) {
+				switch v.name {
+				case "CS/EBR":
+					dom := ebr.NewDomain()
+					p := NewPool(arena.ModeDetect)
+					l := NewListCS(p)
+					h := l.NewHandleCS(dom)
+					return h, func() { h.Guard().(*ebr.Guard).Drain() }, p.Stats
+				case "CS/PEBR":
+					dom := pebr.NewDomain()
+					p := NewPool(arena.ModeDetect)
+					l := NewListCS(p)
+					h := l.NewHandleCS(dom)
+					return h, func() {
+						g := h.Guard().(*pebr.Guard)
+						g.ClearShields()
+						for i := 0; i < 8; i++ {
+							g.Collect()
+						}
+					}, p.Stats
+				case "HP":
+					dom := hp.NewDomain()
+					p := NewPool(arena.ModeDetect)
+					l := NewListHP(p)
+					h := l.NewHandleHP(dom)
+					return h, func() { h.Thread().Finish(); dom.NewThread(0).Reclaim() }, p.Stats
+				case "HPP", "HPP/EpochFence":
+					dom := core.NewDomain(core.Options{EpochFence: v.name == "HPP/EpochFence"})
+					p := NewPool(arena.ModeDetect)
+					l := NewListHPP(p)
+					h := l.NewHandleHPP(dom)
+					return h, func() { h.Thread().Finish(); dom.NewThread(0).Reclaim() }, p.Stats
+				case "RC":
+					dom := rc.NewDomain()
+					p := NewPoolRC(arena.ModeDetect)
+					l := NewListRC(p)
+					h := l.NewHandleRC(dom)
+					return h, func() { h.Guard().Drain() }, p.Stats
+				}
+				t.Fatalf("unknown variant %s", v.name)
+				return nil, nil, nil
+			}
+			h, drain, stats := mkWithPool()
+			const n = 500
+			for k := uint64(0); k < n; k++ {
+				h.Insert(k, k)
+			}
+			for k := uint64(0); k < n; k++ {
+				if !h.Delete(k) {
+					t.Fatalf("delete(%d) failed", k)
+				}
+			}
+			drain()
+			if live := stats().Live; live != 0 {
+				t.Fatalf("leaked %d nodes after drain", live)
+			}
+		})
+	}
+}
+
+// TestUnsafeSchemeIsCaught demonstrates that the detect-mode arena catches
+// a scheme that frees immediately — validating that the stress tests above
+// are actually capable of failing.
+func TestUnsafeSchemeIsCaught(t *testing.T) {
+	dom := unsafefree.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	p.SetCount() // count UAF instead of panicking
+	l := NewListCS(p)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().UAF == 0 && time.Now().Before(deadline) {
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				h := l.NewHandleCS(dom)
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 4000; i++ {
+					k := uint64(rng.Intn(8))
+					switch rng.Intn(3) {
+					case 0:
+						h.Insert(k, k)
+					case 1:
+						h.Delete(k)
+					default:
+						h.Get(k)
+					}
+				}
+			}(int64(w) + time.Now().UnixNano())
+		}
+		wg.Wait()
+	}
+	if p.Stats().UAF == 0 {
+		t.Skip("no use-after-free observed under immediate free (timing-dependent)")
+	}
+}

@@ -1,0 +1,144 @@
+package hmlist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// ListHP is the Harris-Michael list under original hazard pointers,
+// following the hand-over-hand protection of Figure 3 in the HP++ paper:
+// two hazard pointers (prev, cur) advance together, and each protection is
+// validated by re-reading the previous link — the over-approximation of
+// unreachability that forces a restart whenever the previous node is
+// logically deleted or no longer points at cur.
+type ListHP struct {
+	pool Pool
+	head atomic.Uint64
+}
+
+// NewListHP creates an empty list over pool.
+func NewListHP(pool Pool) *ListHP { return &ListHP{pool: pool} }
+
+// Hazard slot indices.
+const (
+	hpPrev  = 0
+	hpCur   = 1
+	hpSlots = 2
+)
+
+// NewHandleHP returns a per-worker handle.
+func (l *ListHP) NewHandleHP(dom *hp.Domain) *HandleHP {
+	return &HandleHP{l: l, t: dom.NewThread(hpSlots)}
+}
+
+// HandleHP is a per-worker handle; not safe for concurrent use.
+type HandleHP struct {
+	l *ListHP
+	t *hp.Thread
+}
+
+// Thread exposes the underlying HP thread (for Finish in benchmarks).
+func (h *HandleHP) Thread() *hp.Thread { return h.t }
+
+// Rebind points the handle at another list sharing the same pool and
+// domain; used by bucket containers (internal/ds/hashmap).
+func (h *HandleHP) Rebind(l *ListHP) *HandleHP { h.l = l; return h }
+
+type posHP struct {
+	prev  *atomic.Uint64
+	cur   uint64
+	next  uint64
+	found bool
+}
+
+// find locates key with validated hand-over-hand protection. On return,
+// cur (if non-zero) is protected by slot hpCur and the node containing
+// prev by slot hpPrev.
+func (h *HandleHP) find(key uint64) posHP {
+	l, t := h.l, h.t
+retry:
+	prev := &l.head
+	cur := tagptr.RefOf(prev.Load())
+	for cur != 0 {
+		// Protect cur and validate: prev must still hold cur untagged.
+		// A changed reference means cur was unlinked from prev; a set
+		// Mark bit means prev itself is logically deleted — either way
+		// cur might already be retired, so restart (Figure 3).
+		if !t.ProtectWord(hpCur, prev, tagptr.Pack(cur, 0)) {
+			goto retry
+		}
+		curNode := l.pool.Deref(cur)
+		nextW := curNode.next.Load()
+		next, tag := tagptr.Split(nextW)
+		if tag&tagptr.Mark != 0 {
+			// cur is logically deleted: unlink it. prev's node is
+			// protected (hpPrev or the list head), cur by hpCur.
+			if !prev.CompareAndSwap(tagptr.Pack(cur, 0), tagptr.Pack(next, 0)) {
+				goto retry
+			}
+			t.Retire(cur, l.pool)
+			cur = next
+			continue
+		}
+		if curNode.key >= key {
+			return posHP{prev: prev, cur: cur, next: next, found: curNode.key == key}
+		}
+		prev = &curNode.next
+		t.Swap(hpPrev, hpCur)
+		cur = next
+	}
+	return posHP{prev: prev, cur: 0}
+}
+
+// Get returns the value stored under key.
+func (h *HandleHP) Get(key uint64) (uint64, bool) {
+	pos := h.find(key)
+	defer h.t.ClearAll()
+	if !pos.found {
+		return 0, false
+	}
+	return h.l.pool.Deref(pos.cur).val, true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHP) Insert(key, val uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos := h.find(key)
+		if pos.found {
+			return false
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.val = key, val
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return true
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHP) Delete(key uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos := h.find(key)
+		if !pos.found {
+			return false
+		}
+		curNode := h.l.pool.Deref(pos.cur)
+		nextW := curNode.next.Load()
+		if tagptr.TagOf(nextW)&tagptr.Mark != 0 {
+			continue
+		}
+		if !curNode.next.CompareAndSwap(nextW, tagptr.WithTag(nextW, tagptr.Mark)) {
+			continue
+		}
+		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(tagptr.RefOf(nextW), 0)) {
+			h.t.Retire(pos.cur, h.l.pool)
+		}
+		return true
+	}
+}

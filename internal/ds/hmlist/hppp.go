@@ -1,0 +1,150 @@
+package hmlist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// ListHPP is the Harris-Michael list under HP++ in backward-compatible
+// mode (§4.2 of the paper): traversal protects with TryProtect — which
+// ignores logical-deletion tags and fails only on invalidated sources, so
+// it never restarts more than original HP — and marked nodes are unlinked
+// with TryUnlink, whose frontier is the single successor of the unlinked
+// node.
+type ListHPP struct {
+	pool Pool
+	head atomic.Uint64
+}
+
+// NewListHPP creates an empty list over pool.
+func NewListHPP(pool Pool) *ListHPP { return &ListHPP{pool: pool} }
+
+// NewHandleHPP returns a per-worker handle.
+func (l *ListHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
+	return &HandleHPP{l: l, t: dom.NewThread(hpSlots)}
+}
+
+// HandleHPP is a per-worker handle; not safe for concurrent use.
+type HandleHPP struct {
+	l *ListHPP
+	t *core.Thread
+}
+
+// Thread exposes the underlying HP++ thread (for Finish in benchmarks).
+func (h *HandleHPP) Thread() *core.Thread { return h.t }
+
+// Rebind points the handle at another list sharing the same pool and
+// domain; used by bucket containers (internal/ds/hashmap).
+func (h *HandleHPP) Rebind(l *ListHPP) *HandleHPP { h.l = l; return h }
+
+type posHPP struct {
+	prev  *atomic.Uint64
+	cur   uint64
+	next  uint64
+	found bool
+}
+
+// find locates key. Protection is validated by under-approximation: it
+// fails only when the source node has been invalidated, in which case the
+// traversal restarts from the head.
+func (h *HandleHPP) find(key uint64) posHPP {
+	l, t := h.l, h.t
+retry:
+	prev := &l.head
+	var prevInvalid *atomic.Uint64 // nil: the head is never invalidated
+	cur := tagptr.RefOf(prev.Load())
+	for cur != 0 {
+		if !t.TryProtect(hpCur, &cur, prevInvalid, prev) {
+			goto retry
+		}
+		if cur == 0 {
+			break
+		}
+		curNode := l.pool.Deref(cur)
+		nextW := curNode.next.Load()
+		next := tagptr.RefOf(nextW)
+		if tagptr.IsMarked(nextW) {
+			// cur is logically deleted: physically delete it with an
+			// HP++ unlink. The frontier is cur's successor.
+			ok := t.TryUnlink([]uint64{next}, func() ([]smr.Retired, bool) {
+				if prev.CompareAndSwap(tagptr.Pack(cur, 0), tagptr.Pack(next, 0)) {
+					return []smr.Retired{{Ref: cur, D: l.pool}}, true
+				}
+				return nil, false
+			}, l.pool)
+			if !ok {
+				goto retry
+			}
+			cur = next
+			continue
+		}
+		if curNode.key >= key {
+			return posHPP{prev: prev, cur: cur, next: next, found: curNode.key == key}
+		}
+		prev = &curNode.next
+		prevInvalid = &curNode.next
+		t.Swap(hpPrev, hpCur)
+		cur = next
+	}
+	return posHPP{prev: prev, cur: 0}
+}
+
+// Get returns the value stored under key.
+func (h *HandleHPP) Get(key uint64) (uint64, bool) {
+	pos := h.find(key)
+	defer h.t.ClearAll()
+	if !pos.found {
+		return 0, false
+	}
+	return h.l.pool.Deref(pos.cur).val, true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHPP) Insert(key, val uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos := h.find(key)
+		if pos.found {
+			return false
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.val = key, val
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return true
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHPP) Delete(key uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos := h.find(key)
+		if !pos.found {
+			return false
+		}
+		curNode := h.l.pool.Deref(pos.cur)
+		nextW := curNode.next.Load()
+		if tagptr.IsMarked(nextW) {
+			continue
+		}
+		if !curNode.next.CompareAndSwap(nextW, tagptr.WithTag(nextW, tagptr.Mark)) {
+			continue
+		}
+		next := tagptr.RefOf(nextW)
+		prev, cur := pos.prev, pos.cur
+		h.t.TryUnlink([]uint64{next}, func() ([]smr.Retired, bool) {
+			if prev.CompareAndSwap(tagptr.Pack(cur, 0), tagptr.Pack(next, 0)) {
+				return []smr.Retired{{Ref: cur, D: h.l.pool}}, true
+			}
+			return nil, false
+		}, h.l.pool)
+		// If the unlink lost a race, a traversal will finish the job.
+		return true
+	}
+}

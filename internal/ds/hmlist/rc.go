@@ -1,0 +1,184 @@
+package hmlist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/rc"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// NodeRC is a list node carrying a strong reference count of incoming
+// heap links.
+type NodeRC struct {
+	count atomic.Int64
+	next  atomic.Uint64
+	key   uint64
+	val   uint64
+}
+
+// PoolRC allocates counted nodes and implements rc.Object.
+type PoolRC struct {
+	*arena.Pool[NodeRC]
+}
+
+// NewPoolRC creates a counted node pool.
+func NewPoolRC(mode arena.Mode) PoolRC {
+	return PoolRC{arena.NewPool[NodeRC]("hmlist-rc", mode)}
+}
+
+// IncCount adds a strong reference.
+func (p PoolRC) IncCount(ref uint64) { p.Deref(ref).count.Add(1) }
+
+// DecCount drops a strong reference and returns the new count.
+func (p PoolRC) DecCount(ref uint64) int64 { return p.Deref(ref).count.Add(-1) }
+
+// Trace reports the node's outgoing strong references.
+func (p PoolRC) Trace(ref uint64, out []uint64) []uint64 {
+	if nxt := tagptr.RefOf(p.Deref(ref).next.Load()); nxt != 0 {
+		out = append(out, nxt)
+	}
+	return out
+}
+
+// ListRC is the Harris-Michael list under deferred reference counting:
+// readers traverse count-free inside an epoch pin; writers adjust counts
+// eagerly when creating links and defer decrements through the grace
+// period.
+type ListRC struct {
+	pool PoolRC
+	head atomic.Uint64
+}
+
+// NewListRC creates an empty list over pool.
+func NewListRC(pool PoolRC) *ListRC { return &ListRC{pool: pool} }
+
+// NewHandleRC returns a per-worker handle.
+func (l *ListRC) NewHandleRC(dom *rc.Domain) *HandleRC {
+	return &HandleRC{l: l, g: dom.NewGuard(), dt: rc.NewDecTask(dom, l.pool)}
+}
+
+// HandleRC is a per-worker handle; not safe for concurrent use.
+type HandleRC struct {
+	l  *ListRC
+	g  *rc.Guard
+	dt *rc.DecTask
+}
+
+// Guard exposes the underlying guard (for draining in benchmarks).
+func (h *HandleRC) Guard() *rc.Guard { return h.g }
+
+// Rebind points the handle at another list sharing the same pool and
+// domain; used by bucket containers (internal/ds/hashmap).
+func (h *HandleRC) Rebind(l *ListRC) *HandleRC { h.l = l; return h }
+
+// find locates the position for key, unlinking marked nodes on the way
+// and transferring their reference counts.
+func (h *HandleRC) find(key uint64) posCS {
+	l := h.l
+retry:
+	prev := &l.head
+	cur := tagptr.RefOf(prev.Load())
+	for cur != 0 {
+		curNode := l.pool.Deref(cur)
+		nextW := curNode.next.Load()
+		next, tag := tagptr.Split(nextW)
+		if prev.Load() != tagptr.Pack(cur, 0) {
+			goto retry
+		}
+		if tag&tagptr.Mark != 0 {
+			// Unlink cur: prev→next replaces prev→cur. next gains a
+			// link, cur loses one; cur's own link to next is released
+			// transitively when cur's count reaches zero.
+			h.incIfNonNil(next)
+			if !prev.CompareAndSwap(tagptr.Pack(cur, 0), tagptr.Pack(next, 0)) {
+				h.undoInc(next)
+				goto retry
+			}
+			h.g.DeferDec(h.dt, cur)
+			cur = next
+			continue
+		}
+		if curNode.key >= key {
+			return posCS{prev: prev, cur: cur, next: next, found: curNode.key == key}
+		}
+		prev = &curNode.next
+		cur = next
+	}
+	return posCS{prev: prev, cur: 0}
+}
+
+func (h *HandleRC) incIfNonNil(ref uint64) {
+	if ref != 0 {
+		h.l.pool.IncCount(ref)
+	}
+}
+
+func (h *HandleRC) undoInc(ref uint64) {
+	if ref != 0 {
+		h.g.DeferDec(h.dt, ref)
+	}
+}
+
+// Get returns the value stored under key.
+func (h *HandleRC) Get(key uint64) (uint64, bool) {
+	h.g.Pin()
+	defer h.g.Unpin()
+	pos := h.find(key)
+	if !pos.found {
+		return 0, false
+	}
+	return h.l.pool.Deref(pos.cur).val, true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleRC) Insert(key, val uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		pos := h.find(key)
+		if pos.found {
+			return false
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.val = key, val
+		n.count.Store(1) // prev's incoming link once published
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		h.incIfNonNil(pos.cur) // the new node's link to cur
+		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			// prev→cur was replaced by prev→new: cur loses one link.
+			h.undoInc(pos.cur)
+			return true
+		}
+		h.undoInc(pos.cur) // speculative link never published
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleRC) Delete(key uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		pos := h.find(key)
+		if !pos.found {
+			return false
+		}
+		curNode := h.l.pool.Deref(pos.cur)
+		nextW := curNode.next.Load()
+		if tagptr.TagOf(nextW)&tagptr.Mark != 0 {
+			continue
+		}
+		if !curNode.next.CompareAndSwap(nextW, tagptr.WithTag(nextW, tagptr.Mark)) {
+			continue
+		}
+		next := tagptr.RefOf(nextW)
+		h.incIfNonNil(next)
+		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(next, 0)) {
+			h.g.DeferDec(h.dt, pos.cur)
+		} else {
+			h.undoInc(next)
+		}
+		return true
+	}
+}

@@ -1,0 +1,219 @@
+// Package msqueue implements the Michael-Scott lock-free FIFO queue —
+// the paper's §4.2 example of Assumption 1 for queues: only the tail
+// node's next pointer mutates (exactly once), and the tail node is never
+// unlinked, so every dequeued node's links are immutable.
+//
+// The queue uses a dummy head node: Dequeue retires the old dummy and the
+// dequeued node's cell becomes the new dummy.
+package msqueue
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Node is a queue cell.
+type Node struct {
+	next atomic.Uint64
+	val  uint64
+}
+
+// Pool allocates queue cells and implements core.Invalidator.
+type Pool struct {
+	*arena.Pool[Node]
+}
+
+// NewPool creates a cell pool.
+func NewPool(mode arena.Mode) Pool {
+	return Pool{arena.NewPool[Node]("msqueue", mode)}
+}
+
+// Invalidate sets the Invalid bit on the cell's next word.
+func (p Pool) Invalidate(ref uint64) {
+	n := p.Deref(ref)
+	n.next.Store(n.next.Load() | tagptr.Invalid)
+}
+
+func newDummy(pool Pool) uint64 {
+	ref, nd := pool.Alloc()
+	nd.val = 0
+	nd.next.Store(0)
+	return ref
+}
+
+// QueueHP is the MS queue under original hazard pointers.
+type QueueHP struct {
+	pool Pool
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// NewQueueHP creates an empty queue over pool.
+func NewQueueHP(pool Pool) *QueueHP {
+	q := &QueueHP{pool: pool}
+	d := newDummy(pool)
+	q.head.Store(tagptr.Pack(d, 0))
+	q.tail.Store(tagptr.Pack(d, 0))
+	return q
+}
+
+// NewHandleHP returns a per-worker handle.
+func (q *QueueHP) NewHandleHP(dom *hp.Domain) *HandleHP {
+	return &HandleHP{q: q, t: dom.NewThread(2)}
+}
+
+// HandleHP is a per-worker handle; not safe for concurrent use.
+type HandleHP struct {
+	q *QueueHP
+	t *hp.Thread
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleHP) Thread() *hp.Thread { return h.t }
+
+// Enqueue appends val at the tail.
+func (h *HandleHP) Enqueue(val uint64) {
+	ref, nd := h.q.pool.Alloc()
+	nd.val = val
+	nd.next.Store(0)
+	defer h.t.Clear(0)
+	for {
+		tailW := h.q.tail.Load()
+		if !h.t.ProtectWord(0, &h.q.tail, tailW) {
+			continue
+		}
+		tn := h.q.pool.Deref(tagptr.RefOf(tailW))
+		nextW := tn.next.Load()
+		if tagptr.RefOf(nextW) != 0 {
+			// Help swing the lagging tail.
+			h.q.tail.CompareAndSwap(tailW, tagptr.Pack(tagptr.RefOf(nextW), 0))
+			continue
+		}
+		if tn.next.CompareAndSwap(0, tagptr.Pack(ref, 0)) {
+			h.q.tail.CompareAndSwap(tailW, tagptr.Pack(ref, 0))
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value.
+func (h *HandleHP) Dequeue() (uint64, bool) {
+	defer h.t.ClearAll()
+	for {
+		headW := h.q.head.Load()
+		if !h.t.ProtectWord(0, &h.q.head, headW) {
+			continue
+		}
+		hn := h.q.pool.Deref(tagptr.RefOf(headW))
+		nextW := hn.next.Load()
+		next := tagptr.RefOf(nextW)
+		if next == 0 {
+			return 0, false
+		}
+		// Protect the first real cell; head unchanged validates it.
+		h.t.Protect(1, next)
+		if h.q.head.Load() != headW {
+			continue
+		}
+		nn := h.q.pool.Deref(next)
+		val := nn.val
+		if h.q.head.CompareAndSwap(headW, tagptr.Pack(next, 0)) {
+			h.t.Retire(tagptr.RefOf(headW), h.q.pool)
+			return val, true
+		}
+	}
+}
+
+// QueueHPP is the MS queue under HP++ (backward-compatible mode; the head
+// and tail pointers are never-invalidated protection sources).
+type QueueHPP struct {
+	pool Pool
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// NewQueueHPP creates an empty queue over pool.
+func NewQueueHPP(pool Pool) *QueueHPP {
+	q := &QueueHPP{pool: pool}
+	d := newDummy(pool)
+	q.head.Store(tagptr.Pack(d, 0))
+	q.tail.Store(tagptr.Pack(d, 0))
+	return q
+}
+
+// NewHandleHPP returns a per-worker handle.
+func (q *QueueHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
+	return &HandleHPP{q: q, t: dom.NewThread(2)}
+}
+
+// HandleHPP is a per-worker handle; not safe for concurrent use.
+type HandleHPP struct {
+	q *QueueHPP
+	t *core.Thread
+}
+
+// Thread exposes the underlying HP++ thread.
+func (h *HandleHPP) Thread() *core.Thread { return h.t }
+
+// Enqueue appends val at the tail.
+func (h *HandleHPP) Enqueue(val uint64) {
+	ref, nd := h.q.pool.Alloc()
+	nd.val = val
+	nd.next.Store(0)
+	defer h.t.Clear(0)
+	for {
+		tail := tagptr.RefOf(h.q.tail.Load())
+		if !h.t.TryProtect(0, &tail, nil, &h.q.tail) || tail == 0 {
+			continue
+		}
+		tn := h.q.pool.Deref(tail)
+		nextW := tn.next.Load()
+		if next := tagptr.RefOf(nextW); next != 0 {
+			h.q.tail.CompareAndSwap(tagptr.Pack(tail, 0), tagptr.Pack(next, 0))
+			continue
+		}
+		if tn.next.CompareAndSwap(0, tagptr.Pack(ref, 0)) {
+			h.q.tail.CompareAndSwap(tagptr.Pack(tail, 0), tagptr.Pack(ref, 0))
+			return
+		}
+	}
+}
+
+// Dequeue removes and returns the oldest value. The dummy unlink goes
+// through TryUnlink with the surviving first cell as frontier.
+func (h *HandleHPP) Dequeue() (uint64, bool) {
+	defer h.t.ClearAll()
+	for {
+		head := tagptr.RefOf(h.q.head.Load())
+		if !h.t.TryProtect(0, &head, nil, &h.q.head) || head == 0 {
+			continue
+		}
+		hn := h.q.pool.Deref(head)
+		next := tagptr.RefOf(hn.next.Load())
+		if next == 0 {
+			return 0, false
+		}
+		if !h.t.TryProtect(1, &next, &hn.next, &hn.next) {
+			continue // head cell already invalidated: re-read the head
+		}
+		nn := h.q.pool.Deref(next)
+		val := nn.val
+		pool := h.q.pool
+		headPtr := &h.q.head
+		old := head
+		ok := h.t.TryUnlink([]uint64{next}, func() ([]smr.Retired, bool) {
+			if !headPtr.CompareAndSwap(tagptr.Pack(old, 0), tagptr.Pack(next, 0)) {
+				return nil, false
+			}
+			return []smr.Retired{{Ref: old, D: pool}}, true
+		}, pool)
+		if ok {
+			return val, true
+		}
+	}
+}

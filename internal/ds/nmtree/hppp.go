@@ -1,0 +1,271 @@
+package nmtree
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Hazard slot indices for the HP++ variant.
+const (
+	hppAncestor = iota
+	hppSuccessor
+	hppParent
+	hppLeaf
+	hppCur
+	hppVictim
+	hppSlots
+)
+
+// TreeHPP is the NM tree under HP++ (Table 2: the original HP cannot
+// support this tree at all). The cleanup splice is a TryUnlink whose
+// frontier is the promoted sibling subtree's root; every detached chain
+// node is invalidated before any is freed.
+type TreeHPP struct {
+	pool Pool
+	root uint64
+}
+
+// NewTreeHPP creates a tree (with sentinels) over pool.
+func NewTreeHPP(pool Pool) *TreeHPP {
+	return &TreeHPP{pool: pool, root: newTree(pool)}
+}
+
+// NewHandleHPP returns a per-worker handle.
+func (t *TreeHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
+	return &HandleHPP{t: t, h: dom.NewThread(hppSlots)}
+}
+
+// HandleHPP is a per-worker handle; not safe for concurrent use.
+type HandleHPP struct {
+	t *TreeHPP
+	h *core.Thread
+}
+
+// Thread exposes the underlying HP++ thread.
+func (h *HandleHPP) Thread() *core.Thread { return h.h }
+
+// protectChild protects edge's current target in slot i (srcInv is the
+// source node's invalid word, nil for the root) and returns a stable edge
+// word whose reference is the protected one. ok=false → restart.
+func (h *HandleHPP) protectChild(i int, srcInv, edge *atomic.Uint64) (tagptr.Word, bool) {
+	for {
+		w := edge.Load()
+		ref := tagptr.RefOf(w)
+		if !h.h.TryProtect(i, &ref, srcInv, edge) {
+			return 0, false
+		}
+		w2 := edge.Load()
+		if tagptr.RefOf(w2) == ref {
+			return w2, true
+		}
+	}
+}
+
+// seek walks to the leaf for key with the four-slot protected window.
+// ok=false means a protection failed (invalidated source): restart.
+func (h *HandleHPP) seek(key uint64) (seekRecord, bool) {
+	t := h.t
+	rn := t.pool.Deref(t.root)
+	h.h.Protect(hppAncestor, t.root)
+	sW, ok := h.protectChild(hppSuccessor, nil, &rn.left)
+	if !ok {
+		return seekRecord{}, false
+	}
+	s := tagptr.RefOf(sW)
+	h.h.Protect(hppParent, s)
+	sn := t.pool.Deref(s)
+	leafW, ok := h.protectChild(hppLeaf, &sn.left, &sn.left)
+	if !ok {
+		return seekRecord{}, false
+	}
+	rec := seekRecord{ancestor: t.root, successor: s, parent: s, leaf: tagptr.RefOf(leafW)}
+	prevTagged := leafW&tagBit != 0
+	for {
+		cur := t.pool.Deref(rec.leaf)
+		edge := childEdge(cur, key)
+		curW, ok := h.protectChild(hppCur, &cur.left, edge)
+		if !ok {
+			return seekRecord{}, false
+		}
+		if tagptr.RefOf(curW) == 0 {
+			return rec, true
+		}
+		if !prevTagged {
+			h.h.Protect(hppAncestor, rec.parent) // covered by hppParent
+			h.h.Protect(hppSuccessor, rec.leaf)  // covered by hppLeaf
+			rec.ancestor, rec.successor = rec.parent, rec.leaf
+		}
+		rec.parent = rec.leaf
+		h.h.Protect(hppParent, rec.parent) // covered by hppLeaf
+		rec.leaf = tagptr.RefOf(curW)
+		h.h.Swap(hppLeaf, hppCur)
+		prevTagged = curW&tagBit != 0
+	}
+}
+
+// Get returns the value stored under key. Traversal is optimistic: it
+// walks through flagged and tagged edges and fails only on invalidation.
+func (h *HandleHPP) Get(key uint64) (uint64, bool) {
+	t := h.t
+	defer h.h.ClearAll()
+retry:
+	cur := t.root
+	nd := t.pool.Deref(cur)
+	var srcInv *atomic.Uint64 // root is never invalidated
+	a, b := hppCur, hppParent // ping-pong slots
+	for {
+		edge := childEdge(nd, key)
+		w, ok := h.protectChild(a, srcInv, edge)
+		if !ok {
+			goto retry
+		}
+		nxt := tagptr.RefOf(w)
+		if nxt == 0 {
+			if nd.key == key {
+				return nd.val, true
+			}
+			return 0, false
+		}
+		cur = nxt
+		nd = t.pool.Deref(cur)
+		srcInv = &nd.left
+		a, b = b, a
+	}
+}
+
+// cleanup performs the physical deletion as one TryUnlink: the frontier
+// is the sibling subtree's root, and the detached chain (successor's
+// subtree minus the sibling) is the unlinked batch.
+func (h *HandleHPP) cleanup(key uint64, rec seekRecord) bool {
+	t := h.t
+	an := t.pool.Deref(rec.ancestor)
+	successorAddr := childEdge(an, key)
+	pn := t.pool.Deref(rec.parent)
+
+	childAddr := childEdge(pn, key)
+	var siblingAddr *atomic.Uint64
+	if childAddr == &pn.left {
+		siblingAddr = &pn.right
+	} else {
+		siblingAddr = &pn.left
+	}
+	if childAddr.Load()&flagBit == 0 {
+		siblingAddr = childAddr
+	}
+	for {
+		w := siblingAddr.Load()
+		if w&tagBit != 0 {
+			break
+		}
+		if siblingAddr.CompareAndSwap(w, w|tagBit) {
+			break
+		}
+	}
+	sw := siblingAddr.Load()
+	sib := tagptr.RefOf(sw)
+	flag := sw & flagBit
+	successor := rec.successor
+	pool := t.pool
+	return h.h.TryUnlink([]uint64{sib}, func() ([]smr.Retired, bool) {
+		if !successorAddr.CompareAndSwap(tagptr.Pack(successor, 0), tagptr.Pack(sib, flag)) {
+			return nil, false
+		}
+		return retireExcept(pool, successor, sib, pool, nil), true
+	}, pool)
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHPP) Insert(key, val uint64) bool {
+	defer h.h.ClearAll()
+	t := h.t
+	var newInternal, newLeaf uint64
+	for {
+		rec, ok := h.seek(key)
+		if !ok {
+			continue
+		}
+		leafNode := t.pool.Deref(rec.leaf)
+		if leafNode.key == key {
+			if newInternal != 0 {
+				t.pool.Free(newInternal)
+				t.pool.Free(newLeaf)
+			}
+			return false
+		}
+		if newInternal == 0 {
+			newLeaf, _ = t.pool.Alloc()
+			nl := t.pool.Deref(newLeaf)
+			nl.key, nl.val = key, val
+			nl.left.Store(0)
+			nl.right.Store(0)
+			newInternal, _ = t.pool.Alloc()
+		}
+		ni := t.pool.Deref(newInternal)
+		if key < leafNode.key {
+			ni.key = leafNode.key
+			ni.left.Store(tagptr.Pack(newLeaf, 0))
+			ni.right.Store(tagptr.Pack(rec.leaf, 0))
+		} else {
+			ni.key = key
+			ni.left.Store(tagptr.Pack(rec.leaf, 0))
+			ni.right.Store(tagptr.Pack(newLeaf, 0))
+		}
+		pn := t.pool.Deref(rec.parent)
+		edge := childEdge(pn, key)
+		if edge.CompareAndSwap(tagptr.Pack(rec.leaf, 0), tagptr.Pack(newInternal, 0)) {
+			return true
+		}
+		w := edge.Load()
+		if tagptr.RefOf(w) == rec.leaf && w&(flagBit|tagBit) != 0 {
+			h.cleanup(key, rec)
+		}
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHPP) Delete(key uint64) bool {
+	defer h.h.ClearAll()
+	t := h.t
+	injected := false
+	var victim uint64
+	for {
+		rec, ok := h.seek(key)
+		if !ok {
+			continue
+		}
+		if !injected {
+			leafNode := t.pool.Deref(rec.leaf)
+			if leafNode.key != key {
+				return false
+			}
+			pn := t.pool.Deref(rec.parent)
+			edge := childEdge(pn, key)
+			if edge.CompareAndSwap(tagptr.Pack(rec.leaf, 0), tagptr.Pack(rec.leaf, flagBit)) {
+				injected = true
+				victim = rec.leaf
+				// Keep the victim protected until the operation returns:
+				// the cleanup-mode identity test below relies on its slot
+				// preventing reuse of the reference.
+				h.h.Protect(hppVictim, victim)
+				if h.cleanup(key, rec) {
+					return true
+				}
+			} else {
+				w := edge.Load()
+				if tagptr.RefOf(w) == rec.leaf && w&(flagBit|tagBit) != 0 {
+					h.cleanup(key, rec)
+				}
+			}
+			continue
+		}
+		if rec.leaf != victim {
+			return true
+		}
+		if h.cleanup(key, rec) {
+			return true
+		}
+	}
+}

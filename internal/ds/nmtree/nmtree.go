@@ -1,0 +1,143 @@
+// Package nmtree implements the Natarajan-Mittal lock-free external binary
+// search tree (PPoPP 2014) — "NMTree" in the HP++ paper's evaluation.
+//
+// All keys live in leaves; internal nodes route. Deletion is edge-based:
+// the deleter *flags* the edge to the victim leaf (injection), then a
+// *cleanup* tags the sibling edge and splices the sibling subtree up to
+// the deepest untagged ancestor edge with a single CAS — which may remove
+// a whole chain of internal nodes whose removals were in progress. Seek
+// traverses flagged and tagged edges optimistically, which makes the tree
+// fundamentally incompatible with original hazard pointers (Table 2:
+// HP ✗); HP++'s TryUnlink fits exactly: the frontier is the promoted
+// sibling subtree's root.
+//
+// Variants:
+//
+//	TreeCS  — critical-section schemes (EBR, PEBR, NR)
+//	TreeHPP — HP++
+package nmtree
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Sentinel keys: every user key must be smaller than Inf0.
+const (
+	Inf0 = ^uint64(0) - 2
+	Inf1 = ^uint64(0) - 1
+	Inf2 = ^uint64(0)
+)
+
+// Edge tag bits (on child words): tagptr.Mark is the NM "flag" (edge to a
+// leaf under deletion), tagptr.Flag is the NM "tag" (edge frozen for
+// promotion). tagptr.Invalid is HP++ invalidation, carried on the left
+// word of a node by convention.
+const (
+	flagBit = tagptr.Mark
+	tagBit  = tagptr.Flag
+)
+
+// Node is a tree node; leaves have both children nil.
+type Node struct {
+	left  atomic.Uint64
+	right atomic.Uint64
+	key   uint64
+	val   uint64
+}
+
+// Pool allocates tree nodes and implements core.Invalidator.
+type Pool struct {
+	*arena.Pool[Node]
+}
+
+// NewPool creates a node pool.
+func NewPool(mode arena.Mode) Pool {
+	return Pool{arena.NewPool[Node]("nmtree", mode)}
+}
+
+// Invalidate sets the Invalid bit on the node's left word (plain store;
+// unlinked nodes' edges are frozen by flags/tags).
+func (p Pool) Invalidate(ref uint64) {
+	n := p.Deref(ref)
+	n.left.Store(n.left.Load() | tagptr.Invalid)
+}
+
+// isLeaf reports whether nd is a leaf (no left child).
+func isLeaf(nd *Node) bool { return tagptr.RefOf(nd.left.Load()) == 0 }
+
+// childEdge returns the edge of nd that a search for key follows.
+func childEdge(nd *Node, key uint64) *atomic.Uint64 {
+	if key < nd.key {
+		return &nd.left
+	}
+	return &nd.right
+}
+
+// seekRecord is the four-pointer window of the NM seek: the deepest
+// untagged edge (ancestor→successor) plus the last two path nodes.
+type seekRecord struct {
+	ancestor  uint64
+	successor uint64
+	parent    uint64
+	leaf      uint64
+}
+
+// newTree allocates the sentinel skeleton:
+//
+//	        R(Inf2)
+//	       /       \
+//	    S(Inf1)   leaf(Inf2)
+//	   /       \
+//	leaf(Inf0) leaf(Inf1)
+//
+// R and S can never be removed, which keeps seek's entry assumptions
+// valid forever.
+func newTree(pool Pool) (r uint64) {
+	l0, _ := pool.Alloc()
+	n0 := pool.Deref(l0)
+	n0.key, n0.val = Inf0, 0
+	n0.left.Store(0)
+	n0.right.Store(0)
+
+	l1, _ := pool.Alloc()
+	n1 := pool.Deref(l1)
+	n1.key, n1.val = Inf1, 0
+	n1.left.Store(0)
+	n1.right.Store(0)
+
+	l2, _ := pool.Alloc()
+	n2 := pool.Deref(l2)
+	n2.key, n2.val = Inf2, 0
+	n2.left.Store(0)
+	n2.right.Store(0)
+
+	s, _ := pool.Alloc()
+	sn := pool.Deref(s)
+	sn.key = Inf1
+	sn.left.Store(tagptr.Pack(l0, 0))
+	sn.right.Store(tagptr.Pack(l1, 0))
+
+	r, _ = pool.Alloc()
+	rn := pool.Deref(r)
+	rn.key = Inf2
+	rn.left.Store(tagptr.Pack(s, 0))
+	rn.right.Store(tagptr.Pack(l2, 0))
+	return r
+}
+
+// retireExcept appends every node reachable from ref — excluding the keep
+// subtree — to out. Called only on chains frozen by a successful cleanup
+// CAS, whose edges can no longer change.
+func retireExcept(pool Pool, ref, keep uint64, d smr.Deallocator, out []smr.Retired) []smr.Retired {
+	if ref == 0 || ref == keep {
+		return out
+	}
+	nd := pool.Deref(ref)
+	out = retireExcept(pool, tagptr.RefOf(nd.left.Load()), keep, d, out)
+	out = retireExcept(pool, tagptr.RefOf(nd.right.Load()), keep, d, out)
+	return append(out, smr.Retired{Ref: ref, D: d})
+}

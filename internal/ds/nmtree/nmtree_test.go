@@ -1,0 +1,331 @@
+package nmtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/nr"
+	"github.com/gosmr/gosmr/internal/pebr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+type handle interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, val uint64) bool
+	Delete(key uint64) bool
+}
+
+type variant struct {
+	name string
+	mk   func(mode arena.Mode) (mkHandle func() handle, finish func())
+}
+
+func variants() []variant {
+	return []variant{
+		{"CS/EBR", func(mode arena.Mode) (func() handle, func()) {
+			dom := ebr.NewDomain()
+			t := NewTreeCS(NewPool(mode))
+			var hs []*HandleCS
+			return func() handle {
+					h := t.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*ebr.Guard).Drain()
+					}
+				}
+		}},
+		{"CS/PEBR", func(mode arena.Mode) (func() handle, func()) {
+			dom := pebr.NewDomain()
+			t := NewTreeCS(NewPool(mode))
+			var hs []*HandleCS
+			return func() handle {
+					h := t.NewHandleCS(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*pebr.Guard).ClearShields()
+					}
+					for i := 0; i < 8; i++ {
+						for _, h := range hs {
+							h.Guard().(*pebr.Guard).Collect()
+						}
+					}
+				}
+		}},
+		{"CS/NR", func(mode arena.Mode) (func() handle, func()) {
+			dom := nr.NewDomain()
+			t := NewTreeCS(NewPool(mode))
+			return func() handle { return t.NewHandleCS(dom) }, func() {}
+		}},
+		{"HPP", func(mode arena.Mode) (func() handle, func()) {
+			dom := core.NewDomain(core.Options{})
+			t := NewTreeHPP(NewPool(mode))
+			var hs []*HandleHPP
+			return func() handle {
+					h := t.NewHandleHPP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+		{"HPP/EpochFence", func(mode arena.Mode) (func() handle, func()) {
+			dom := core.NewDomain(core.Options{EpochFence: true})
+			t := NewTreeHPP(NewPool(mode))
+			var hs []*HandleHPP
+			return func() handle {
+					h := t.NewHandleHPP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			h := mk()
+			defer finish()
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(17))
+			for i := 0; i < 6000; i++ {
+				k := uint64(rng.Intn(128))
+				switch rng.Intn(3) {
+				case 0:
+					_, in := model[k]
+					if h.Insert(k, k+9000) == in {
+						t.Fatalf("op %d: Insert(%d) disagreed with model", i, k)
+					}
+					model[k] = k + 9000
+				case 1:
+					_, in := model[k]
+					if h.Delete(k) != in {
+						t.Fatalf("op %d: Delete(%d) disagreed with model", i, k)
+					}
+					delete(model, k)
+				default:
+					val, ok := h.Get(k)
+					mv, in := model[k]
+					if ok != in || (ok && val != mv) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v) want (%d,%v)", i, k, val, ok, mv, in)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			prop := func(ops []uint16) bool {
+				mk, finish := v.mk(arena.ModeDetect)
+				h := mk()
+				defer finish()
+				model := map[uint64]uint64{}
+				for _, op := range ops {
+					k := uint64(op % 64)
+					switch (op / 64) % 3 {
+					case 0:
+						_, in := model[k]
+						if h.Insert(k, k) == in {
+							return false
+						}
+						model[k] = k
+					case 1:
+						_, in := model[k]
+						if h.Delete(k) != in {
+							return false
+						}
+						delete(model, k)
+					default:
+						_, ok := h.Get(k)
+						if _, in := model[k]; ok != in {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 6000
+		keys    = 64
+	)
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						k := uint64(rng.Intn(keys))
+						switch rng.Intn(4) {
+						case 0:
+							h.Insert(k, k)
+						case 1:
+							h.Delete(k)
+						default:
+							h.Get(k)
+						}
+					}
+				}(handles[w], int64(w+23))
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}
+
+func TestDisjointKeysLinearizable(t *testing.T) {
+	const workers = 4
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, base uint64) {
+					defer wg.Done()
+					model := map[uint64]uint64{}
+					rng := rand.New(rand.NewSource(int64(base + 5)))
+					for i := 0; i < 2500; i++ {
+						k := base + uint64(rng.Intn(24))
+						switch rng.Intn(3) {
+						case 0:
+							_, in := model[k]
+							if h.Insert(k, k) == in {
+								t.Errorf("insert(%d) disagreed with private model", k)
+								return
+							}
+							model[k] = k
+						case 1:
+							_, in := model[k]
+							if h.Delete(k) != in {
+								t.Errorf("delete(%d) disagreed with private model", k)
+								return
+							}
+							delete(model, k)
+						default:
+							_, ok := h.Get(k)
+							if _, in := model[k]; ok != in {
+								t.Errorf("get(%d) disagreed with private model", k)
+								return
+							}
+						}
+					}
+				}(handles[w], uint64(w)*1000)
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}
+
+// TestNoLeaksAfterDrain: after deleting every key, only the five sentinel
+// nodes (R, S, three infinity leaves) may remain live.
+func TestNoLeaksAfterDrain(t *testing.T) {
+	dom := ebr.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	tr := NewTreeCS(p)
+	h := tr.NewHandleCS(dom)
+	const n = 1000
+	for k := uint64(0); k < n; k++ {
+		if !h.Insert(k, k) {
+			t.Fatalf("insert(%d) failed", k)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		if !h.Delete(k) {
+			t.Fatalf("delete(%d) failed", k)
+		}
+	}
+	h.Guard().(*ebr.Guard).Drain()
+	if live := p.Stats().Live; live != 5 {
+		t.Fatalf("live = %d, want 5 sentinels", live)
+	}
+}
+
+// TestExternalTreeShape walks the tree and checks the external-BST
+// invariants: internal nodes have two children, keys route correctly, and
+// every key inserted is at a leaf.
+func TestExternalTreeShape(t *testing.T) {
+	dom := ebr.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	tr := NewTreeCS(p)
+	h := tr.NewHandleCS(dom)
+	keys := []uint64{5, 1, 9, 3, 7, 2, 8}
+	for _, k := range keys {
+		h.Insert(k, k*2)
+	}
+	var leaves []uint64
+	var walk func(ref uint64, lo, hi uint64)
+	walk = func(ref uint64, lo, hi uint64) {
+		nd := p.Pool.Deref(ref)
+		l := tagptr.RefOf(nd.left.Load())
+		r := tagptr.RefOf(nd.right.Load())
+		if (l == 0) != (r == 0) {
+			t.Fatalf("node %d has exactly one child", ref)
+		}
+		if nd.key < lo || nd.key > hi {
+			t.Fatalf("key %d out of routing range [%d,%d]", nd.key, lo, hi)
+		}
+		if l == 0 {
+			leaves = append(leaves, nd.key)
+			return
+		}
+		walk(l, lo, nd.key-1)
+		walk(r, nd.key, hi)
+	}
+	walk(tr.root, 0, ^uint64(0))
+	found := map[uint64]bool{}
+	for _, k := range leaves {
+		found[k] = true
+	}
+	for _, k := range keys {
+		if !found[k] {
+			t.Fatalf("key %d not found at a leaf", k)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Shield slot layout for the smr.Guard protocol: one pred and one succ
+// per level, plus a scratch slot for the node under inspection.
+const (
+	slotPred = 0         // slotPred+lvl
+	slotSucc = MaxHeight // slotSucc+lvl
+	slotCur  = 2 * MaxHeight
+	csSlots  = 2*MaxHeight + 1
+)
+
+// ListCS is the skiplist for critical-section schemes (EBR, PEBR, NR).
+type ListCS struct {
+	pool Pool
+	head [MaxHeight]atomic.Uint64
+	rel  LevelRelease
+}
+
+// NewListCS creates an empty skiplist over pool.
+func NewListCS(pool Pool) *ListCS {
+	return &ListCS{pool: pool, rel: LevelRelease{P: pool}}
+}
+
+// NewHandleCS returns a per-worker handle.
+func (l *ListCS) NewHandleCS(dom smr.GuardDomain) *HandleCS {
+	return &HandleCS{l: l, g: dom.NewGuard(csSlots), rnd: randState{s: 0x9E3779B97F4A7C15}}
+}
+
+// HandleCS is a per-worker handle; not safe for concurrent use.
+type HandleCS struct {
+	l     *ListCS
+	g     smr.Guard
+	rnd   randState
+	preds [MaxHeight]uint64
+	succs [MaxHeight]uint64
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleCS) Guard() smr.Guard { return h.g }
+
+// Seed reseeds the height generator (handles created by one goroutine
+// for many workers should not share height sequences).
+func (h *HandleCS) Seed(s uint64) { h.rnd.s = s | 1 }
+
+func (l *ListCS) linkOf(ref uint64, lvl int) *atomic.Uint64 {
+	if ref == 0 {
+		return &l.head[lvl]
+	}
+	return &l.pool.Deref(ref).next[lvl]
+}
+
+// find positions preds/succs around key at every level, snipping marked
+// nodes from each level it passes. A snip that removes the node's last
+// linked level retires the tower.
+func (h *HandleCS) find(key uint64) bool {
+	l, g := h.l, h.g
+retry:
+	pred := uint64(0)
+	for lvl := MaxHeight - 1; lvl >= 0; lvl-- {
+		if !g.Track(slotPred+lvl, pred) {
+			h.restart()
+			goto retry
+		}
+		cur := tagptr.RefOf(l.linkOf(pred, lvl).Load())
+		for {
+			if cur == 0 {
+				break
+			}
+			if !g.Track(slotCur, cur) {
+				h.restart()
+				goto retry
+			}
+			node := l.pool.Deref(cur)
+			w := node.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				// Snip cur out of this level.
+				if !l.linkOf(pred, lvl).CompareAndSwap(tagptr.Pack(cur, 0), tagptr.Pack(tagptr.RefOf(w), 0)) {
+					goto retry
+				}
+				g.Retire(cur, &l.rel) // releases one linked level
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			if node.key < key {
+				pred = cur
+				if !g.Track(slotPred+lvl, pred) {
+					h.restart()
+					goto retry
+				}
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			break
+		}
+		h.preds[lvl] = pred
+		h.succs[lvl] = cur
+		if !g.Track(slotSucc+lvl, cur) {
+			h.restart()
+			goto retry
+		}
+	}
+	s0 := h.succs[0]
+	return s0 != 0 && l.pool.Deref(s0).key == key
+}
+
+func (h *HandleCS) restart() {
+	h.g.Unpin()
+	h.g.Pin()
+}
+
+// Get is the wait-free Herlihy-Shavit read: no snipping, marked nodes are
+// stepped through.
+func (h *HandleCS) Get(key uint64) (uint64, bool) {
+	h.g.Pin()
+	defer h.g.Unpin()
+	l := h.l
+retry:
+	pred := uint64(0)
+	var cur uint64
+	for lvl := MaxHeight - 1; lvl >= 0; lvl-- {
+		cur = tagptr.RefOf(l.linkOf(pred, lvl).Load())
+		for {
+			if cur == 0 {
+				break
+			}
+			if !h.g.Track(slotCur, cur) {
+				h.restart()
+				goto retry
+			}
+			node := l.pool.Deref(cur)
+			w := node.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				// Step through the logically deleted node.
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			if node.key < key {
+				pred = cur
+				if !h.g.Track(slotPred, pred) {
+					h.restart()
+					goto retry
+				}
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			break
+		}
+	}
+	if cur == 0 {
+		return 0, false
+	}
+	node := l.pool.Deref(cur)
+	if node.key != key || tagptr.IsMarked(node.next[0].Load()) {
+		return 0, false
+	}
+	return node.val, true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleCS) Insert(key, val uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	l := h.l
+	var node uint64
+	var nd *Node
+	for {
+		if h.find(key) {
+			if node != 0 {
+				l.pool.Free(node) // speculation never published
+			}
+			return false
+		}
+		if node == 0 {
+			node, nd = l.pool.Alloc()
+			nd.key, nd.val = key, val
+			nd.height = h.rnd.height()
+			for i := int32(0); i < nd.height; i++ {
+				nd.next[i].Store(0)
+			}
+			nd.linked.Store(1) // the bottom link, once published
+		}
+		nd.next[0].Store(tagptr.Pack(h.succs[0], 0))
+		if !l.linkOf(h.preds[0], 0).CompareAndSwap(tagptr.Pack(h.succs[0], 0), tagptr.Pack(node, 0)) {
+			continue
+		}
+		break
+	}
+	// Link the upper levels.
+	for lvl := 1; lvl < int(nd.height); lvl++ {
+		for {
+			w := nd.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				return true // being deleted; deleter unlinks linked levels
+			}
+			succ := h.succs[lvl]
+			if tagptr.RefOf(w) != succ {
+				if !nd.next[lvl].CompareAndSwap(w, tagptr.Pack(succ, 0)) {
+					continue
+				}
+			}
+			nd.linked.Add(1) // account the level before it becomes visible
+			if l.linkOf(h.preds[lvl], lvl).CompareAndSwap(tagptr.Pack(succ, 0), tagptr.Pack(node, 0)) {
+				break
+			}
+			nd.linked.Add(-1)
+			if !h.find(key) || h.succs[0] != node {
+				return true // deleted (and possibly removed) meanwhile
+			}
+		}
+	}
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleCS) Delete(key uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	l := h.l
+	if !h.find(key) {
+		return false
+	}
+	victim := h.succs[0]
+	nd := l.pool.Deref(victim)
+	if nd.key != key {
+		return false
+	}
+	// Mark the upper levels top-down.
+	for lvl := int(nd.height) - 1; lvl >= 1; lvl-- {
+		for {
+			w := nd.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				break
+			}
+			nd.next[lvl].CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark))
+		}
+	}
+	// Mark the bottom level: the linearization point.
+	for {
+		w := nd.next[0].Load()
+		if tagptr.IsMarked(w) {
+			return false // another deleter won
+		}
+		if nd.next[0].CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark)) {
+			h.find(key) // snip every linked level (and retire via counter)
+			return true
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// ListHP is the skiplist under original hazard pointers: every traversal —
+// including get() — is the validated hand-over-hand search that restarts
+// whenever a link changes or a logically deleted node is encountered.
+// This is the price HP pays (§2.3): there is no wait-free read.
+type ListHP struct {
+	pool Pool
+	head [MaxHeight]atomic.Uint64
+	rel  LevelRelease
+}
+
+// NewListHP creates an empty skiplist over pool.
+func NewListHP(pool Pool) *ListHP {
+	return &ListHP{pool: pool, rel: LevelRelease{P: pool}}
+}
+
+// NewHandleHP returns a per-worker handle.
+func (l *ListHP) NewHandleHP(dom *hp.Domain) *HandleHP {
+	return &HandleHP{l: l, t: dom.NewThread(csSlots), rnd: randState{s: 0xA5A5A5A5A5A5A5A5}}
+}
+
+// HandleHP is a per-worker handle; not safe for concurrent use.
+type HandleHP struct {
+	l     *ListHP
+	t     *hp.Thread
+	rnd   randState
+	preds [MaxHeight]uint64
+	succs [MaxHeight]uint64
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleHP) Thread() *hp.Thread { return h.t }
+
+// Seed reseeds the height generator.
+func (h *HandleHP) Seed(s uint64) { h.rnd.s = s | 1 }
+
+func (l *ListHP) linkOf(ref uint64, lvl int) *atomic.Uint64 {
+	if ref == 0 {
+		return &l.head[lvl]
+	}
+	return &l.pool.Deref(ref).next[lvl]
+}
+
+// find positions preds/succs with validated protection, snipping marked
+// nodes (with validation) as it goes. Restarts internally.
+func (h *HandleHP) find(key uint64) bool {
+	l, t := h.l, h.t
+retry:
+	pred := uint64(0)
+	t.Protect(slotPred+MaxHeight-1, 0)
+	for lvl := MaxHeight - 1; lvl >= 0; lvl-- {
+		// pred is protected: either the head (nothing to protect) or
+		// carried over from the level above / the rightward walk.
+		t.Protect(slotPred+lvl, pred)
+		cur := tagptr.RefOf(l.linkOf(pred, lvl).Load())
+		for {
+			if cur == 0 {
+				break
+			}
+			// Protect cur and validate the over-approximation: pred's
+			// level link must still be exactly cur, untagged.
+			if !t.ProtectWord(slotCur, l.linkOf(pred, lvl), tagptr.Pack(cur, 0)) {
+				goto retry
+			}
+			node := l.pool.Deref(cur)
+			w := node.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				if !l.linkOf(pred, lvl).CompareAndSwap(tagptr.Pack(cur, 0), tagptr.Pack(tagptr.RefOf(w), 0)) {
+					goto retry
+				}
+				t.Retire(cur, &l.rel)
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			if node.key < key {
+				pred = cur
+				t.Protect(slotPred+lvl, pred) // covered by slotCur until here
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			break
+		}
+		h.preds[lvl] = pred
+		h.succs[lvl] = cur
+		t.Protect(slotSucc+lvl, cur) // covered by slotCur until here
+	}
+	s0 := h.succs[0]
+	return s0 != 0 && l.pool.Deref(s0).key == key
+}
+
+// Get locates key with the validated search (no wait-free read under HP).
+func (h *HandleHP) Get(key uint64) (uint64, bool) {
+	defer h.t.ClearAll()
+	if !h.find(key) {
+		return 0, false
+	}
+	return h.l.pool.Deref(h.succs[0]).val, true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHP) Insert(key, val uint64) bool {
+	defer h.t.ClearAll()
+	l := h.l
+	var node uint64
+	var nd *Node
+	for {
+		if h.find(key) {
+			if node != 0 {
+				l.pool.Free(node)
+			}
+			return false
+		}
+		if node == 0 {
+			node, nd = l.pool.Alloc()
+			nd.key, nd.val = key, val
+			nd.height = h.rnd.height()
+			for i := int32(0); i < nd.height; i++ {
+				nd.next[i].Store(0)
+			}
+			nd.linked.Store(1)
+		}
+		nd.next[0].Store(tagptr.Pack(h.succs[0], 0))
+		if !l.linkOf(h.preds[0], 0).CompareAndSwap(tagptr.Pack(h.succs[0], 0), tagptr.Pack(node, 0)) {
+			continue
+		}
+		break
+	}
+	for lvl := 1; lvl < int(nd.height); lvl++ {
+		for {
+			w := nd.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				return true
+			}
+			succ := h.succs[lvl]
+			if tagptr.RefOf(w) != succ {
+				if !nd.next[lvl].CompareAndSwap(w, tagptr.Pack(succ, 0)) {
+					continue
+				}
+			}
+			nd.linked.Add(1)
+			if l.linkOf(h.preds[lvl], lvl).CompareAndSwap(tagptr.Pack(succ, 0), tagptr.Pack(node, 0)) {
+				break
+			}
+			nd.linked.Add(-1)
+			if !h.find(key) || h.succs[0] != node {
+				return true
+			}
+		}
+	}
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHP) Delete(key uint64) bool {
+	defer h.t.ClearAll()
+	l := h.l
+	if !h.find(key) {
+		return false
+	}
+	victim := h.succs[0]
+	nd := l.pool.Deref(victim)
+	if nd.key != key {
+		return false
+	}
+	for lvl := int(nd.height) - 1; lvl >= 1; lvl-- {
+		for {
+			w := nd.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				break
+			}
+			nd.next[lvl].CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark))
+		}
+	}
+	for {
+		w := nd.next[0].Load()
+		if tagptr.IsMarked(w) {
+			return false
+		}
+		if nd.next[0].CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark)) {
+			h.find(key)
+			return true
+		}
+	}
+}

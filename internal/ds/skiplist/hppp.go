@@ -1,0 +1,272 @@
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Extra slots for the HP++ get()'s three-way hand-over-hand juggle.
+const (
+	slotTmp  = csSlots
+	hppSlots = csSlots + 1
+)
+
+// ListHPP is the skiplist under HP++. Each per-level snip is a TryUnlink:
+// its frontier is the successor at that level, its invalidation sets the
+// Invalid bit of that level's link, and the tower is freed once every
+// linked level has been reclaimed. get() traverses marked nodes
+// optimistically, failing only on invalidated links (§4.3: lock-free).
+type ListHPP struct {
+	pool Pool
+	head [MaxHeight]atomic.Uint64
+	rel  LevelRelease
+	inv  [MaxHeight]LevelInvalidator
+}
+
+// NewListHPP creates an empty skiplist over pool.
+func NewListHPP(pool Pool) *ListHPP {
+	l := &ListHPP{pool: pool, rel: LevelRelease{P: pool}}
+	for i := range l.inv {
+		l.inv[i] = LevelInvalidator{P: pool, Lvl: i}
+	}
+	return l
+}
+
+// NewHandleHPP returns a per-worker handle.
+func (l *ListHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
+	return &HandleHPP{l: l, t: dom.NewThread(hppSlots), rnd: randState{s: 0xC3C3C3C3C3C3C3C3}}
+}
+
+// HandleHPP is a per-worker handle; not safe for concurrent use.
+type HandleHPP struct {
+	l     *ListHPP
+	t     *core.Thread
+	rnd   randState
+	preds [MaxHeight]uint64
+	succs [MaxHeight]uint64
+}
+
+// Thread exposes the underlying HP++ thread.
+func (h *HandleHPP) Thread() *core.Thread { return h.t }
+
+// Seed reseeds the height generator.
+func (h *HandleHPP) Seed(s uint64) { h.rnd.s = s | 1 }
+
+func (l *ListHPP) linkOf(ref uint64, lvl int) *atomic.Uint64 {
+	if ref == 0 {
+		return &l.head[lvl]
+	}
+	return &l.pool.Deref(ref).next[lvl]
+}
+
+// srcInv returns the invalid-bit word for protections from ref at lvl
+// (nil for the head, which is never invalidated).
+func (l *ListHPP) srcInv(ref uint64, lvl int) *atomic.Uint64 {
+	if ref == 0 {
+		return nil
+	}
+	return &l.pool.Deref(ref).next[lvl]
+}
+
+// find positions preds/succs around key, snipping marked nodes from each
+// level with per-level TryUnlinks. ok=false means a protection failed and
+// the caller must restart.
+func (h *HandleHPP) find(key uint64) (found, ok bool) {
+	l, t := h.l, h.t
+	pred := uint64(0)
+	for lvl := MaxHeight - 1; lvl >= 0; lvl-- {
+		t.Protect(slotPred+lvl, pred) // covered by the level above / walk
+		cur := tagptr.RefOf(l.linkOf(pred, lvl).Load())
+		for {
+			if !t.TryProtect(slotCur, &cur, l.srcInv(pred, lvl), l.linkOf(pred, lvl)) {
+				return false, false
+			}
+			if cur == 0 {
+				break
+			}
+			node := l.pool.Deref(cur)
+			w := node.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				succ := tagptr.RefOf(w)
+				var frontier []uint64
+				if succ != 0 {
+					frontier = []uint64{succ}
+				}
+				link := l.linkOf(pred, lvl)
+				target := cur
+				unlinked := t.TryUnlink(frontier, func() ([]smr.Retired, bool) {
+					if link.CompareAndSwap(tagptr.Pack(target, 0), tagptr.Pack(succ, 0)) {
+						return []smr.Retired{{Ref: target, D: &l.rel}}, true
+					}
+					return nil, false
+				}, &l.inv[lvl])
+				if !unlinked {
+					return false, false
+				}
+				cur = succ
+				continue
+			}
+			if node.key < key {
+				pred = cur
+				t.Protect(slotPred+lvl, pred) // covered by slotCur
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			break
+		}
+		h.preds[lvl] = pred
+		h.succs[lvl] = cur
+		t.Protect(slotSucc+lvl, cur) // covered by slotCur
+	}
+	s0 := h.succs[0]
+	return s0 != 0 && l.pool.Deref(s0).key == key, true
+}
+
+func (h *HandleHPP) findRetry(key uint64) bool {
+	for {
+		found, ok := h.find(key)
+		if ok {
+			return found
+		}
+	}
+}
+
+// Get traverses optimistically: marked nodes are stepped through; only an
+// invalidated link forces a restart.
+func (h *HandleHPP) Get(key uint64) (uint64, bool) {
+	l, t := h.l, h.t
+	defer t.ClearAll()
+retry:
+	pred := uint64(0)
+	var cur uint64
+	for lvl := MaxHeight - 1; lvl >= 0; lvl-- {
+		t.Protect(slotPred, pred)
+		cur = tagptr.RefOf(l.linkOf(pred, lvl).Load())
+		for {
+			if !t.TryProtect(slotCur, &cur, l.srcInv(pred, lvl), l.linkOf(pred, lvl)) {
+				goto retry
+			}
+			if cur == 0 {
+				break
+			}
+			node := l.pool.Deref(cur)
+			w := node.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				// Step through the deleted node: protect its successor
+				// from it, then adopt the successor as cur.
+				next := tagptr.RefOf(w)
+				if !t.TryProtect(slotTmp, &next, &node.next[lvl], &node.next[lvl]) {
+					goto retry
+				}
+				t.Swap(slotCur, slotTmp)
+				cur = next
+				continue
+			}
+			if node.key < key {
+				pred = cur
+				t.Protect(slotPred, pred)
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			break
+		}
+		// Descend from pred; its protection persists in slotPred.
+	}
+	if cur == 0 {
+		return 0, false
+	}
+	node := l.pool.Deref(cur)
+	if node.key != key || tagptr.IsMarked(node.next[0].Load()) {
+		return 0, false
+	}
+	return node.val, true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHPP) Insert(key, val uint64) bool {
+	defer h.t.ClearAll()
+	l := h.l
+	var node uint64
+	var nd *Node
+	for {
+		if h.findRetry(key) {
+			if node != 0 {
+				l.pool.Free(node)
+			}
+			return false
+		}
+		if node == 0 {
+			node, nd = l.pool.Alloc()
+			nd.key, nd.val = key, val
+			nd.height = h.rnd.height()
+			for i := int32(0); i < nd.height; i++ {
+				nd.next[i].Store(0)
+			}
+			nd.linked.Store(1)
+		}
+		nd.next[0].Store(tagptr.Pack(h.succs[0], 0))
+		if !l.linkOf(h.preds[0], 0).CompareAndSwap(tagptr.Pack(h.succs[0], 0), tagptr.Pack(node, 0)) {
+			continue
+		}
+		break
+	}
+	for lvl := 1; lvl < int(nd.height); lvl++ {
+		for {
+			w := nd.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				return true
+			}
+			succ := h.succs[lvl]
+			if tagptr.RefOf(w) != succ {
+				if !nd.next[lvl].CompareAndSwap(w, tagptr.Pack(succ, 0)) {
+					continue
+				}
+			}
+			nd.linked.Add(1)
+			if l.linkOf(h.preds[lvl], lvl).CompareAndSwap(tagptr.Pack(succ, 0), tagptr.Pack(node, 0)) {
+				break
+			}
+			nd.linked.Add(-1)
+			if !h.findRetry(key) || h.succs[0] != node {
+				return true
+			}
+		}
+	}
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHPP) Delete(key uint64) bool {
+	defer h.t.ClearAll()
+	l := h.l
+	if !h.findRetry(key) {
+		return false
+	}
+	victim := h.succs[0]
+	nd := l.pool.Deref(victim)
+	if nd.key != key {
+		return false
+	}
+	for lvl := int(nd.height) - 1; lvl >= 1; lvl-- {
+		for {
+			w := nd.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				break
+			}
+			nd.next[lvl].CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark))
+		}
+	}
+	for {
+		w := nd.next[0].Load()
+		if tagptr.IsMarked(w) {
+			return false
+		}
+		if nd.next[0].CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark)) {
+			h.findRetry(key)
+			return true
+		}
+	}
+}

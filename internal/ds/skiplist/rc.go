@@ -1,0 +1,279 @@
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/rc"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// NodeRC is a counted skiplist tower: count tracks incoming links across
+// all levels, and every outgoing level link holds one strong reference to
+// its target.
+type NodeRC struct {
+	count  atomic.Int64
+	next   [MaxHeight]atomic.Uint64
+	height int32
+	key    uint64
+	val    uint64
+}
+
+// PoolRC allocates counted towers and implements rc.Object.
+type PoolRC struct {
+	*arena.Pool[NodeRC]
+}
+
+// NewPoolRC creates a counted tower pool.
+func NewPoolRC(mode arena.Mode) PoolRC {
+	return PoolRC{arena.NewPool[NodeRC]("skiplist-rc", mode)}
+}
+
+// IncCount adds a strong reference.
+func (p PoolRC) IncCount(ref uint64) { p.Deref(ref).count.Add(1) }
+
+// DecCount drops a strong reference and returns the new count.
+func (p PoolRC) DecCount(ref uint64) int64 { return p.Deref(ref).count.Add(-1) }
+
+// Trace reports every outgoing level link (one entry per level).
+func (p PoolRC) Trace(ref uint64, out []uint64) []uint64 {
+	n := p.Deref(ref)
+	for lvl := int32(0); lvl < n.height; lvl++ {
+		if nxt := tagptr.RefOf(n.next[lvl].Load()); nxt != 0 {
+			out = append(out, nxt)
+		}
+	}
+	return out
+}
+
+// ListRC is the skiplist under deferred reference counting. Snips and
+// link updates transfer strong counts; a tower is released when its last
+// incoming link (at any level) disappears, cascading through Trace.
+type ListRC struct {
+	pool PoolRC
+	head [MaxHeight]atomic.Uint64
+}
+
+// NewListRC creates an empty skiplist over pool.
+func NewListRC(pool PoolRC) *ListRC { return &ListRC{pool: pool} }
+
+// NewHandleRC returns a per-worker handle.
+func (l *ListRC) NewHandleRC(dom *rc.Domain) *HandleRC {
+	return &HandleRC{
+		l: l, g: dom.NewGuard(), dt: rc.NewDecTask(dom, l.pool),
+		rnd: randState{s: 0x5bd1e9955bd1e995},
+	}
+}
+
+// HandleRC is a per-worker handle; not safe for concurrent use.
+type HandleRC struct {
+	l     *ListRC
+	g     *rc.Guard
+	dt    *rc.DecTask
+	rnd   randState
+	preds [MaxHeight]uint64
+	succs [MaxHeight]uint64
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleRC) Guard() *rc.Guard { return h.g }
+
+// Seed reseeds the height generator.
+func (h *HandleRC) Seed(s uint64) { h.rnd.s = s | 1 }
+
+func (l *ListRC) linkOf(ref uint64, lvl int) *atomic.Uint64 {
+	if ref == 0 {
+		return &l.head[lvl]
+	}
+	return &l.pool.Deref(ref).next[lvl]
+}
+
+func (h *HandleRC) incIfNonNil(ref uint64) {
+	if ref != 0 {
+		h.l.pool.IncCount(ref)
+	}
+}
+
+func (h *HandleRC) decIfNonNil(ref uint64) {
+	if ref != 0 {
+		h.g.DeferDec(h.dt, ref)
+	}
+}
+
+// find positions preds/succs around key, snipping marked nodes and
+// transferring their counts.
+func (h *HandleRC) find(key uint64) bool {
+	l := h.l
+retry:
+	pred := uint64(0)
+	for lvl := MaxHeight - 1; lvl >= 0; lvl-- {
+		cur := tagptr.RefOf(l.linkOf(pred, lvl).Load())
+		for {
+			if cur == 0 {
+				break
+			}
+			node := l.pool.Deref(cur)
+			w := node.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				succ := tagptr.RefOf(w)
+				h.incIfNonNil(succ) // pred's prospective link to succ
+				if !l.linkOf(pred, lvl).CompareAndSwap(tagptr.Pack(cur, 0), tagptr.Pack(succ, 0)) {
+					h.decIfNonNil(succ)
+					goto retry
+				}
+				h.decIfNonNil(cur) // pred no longer points at cur
+				cur = succ
+				continue
+			}
+			if node.key < key {
+				pred = cur
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			break
+		}
+		h.preds[lvl] = pred
+		h.succs[lvl] = cur
+	}
+	s0 := h.succs[0]
+	return s0 != 0 && l.pool.Deref(s0).key == key
+}
+
+// Get is the wait-free read: marked nodes stepped through, no counts.
+func (h *HandleRC) Get(key uint64) (uint64, bool) {
+	h.g.Pin()
+	defer h.g.Unpin()
+	l := h.l
+	pred := uint64(0)
+	var cur uint64
+	for lvl := MaxHeight - 1; lvl >= 0; lvl-- {
+		cur = tagptr.RefOf(l.linkOf(pred, lvl).Load())
+		for {
+			if cur == 0 {
+				break
+			}
+			node := l.pool.Deref(cur)
+			w := node.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			if node.key < key {
+				pred = cur
+				cur = tagptr.RefOf(w)
+				continue
+			}
+			break
+		}
+	}
+	if cur == 0 {
+		return 0, false
+	}
+	node := l.pool.Deref(cur)
+	if node.key != key || tagptr.IsMarked(node.next[0].Load()) {
+		return 0, false
+	}
+	return node.val, true
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleRC) Insert(key, val uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	l := h.l
+	var node uint64
+	var nd *NodeRC
+	for {
+		if h.find(key) {
+			if node != 0 {
+				// Never published: release the speculative bottom link
+				// and the node itself.
+				h.decIfNonNil(tagptr.RefOf(nd.next[0].Load()))
+				l.pool.Free(node)
+			}
+			return false
+		}
+		if node == 0 {
+			node, nd = l.pool.Alloc()
+			nd.key, nd.val = key, val
+			nd.height = h.rnd.height()
+			for i := int32(0); i < nd.height; i++ {
+				nd.next[i].Store(0)
+			}
+			nd.count.Store(1) // pred's bottom link, once published
+		}
+		// Point the bottom link at the current successor (counted).
+		old := tagptr.RefOf(nd.next[0].Load())
+		if old != h.succs[0] {
+			h.incIfNonNil(h.succs[0])
+			nd.next[0].Store(tagptr.Pack(h.succs[0], 0))
+			h.decIfNonNil(old)
+		}
+		if !l.linkOf(h.preds[0], 0).CompareAndSwap(tagptr.Pack(h.succs[0], 0), tagptr.Pack(node, 0)) {
+			continue
+		}
+		h.decIfNonNil(h.succs[0]) // pred's old link to succ replaced
+		break
+	}
+	for lvl := 1; lvl < int(nd.height); lvl++ {
+		for {
+			w := nd.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				return true
+			}
+			succ := h.succs[lvl]
+			if tagptr.RefOf(w) != succ {
+				h.incIfNonNil(succ)
+				if !nd.next[lvl].CompareAndSwap(w, tagptr.Pack(succ, 0)) {
+					h.decIfNonNil(succ)
+					continue
+				}
+				h.decIfNonNil(tagptr.RefOf(w))
+			}
+			h.incIfNonNil(node) // pred's prospective link to node
+			if l.linkOf(h.preds[lvl], lvl).CompareAndSwap(tagptr.Pack(succ, 0), tagptr.Pack(node, 0)) {
+				h.decIfNonNil(succ) // pred's old link to succ replaced
+				break
+			}
+			h.decIfNonNil(node)
+			if !h.find(key) || h.succs[0] != node {
+				return true
+			}
+		}
+	}
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleRC) Delete(key uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	l := h.l
+	if !h.find(key) {
+		return false
+	}
+	victim := h.succs[0]
+	nd := l.pool.Deref(victim)
+	if nd.key != key {
+		return false
+	}
+	for lvl := int(nd.height) - 1; lvl >= 1; lvl-- {
+		for {
+			w := nd.next[lvl].Load()
+			if tagptr.IsMarked(w) {
+				break
+			}
+			nd.next[lvl].CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark))
+		}
+	}
+	for {
+		w := nd.next[0].Load()
+		if tagptr.IsMarked(w) {
+			return false
+		}
+		if nd.next[0].CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark)) {
+			h.find(key) // snip every linked level, transferring counts
+			return true
+		}
+	}
+}

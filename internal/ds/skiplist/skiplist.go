@@ -1,0 +1,96 @@
+// Package skiplist implements the Herlihy-Shavit lock-free skiplist
+// ("SkipList" in the HP++ paper's evaluation): towers of forward links
+// with a logical-deletion mark per level, eager per-level snipping during
+// update searches, and — for every scheme except original HP — a
+// traversal-only get() that never helps (wait-free under EBR/NR, §4.3).
+//
+// Reclamation is level-aware: a node is handed back to the allocator only
+// after it has been unlinked from every level it was ever linked at,
+// tracked with a per-node linked-level counter. Under HP++ each per-level
+// snip is a TryUnlink whose frontier is the successor at that level, and
+// invalidation is per level (the Invalid bit of next[lvl]), so the safety
+// argument of the list case applies level by level.
+//
+// Variants:
+//
+//	ListCS  — critical-section schemes (EBR, PEBR, NR)
+//	ListHP  — original hazard pointers (validated hand-over-hand get)
+//	ListHPP — HP++
+//	ListRC  — deferred reference counting
+package skiplist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// MaxHeight is the tallest tower. 2^20 keys keep the expected search cost
+// logarithmic for every benchmark range in the paper.
+const MaxHeight = 20
+
+// Node is a skiplist tower.
+type Node struct {
+	next   [MaxHeight]atomic.Uint64
+	linked atomic.Int32 // levels currently linked; frees at 0
+	height int32
+	key    uint64
+	val    uint64
+}
+
+// Pool allocates towers.
+type Pool struct {
+	*arena.Pool[Node]
+}
+
+// NewPool creates a tower pool.
+func NewPool(mode arena.Mode) Pool {
+	return Pool{arena.NewPool[Node]("skiplist", mode)}
+}
+
+// Key returns ref's key (for tests).
+func (p Pool) Key(ref uint64) uint64 { return p.Deref(ref).key }
+
+// LevelInvalidator invalidates the given level's link of a node; one per
+// level, implementing core.Invalidator for HP++ snips.
+type LevelInvalidator struct {
+	P   Pool
+	Lvl int
+}
+
+// Invalidate sets the Invalid bit on next[Lvl] (plain store: the link is
+// frozen by the logical-deletion mark).
+func (li *LevelInvalidator) Invalidate(ref uint64) {
+	n := li.P.Deref(ref)
+	n.next[li.Lvl].Store(n.next[li.Lvl].Load() | tagptr.Invalid)
+}
+
+// LevelRelease is the per-level deallocator: freeing a "retired level"
+// decrements the node's linked-level counter and returns the tower to the
+// pool when it reaches zero.
+type LevelRelease struct {
+	P Pool
+}
+
+// FreeRef releases one linked level of ref.
+func (lr *LevelRelease) FreeRef(ref uint64) {
+	n := lr.P.Deref(ref)
+	if n.linked.Add(-1) == 0 {
+		lr.P.Free(ref)
+	}
+}
+
+// randState is a xorshift64 generator for tower heights.
+type randState struct{ s uint64 }
+
+func (r *randState) height() int32 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	h := int32(1)
+	for v := r.s; v&1 == 1 && h < MaxHeight; v >>= 1 {
+		h++
+	}
+	return h
+}

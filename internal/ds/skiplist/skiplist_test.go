@@ -1,0 +1,365 @@
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nr"
+	"github.com/gosmr/gosmr/internal/pebr"
+	"github.com/gosmr/gosmr/internal/rc"
+)
+
+type handle interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, val uint64) bool
+	Delete(key uint64) bool
+}
+
+type variant struct {
+	name string
+	mk   func(mode arena.Mode) (mkHandle func(seed uint64) handle, finish func())
+}
+
+func variants() []variant {
+	return []variant{
+		{"CS/EBR", func(mode arena.Mode) (func(uint64) handle, func()) {
+			dom := ebr.NewDomain()
+			l := NewListCS(NewPool(mode))
+			var hs []*HandleCS
+			return func(seed uint64) handle {
+					h := l.NewHandleCS(dom)
+					h.Seed(seed)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*ebr.Guard).Drain()
+					}
+				}
+		}},
+		{"CS/PEBR", func(mode arena.Mode) (func(uint64) handle, func()) {
+			dom := pebr.NewDomain()
+			l := NewListCS(NewPool(mode))
+			var hs []*HandleCS
+			return func(seed uint64) handle {
+					h := l.NewHandleCS(dom)
+					h.Seed(seed)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().(*pebr.Guard).ClearShields()
+					}
+					for i := 0; i < 8; i++ {
+						for _, h := range hs {
+							h.Guard().(*pebr.Guard).Collect()
+						}
+					}
+				}
+		}},
+		{"CS/NR", func(mode arena.Mode) (func(uint64) handle, func()) {
+			dom := nr.NewDomain()
+			l := NewListCS(NewPool(mode))
+			return func(seed uint64) handle {
+				h := l.NewHandleCS(dom)
+				h.Seed(seed)
+				return h
+			}, func() {}
+		}},
+		{"HP", func(mode arena.Mode) (func(uint64) handle, func()) {
+			dom := hp.NewDomain()
+			l := NewListHP(NewPool(mode))
+			var hs []*HandleHP
+			return func(seed uint64) handle {
+					h := l.NewHandleHP(dom)
+					h.Seed(seed)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+		{"HPP", func(mode arena.Mode) (func(uint64) handle, func()) {
+			dom := core.NewDomain(core.Options{})
+			l := NewListHPP(NewPool(mode))
+			var hs []*HandleHPP
+			return func(seed uint64) handle {
+					h := l.NewHandleHPP(dom)
+					h.Seed(seed)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+		{"RC", func(mode arena.Mode) (func(uint64) handle, func()) {
+			dom := rc.NewDomain()
+			l := NewListRC(NewPoolRC(mode))
+			var hs []*HandleRC
+			return func(seed uint64) handle {
+					h := l.NewHandleRC(dom)
+					h.Seed(seed)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Guard().Drain()
+					}
+				}
+		}},
+	}
+}
+
+func TestSequentialModel(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			h := mk(1)
+			defer finish()
+			model := map[uint64]uint64{}
+			rng := rand.New(rand.NewSource(13))
+			for i := 0; i < 6000; i++ {
+				k := uint64(rng.Intn(128))
+				switch rng.Intn(3) {
+				case 0:
+					_, in := model[k]
+					if h.Insert(k, k*7) == in {
+						t.Fatalf("op %d: Insert(%d) disagreed with model", i, k)
+					}
+					model[k] = k * 7
+				case 1:
+					_, in := model[k]
+					if h.Delete(k) != in {
+						t.Fatalf("op %d: Delete(%d) disagreed with model", i, k)
+					}
+					delete(model, k)
+				default:
+					val, ok := h.Get(k)
+					mv, in := model[k]
+					if ok != in || (ok && val != mv) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v) want (%d,%v)", i, k, val, ok, mv, in)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			prop := func(ops []uint16) bool {
+				mk, finish := v.mk(arena.ModeDetect)
+				h := mk(3)
+				defer finish()
+				model := map[uint64]uint64{}
+				for _, op := range ops {
+					k := uint64(op % 64)
+					switch (op / 64) % 3 {
+					case 0:
+						_, in := model[k]
+						if h.Insert(k, k) == in {
+							return false
+						}
+						model[k] = k
+					case 1:
+						_, in := model[k]
+						if h.Delete(k) != in {
+							return false
+						}
+						delete(model, k)
+					default:
+						_, ok := h.Get(k)
+						if _, in := model[k]; ok != in {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 6000
+		keys    = 64
+	)
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk(uint64(i + 1))
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						k := uint64(rng.Intn(keys))
+						switch rng.Intn(4) {
+						case 0:
+							h.Insert(k, k)
+						case 1:
+							h.Delete(k)
+						default:
+							h.Get(k)
+						}
+					}
+				}(handles[w], int64(w+7))
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}
+
+func TestDisjointKeysLinearizable(t *testing.T) {
+	const workers = 4
+	for _, v := range variants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			mk, finish := v.mk(arena.ModeDetect)
+			handles := make([]handle, workers)
+			for i := range handles {
+				handles[i] = mk(uint64(i + 11))
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(h handle, base uint64) {
+					defer wg.Done()
+					model := map[uint64]uint64{}
+					rng := rand.New(rand.NewSource(int64(base + 3)))
+					for i := 0; i < 2500; i++ {
+						k := base + uint64(rng.Intn(24))
+						switch rng.Intn(3) {
+						case 0:
+							_, in := model[k]
+							if h.Insert(k, k) == in {
+								t.Errorf("insert(%d) disagreed with private model", k)
+								return
+							}
+							model[k] = k
+						case 1:
+							_, in := model[k]
+							if h.Delete(k) != in {
+								t.Errorf("delete(%d) disagreed with private model", k)
+								return
+							}
+							delete(model, k)
+						default:
+							_, ok := h.Get(k)
+							if _, in := model[k]; ok != in {
+								t.Errorf("get(%d) disagreed with private model", k)
+								return
+							}
+						}
+					}
+				}(handles[w], uint64(w)*1000)
+			}
+			wg.Wait()
+			finish()
+		})
+	}
+}
+
+// TestTowersFullyReclaimed: single-threaded insert+delete of many keys
+// must return every tower to the pool once reclamation drains — the
+// linked-level counter must reach zero at every height.
+func TestTowersFullyReclaimed(t *testing.T) {
+	dom := ebr.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	l := NewListCS(p)
+	h := l.NewHandleCS(dom)
+	h.Seed(42)
+	const n = 2000
+	for k := uint64(0); k < n; k++ {
+		if !h.Insert(k, k) {
+			t.Fatalf("insert(%d) failed", k)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		if !h.Delete(k) {
+			t.Fatalf("delete(%d) failed", k)
+		}
+	}
+	h.Guard().(*ebr.Guard).Drain()
+	if live := p.Stats().Live; live != 0 {
+		t.Fatalf("leaked %d towers after drain", live)
+	}
+}
+
+// TestGetSkipsMarkedTower: the wait-free read must find keys beyond a
+// logically deleted tower without helping.
+func TestGetSkipsMarkedTower(t *testing.T) {
+	dom := ebr.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	l := NewListCS(p)
+	h := l.NewHandleCS(dom)
+	h.Seed(9)
+	for k := uint64(0); k < 10; k++ {
+		h.Insert(k, k+500)
+	}
+	// Mark key 5's tower by hand at every level (logical deletion only).
+	h.g.Pin()
+	if !h.find(5) {
+		t.Fatal("find(5) failed")
+	}
+	victim := h.succs[0]
+	h.g.Unpin()
+	nd := p.Pool.Deref(victim)
+	for lvl := nd.height - 1; lvl >= 0; lvl-- {
+		w := nd.next[lvl].Load()
+		nd.next[lvl].Store(w | 1)
+	}
+	if _, ok := h.Get(5); ok {
+		t.Fatal("marked key still visible")
+	}
+	if v, ok := h.Get(7); !ok || v != 507 {
+		t.Fatalf("Get(7) = (%d,%v) past a marked tower", v, ok)
+	}
+}
+
+// TestHeightDistribution sanity-checks the geometric tower heights.
+func TestHeightDistribution(t *testing.T) {
+	r := randState{s: 12345}
+	counts := make([]int, MaxHeight+1)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h := r.height()
+		if h < 1 || h > MaxHeight {
+			t.Fatalf("height %d out of range", h)
+		}
+		counts[h]++
+	}
+	if counts[1] < n/3 || counts[1] > 2*n/3 {
+		t.Fatalf("height-1 frequency %d/%d far from 1/2", counts[1], n)
+	}
+	if counts[2] < n/8 || counts[2] > n/2 {
+		t.Fatalf("height-2 frequency %d/%d far from 1/4", counts[2], n)
+	}
+}

@@ -1,0 +1,232 @@
+// Package tstack implements Treiber's lock-free stack — the paper's
+// running example for the original HP protection pattern (Figure 2: Pop
+// protects the head node and validates it by re-reading head).
+//
+// The stack satisfies Assumption 1 trivially: a node's next pointer never
+// changes after it is pushed, so HP++ applies in backward-compatible mode
+// with the head as the (never-invalidated) source of every protection.
+package tstack
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Node is a stack node; next is immutable after push.
+type Node struct {
+	next atomic.Uint64
+	val  uint64
+}
+
+// Pool allocates stack nodes and implements core.Invalidator.
+type Pool struct {
+	*arena.Pool[Node]
+}
+
+// NewPool creates a node pool.
+func NewPool(mode arena.Mode) Pool {
+	return Pool{arena.NewPool[Node]("tstack", mode)}
+}
+
+// Invalidate sets the Invalid bit on the node's next word.
+func (p Pool) Invalidate(ref uint64) {
+	n := p.Deref(ref)
+	n.next.Store(n.next.Load() | tagptr.Invalid)
+}
+
+// StackHP is Treiber's stack under original hazard pointers, exactly as
+// in the paper's Figure 2.
+type StackHP struct {
+	pool Pool
+	head atomic.Uint64
+}
+
+// NewStackHP creates an empty stack over pool.
+func NewStackHP(pool Pool) *StackHP { return &StackHP{pool: pool} }
+
+// NewHandleHP returns a per-worker handle.
+func (s *StackHP) NewHandleHP(dom *hp.Domain) *StackHandleHP {
+	return &StackHandleHP{s: s, t: dom.NewThread(1)}
+}
+
+// StackHandleHP is a per-worker handle; not safe for concurrent use.
+type StackHandleHP struct {
+	s *StackHP
+	t *hp.Thread
+}
+
+// Thread exposes the underlying HP thread.
+func (h *StackHandleHP) Thread() *hp.Thread { return h.t }
+
+// Push adds val on top of the stack.
+func (h *StackHandleHP) Push(val uint64) {
+	ref, nd := h.s.pool.Alloc()
+	nd.val = val
+	for {
+		top := h.s.head.Load()
+		nd.next.Store(top)
+		if h.s.head.CompareAndSwap(top, tagptr.Pack(ref, 0)) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value (Figure 2 of the paper: protect
+// the head node, validate head unchanged, then dereference).
+func (h *StackHandleHP) Pop() (uint64, bool) {
+	defer h.t.Clear(0)
+	for {
+		top := h.s.head.Load()
+		if tagptr.IsNil(top) {
+			return 0, false
+		}
+		if !h.t.ProtectWord(0, &h.s.head, top) {
+			continue // head moved between the load and the protection
+		}
+		nd := h.s.pool.Deref(tagptr.RefOf(top))
+		next := nd.next.Load()
+		if h.s.head.CompareAndSwap(top, next) {
+			v := nd.val
+			h.t.Retire(tagptr.RefOf(top), h.s.pool)
+			return v, true
+		}
+	}
+}
+
+// StackHPP is Treiber's stack under HP++ in backward-compatible mode: the
+// head pointer is the protection source (never invalidated), and popped
+// nodes go through TryUnlink so their next pointers are invalidated
+// before reclamation.
+type StackHPP struct {
+	pool Pool
+	head atomic.Uint64
+}
+
+// NewStackHPP creates an empty stack over pool.
+func NewStackHPP(pool Pool) *StackHPP { return &StackHPP{pool: pool} }
+
+// NewHandleHPP returns a per-worker handle.
+func (s *StackHPP) NewHandleHPP(dom *core.Domain) *StackHandleHPP {
+	return &StackHandleHPP{s: s, t: dom.NewThread(1)}
+}
+
+// StackHandleHPP is a per-worker handle; not safe for concurrent use.
+type StackHandleHPP struct {
+	s *StackHPP
+	t *core.Thread
+}
+
+// Thread exposes the underlying HP++ thread.
+func (h *StackHandleHPP) Thread() *core.Thread { return h.t }
+
+// Push adds val on top of the stack.
+func (h *StackHandleHPP) Push(val uint64) {
+	ref, nd := h.s.pool.Alloc()
+	nd.val = val
+	for {
+		top := h.s.head.Load()
+		nd.next.Store(tagptr.WithoutTag(top))
+		if h.s.head.CompareAndSwap(top, tagptr.Pack(ref, 0)) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value.
+func (h *StackHandleHPP) Pop() (uint64, bool) {
+	defer h.t.Clear(0)
+	for {
+		cur := tagptr.RefOf(h.s.head.Load())
+		if cur == 0 {
+			return 0, false
+		}
+		if !h.t.TryProtect(0, &cur, nil, &h.s.head) {
+			continue
+		}
+		if cur == 0 {
+			return 0, false
+		}
+		nd := h.s.pool.Deref(cur)
+		next := tagptr.RefOf(nd.next.Load())
+		var val uint64
+		pool := h.s.pool
+		head := &h.s.head
+		target := cur
+		ok := h.t.TryUnlink(nil, func() ([]smr.Retired, bool) {
+			if !head.CompareAndSwap(tagptr.Pack(target, 0), tagptr.Pack(next, 0)) {
+				return nil, false
+			}
+			val = pool.Deref(target).val
+			return []smr.Retired{{Ref: target, D: pool}}, true
+		}, pool)
+		if ok {
+			return val, true
+		}
+	}
+}
+
+// StackCS is Treiber's stack for critical-section schemes.
+type StackCS struct {
+	pool Pool
+	head atomic.Uint64
+}
+
+// NewStackCS creates an empty stack over pool.
+func NewStackCS(pool Pool) *StackCS { return &StackCS{pool: pool} }
+
+// NewHandleCS returns a per-worker handle.
+func (s *StackCS) NewHandleCS(dom smr.GuardDomain) *StackHandleCS {
+	return &StackHandleCS{s: s, g: dom.NewGuard(1)}
+}
+
+// StackHandleCS is a per-worker handle; not safe for concurrent use.
+type StackHandleCS struct {
+	s *StackCS
+	g smr.Guard
+}
+
+// Guard exposes the underlying guard.
+func (h *StackHandleCS) Guard() smr.Guard { return h.g }
+
+// Push adds val on top of the stack.
+func (h *StackHandleCS) Push(val uint64) {
+	ref, nd := h.s.pool.Alloc()
+	nd.val = val
+	for {
+		top := h.s.head.Load()
+		nd.next.Store(top)
+		if h.s.head.CompareAndSwap(top, tagptr.Pack(ref, 0)) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value.
+func (h *StackHandleCS) Pop() (uint64, bool) {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		top := h.s.head.Load()
+		cur := tagptr.RefOf(top)
+		if cur == 0 {
+			return 0, false
+		}
+		if !h.g.Track(0, cur) {
+			h.g.Unpin()
+			h.g.Pin()
+			continue
+		}
+		nd := h.s.pool.Deref(cur)
+		next := nd.next.Load()
+		if h.s.head.CompareAndSwap(top, next) {
+			v := nd.val
+			h.g.Retire(cur, h.s.pool)
+			return v, true
+		}
+	}
+}

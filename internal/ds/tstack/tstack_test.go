@@ -1,0 +1,194 @@
+package tstack
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
+)
+
+type stack interface {
+	Push(uint64)
+	Pop() (uint64, bool)
+}
+
+func variants(mode arena.Mode) map[string]struct {
+	mk     func() stack
+	finish func()
+} {
+	out := map[string]struct {
+		mk     func() stack
+		finish func()
+	}{}
+
+	{
+		dom := hp.NewDomain()
+		s := NewStackHP(NewPool(mode))
+		var hs []*StackHandleHP
+		out["HP"] = struct {
+			mk     func() stack
+			finish func()
+		}{
+			mk: func() stack {
+				h := s.NewHandleHP(dom)
+				hs = append(hs, h)
+				return h
+			},
+			finish: func() {
+				for _, h := range hs {
+					h.Thread().Finish()
+				}
+				dom.NewThread(0).Reclaim()
+			},
+		}
+	}
+	{
+		dom := core.NewDomain(core.Options{})
+		s := NewStackHPP(NewPool(mode))
+		var hs []*StackHandleHPP
+		out["HPP"] = struct {
+			mk     func() stack
+			finish func()
+		}{
+			mk: func() stack {
+				h := s.NewHandleHPP(dom)
+				hs = append(hs, h)
+				return h
+			},
+			finish: func() {
+				for _, h := range hs {
+					h.Thread().Finish()
+				}
+				dom.NewThread(0).Reclaim()
+			},
+		}
+	}
+	{
+		dom := ebr.NewDomain()
+		s := NewStackCS(NewPool(mode))
+		var hs []*StackHandleCS
+		out["EBR"] = struct {
+			mk     func() stack
+			finish func()
+		}{
+			mk: func() stack {
+				h := s.NewHandleCS(dom)
+				hs = append(hs, h)
+				return h
+			},
+			finish: func() {
+				for _, h := range hs {
+					h.Guard().(*ebr.Guard).Drain()
+				}
+			},
+		}
+	}
+	return out
+}
+
+func TestLIFOOrder(t *testing.T) {
+	for name, v := range variants(arena.ModeDetect) {
+		t.Run(name, func(t *testing.T) {
+			h := v.mk()
+			defer v.finish()
+			for i := uint64(1); i <= 100; i++ {
+				h.Push(i)
+			}
+			for i := uint64(100); i >= 1; i-- {
+				got, ok := h.Pop()
+				if !ok || got != i {
+					t.Fatalf("Pop = (%d,%v), want %d", got, ok, i)
+				}
+			}
+			if _, ok := h.Pop(); ok {
+				t.Fatal("pop from empty stack succeeded")
+			}
+		})
+	}
+}
+
+// TestConcurrentConservation: every pushed value is popped exactly once.
+func TestConcurrentConservation(t *testing.T) {
+	for name, v := range variants(arena.ModeDetect) {
+		t.Run(name, func(t *testing.T) {
+			const workers = 4
+			const each = 5000
+			popped := make([]map[uint64]bool, workers)
+			var wg sync.WaitGroup
+			handles := make([]stack, workers)
+			for i := range handles {
+				handles[i] = v.mk()
+			}
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int, h stack) {
+					defer wg.Done()
+					popped[w] = map[uint64]bool{}
+					base := uint64(w) * each
+					for i := uint64(0); i < each; i++ {
+						h.Push(base + i + 1)
+						if i%2 == 0 {
+							if val, ok := h.Pop(); ok {
+								if popped[w][val] {
+									t.Errorf("value %d popped twice by one worker", val)
+									return
+								}
+								popped[w][val] = true
+							}
+						}
+					}
+				}(w, handles[w])
+			}
+			wg.Wait()
+			// Drain the rest and merge.
+			all := map[uint64]bool{}
+			for w := range popped {
+				for v := range popped[w] {
+					if all[v] {
+						t.Fatalf("value %d popped twice", v)
+					}
+					all[v] = true
+				}
+			}
+			h := handles[0]
+			for {
+				val, ok := h.Pop()
+				if !ok {
+					break
+				}
+				if all[val] {
+					t.Fatalf("value %d popped twice", val)
+				}
+				all[val] = true
+			}
+			if len(all) != workers*each {
+				t.Fatalf("popped %d values, want %d", len(all), workers*each)
+			}
+			v.finish()
+		})
+	}
+}
+
+// TestNoLeaks: push/pop everything, drain, expect no live nodes.
+func TestNoLeaks(t *testing.T) {
+	dom := core.NewDomain(core.Options{})
+	p := NewPool(arena.ModeDetect)
+	s := NewStackHPP(p)
+	h := s.NewHandleHPP(dom)
+	for i := uint64(0); i < 1000; i++ {
+		h.Push(i)
+	}
+	for {
+		if _, ok := h.Pop(); !ok {
+			break
+		}
+	}
+	h.Thread().Finish()
+	dom.NewThread(0).Reclaim()
+	if live := p.Stats().Live; live != 0 {
+		t.Fatalf("leaked %d nodes", live)
+	}
+}

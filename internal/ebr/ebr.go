@@ -1,0 +1,184 @@
+// Package ebr implements epoch-based reclamation (Fraser 2004; the
+// crossbeam-epoch design the paper benchmarks as "EBR").
+//
+// Threads pin the global epoch while operating on a data structure; a node
+// retired at epoch e may be freed once every pinned thread has advanced to
+// at least e+2, because any thread that could still hold a reference to it
+// pinned an epoch ≤ e+1. EBR is fast and universally applicable but not
+// robust: a single stalled pinned thread blocks epoch advancement and the
+// retired set grows without bound (see the robustness tests and Figure 11).
+package ebr
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+// DefaultCollectEvery is the number of retires between collection attempts.
+const DefaultCollectEvery = 128
+
+// Domain is an epoch-based reclamation domain shared by any number of
+// guards.
+type Domain struct {
+	epoch   atomic.Uint64
+	threads atomic.Pointer[rec]
+	g       smr.Garbage
+
+	// CollectEvery overrides the retire threshold if set before use.
+	CollectEvery int
+}
+
+// rec is a per-guard epoch record. Records are recycled, never removed.
+type rec struct {
+	// state packs epoch<<1 | pinned.
+	state atomic.Uint64
+	inUse atomic.Uint32
+	next  *rec
+}
+
+// NewDomain creates an EBR domain.
+func NewDomain() *Domain {
+	d := &Domain{CollectEvery: DefaultCollectEvery}
+	d.epoch.Store(2) // start above 0 so epoch-2 arithmetic never underflows
+	return d
+}
+
+// Unreclaimed returns the number of retired-but-unfreed nodes.
+func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
+
+// PeakUnreclaimed returns the peak retired-but-unfreed count.
+func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
+
+// Epoch returns the current global epoch (for tests and diagnostics).
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+func (d *Domain) acquireRec() *rec {
+	for r := d.threads.Load(); r != nil; r = r.next {
+		if r.inUse.Load() == 0 && r.inUse.CompareAndSwap(0, 1) {
+			return r
+		}
+	}
+	r := &rec{}
+	r.inUse.Store(1)
+	for {
+		h := d.threads.Load()
+		r.next = h
+		if d.threads.CompareAndSwap(h, r) {
+			return r
+		}
+	}
+}
+
+// minPinnedEpoch returns the minimum epoch among pinned threads, or the
+// current global epoch if none is pinned. It also reports whether every
+// pinned thread has caught up with the global epoch e.
+func (d *Domain) minPinnedEpoch() (min uint64, allCaughtUp bool) {
+	e := d.epoch.Load()
+	min, allCaughtUp = e, true
+	for r := d.threads.Load(); r != nil; r = r.next {
+		st := r.state.Load()
+		if st&1 == 0 {
+			continue
+		}
+		ep := st >> 1
+		if ep < min {
+			min = ep
+		}
+		if ep < e {
+			allCaughtUp = false
+		}
+	}
+	return min, allCaughtUp
+}
+
+type entry struct {
+	r     smr.Retired
+	epoch uint64
+}
+
+// Guard is a per-worker EBR handle implementing smr.Guard.
+type Guard struct {
+	d       *Domain
+	r       *rec
+	bag     []entry
+	retires int
+}
+
+// NewGuard returns a new guard. The slots argument is ignored (EBR needs
+// no per-pointer protection); it exists to satisfy smr.GuardDomain.
+func (d *Domain) NewGuard(slots int) smr.Guard { return d.NewGuardEBR() }
+
+// NewGuardEBR returns a concretely-typed guard.
+func (d *Domain) NewGuardEBR() *Guard {
+	return &Guard{d: d, r: d.acquireRec()}
+}
+
+// Pin enters a critical section at the current global epoch.
+func (g *Guard) Pin() {
+	e := g.d.epoch.Load()
+	g.r.state.Store(e<<1 | 1)
+}
+
+// Unpin leaves the critical section.
+func (g *Guard) Unpin() {
+	g.r.state.Store(g.r.state.Load() &^ 1)
+}
+
+// Track is a no-op: epochs protect every reachable node.
+func (g *Guard) Track(i int, ref uint64) bool { return true }
+
+// Retire schedules a node for freeing once the epoch advances past every
+// thread that might still hold it.
+func (g *Guard) Retire(ref uint64, dealloc smr.Deallocator) {
+	g.bag = append(g.bag, entry{smr.Retired{Ref: ref, D: dealloc}, g.d.epoch.Load()})
+	g.d.g.AddRetired(1)
+	g.retires++
+	if g.retires%g.d.CollectEvery == 0 {
+		g.Collect()
+	}
+}
+
+// Collect attempts to advance the global epoch and frees every bag entry
+// that is two or more epochs old relative to the slowest pinned thread.
+func (g *Guard) Collect() {
+	d := g.d
+	e := d.epoch.Load()
+	min, caughtUp := d.minPinnedEpoch()
+	if caughtUp {
+		d.epoch.CompareAndSwap(e, e+1)
+	}
+	// A node retired at epoch ep is safe once every pinned thread is at
+	// ep+2 or later: such threads pinned strictly after the node was
+	// unlinked and can never reach it, even through optimistic traversal
+	// of other unlinked nodes.
+	kept := g.bag[:0]
+	freed := int64(0)
+	for _, en := range g.bag {
+		if en.epoch+2 <= min {
+			en.r.Free()
+			freed++
+		} else {
+			kept = append(kept, en)
+		}
+	}
+	g.bag = kept
+	if freed > 0 {
+		d.g.AddFreed(freed)
+	}
+}
+
+// Drain repeatedly collects until the local bag is empty. The guard must
+// be unpinned and no other guard may be stalled while pinned, otherwise
+// Drain spins forever; it is intended for orderly shutdown in tests and
+// benchmarks.
+func (g *Guard) Drain() {
+	for len(g.bag) > 0 {
+		g.Collect()
+	}
+}
+
+// BagLen returns the number of locally retired, not yet freed nodes.
+func (g *Guard) BagLen() int { return len(g.bag) }
+
+var _ smr.GuardDomain = (*Domain)(nil)

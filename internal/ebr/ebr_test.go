@@ -1,0 +1,140 @@
+package ebr
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+)
+
+func TestRetireEventuallyFrees(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	g := d.NewGuardEBR()
+	g.Pin()
+	ref, _ := p.Alloc()
+	g.Retire(ref, p)
+	g.Unpin()
+	g.Drain()
+	if p.Live(ref) {
+		t.Fatal("retired node not freed after drain")
+	}
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed = %d", d.Unreclaimed())
+	}
+}
+
+func TestPinnedGuardBlocksReclamation(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	reader := d.NewGuardEBR()
+	writer := d.NewGuardEBR()
+
+	reader.Pin() // stalls at the current epoch
+
+	writer.Pin()
+	ref, _ := p.Alloc()
+	writer.Retire(ref, p)
+	writer.Unpin()
+	for i := 0; i < 10; i++ {
+		writer.Collect()
+	}
+	if !p.Live(ref) {
+		t.Fatal("node freed while a pre-existing pin could still hold it")
+	}
+
+	reader.Unpin()
+	writer.Drain()
+	if p.Live(ref) {
+		t.Fatal("node not freed after the stalled pin ended")
+	}
+}
+
+func TestEpochAdvances(t *testing.T) {
+	d := NewDomain()
+	g := d.NewGuardEBR()
+	e0 := d.Epoch()
+	g.Pin()
+	g.Collect() // all pinned threads (just us) are at the current epoch
+	g.Unpin()
+	if d.Epoch() != e0+1 {
+		t.Fatalf("epoch = %d, want %d", d.Epoch(), e0+1)
+	}
+}
+
+func TestLaggingPinBlocksAdvance(t *testing.T) {
+	d := NewDomain()
+	lag := d.NewGuardEBR()
+	lag.Pin()
+	g := d.NewGuardEBR()
+	g.Pin()
+	g.Collect() // advances once: lag is at current epoch
+	e1 := d.Epoch()
+	g.Unpin()
+	g.Pin() // g now at e1; lag still at e1-1
+	g.Collect()
+	if d.Epoch() != e1 {
+		t.Fatalf("epoch advanced past a lagging pin: %d > %d", d.Epoch(), e1)
+	}
+	lag.Unpin()
+	g.Collect()
+	if d.Epoch() != e1+1 {
+		t.Fatalf("epoch = %d, want %d", d.Epoch(), e1+1)
+	}
+}
+
+// TestUnboundedGarbageWithStalledThread demonstrates EBR's non-robustness
+// (§2.4): a single stalled pin makes retired garbage grow without bound.
+func TestUnboundedGarbageWithStalledThread(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeReuse)
+	stalled := d.NewGuardEBR()
+	stalled.Pin()
+
+	w := d.NewGuardEBR()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		w.Pin()
+		ref, _ := p.Alloc()
+		w.Retire(ref, p)
+		w.Unpin()
+	}
+	if d.Unreclaimed() < n-2*DefaultCollectEvery {
+		t.Fatalf("expected ~%d unreclaimed with a stalled pin, got %d", n, d.Unreclaimed())
+	}
+	stalled.Unpin()
+	w.Drain()
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed after drain = %d", d.Unreclaimed())
+	}
+}
+
+func TestConcurrentRetire(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeReuse)
+	const workers = 8
+	const each = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := d.NewGuardEBR()
+			for i := 0; i < each; i++ {
+				g.Pin()
+				ref, _ := p.Alloc()
+				g.Retire(ref, p)
+				g.Unpin()
+			}
+			g.Drain()
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Live != 0 {
+		t.Fatalf("leaked %d nodes", st.Live)
+	}
+	if st.DoubleFree != 0 {
+		t.Fatalf("double frees: %d", st.DoubleFree)
+	}
+}

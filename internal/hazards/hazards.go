@@ -1,0 +1,79 @@
+// Package hazards provides the global hazard-slot registry shared by the
+// HP (internal/hp) and HP++ (internal/core) reclamation schemes: a grow-only
+// lock-free list of single-writer multi-reader slots that protecting threads
+// write node references into and reclaiming threads scan.
+package hazards
+
+import "sync/atomic"
+
+// Slot is a single hazard-pointer cell. Exactly one owning thread writes
+// Value at a time; any thread may read it during a reclamation scan.
+type Slot struct {
+	value atomic.Uint64
+	inUse atomic.Uint32
+	next  *Slot
+}
+
+// Set announces protection of ref.
+func (s *Slot) Set(ref uint64) { s.value.Store(ref) }
+
+// Get returns the currently announced reference (0 if none).
+func (s *Slot) Get() uint64 { return s.value.Load() }
+
+// Clear revokes the announcement without releasing the slot.
+func (s *Slot) Clear() { s.value.Store(0) }
+
+// Registry is the global list of hazard slots for one reclamation domain.
+// The zero value is ready to use.
+type Registry struct {
+	head atomic.Pointer[Slot]
+	n    atomic.Int64
+}
+
+// Acquire returns an exclusive slot, reusing a released one if available.
+func (r *Registry) Acquire() *Slot {
+	for s := r.head.Load(); s != nil; s = s.next {
+		if s.inUse.Load() == 0 && s.inUse.CompareAndSwap(0, 1) {
+			return s
+		}
+	}
+	s := &Slot{}
+	s.inUse.Store(1)
+	for {
+		h := r.head.Load()
+		s.next = h
+		if r.head.CompareAndSwap(h, s) {
+			r.n.Add(1)
+			return s
+		}
+	}
+}
+
+// Release clears the slot and returns it to the registry for reuse.
+func (r *Registry) Release(s *Slot) {
+	s.value.Store(0)
+	s.inUse.Store(0)
+}
+
+// Snapshot adds every currently announced reference to set.
+func (r *Registry) Snapshot(set map[uint64]struct{}) {
+	for s := r.head.Load(); s != nil; s = s.next {
+		if v := s.value.Load(); v != 0 {
+			set[v] = struct{}{}
+		}
+	}
+}
+
+// Protects reports whether any slot currently announces ref. It is slower
+// than Snapshot for bulk queries and intended for tests.
+func (r *Registry) Protects(ref uint64) bool {
+	for s := r.head.Load(); s != nil; s = s.next {
+		if s.value.Load() == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the total number of slots ever created (in use or free).
+func (r *Registry) Len() int { return int(r.n.Load()) }

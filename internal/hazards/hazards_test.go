@@ -1,0 +1,82 @@
+package hazards
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAcquireReleaseReuse(t *testing.T) {
+	var r Registry
+	s1 := r.Acquire()
+	s1.Set(42)
+	r.Release(s1)
+	if s1.Get() != 0 {
+		t.Fatal("release must clear the slot value")
+	}
+	s2 := r.Acquire()
+	if s2 != s1 {
+		t.Fatal("released slot should be reused")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d, want 1", r.Len())
+	}
+}
+
+func TestSnapshotCollectsAnnouncedRefs(t *testing.T) {
+	var r Registry
+	a, b, c := r.Acquire(), r.Acquire(), r.Acquire()
+	a.Set(1)
+	b.Set(2)
+	c.Clear()
+	set := map[uint64]struct{}{}
+	r.Snapshot(set)
+	if len(set) != 2 {
+		t.Fatalf("snapshot = %v", set)
+	}
+	if _, ok := set[1]; !ok {
+		t.Error("missing ref 1")
+	}
+	if _, ok := set[2]; !ok {
+		t.Error("missing ref 2")
+	}
+}
+
+func TestProtects(t *testing.T) {
+	var r Registry
+	s := r.Acquire()
+	s.Set(99)
+	if !r.Protects(99) {
+		t.Error("Protects(99) = false")
+	}
+	if r.Protects(100) {
+		t.Error("Protects(100) = true")
+	}
+}
+
+func TestConcurrentAcquire(t *testing.T) {
+	var r Registry
+	const workers = 16
+	var wg sync.WaitGroup
+	slots := make([]*Slot, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			slots[i] = r.Acquire()
+			slots[i].Set(uint64(i + 1))
+		}(i)
+	}
+	wg.Wait()
+	seen := map[*Slot]bool{}
+	for _, s := range slots {
+		if seen[s] {
+			t.Fatal("slot handed to two goroutines")
+		}
+		seen[s] = true
+	}
+	set := map[uint64]struct{}{}
+	r.Snapshot(set)
+	if len(set) != workers {
+		t.Fatalf("snapshot has %d refs, want %d", len(set), workers)
+	}
+}

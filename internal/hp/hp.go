@@ -1,0 +1,161 @@
+// Package hp implements the original hazard pointers scheme (Michael 2002,
+// 2004; Algorithm 2 of the HP++ paper), including the asymmetric-fence
+// formulation: announce protection of each node before accessing it, then
+// validate that the node is still reachable by an over-approximation (for
+// example, "the source link still holds this exact word, including its
+// logical-deletion tag").
+//
+// Validation by over-approximating unreachability is exactly what makes HP
+// inapplicable to optimistically traversing data structures — the
+// limitation HP++ (internal/core) lifts.
+//
+// Note on fences: the paper places an SC fence between hazard announcement
+// and validation, and between retired-set retrieval and the hazard scan.
+// Go's sync/atomic operations are sequentially consistent, so those fences
+// are implicit here; the comments mark where they sit in the original.
+package hp
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/hazards"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// DefaultReclaimEvery is the number of retires between reclamation passes.
+const DefaultReclaimEvery = 128
+
+// Domain is a hazard-pointer reclamation domain.
+type Domain struct {
+	reg     hazards.Registry
+	g       smr.Garbage
+	orphans smr.OrphanList
+
+	// ReclaimEvery overrides the retire threshold if set before use.
+	ReclaimEvery int
+}
+
+// NewDomain creates an HP domain.
+func NewDomain() *Domain { return &Domain{ReclaimEvery: DefaultReclaimEvery} }
+
+// Unreclaimed returns the number of retired-but-unfreed nodes.
+func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
+
+// PeakUnreclaimed returns the peak retired-but-unfreed count.
+func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
+
+// Registry exposes the hazard-slot registry (for tests).
+func (d *Domain) Registry() *hazards.Registry { return &d.reg }
+
+// Thread is a per-worker HP handle with a fixed array of named protection
+// slots, acquired hand-over-hand by data-structure code. Not safe for
+// concurrent use.
+type Thread struct {
+	d       *Domain
+	slots   []*hazards.Slot
+	retired []smr.Retired
+	retires int
+	scratch map[uint64]struct{}
+}
+
+// NewThread returns a handle with nslots protection slots.
+func (d *Domain) NewThread(nslots int) *Thread {
+	t := &Thread{d: d, scratch: make(map[uint64]struct{})}
+	for i := 0; i < nslots; i++ {
+		t.slots = append(t.slots, d.reg.Acquire())
+	}
+	return t
+}
+
+// Protect announces protection of ref in slot i without validation.
+// Callers must validate reachability themselves before dereferencing.
+func (t *Thread) Protect(i int, ref uint64) { t.slots[i].Set(ref) }
+
+// Clear revokes slot i's announcement.
+func (t *Thread) Clear(i int) { t.slots[i].Clear() }
+
+// ClearAll revokes every slot's announcement.
+func (t *Thread) ClearAll() {
+	for _, s := range t.slots {
+		s.Clear()
+	}
+}
+
+// Swap exchanges slots i and j; used for hand-over-hand traversal where
+// the "current" protection becomes the "previous" one.
+func (t *Thread) Swap(i, j int) { t.slots[i], t.slots[j] = t.slots[j], t.slots[i] }
+
+// ProtectWord announces protection of the node referenced by the link word
+// expected and validates it by re-reading link: if link still holds
+// exactly expected (reference and tags), the node cannot have been retired
+// — the over-approximating validation of Treiber's stack and the
+// Harris-Michael list (Figures 2 and 3 of the paper). Reports whether
+// protection was validated.
+func (t *Thread) ProtectWord(i int, link *atomic.Uint64, expected tagptr.Word) bool {
+	t.slots[i].Set(tagptr.RefOf(expected))
+	// fence(SC) — implicit: both atomics above/below are SC in Go.
+	return link.Load() == expected
+}
+
+// Validate re-checks an over-approximating reachability condition after an
+// earlier Protect: it reports whether link still holds expected.
+func (t *Thread) Validate(link *atomic.Uint64, expected tagptr.Word) bool {
+	return link.Load() == expected
+}
+
+// Retire announces retirement of a detached node and occasionally runs a
+// reclamation pass.
+func (t *Thread) Retire(ref uint64, dealloc smr.Deallocator) {
+	t.retired = append(t.retired, smr.Retired{Ref: ref, D: dealloc})
+	t.d.g.AddRetired(1)
+	t.retires++
+	if t.retires%t.d.ReclaimEvery == 0 {
+		t.Reclaim()
+	}
+}
+
+// Reclaim scans the hazard slots and frees every retired node that no slot
+// protects.
+func (t *Thread) Reclaim() {
+	d := t.d
+	t.retired = d.orphans.Adopt(t.retired)
+	if len(t.retired) == 0 {
+		return
+	}
+	// fence(SC) between retired-set retrieval and hazard scan — implicit.
+	clear(t.scratch)
+	d.reg.Snapshot(t.scratch)
+	kept := t.retired[:0]
+	freed := int64(0)
+	for _, r := range t.retired {
+		if _, p := t.scratch[r.Ref]; p {
+			kept = append(kept, r)
+		} else {
+			r.Free()
+			freed++
+		}
+	}
+	t.retired = kept
+	if freed > 0 {
+		d.g.AddFreed(freed)
+	}
+}
+
+// Finish releases the thread's slots and hands any locally retired nodes
+// to the domain's orphan list so other threads (or a final Reclaim) can
+// free them.
+func (t *Thread) Finish() {
+	t.Reclaim()
+	for _, s := range t.slots {
+		t.d.reg.Release(s)
+	}
+	t.slots = nil
+	if len(t.retired) > 0 {
+		t.d.orphans.Push(t.retired)
+		t.retired = nil
+	}
+}
+
+// RetiredLocal returns the number of locally retired, unfreed nodes.
+func (t *Thread) RetiredLocal() int { return len(t.retired) }

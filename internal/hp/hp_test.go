@@ -1,0 +1,168 @@
+package hp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+func TestProtectedNodeSurvivesReclaim(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	accessor := d.NewThread(1)
+	reclaimer := d.NewThread(0)
+
+	ref, _ := p.Alloc()
+	accessor.Protect(0, ref)
+	reclaimer.Retire(ref, p)
+	reclaimer.Reclaim()
+	if !p.Live(ref) {
+		t.Fatal("protected node was freed")
+	}
+	if d.Unreclaimed() != 1 {
+		t.Fatalf("unreclaimed = %d, want 1", d.Unreclaimed())
+	}
+
+	accessor.Clear(0)
+	reclaimer.Reclaim()
+	if p.Live(ref) {
+		t.Fatal("unprotected retired node not freed")
+	}
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed = %d, want 0", d.Unreclaimed())
+	}
+}
+
+func TestProtectWordValidatesLink(t *testing.T) {
+	d := NewDomain()
+	th := d.NewThread(1)
+	var link atomic.Uint64
+
+	w := tagptr.Pack(7, 0)
+	link.Store(w)
+	if !th.ProtectWord(0, &link, w) {
+		t.Fatal("validation should succeed when the link is unchanged")
+	}
+
+	// The link moved on: validation must fail.
+	link.Store(tagptr.Pack(8, 0))
+	if th.ProtectWord(0, &link, w) {
+		t.Fatal("validation should fail when the link changed")
+	}
+
+	// Same ref but newly tagged (logically deleted source): the
+	// over-approximation must also reject it.
+	link.Store(tagptr.Pack(7, tagptr.Mark))
+	if th.ProtectWord(0, &link, w) {
+		t.Fatal("validation should fail when the source got marked")
+	}
+}
+
+func TestSwapKeepsProtection(t *testing.T) {
+	d := NewDomain()
+	th := d.NewThread(2)
+	th.Protect(0, 11)
+	th.Protect(1, 22)
+	th.Swap(0, 1)
+	if !d.Registry().Protects(11) || !d.Registry().Protects(22) {
+		t.Fatal("swap must not drop announcements")
+	}
+	th.Protect(0, 33) // overwrites what used to be slot 1
+	if d.Registry().Protects(22) {
+		t.Fatal("slot reuse after swap is wrong")
+	}
+	if !d.Registry().Protects(11) {
+		t.Fatal("swap lost slot 0's original announcement")
+	}
+}
+
+func TestOrphanAdoption(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	blocker := d.NewThread(1)
+
+	dying := d.NewThread(0)
+	ref, _ := p.Alloc()
+	blocker.Protect(0, ref) // keeps the node from being freed at Finish
+	dying.Retire(ref, p)
+	dying.Finish()
+	if p.Live(ref) == false {
+		t.Fatal("protected node freed during Finish")
+	}
+
+	blocker.Clear(0)
+	survivor := d.NewThread(0)
+	survivor.Reclaim()
+	if p.Live(ref) {
+		t.Fatal("orphaned node not adopted and freed")
+	}
+}
+
+func TestThresholdTriggersReclaim(t *testing.T) {
+	d := NewDomain()
+	d.ReclaimEvery = 8
+	p := arena.NewPool[uint64]("t", arena.ModeReuse)
+	th := d.NewThread(0)
+	for i := 0; i < 64; i++ {
+		ref, _ := p.Alloc()
+		th.Retire(ref, p)
+	}
+	if got := p.Stats().Frees; got < 56 {
+		t.Fatalf("frees = %d, want >= 56 (threshold reclaim not firing)", got)
+	}
+}
+
+// TestConcurrentProtectRetire is the classic HP safety drill: one thread
+// repeatedly protects-and-validates a shared cell's target while others
+// swap out and retire the old target. Detect-mode arena catches any UAF.
+func TestConcurrentProtectRetire(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	var cell atomic.Uint64
+	r0, _ := p.Alloc()
+	cell.Store(tagptr.Pack(r0, 0))
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // writer: replace and retire
+		defer wg.Done()
+		th := d.NewThread(0)
+		for i := 0; i < 30000; i++ {
+			newRef, _ := p.Alloc()
+			old := cell.Swap(tagptr.Pack(newRef, 0))
+			th.Retire(tagptr.RefOf(old), p)
+		}
+		stop.Store(true)
+		th.Finish()
+	}()
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := d.NewThread(1)
+			for !stop.Load() {
+				w := cell.Load()
+				if !th.ProtectWord(0, &cell, w) {
+					continue
+				}
+				v := p.Deref(tagptr.RefOf(w)) // would panic on UAF
+				_ = *v
+				th.Clear(0)
+			}
+			th.Finish()
+		}()
+	}
+	wg.Wait()
+
+	fin := d.NewThread(0)
+	fin.Reclaim()
+	if got := p.Stats().UAF; got != 0 {
+		t.Fatalf("detected %d use-after-free derefs", got)
+	}
+}

@@ -1,0 +1,39 @@
+// Package nr is the no-reclamation baseline (NR in the paper's evaluation):
+// retired nodes are counted but never freed. It sets the throughput ceiling
+// that real reclamation schemes are compared against, and its unbounded
+// garbage growth is the contrast case for robustness experiments.
+package nr
+
+import "github.com/gosmr/gosmr/internal/smr"
+
+// Domain is a no-op reclamation domain.
+type Domain struct {
+	g smr.Garbage
+}
+
+// NewDomain returns a new no-reclamation domain.
+func NewDomain() *Domain { return &Domain{} }
+
+// NewGuard returns a guard whose Pin/Unpin/Track are no-ops and whose
+// Retire leaks (counts but never frees).
+func (d *Domain) NewGuard(slots int) smr.Guard { return &guard{d: d} }
+
+// Unreclaimed returns the number of retired (and leaked) nodes.
+func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
+
+// PeakUnreclaimed returns the peak retired count (== Unreclaimed; NR never
+// frees).
+func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
+
+type guard struct {
+	d *Domain
+}
+
+func (g *guard) Pin()   {}
+func (g *guard) Unpin() {}
+
+func (g *guard) Track(i int, ref uint64) bool { return true }
+
+func (g *guard) Retire(ref uint64, d smr.Deallocator) { g.d.g.AddRetired(1) }
+
+var _ smr.GuardDomain = (*Domain)(nil)

@@ -1,0 +1,37 @@
+package nr
+
+import (
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+)
+
+func TestRetireLeaks(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	g := d.NewGuard(0)
+	g.Pin()
+	refs := make([]uint64, 100)
+	for i := range refs {
+		refs[i], _ = p.Alloc()
+		g.Retire(refs[i], p)
+	}
+	g.Unpin()
+	for _, r := range refs {
+		if !p.Live(r) {
+			t.Fatal("NR must never free")
+		}
+	}
+	if d.Unreclaimed() != 100 || d.PeakUnreclaimed() != 100 {
+		t.Fatalf("unreclaimed=%d peak=%d", d.Unreclaimed(), d.PeakUnreclaimed())
+	}
+}
+
+func TestTrackAlwaysSucceeds(t *testing.T) {
+	g := NewDomain().NewGuard(4)
+	for i := 0; i < 4; i++ {
+		if !g.Track(i, uint64(i+1)) {
+			t.Fatal("NR Track must never fail")
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package pebr implements pointer- and epoch-based reclamation (Kang &
+// Jung, PLDI 2020): EBR made robust by *ejecting* (neutralizing) threads
+// whose critical sections block epoch advancement.
+//
+// Reads proceed under an epoch pin as in EBR, but each traversal step also
+// announces the next node in a per-thread shield slot and then validates
+// that the thread has not been ejected. If it has, the step fails and the
+// operation must restart; nodes already shielded remain protected across
+// the ejection (reclaimers respect shields exactly like hazard pointers).
+// Because ejection is coarse-grained — it kills the whole critical section
+// rather than one pointer — long-running operations are repeatedly
+// neutralized under reclamation pressure, the effect Figure 10 of the HP++
+// paper measures.
+package pebr
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+const (
+	// DefaultCollectEvery is the number of retires between collections.
+	DefaultCollectEvery = 128
+	// DefaultPatience is how many collection passes may observe the same
+	// thread lagging before it is ejected.
+	DefaultPatience = 2
+	// MaxShields is the number of shield slots per guard. Sized for the
+	// deepest users: the skiplist (a pred and a succ per level) and the
+	// Bonsai builder (one slot per tree level).
+	MaxShields = 80
+)
+
+// rec state word: epoch<<2 | pinned | ejected.
+const (
+	ejectedBit = 1
+	pinnedBit  = 2
+)
+
+type rec struct {
+	state   atomic.Uint64
+	lag     atomic.Uint32
+	inUse   atomic.Uint32
+	next    *rec
+	shields [MaxShields]atomic.Uint64
+}
+
+// Domain is a PEBR reclamation domain.
+type Domain struct {
+	epoch   atomic.Uint64
+	threads atomic.Pointer[rec]
+	g       smr.Garbage
+
+	// CollectEvery and Patience override the defaults if set before use.
+	CollectEvery int
+	Patience     uint32
+
+	ejections atomic.Int64
+}
+
+// NewDomain creates a PEBR domain.
+func NewDomain() *Domain {
+	d := &Domain{CollectEvery: DefaultCollectEvery, Patience: DefaultPatience}
+	d.epoch.Store(2)
+	return d
+}
+
+// Unreclaimed returns the number of retired-but-unfreed nodes.
+func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
+
+// PeakUnreclaimed returns the peak retired-but-unfreed count.
+func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
+
+// Ejections returns the cumulative number of thread neutralizations.
+func (d *Domain) Ejections() int64 { return d.ejections.Load() }
+
+func (d *Domain) acquireRec() *rec {
+	for r := d.threads.Load(); r != nil; r = r.next {
+		if r.inUse.Load() == 0 && r.inUse.CompareAndSwap(0, 1) {
+			return r
+		}
+	}
+	r := &rec{}
+	r.inUse.Store(1)
+	for {
+		h := d.threads.Load()
+		r.next = h
+		if d.threads.CompareAndSwap(h, r) {
+			return r
+		}
+	}
+}
+
+type entry struct {
+	r     smr.Retired
+	epoch uint64
+}
+
+// Guard is a per-worker PEBR handle implementing smr.Guard.
+type Guard struct {
+	d       *Domain
+	r       *rec
+	bag     []entry
+	retires int
+	scratch map[uint64]struct{}
+}
+
+// NewGuard returns a guard with shield slots for the smr.Guard protocol.
+// slots must be at most MaxShields.
+func (d *Domain) NewGuard(slots int) smr.Guard { return d.NewGuardPEBR(slots) }
+
+// NewGuardPEBR returns a concretely-typed guard.
+func (d *Domain) NewGuardPEBR(slots int) *Guard {
+	if slots > MaxShields {
+		panic("pebr: too many shield slots requested")
+	}
+	return &Guard{d: d, r: d.acquireRec(), scratch: make(map[uint64]struct{})}
+}
+
+// Pin enters a critical section at the current epoch, clearing any
+// previous ejection.
+func (g *Guard) Pin() {
+	e := g.d.epoch.Load()
+	g.r.state.Store(e<<2 | pinnedBit)
+}
+
+// Unpin leaves the critical section.
+func (g *Guard) Unpin() {
+	g.r.state.Store(g.r.state.Load() &^ uint64(pinnedBit|ejectedBit))
+}
+
+// Track announces that shield slot i protects ref, then validates that
+// this guard has not been ejected. On false the caller must not
+// dereference ref and must restart its operation (Unpin, Pin, retry);
+// previously tracked nodes remain protected by their shields.
+func (g *Guard) Track(i int, ref uint64) bool {
+	g.r.shields[i].Store(ref)
+	// fence(SC) — implicit; orders the shield store before the state load.
+	return g.r.state.Load()&ejectedBit == 0
+}
+
+// ClearShields revokes all shield announcements. Call when a worker goes
+// idle so stale shields do not pin dead nodes indefinitely.
+func (g *Guard) ClearShields() {
+	for i := range g.r.shields {
+		g.r.shields[i].Store(0)
+	}
+}
+
+// Ejected reports whether the guard has been neutralized since Pin.
+func (g *Guard) Ejected() bool { return g.r.state.Load()&ejectedBit != 0 }
+
+// Retire schedules a node for freeing.
+func (g *Guard) Retire(ref uint64, dealloc smr.Deallocator) {
+	g.bag = append(g.bag, entry{smr.Retired{Ref: ref, D: dealloc}, g.d.epoch.Load()})
+	g.d.g.AddRetired(1)
+	g.retires++
+	if g.retires%g.d.CollectEvery == 0 {
+		g.Collect()
+	}
+}
+
+// Collect attempts to advance the epoch — ejecting threads that have
+// lagged for more than Patience passes — and frees every bag entry that
+// is old enough and not covered by any shield.
+func (g *Guard) Collect() {
+	d := g.d
+	e := d.epoch.Load()
+	min := e
+	blocked := false
+	for r := d.threads.Load(); r != nil; r = r.next {
+		st := r.state.Load()
+		if st&pinnedBit == 0 || st&ejectedBit != 0 {
+			continue // unpinned and ejected threads do not block advance
+		}
+		ep := st >> 2
+		if ep >= e {
+			r.lag.Store(0)
+			continue
+		}
+		// Lagging pinned thread: eject after Patience observations.
+		if r.lag.Add(1) > d.Patience {
+			if r.state.CompareAndSwap(st, st|ejectedBit) {
+				d.ejections.Add(1)
+				r.lag.Store(0)
+				continue // now ejected; no longer blocks
+			}
+		}
+		blocked = true
+		if ep < min {
+			min = ep
+		}
+	}
+	if !blocked {
+		d.epoch.CompareAndSwap(e, e+1)
+	}
+	// Snapshot shields: ejected (and all other) threads' shielded nodes
+	// stay unreclaimed, like hazard pointers.
+	clear(g.scratch)
+	for r := d.threads.Load(); r != nil; r = r.next {
+		for i := range r.shields {
+			if v := r.shields[i].Load(); v != 0 {
+				g.scratch[v] = struct{}{}
+			}
+		}
+	}
+	kept := g.bag[:0]
+	freed := int64(0)
+	for _, en := range g.bag {
+		_, shielded := g.scratch[en.r.Ref]
+		if !shielded && en.epoch+2 <= min {
+			en.r.Free()
+			freed++
+		} else {
+			kept = append(kept, en)
+		}
+	}
+	g.bag = kept
+	if freed > 0 {
+		d.g.AddFreed(freed)
+	}
+}
+
+// BagLen returns the number of locally retired, unfreed nodes.
+func (g *Guard) BagLen() int { return len(g.bag) }
+
+var _ smr.GuardDomain = (*Domain)(nil)

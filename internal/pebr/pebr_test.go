@@ -1,0 +1,133 @@
+package pebr
+
+import (
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+)
+
+func TestRetireEventuallyFrees(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	g := d.NewGuardPEBR(2)
+	g.Pin()
+	ref, _ := p.Alloc()
+	g.Retire(ref, p)
+	g.Unpin()
+	for i := 0; i < 6; i++ {
+		g.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("retired node not freed")
+	}
+}
+
+func TestLaggingThreadGetsEjected(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	lag := d.NewGuardPEBR(2)
+	w := d.NewGuardPEBR(2)
+
+	lag.Pin() // stalls
+	w.Pin()
+	w.Unpin()
+
+	// Drive collections: epoch tries to advance; lag blocks it; after
+	// Patience passes lag is ejected and reclamation proceeds.
+	ref, _ := p.Alloc()
+	w.Pin()
+	w.Retire(ref, p)
+	w.Unpin()
+	for i := 0; i < 20; i++ {
+		w.Pin()
+		w.Unpin()
+		w.Collect()
+	}
+	if d.Ejections() == 0 {
+		t.Fatal("lagging thread was never ejected")
+	}
+	if !lag.Ejected() {
+		t.Fatal("guard does not observe its own ejection")
+	}
+	if p.Live(ref) {
+		t.Fatal("ejection did not unblock reclamation")
+	}
+	if lag.Track(0, 123) {
+		t.Fatal("Track must fail after ejection")
+	}
+	// Recovery: re-pin clears the ejection.
+	lag.Unpin()
+	lag.Pin()
+	if !lag.Track(0, 123) {
+		t.Fatal("Track must succeed after re-pin")
+	}
+	lag.Unpin()
+}
+
+func TestShieldProtectsAcrossEjection(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	reader := d.NewGuardPEBR(2)
+	w := d.NewGuardPEBR(2)
+
+	ref, _ := p.Alloc()
+	reader.Pin()
+	if !reader.Track(0, ref) {
+		t.Fatal("track failed unexpectedly")
+	}
+
+	w.Pin()
+	w.Retire(ref, p)
+	w.Unpin()
+	for i := 0; i < 20; i++ {
+		w.Pin()
+		w.Unpin()
+		w.Collect()
+	}
+	if !lagEjected(reader) {
+		t.Fatal("reader should have been ejected by now")
+	}
+	// Even though the reader was ejected, its shield keeps ref alive.
+	if !p.Live(ref) {
+		t.Fatal("shielded node freed after ejection — PEBR safety broken")
+	}
+
+	// Once the shield moves on, the node can be reclaimed.
+	reader.Unpin()
+	reader.Pin()
+	reader.Track(0, 0)
+	reader.Unpin()
+	for i := 0; i < 6; i++ {
+		w.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("node not freed after shield released")
+	}
+}
+
+func lagEjected(g *Guard) bool { return g.Ejected() }
+
+func TestGarbageBoundedDespiteStall(t *testing.T) {
+	// The robustness contrast with EBR: a stalled PEBR thread is ejected,
+	// so garbage does not grow without bound.
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeReuse)
+	stalled := d.NewGuardPEBR(2)
+	stalled.Pin()
+
+	w := d.NewGuardPEBR(2)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		w.Pin()
+		ref, _ := p.Alloc()
+		w.Retire(ref, p)
+		w.Unpin()
+	}
+	w.Collect()
+	if d.Unreclaimed() > 3*int64(d.CollectEvery)+int64(MaxShields) {
+		t.Fatalf("unreclaimed = %d despite ejection; not robust", d.Unreclaimed())
+	}
+	if d.Ejections() == 0 {
+		t.Fatal("stalled thread never ejected")
+	}
+}

@@ -1,0 +1,106 @@
+// Package rc implements deferred reference counting in the style of CDRC
+// (Anderson, Blelloch, Wei — PLDI 2021/2022), the "RC" scheme of the HP++
+// paper's evaluation, using EBR as the underlying deferral mechanism.
+//
+// Each node carries a strong count of incoming heap links. Writers adjust
+// counts eagerly when creating links but *defer* decrements through EBR:
+// when a link to a node is destroyed, a decrement task is retired, and it
+// executes only after every reader that was pinned at the time has
+// finished. Readers therefore never touch counts at all — the property
+// that makes CDRC competitive with semi-manual schemes. When a deferred
+// decrement drops a count to zero the node is freed and its outgoing links
+// (reported by Object.Trace) are decremented transitively.
+//
+// Reference cycles must be broken by the client (the paper omits the EFRB
+// tree for RC for exactly this reason).
+package rc
+
+import (
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+// Object is implemented by data-structure pool wrappers: it gives the
+// scheme access to a node type's strong count, outgoing links, and
+// deallocation.
+type Object interface {
+	smr.Deallocator
+	// IncCount adds one strong reference to ref.
+	IncCount(ref uint64)
+	// DecCount removes one strong reference and returns the new count.
+	DecCount(ref uint64) int64
+	// Trace appends ref's current outgoing strong references (untagged,
+	// non-nil) to out and returns it. Called only on nodes whose count
+	// has reached zero, whose links are therefore immutable.
+	Trace(ref uint64, out []uint64) []uint64
+}
+
+// Domain is a deferred-reference-counting domain.
+type Domain struct {
+	e *ebr.Domain
+}
+
+// NewDomain creates an RC domain over a fresh EBR domain.
+func NewDomain() *Domain { return &Domain{e: ebr.NewDomain()} }
+
+// Unreclaimed returns the number of pending deferred decrements — the
+// closest analogue of "retired but unreclaimed" for a counting scheme
+// (the paper notes the metric is not well-defined for RC).
+func (d *Domain) Unreclaimed() int64 { return d.e.Unreclaimed() }
+
+// PeakUnreclaimed returns the peak pending-decrement count.
+func (d *Domain) PeakUnreclaimed() int64 { return d.e.PeakUnreclaimed() }
+
+// EBR exposes the underlying epoch domain (for tests).
+func (d *Domain) EBR() *ebr.Domain { return d.e }
+
+// DecTask adapts a deferred decrement on one Object to smr.Deallocator so
+// it can ride EBR's retirement machinery. Create one per (domain, object)
+// pair with NewDecTask and reuse it for every DeferDec.
+type DecTask struct {
+	d   *Domain
+	obj Object
+}
+
+// NewDecTask returns the deferred-decrement adapter for obj.
+func NewDecTask(d *Domain, obj Object) *DecTask { return &DecTask{d: d, obj: obj} }
+
+// FreeRef executes the deferred decrement; it runs inside EBR reclamation,
+// after every reader that could still reach ref has unpinned.
+func (dt *DecTask) FreeRef(ref uint64) { runDec(dt.obj, ref) }
+
+// runDec applies a decrement to ref and transitively releases any node
+// whose count reaches zero. Transitive decrements are applied immediately:
+// a child's count can only reach zero here if every other link to it was
+// destroyed earlier, and those destructions' own deferral periods have
+// already covered any reader that obtained the child through them.
+func runDec(obj Object, ref uint64) {
+	var stack [8]uint64
+	work := append(stack[:0], ref)
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		if obj.DecCount(r) == 0 {
+			work = obj.Trace(r, work)
+			obj.FreeRef(r)
+		}
+	}
+}
+
+// Guard is a per-worker RC handle. It embeds an EBR guard: Pin/Unpin
+// bracket read-side critical sections, and Track is a free no-op.
+type Guard struct {
+	*ebr.Guard
+	d *Domain
+}
+
+// NewGuard returns a new per-worker guard.
+func (d *Domain) NewGuard() *Guard {
+	return &Guard{Guard: d.e.NewGuardEBR(), d: d}
+}
+
+// DeferDec schedules a decrement of ref's strong count to run after the
+// current grace period.
+func (g *Guard) DeferDec(dt *DecTask, ref uint64) {
+	g.Guard.Retire(ref, dt)
+}

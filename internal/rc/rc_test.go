@@ -1,0 +1,164 @@
+package rc
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// cnode is a counted list node.
+type cnode struct {
+	count atomic.Int64
+	next  atomic.Uint64
+}
+
+type cpool struct{ *arena.Pool[cnode] }
+
+func (p cpool) IncCount(ref uint64) { p.Deref(ref).count.Add(1) }
+func (p cpool) DecCount(ref uint64) int64 {
+	return p.Deref(ref).count.Add(-1)
+}
+func (p cpool) Trace(ref uint64, out []uint64) []uint64 {
+	if nxt := tagptr.RefOf(p.Deref(ref).next.Load()); nxt != 0 {
+		out = append(out, nxt)
+	}
+	return out
+}
+
+func newChain(p cpool, n int) []uint64 {
+	refs := make([]uint64, n)
+	var prev uint64
+	for i := n - 1; i >= 0; i-- {
+		ref, nd := p.Alloc()
+		nd.count.Store(1) // one incoming link each
+		nd.next.Store(tagptr.Pack(prev, 0))
+		refs[i] = ref
+		prev = ref
+	}
+	return refs
+}
+
+func TestDeferredDecrementFreesAfterGracePeriod(t *testing.T) {
+	d := NewDomain()
+	p := cpool{arena.NewPool[cnode]("c", arena.ModeDetect)}
+	dt := NewDecTask(d, p)
+	g := d.NewGuard()
+
+	ref, nd := p.Alloc()
+	nd.count.Store(1)
+
+	g.Pin()
+	g.DeferDec(dt, ref)
+	g.Unpin()
+	if !p.Live(ref) && false {
+		t.Fatal("unreachable")
+	}
+	g.Drain()
+	if p.Live(ref) {
+		t.Fatal("node not freed after deferred decrement ran")
+	}
+}
+
+func TestTransitiveRelease(t *testing.T) {
+	d := NewDomain()
+	p := cpool{arena.NewPool[cnode]("c", arena.ModeDetect)}
+	dt := NewDecTask(d, p)
+	g := d.NewGuard()
+
+	refs := newChain(p, 10)
+
+	g.Pin()
+	g.DeferDec(dt, refs[0]) // drop the head: whole chain must cascade
+	g.Unpin()
+	g.Drain()
+	for i, r := range refs {
+		if p.Live(r) {
+			t.Fatalf("chain node %d not released transitively", i)
+		}
+	}
+	if p.Stats().Live != 0 {
+		t.Fatalf("leaked %d nodes", p.Stats().Live)
+	}
+}
+
+func TestSharedTailSurvives(t *testing.T) {
+	d := NewDomain()
+	p := cpool{arena.NewPool[cnode]("c", arena.ModeDetect)}
+	dt := NewDecTask(d, p)
+	g := d.NewGuard()
+
+	refs := newChain(p, 3) // a -> b -> c
+	// Second link into c.
+	p.IncCount(refs[2])
+
+	g.Pin()
+	g.DeferDec(dt, refs[0])
+	g.Unpin()
+	g.Drain()
+	if p.Live(refs[0]) || p.Live(refs[1]) {
+		t.Fatal("prefix not released")
+	}
+	if !p.Live(refs[2]) {
+		t.Fatal("shared tail released despite an extra reference")
+	}
+	g.Pin()
+	g.DeferDec(dt, refs[2])
+	g.Unpin()
+	g.Drain()
+	if p.Live(refs[2]) {
+		t.Fatal("tail not released after last reference dropped")
+	}
+}
+
+func TestPinnedReaderDefersDecrement(t *testing.T) {
+	d := NewDomain()
+	p := cpool{arena.NewPool[cnode]("c", arena.ModeDetect)}
+	dt := NewDecTask(d, p)
+	reader := d.NewGuard()
+	writer := d.NewGuard()
+
+	ref, nd := p.Alloc()
+	nd.count.Store(1)
+
+	reader.Pin() // a reader that could still hold ref
+
+	writer.Pin()
+	writer.DeferDec(dt, ref)
+	writer.Unpin()
+	for i := 0; i < 10; i++ {
+		writer.Collect()
+	}
+	if !p.Live(ref) {
+		t.Fatal("decrement ran while a reader was pinned")
+	}
+
+	reader.Unpin()
+	writer.Drain()
+	if p.Live(ref) {
+		t.Fatal("decrement never ran")
+	}
+}
+
+func TestEagerIncPreventsRelease(t *testing.T) {
+	d := NewDomain()
+	p := cpool{arena.NewPool[cnode]("c", arena.ModeDetect)}
+	dt := NewDecTask(d, p)
+	g := d.NewGuard()
+
+	ref, nd := p.Alloc()
+	nd.count.Store(1)
+	p.IncCount(ref) // a writer published a second link
+
+	g.Pin()
+	g.DeferDec(dt, ref)
+	g.Unpin()
+	g.Drain()
+	if !p.Live(ref) {
+		t.Fatal("node freed despite outstanding reference")
+	}
+	if got := p.Deref(ref).count.Load(); got != 1 {
+		t.Fatalf("count = %d, want 1", got)
+	}
+}

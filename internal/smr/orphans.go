@@ -1,0 +1,42 @@
+package smr
+
+import "sync/atomic"
+
+// OrphanList collects retire bags abandoned by finished threads so that a
+// surviving thread's next reclamation pass can adopt and free them. Orphan
+// traffic is rare (thread shutdown only), so a spinlock suffices.
+type OrphanList struct {
+	mu   atomic.Uint32
+	n    atomic.Int32
+	bags [][]Retired
+}
+
+func (o *OrphanList) lock() {
+	for !o.mu.CompareAndSwap(0, 1) {
+	}
+}
+
+func (o *OrphanList) unlock() { o.mu.Store(0) }
+
+// Push hands a bag of retired nodes to the list.
+func (o *OrphanList) Push(bag []Retired) {
+	o.lock()
+	o.bags = append(o.bags, bag)
+	o.n.Add(1)
+	o.unlock()
+}
+
+// Adopt appends all orphaned bags to dst, clears the list, and returns dst.
+func (o *OrphanList) Adopt(dst []Retired) []Retired {
+	if o.n.Load() == 0 {
+		return dst
+	}
+	o.lock()
+	for _, b := range o.bags {
+		dst = append(dst, b...)
+	}
+	o.bags = o.bags[:0]
+	o.n.Store(0)
+	o.unlock()
+	return dst
+}

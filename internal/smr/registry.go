@@ -1,0 +1,136 @@
+package smr
+
+// This file encodes the paper's qualitative comparisons as data so the
+// cmd/tables tool can regenerate Table 1 (scheme comparison) and Table 2
+// (applicability matrix) from the codebase itself.
+
+// SchemeInfo is one column of Table 1.
+type SchemeInfo struct {
+	Name              string
+	SystemRequirement string
+	FailureCondition  string
+	FailureHandling   string
+	Overhead          string
+	UnreclaimedBound  string
+	// Implemented reports whether this repository contains the scheme.
+	Implemented bool
+	Package     string
+}
+
+// Table1 reproduces the paper's Table 1, extended with the schemes this
+// repository implements beyond the robust-and-widely-applicable set.
+func Table1() []SchemeInfo {
+	return []SchemeInfo{
+		{
+			Name:              "PEBR",
+			SystemRequirement: "heavy fence (optional)",
+			FailureCondition:  "neutralization",
+			FailureHandling:   "custom handling",
+			Overhead:          "protection, validation, critical section",
+			UnreclaimedBound:  "O(hazards + neutralization threshold)",
+			Implemented:       true,
+			Package:           "internal/pebr",
+		},
+		{
+			Name:              "NBR",
+			SystemRequirement: "signal, non-local jump",
+			FailureCondition:  "neutralization",
+			FailureHandling:   "only applicable to access-aware DS",
+			Overhead:          "protection on phase change, CS validation",
+			UnreclaimedBound:  "O(hazards + neutralization threshold)",
+			Implemented:       false,
+			Package:           "(not in the paper's benchmark suite)",
+		},
+		{
+			Name:              "VBR",
+			SystemRequirement: "custom allocator, wide CAS",
+			FailureCondition:  "outdated object/field",
+			FailureHandling:   "custom handling",
+			Overhead:          "validation",
+			UnreclaimedBound:  "O(threads)",
+			Implemented:       false,
+			Package:           "(not in the paper's benchmark suite)",
+		},
+		{
+			Name:              "HP++",
+			SystemRequirement: "heavy fence (optional)",
+			FailureCondition:  "invalidated object",
+			FailureHandling:   "custom handling",
+			Overhead:          "protection, validation, frontier protection, invalidation",
+			UnreclaimedBound:  "O(hazards + frontiers + reclamation threshold)",
+			Implemented:       true,
+			Package:           "internal/core",
+		},
+		{
+			Name:              "HP",
+			SystemRequirement: "heavy fence (optional)",
+			FailureCondition:  "unreachable object (over-approximated)",
+			FailureHandling:   "custom handling",
+			Overhead:          "protection, validation",
+			UnreclaimedBound:  "O(hazards + reclamation threshold)",
+			Implemented:       true,
+			Package:           "internal/hp",
+		},
+		{
+			Name:              "EBR",
+			SystemRequirement: "none",
+			FailureCondition:  "never fails",
+			FailureHandling:   "none",
+			Overhead:          "critical section announcement",
+			UnreclaimedBound:  "unbounded (not robust)",
+			Implemented:       true,
+			Package:           "internal/ebr",
+		},
+		{
+			Name:              "RC (CDRC-EBR)",
+			SystemRequirement: "none",
+			FailureCondition:  "never fails",
+			FailureHandling:   "weak pointers for cycles",
+			Overhead:          "eager increments, deferred decrements",
+			UnreclaimedBound:  "unbounded (EBR underneath)",
+			Implemented:       true,
+			Package:           "internal/rc",
+		},
+	}
+}
+
+// Applicability is one row of Table 2.
+type Applicability struct {
+	DataStructure string
+	Reference     string
+	HP            string // "yes", "no", "lockfree" (▲: wait-freedom lost), "effort" (*)
+	DEBRAp        string
+	NBR           string
+	EBR           string
+	HPP           string // HP++, PEBR, VBR column of the paper
+	// InRepo names this repository's package when the structure is
+	// implemented here.
+	InRepo string
+}
+
+// Table2 reproduces the paper's Table 2 applicability matrix.
+func Table2() []Applicability {
+	return []Applicability{
+		{"linked list (lazy)", "Heller+ 2006", "no", "no", "lockfree", "yes", "lockfree", ""},
+		{"linked list (Harris)", "Harris 2001", "no", "effort", "yes", "yes", "yes", "internal/ds/hhslist"},
+		{"linked list (Harris-Michael)", "Michael 2002", "yes", "effort", "no", "yes", "yes", "internal/ds/hmlist"},
+		{"partially ext. BST", "Drachsler+ 2014", "no", "no", "restructure", "yes", "yes", ""},
+		{"ext. BST", "Ellen+ 2010", "yes", "effort", "yes", "yes", "yes", "internal/ds/efrbtree"},
+		{"ext. BST", "Natarajan-Mittal 2014", "no", "effort", "yes", "yes", "yes", "internal/ds/nmtree"},
+		{"ext. BST", "Ellen+ 2014", "yes", "effort", "no", "yes", "yes", ""},
+		{"ext. BST", "David+ 2015", "no", "no", "lockfree", "yes", "lockfree", ""},
+		{"int. BST", "Howley-Jones 2012", "no", "effort", "yes", "yes", "yes", ""},
+		{"int. BST", "Ramachandran-Mittal 2015", "no", "no", "no", "yes", "yes", ""},
+		{"partially ext. AVL", "Bronson+ 2010", "yes", "no", "no", "yes", "yes", ""},
+		{"partially ext. AVL", "Drachsler+ 2014", "no", "no", "no", "yes", "yes", ""},
+		{"ext. relaxed AVL", "He-Li 2017", "no", "yes", "yes", "yes", "yes", ""},
+		{"ext. AVL", "Brown 2017", "no", "yes", "yes", "yes", "yes", ""},
+		{"patricia trie", "Shafiei 2019", "no", "effort", "lockfree", "yes", "lockfree", ""},
+		{"ext. chromatic tree", "Brown+ 2014", "no", "yes", "yes", "yes", "yes", ""},
+		{"ext. (a,b)-tree", "Brown 2017", "no", "yes", "yes", "yes", "yes", ""},
+		{"ext. interpolation tree", "Brown+ 2020", "no", "no", "no", "yes", "lockfree", ""},
+		// Additional structures this repository evaluates (paper §5):
+		{"skiplist (Herlihy-Shavit)", "Herlihy-Shavit 2012", "yes*", "-", "-", "yes", "yes", "internal/ds/skiplist"},
+		{"Bonsai tree (CoW)", "Clements+ 2012", "yes*", "-", "-", "yes", "yes", "internal/ds/bonsai"},
+	}
+}

@@ -1,0 +1,102 @@
+// Package smr defines the vocabulary shared by all safe-memory-reclamation
+// schemes in this repository: retired garbage, deallocation targets, the
+// guard protocol used by critical-section style schemes (EBR, PEBR, NR),
+// and unreclaimed-garbage accounting used by the benchmark harness.
+package smr
+
+import "sync/atomic"
+
+// Deallocator frees an arena slot by reference. *arena.Pool[T] implements
+// it for every T.
+type Deallocator interface {
+	FreeRef(ref uint64)
+}
+
+// Retired is a node that has been detached from its data structure and
+// handed to a reclamation scheme, but not yet freed.
+type Retired struct {
+	Ref uint64
+	D   Deallocator
+}
+
+// Free deallocates the retired node.
+func (r Retired) Free() { r.D.FreeRef(r.Ref) }
+
+// Guard is the per-operation handle protocol used by the shared
+// "optimistic traversal" data-structure implementations. EBR, PEBR and NR
+// implement it; HP, HP++ and RC use their own richer APIs.
+//
+// A Guard belongs to a single worker goroutine and is not safe for
+// concurrent use.
+type Guard interface {
+	// Pin enters a critical section. Nodes that are unlinked and retired
+	// after Pin remain safe to access until Unpin.
+	Pin()
+	// Unpin leaves the critical section.
+	Unpin()
+	// Track announces that protection slot i covers ref and reports
+	// whether the traversal may continue. It returns false only when the
+	// guard has been neutralized (PEBR ejection); the caller must then
+	// Unpin, Pin and restart from the data structure's entry point.
+	// For EBR and NR it is a no-op returning true.
+	Track(i int, ref uint64) bool
+	// Retire hands an unlinked node to the scheme for eventual freeing.
+	// Must be called inside a critical section.
+	Retire(ref uint64, d Deallocator)
+}
+
+// Domain is implemented by every reclamation scheme instance.
+type Domain interface {
+	// Unreclaimed returns the number of retired-but-not-yet-freed nodes.
+	Unreclaimed() int64
+	// PeakUnreclaimed returns the maximum value Unreclaimed has reached.
+	PeakUnreclaimed() int64
+}
+
+// GuardDomain is a Domain whose per-thread handles follow the Guard
+// protocol (EBR, PEBR, NR).
+type GuardDomain interface {
+	Domain
+	// NewGuard returns a guard with capacity for at least slots
+	// protection slots. One guard per worker goroutine.
+	NewGuard(slots int) Guard
+}
+
+// Garbage tracks retired-but-unreclaimed node counts for a scheme
+// instance. All methods are safe for concurrent use.
+type Garbage struct {
+	cur          atomic.Int64
+	peak         atomic.Int64
+	totalRetired atomic.Int64
+	totalFreed   atomic.Int64
+}
+
+// AddRetired records n newly retired nodes.
+func (g *Garbage) AddRetired(n int64) {
+	g.totalRetired.Add(n)
+	c := g.cur.Add(n)
+	for {
+		p := g.peak.Load()
+		if c <= p || g.peak.CompareAndSwap(p, c) {
+			return
+		}
+	}
+}
+
+// AddFreed records n nodes handed back to the allocator.
+func (g *Garbage) AddFreed(n int64) {
+	g.totalFreed.Add(n)
+	g.cur.Add(-n)
+}
+
+// Unreclaimed returns the current retired-but-unreclaimed count.
+func (g *Garbage) Unreclaimed() int64 { return g.cur.Load() }
+
+// PeakUnreclaimed returns the maximum retired-but-unreclaimed count seen.
+func (g *Garbage) PeakUnreclaimed() int64 { return g.peak.Load() }
+
+// TotalRetired returns the cumulative number of retired nodes.
+func (g *Garbage) TotalRetired() int64 { return g.totalRetired.Load() }
+
+// TotalFreed returns the cumulative number of freed nodes.
+func (g *Garbage) TotalFreed() int64 { return g.totalFreed.Load() }

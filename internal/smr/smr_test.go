@@ -1,0 +1,176 @@
+package smr
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type fakeDealloc struct{ freed []uint64 }
+
+func (f *fakeDealloc) FreeRef(ref uint64) { f.freed = append(f.freed, ref) }
+
+func TestRetiredFree(t *testing.T) {
+	d := &fakeDealloc{}
+	r := Retired{Ref: 42, D: d}
+	r.Free()
+	if len(d.freed) != 1 || d.freed[0] != 42 {
+		t.Fatalf("freed = %v", d.freed)
+	}
+}
+
+func TestGarbageAccounting(t *testing.T) {
+	var g Garbage
+	g.AddRetired(10)
+	g.AddRetired(5)
+	if g.Unreclaimed() != 15 || g.PeakUnreclaimed() != 15 {
+		t.Fatalf("cur=%d peak=%d", g.Unreclaimed(), g.PeakUnreclaimed())
+	}
+	g.AddFreed(12)
+	if g.Unreclaimed() != 3 {
+		t.Fatalf("cur=%d", g.Unreclaimed())
+	}
+	if g.PeakUnreclaimed() != 15 {
+		t.Fatalf("peak dropped: %d", g.PeakUnreclaimed())
+	}
+	g.AddRetired(20)
+	if g.PeakUnreclaimed() != 23 {
+		t.Fatalf("peak=%d, want 23", g.PeakUnreclaimed())
+	}
+	if g.TotalRetired() != 35 || g.TotalFreed() != 12 {
+		t.Fatalf("totals %d/%d", g.TotalRetired(), g.TotalFreed())
+	}
+}
+
+func TestGarbagePeakConcurrent(t *testing.T) {
+	var g Garbage
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.AddRetired(1)
+				g.AddFreed(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Unreclaimed() != 0 {
+		t.Fatalf("cur=%d", g.Unreclaimed())
+	}
+	if p := g.PeakUnreclaimed(); p < 1 || p > 8 {
+		t.Fatalf("peak=%d outside [1,8]", p)
+	}
+}
+
+// TestGarbageInvariant: under any interleaving of retires and frees,
+// peak >= cur and totals balance.
+func TestGarbageInvariant(t *testing.T) {
+	prop := func(ops []int8) bool {
+		var g Garbage
+		outstanding := int64(0)
+		for _, op := range ops {
+			if op >= 0 {
+				g.AddRetired(int64(op))
+				outstanding += int64(op)
+			} else if outstanding > 0 {
+				n := int64(-op)
+				if n > outstanding {
+					n = outstanding
+				}
+				g.AddFreed(n)
+				outstanding -= n
+			}
+		}
+		return g.Unreclaimed() == outstanding &&
+			g.PeakUnreclaimed() >= g.Unreclaimed() &&
+			g.TotalRetired()-g.TotalFreed() == g.Unreclaimed()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrphanListPushAdopt(t *testing.T) {
+	var o OrphanList
+	d := &fakeDealloc{}
+	o.Push([]Retired{{Ref: 1, D: d}, {Ref: 2, D: d}})
+	o.Push([]Retired{{Ref: 3, D: d}})
+	got := o.Adopt(nil)
+	if len(got) != 3 {
+		t.Fatalf("adopted %d, want 3", len(got))
+	}
+	// Second adopt is empty.
+	if got := o.Adopt(nil); len(got) != 0 {
+		t.Fatalf("second adopt = %v", got)
+	}
+}
+
+func TestOrphanListConcurrent(t *testing.T) {
+	var o OrphanList
+	d := &fakeDealloc{}
+	var wg sync.WaitGroup
+	const pushers = 4
+	const bags = 100
+	for w := 0; w < pushers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < bags; i++ {
+				o.Push([]Retired{{Ref: uint64(i), D: d}})
+			}
+		}()
+	}
+	total := 0
+	var mu sync.Mutex
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := len(o.Adopt(nil))
+				mu.Lock()
+				total += n
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	total += len(o.Adopt(nil))
+	if total != pushers*bags {
+		t.Fatalf("adopted %d, want %d", total, pushers*bags)
+	}
+}
+
+func TestRegistryTablesPopulated(t *testing.T) {
+	t1 := Table1()
+	if len(t1) < 5 {
+		t.Fatalf("Table1 has %d rows", len(t1))
+	}
+	implemented := 0
+	for _, s := range t1 {
+		if s.Implemented {
+			implemented++
+			if s.Package == "" {
+				t.Errorf("%s implemented but no package", s.Name)
+			}
+		}
+	}
+	if implemented < 5 {
+		t.Fatalf("only %d schemes implemented", implemented)
+	}
+	t2 := Table2()
+	if len(t2) < 18 {
+		t.Fatalf("Table2 has %d rows, want the paper's 18+", len(t2))
+	}
+	inRepo := 0
+	for _, a := range t2 {
+		if a.InRepo != "" {
+			inRepo++
+		}
+	}
+	if inRepo < 6 {
+		t.Fatalf("only %d structures mapped to packages", inRepo)
+	}
+}

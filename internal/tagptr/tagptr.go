@@ -1,0 +1,58 @@
+// Package tagptr packs node references and tag bits into single 64-bit
+// link words so that (pointer, tags) pairs can be updated with one CAS,
+// mirroring the tagged-pointer idiom of C/Rust lock-free data structures.
+//
+// A Ref is an opaque non-zero handle to an arena slot (see internal/arena);
+// Ref 0 is the nil reference. A Word is a link-field value packing a Ref
+// shifted left by 3 with up to three tag bits:
+//
+//	bit 0 (Mark):    logical deletion (Harris-style), or NM-tree "flag"
+//	bit 1 (Flag):    second control bit (NM-tree "tag")
+//	bit 2 (Invalid): HP++ invalidation
+//
+// The same packing doubles as the EFRB tree's update word, where the low
+// bits hold an operation state and the upper bits a descriptor Ref.
+package tagptr
+
+// Ref is an opaque reference to an arena slot. Zero is nil.
+type Ref = uint64
+
+// Word is a packed link-field value: Ref<<3 | tags.
+type Word = uint64
+
+// Tag bits stored in the low three bits of a Word.
+const (
+	Mark    uint64 = 1 // logical deletion / NM-tree flag
+	Flag    uint64 = 2 // NM-tree tag / secondary control bit
+	Invalid uint64 = 4 // HP++ invalidation
+	TagMask uint64 = 7
+
+	shift = 3
+)
+
+// Pack builds a link word from a reference and tag bits.
+func Pack(r Ref, tag uint64) Word { return r<<shift | (tag & TagMask) }
+
+// RefOf extracts the reference, dropping all tags.
+func RefOf(w Word) Ref { return w >> shift }
+
+// TagOf extracts the tag bits.
+func TagOf(w Word) uint64 { return w & TagMask }
+
+// Split extracts both the reference and the tag bits.
+func Split(w Word) (Ref, uint64) { return w >> shift, w & TagMask }
+
+// WithTag returns w with the given tag bits set (OR-ed in).
+func WithTag(w Word, tag uint64) Word { return w | (tag & TagMask) }
+
+// WithoutTag returns w with all tag bits cleared.
+func WithoutTag(w Word) Word { return w &^ TagMask }
+
+// IsMarked reports whether the Mark bit is set.
+func IsMarked(w Word) bool { return w&Mark != 0 }
+
+// IsInvalid reports whether the Invalid bit is set.
+func IsInvalid(w Word) bool { return w&Invalid != 0 }
+
+// IsNil reports whether the word references nil (ignoring tags).
+func IsNil(w Word) bool { return w>>shift == 0 }

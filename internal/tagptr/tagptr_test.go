@@ -1,0 +1,78 @@
+package tagptr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackSplitRoundTrip(t *testing.T) {
+	cases := []struct {
+		ref Ref
+		tag uint64
+	}{
+		{0, 0}, {1, 0}, {1, Mark}, {42, Flag}, {42, Invalid},
+		{1 << 30, Mark | Invalid}, {7, TagMask},
+	}
+	for _, c := range cases {
+		w := Pack(c.ref, c.tag)
+		r, tg := Split(w)
+		if r != c.ref || tg != c.tag {
+			t.Errorf("Pack(%d,%d) roundtrip = (%d,%d)", c.ref, c.tag, r, tg)
+		}
+	}
+}
+
+func TestPackSplitProperty(t *testing.T) {
+	prop := func(ref uint64, tag uint8) bool {
+		ref &= 1<<40 - 1 // arena refs fit in 40 bits
+		tg := uint64(tag) & TagMask
+		w := Pack(ref, tg)
+		r, got := Split(w)
+		return r == ref && got == tg && RefOf(w) == ref && TagOf(w) == tg
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagPredicates(t *testing.T) {
+	w := Pack(9, 0)
+	if IsMarked(w) || IsInvalid(w) || IsNil(w) {
+		t.Fatalf("clean word misreported: %b", w)
+	}
+	if !IsMarked(WithTag(w, Mark)) {
+		t.Error("Mark not detected")
+	}
+	if !IsInvalid(WithTag(w, Invalid)) {
+		t.Error("Invalid not detected")
+	}
+	if !IsNil(Pack(0, Mark)) {
+		t.Error("tagged nil should still be nil")
+	}
+}
+
+func TestWithoutTagClearsAllTags(t *testing.T) {
+	w := Pack(123, Mark|Flag|Invalid)
+	if got := WithoutTag(w); got != Pack(123, 0) {
+		t.Errorf("WithoutTag = %d, want %d", got, Pack(123, 0))
+	}
+}
+
+func TestWithTagPreservesExisting(t *testing.T) {
+	w := Pack(5, Mark)
+	w = WithTag(w, Invalid)
+	if TagOf(w) != Mark|Invalid {
+		t.Errorf("tags = %b, want Mark|Invalid", TagOf(w))
+	}
+	if RefOf(w) != 5 {
+		t.Errorf("ref corrupted: %d", RefOf(w))
+	}
+}
+
+func TestTagMaskIgnoresHighBits(t *testing.T) {
+	// Pack must not let oversized tag arguments corrupt the reference.
+	w := Pack(77, 0xFF)
+	if RefOf(w) != 77 || TagOf(w) != TagMask {
+		t.Errorf("Pack(77, 0xFF) = ref %d tag %b", RefOf(w), TagOf(w))
+	}
+}

@@ -1,0 +1,40 @@
+// Package unsafefree is a deliberately broken reclamation "scheme" that
+// frees nodes the moment they are retired, with no grace period and no
+// protection. It exists purely so tests can demonstrate that (a) the
+// arena's detect mode really catches use-after-free, and (b) the data
+// structures genuinely depend on their reclamation schemes — if a
+// structure passes its stress test under unsafefree, the test is too weak.
+package unsafefree
+
+import "github.com/gosmr/gosmr/internal/smr"
+
+// Domain immediately frees every retired node.
+type Domain struct {
+	g smr.Garbage
+}
+
+// NewDomain returns a new immediate-free domain.
+func NewDomain() *Domain { return &Domain{} }
+
+// NewGuard returns a guard whose Retire frees immediately.
+func (d *Domain) NewGuard(slots int) smr.Guard { return &guard{d: d} }
+
+// Unreclaimed is always 0: garbage never outlives Retire.
+func (d *Domain) Unreclaimed() int64 { return 0 }
+
+// PeakUnreclaimed is always 0.
+func (d *Domain) PeakUnreclaimed() int64 { return 0 }
+
+type guard struct{ d *Domain }
+
+func (g *guard) Pin()                         {}
+func (g *guard) Unpin()                       {}
+func (g *guard) Track(i int, ref uint64) bool { return true }
+
+func (g *guard) Retire(ref uint64, d smr.Deallocator) {
+	g.d.g.AddRetired(1)
+	d.FreeRef(ref)
+	g.d.g.AddFreed(1)
+}
+
+var _ smr.GuardDomain = (*Domain)(nil)

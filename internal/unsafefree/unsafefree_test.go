@@ -1,0 +1,43 @@
+package unsafefree
+
+import (
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+)
+
+func TestFreesImmediately(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	g := d.NewGuard(0)
+	ref, _ := p.Alloc()
+	g.Retire(ref, p)
+	if p.Live(ref) {
+		t.Fatal("unsafefree must free on retire")
+	}
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed = %d", d.Unreclaimed())
+	}
+}
+
+// TestDanglingAccessDetected demonstrates the whole point of the package:
+// an access pattern that is safe under any real scheme becomes a detected
+// use-after-free here.
+func TestDanglingAccessDetected(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	p.SetCount()
+	g := d.NewGuard(0)
+
+	ref, v := p.Alloc()
+	*v = 7
+	g.Pin()     // would be protection under EBR...
+	held := ref // ...so holding the ref across a concurrent retire...
+	g.Retire(ref, p)
+	p.Deref(held) // ...must be caught when the scheme freed it instantly.
+	g.Unpin()
+
+	if p.Stats().UAF != 1 {
+		t.Fatalf("UAF count = %d, want 1", p.Stats().UAF)
+	}
+}
