@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the tier-1 gate; `make race`
+# reruns everything under the race detector. Stress/linearizability tests
+# honour -short (subsampled matrix); `make stress` sweeps the full matrix
+# including the unsafefree must-fail controls.
+
+GO ?= go
+
+.PHONY: check race test short stress bench vet
+
+check: vet
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+stress:
+	$(GO) run ./cmd/stress -unsafe
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=200ms ./internal/bench/

@@ -84,6 +84,8 @@ type Pool[T any] struct {
 	uaf        atomic.Int64 // detected use-after-free derefs (ModeDetect)
 	doubleFree atomic.Int64 // detected double frees (any mode)
 	panicOnBug bool
+
+	derefHook atomic.Pointer[func(Ref)] // ModeDetect fault-injection yieldpoint
 }
 
 // NewPool creates a pool for values of type T. In ModeDetect the pool
@@ -105,6 +107,22 @@ func NewPool[T any](name string, mode Mode) *Pool[T] {
 // SetCount makes detected memory bugs increment counters instead of
 // panicking. Intended for tests that assert a scheme IS unsafe.
 func (p *Pool[T]) SetCount() { p.panicOnBug = false }
+
+// SetDerefHook installs a fault-injection hook called on every Deref in
+// ModeDetect, after the slot is resolved but before liveness validation.
+// Stress harnesses use it to widen race windows deterministically (e.g.
+// runtime.Gosched every Nth deref, or parking a designated reader
+// mid-traversal): a correct reclamation scheme keeps the slot live across
+// any delay the hook introduces, while a buggy scheme frees it during the
+// hook and is caught by the validation that follows. Pass nil to remove.
+// ModeReuse pools ignore the hook entirely.
+func (p *Pool[T]) SetDerefHook(fn func(Ref)) {
+	if fn == nil {
+		p.derefHook.Store(nil)
+		return
+	}
+	p.derefHook.Store(&fn)
+}
 
 // Name returns the pool's diagnostic name.
 func (p *Pool[T]) Name() string { return p.name }
@@ -183,10 +201,15 @@ func (p *Pool[T]) Deref(ref Ref) *T {
 		panic("arena " + p.name + ": deref of nil ref")
 	}
 	s := p.slotOf(ref)
-	if p.mode == ModeDetect && s.state.Load()&liveBit == 0 {
-		p.uaf.Add(1)
-		if p.panicOnBug {
-			panic(fmt.Sprintf("arena %s: use-after-free deref of ref %d", p.name, ref))
+	if p.mode == ModeDetect {
+		if fn := p.derefHook.Load(); fn != nil {
+			(*fn)(ref)
+		}
+		if s.state.Load()&liveBit == 0 {
+			p.uaf.Add(1)
+			if p.panicOnBug {
+				panic(fmt.Sprintf("arena %s: use-after-free deref of ref %d", p.name, ref))
+			}
 		}
 	}
 	return &s.val

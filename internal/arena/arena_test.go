@@ -225,3 +225,126 @@ func TestAllocFreeProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDoubleFreeAcrossSlabBoundary allocates past the first slab so the
+// victim refs live in different slabs, then double-frees both: the
+// detection must not depend on which slab a slot landed in.
+func TestDoubleFreeAcrossSlabBoundary(t *testing.T) {
+	p := NewPool[payload]("t", ModeDetect)
+	p.SetCount()
+	var last Ref
+	first := Ref(0)
+	for i := 0; i < slabSize+2; i++ {
+		ref, _ := p.Alloc()
+		if first == 0 {
+			first = ref
+		}
+		last = ref
+	}
+	if first>>slabBits == last>>slabBits {
+		t.Fatalf("refs %d and %d landed in the same slab", first, last)
+	}
+	p.Free(first)
+	p.Free(last)
+	p.Free(first)
+	p.Free(last)
+	if df := p.Stats().DoubleFree; df != 2 {
+		t.Fatalf("double-free count = %d, want 2", df)
+	}
+	// The earlier legitimate frees must still be counted exactly once.
+	if st := p.Stats(); st.Frees != 2 {
+		t.Fatalf("frees = %d, want 2", st.Frees)
+	}
+}
+
+// TestDerefQuarantinedThenRepoisoned: a quarantined slot stays poisoned
+// across later allocations (which in detect mode never recycle it), and
+// every deref of the stale ref keeps reporting UAF — the quarantine is
+// not "healed" by allocator activity touching the same slab.
+func TestDerefQuarantinedThenRepoisoned(t *testing.T) {
+	p := NewPool[payload]("t", ModeDetect)
+	p.SetCount()
+	stale, v := p.Alloc()
+	v.a = 42
+	p.Free(stale)
+	if p.Deref(stale); p.Stats().UAF != 1 {
+		t.Fatalf("UAF after first stale deref = %d, want 1", p.Stats().UAF)
+	}
+	// Churn the allocator: new slots in the same slab, plus frees that
+	// re-poison neighbouring slots.
+	for i := 0; i < 64; i++ {
+		ref, _ := p.Alloc()
+		if ref == stale {
+			t.Fatal("detect mode recycled a quarantined slot")
+		}
+		if i%2 == 0 {
+			p.Free(ref)
+		}
+	}
+	p.Deref(stale)
+	p.Deref(stale)
+	if got := p.Stats().UAF; got != 3 {
+		t.Fatalf("UAF after repoisoned derefs = %d, want 3", got)
+	}
+	if p.Live(stale) {
+		t.Fatal("quarantined slot reported live")
+	}
+}
+
+// TestSetCountAccuracyUnderConcurrentOffenders hammers a freed slot from
+// many goroutines: the UAF counter must equal the exact number of
+// offending derefs (no lost or double counts under contention).
+func TestSetCountAccuracyUnderConcurrentOffenders(t *testing.T) {
+	const offenders = 8
+	const each = 2000
+	p := NewPool[payload]("t", ModeDetect)
+	p.SetCount()
+	ref, _ := p.Alloc()
+	p.Free(ref)
+	var wg sync.WaitGroup
+	for w := 0; w < offenders; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				p.Deref(ref)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Stats().UAF; got != offenders*each {
+		t.Fatalf("UAF count = %d, want %d", got, offenders*each)
+	}
+	if df := p.Stats().DoubleFree; df != 0 {
+		t.Fatalf("double-free count = %d, want 0", df)
+	}
+}
+
+// TestDerefHookWidensRaceWindow: the yieldpoint hook runs between slot
+// resolution and validation, so a free performed inside the hook is
+// detected — the mechanism the stress harness relies on to make
+// unsafe-scheme races deterministic on any core count.
+func TestDerefHookWidensRaceWindow(t *testing.T) {
+	p := NewPool[payload]("t", ModeDetect)
+	p.SetCount()
+	ref, _ := p.Alloc()
+	fired := false
+	p.SetDerefHook(func(r Ref) {
+		if r == ref && !fired {
+			fired = true
+			p.Free(ref) // the "concurrent" free, made deterministic
+		}
+	})
+	p.Deref(ref)
+	if !fired {
+		t.Fatal("hook did not fire")
+	}
+	if got := p.Stats().UAF; got != 1 {
+		t.Fatalf("UAF count = %d, want 1", got)
+	}
+	p.SetDerefHook(nil)
+	p.Deref(ref) // still quarantined: counts without the hook
+	if got := p.Stats().UAF; got != 2 {
+		t.Fatalf("UAF count after hook removal = %d, want 2", got)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/gosmr/gosmr/internal/arena"
 )
 
 // Workload is the operation mix of a run.
@@ -56,6 +58,17 @@ type Handle interface {
 	Delete(key uint64) bool
 }
 
+// PoolInfo is the slice of the arena pool API the stress harness needs:
+// bug counters, panic-vs-count switching, and the deref fault-injection
+// hook. Every *arena.Pool[T] (and the per-package pool wrappers embedding
+// one) satisfies it.
+type PoolInfo interface {
+	Name() string
+	Stats() arena.Stats
+	SetCount()
+	SetDerefHook(func(uint64))
+}
+
 // Target is one (data structure, scheme) instance under test. NewTarget
 // in targets.go builds them.
 type Target struct {
@@ -77,6 +90,15 @@ type Target struct {
 	// section (or holds a protection) and never progresses — the
 	// robustness adversary of §4.4.
 	Stall func()
+	// Pools lists every arena pool backing the target, for UAF and
+	// double-free attribution in detect-mode stress runs.
+	Pools []PoolInfo
+	// Agitate, if non-nil, performs one pulse of reclamation pressure
+	// from a dedicated goroutine: an epoch-advance/ejection attempt for
+	// EBR/PEBR (the PEBR neutralization storm), a reclamation scan for
+	// HP/HP++, a collection for RC. Safe to call concurrently with
+	// workers, but only from one goroutine.
+	Agitate func()
 }
 
 // Config parameterizes a run.

@@ -1,0 +1,101 @@
+package bench
+
+import "github.com/gosmr/gosmr/internal/linchk"
+
+// History-recording adapters: wrap a target handle so every operation is
+// timestamped against a shared linchk.Clock and appended to a per-worker
+// log. The wrappers preserve the handle contract (single-goroutine use);
+// only the clock is shared.
+
+// Recorded wraps a map-style Handle with history recording.
+type Recorded struct {
+	h Handle
+	r *linchk.Recorder
+}
+
+// NewRecorded wraps h so its operations are logged to r.
+func NewRecorded(h Handle, r *linchk.Recorder) *Recorded {
+	return &Recorded{h: h, r: r}
+}
+
+// Get implements Handle.
+func (x *Recorded) Get(key uint64) (uint64, bool) {
+	inv := x.r.Inv()
+	v, ok := x.h.Get(key)
+	x.r.Record(linchk.OpGet, key, v, ok, inv)
+	return v, ok
+}
+
+// Insert implements Handle.
+func (x *Recorded) Insert(key, val uint64) bool {
+	inv := x.r.Inv()
+	ok := x.h.Insert(key, val)
+	x.r.Record(linchk.OpInsert, key, val, ok, inv)
+	return ok
+}
+
+// Delete implements Handle.
+func (x *Recorded) Delete(key uint64) bool {
+	inv := x.r.Inv()
+	ok := x.h.Delete(key)
+	x.r.Record(linchk.OpDelete, key, 0, ok, inv)
+	return ok
+}
+
+// RecordedQueue wraps a QueueHandle with history recording.
+type RecordedQueue struct {
+	h QueueHandle
+	r *linchk.Recorder
+}
+
+// NewRecordedQueue wraps h so its operations are logged to r.
+func NewRecordedQueue(h QueueHandle, r *linchk.Recorder) *RecordedQueue {
+	return &RecordedQueue{h: h, r: r}
+}
+
+// Enqueue implements QueueHandle.
+func (x *RecordedQueue) Enqueue(val uint64) {
+	inv := x.r.Inv()
+	x.h.Enqueue(val)
+	x.r.Record(linchk.OpEnqueue, 0, val, true, inv)
+}
+
+// Dequeue implements QueueHandle.
+func (x *RecordedQueue) Dequeue() (uint64, bool) {
+	inv := x.r.Inv()
+	v, ok := x.h.Dequeue()
+	x.r.Record(linchk.OpDequeue, 0, v, ok, inv)
+	return v, ok
+}
+
+// RecordedStack wraps a StackHandle with history recording.
+type RecordedStack struct {
+	h StackHandle
+	r *linchk.Recorder
+}
+
+// NewRecordedStack wraps h so its operations are logged to r.
+func NewRecordedStack(h StackHandle, r *linchk.Recorder) *RecordedStack {
+	return &RecordedStack{h: h, r: r}
+}
+
+// Push implements StackHandle.
+func (x *RecordedStack) Push(val uint64) {
+	inv := x.r.Inv()
+	x.h.Push(val)
+	x.r.Record(linchk.OpPush, 0, val, true, inv)
+}
+
+// Pop implements StackHandle.
+func (x *RecordedStack) Pop() (uint64, bool) {
+	inv := x.r.Inv()
+	v, ok := x.h.Pop()
+	x.r.Record(linchk.OpPop, 0, v, ok, inv)
+	return v, ok
+}
+
+var (
+	_ Handle      = (*Recorded)(nil)
+	_ QueueHandle = (*RecordedQueue)(nil)
+	_ StackHandle = (*RecordedStack)(nil)
+)

@@ -14,10 +14,18 @@ import (
 	"github.com/gosmr/gosmr/internal/pebr"
 	"github.com/gosmr/gosmr/internal/rc"
 	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/unsafefree"
 )
 
 // Scheme names accepted by NewTarget.
 var Schemes = []string{"nr", "ebr", "pebr", "hp", "hp++", "hp++ef", "rc"}
+
+// UnsafeScheme is the deliberately broken immediate-free "scheme". It is
+// accepted by NewTarget for every data structure with a critical-section
+// variant, but intentionally kept out of Schemes: it exists as a
+// must-fail control for detect-mode stress runs, never as a benchmark
+// subject.
+const UnsafeScheme = "unsafefree"
 
 // DataStructures lists the registered data structures.
 func DataStructures() []string {
@@ -51,8 +59,28 @@ func guardDomain(scheme string) (smr.GuardDomain, smr.Domain) {
 	case "pebr":
 		d := pebr.NewDomain()
 		return d, d
+	case UnsafeScheme:
+		d := unsafefree.NewDomain()
+		return d, d
 	}
 	return nil, nil
+}
+
+// agitatorFor returns a reclamation-pressure pulse for CS-style domains:
+// a Collect that tries to advance the epoch, ejecting (neutralizing)
+// lagging PEBR participants — the "neutralization storm" fault injector.
+// The returned closure owns its guard and must be called from a single
+// goroutine.
+func agitatorFor(d smr.Domain) func() {
+	switch dom := d.(type) {
+	case *ebr.Domain:
+		g := dom.NewGuardEBR()
+		return func() { g.Collect() }
+	case *pebr.Domain:
+		g := dom.NewGuardPEBR(1)
+		return func() { g.Collect() }
+	}
+	return nil
 }
 
 // NewTarget builds a fresh benchmark target for one (ds, scheme) pair.
@@ -82,7 +110,7 @@ func NewTarget(ds, scheme string, mode arena.Mode) (Target, error) {
 func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "hmlist", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr":
+	case "nr", "ebr", "pebr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := hmlist.NewPool(mode)
 		l := hmlist.NewListCS(pool)
@@ -97,6 +125,8 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Pools = []PoolInfo{pool}
+		t.Agitate = agitatorFor(d)
 	case "hp":
 		dom := hp.NewDomain()
 		pool := hmlist.NewPool(mode)
@@ -117,6 +147,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := hmlist.NewPool(mode)
@@ -137,6 +168,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
 		pool := hmlist.NewPoolRC(mode)
@@ -160,6 +192,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
 	}
@@ -169,7 +202,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "hhslist", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr":
+	case "nr", "ebr", "pebr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := hhslist.NewPool(mode)
 		l := hhslist.NewListCS(pool)
@@ -184,6 +217,8 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Pools = []PoolInfo{pool}
+		t.Agitate = agitatorFor(d)
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := hhslist.NewPool(mode)
@@ -204,6 +239,7 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
 		pool := hhslist.NewPoolRC(mode)
@@ -227,6 +263,7 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to hhslist", scheme)
 	}
@@ -237,7 +274,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "hashmap", Scheme: scheme}
 	nb := hashmap.DefaultBuckets
 	switch scheme {
-	case "nr", "ebr", "pebr":
+	case "nr", "ebr", "pebr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := hhslist.NewPool(mode)
 		m := hashmap.NewMapCS(pool, nb)
@@ -258,6 +295,8 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Pools = []PoolInfo{pool}
+		t.Agitate = agitatorFor(d)
 	case "hp":
 		dom := hp.NewDomain()
 		pool := hmlist.NewPool(mode)
@@ -278,6 +317,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := hhslist.NewPool(mode)
@@ -298,6 +338,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
 		pool := hhslist.NewPoolRC(mode)
@@ -321,6 +362,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
 	}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/msqueue"
+	"github.com/gosmr/gosmr/internal/ds/tstack"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+// The queue and stack are not part of the paper's Table 2 throughput
+// matrix (they have no Get/Insert/Delete surface), but they ARE part of
+// the safety matrix: this file registers them as first-class stress
+// targets so the linearizability harness sweeps all nine structures.
+
+// QueueHandle is the per-worker operation surface of queue targets.
+type QueueHandle interface {
+	Enqueue(val uint64)
+	Dequeue() (uint64, bool)
+}
+
+// StackHandle is the per-worker operation surface of stack targets.
+type StackHandle interface {
+	Push(val uint64)
+	Pop() (uint64, bool)
+}
+
+// QueueSchemes lists the schemes with an MS-queue variant. The queue
+// predates HP++'s optimistic traversal problem — original HP already
+// protects it — so only the HP family is implemented.
+var QueueSchemes = []string{"hp", "hp++", "hp++ef"}
+
+// StackSchemes lists the schemes with a Treiber-stack variant: the HP
+// family plus every critical-section scheme (the CS stack works with any
+// smr.GuardDomain, including the unsafefree control).
+var StackSchemes = []string{"nr", "ebr", "pebr", "hp", "hp++", "hp++ef"}
+
+// QueueTarget is one (msqueue, scheme) instance under test.
+type QueueTarget struct {
+	Scheme      string
+	NewHandle   func() QueueHandle
+	Finish      func()
+	Unreclaimed func() int64
+	Pools       []PoolInfo
+	Stall       func()
+	Agitate     func()
+}
+
+// StackTarget is one (tstack, scheme) instance under test.
+type StackTarget struct {
+	Scheme      string
+	NewHandle   func() StackHandle
+	Finish      func()
+	Unreclaimed func() int64
+	Pools       []PoolInfo
+	Stall       func()
+	Agitate     func()
+}
+
+// NewQueueTarget builds a fresh MS-queue target for one scheme.
+func NewQueueTarget(scheme string, mode arena.Mode) (QueueTarget, error) {
+	t := QueueTarget{Scheme: scheme}
+	pool := msqueue.NewPool(mode)
+	t.Pools = []PoolInfo{pool}
+	switch scheme {
+	case "hp":
+		dom := hp.NewDomain()
+		q := msqueue.NewQueueHP(pool)
+		var hs []*msqueue.HandleHP
+		t.NewHandle = func() QueueHandle {
+			h := q.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		q := msqueue.NewQueueHPP(pool)
+		var hs []*msqueue.HandleHPP
+		t.NewHandle = func() QueueHandle {
+			h := q.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	default:
+		return t, fmt.Errorf("bench: scheme %q not applicable to msqueue", scheme)
+	}
+	return t, nil
+}
+
+// NewStackTarget builds a fresh Treiber-stack target for one scheme.
+func NewStackTarget(scheme string, mode arena.Mode) (StackTarget, error) {
+	t := StackTarget{Scheme: scheme}
+	pool := tstack.NewPool(mode)
+	t.Pools = []PoolInfo{pool}
+	switch scheme {
+	case "nr", "ebr", "pebr", UnsafeScheme:
+		gd, d := guardDomain(scheme)
+		s := tstack.NewStackCS(pool)
+		var hs []*tstack.StackHandleCS
+		t.NewHandle = func() StackHandle {
+			h := s.NewHandleCS(gd)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			var gs []smr.Guard
+			for _, h := range hs {
+				gs = append(gs, h.Guard())
+			}
+			drainGuards(gs)
+		}
+		t.Unreclaimed = d.Unreclaimed
+		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Agitate = agitatorFor(d)
+	case "hp":
+		dom := hp.NewDomain()
+		s := tstack.NewStackHP(pool)
+		var hs []*tstack.StackHandleHP
+		t.NewHandle = func() StackHandle {
+			h := s.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		s := tstack.NewStackHPP(pool)
+		var hs []*tstack.StackHandleHPP
+		t.NewHandle = func() StackHandle {
+			h := s.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+	default:
+		return t, fmt.Errorf("bench: scheme %q not applicable to tstack", scheme)
+	}
+	return t, nil
+}

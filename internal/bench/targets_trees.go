@@ -22,7 +22,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 	var seed uint64 = 0x51ED5EED
 	nextSeed := func() uint64 { seed += 0x9E3779B97F4A7C15; return seed }
 	switch scheme {
-	case "nr", "ebr", "pebr":
+	case "nr", "ebr", "pebr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := skiplist.NewPool(mode)
 		l := skiplist.NewListCS(pool)
@@ -38,6 +38,8 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Pools = []PoolInfo{pool}
+		t.Agitate = agitatorFor(d)
 	case "hp":
 		dom := hp.NewDomain()
 		pool := skiplist.NewPool(mode)
@@ -59,6 +61,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := skiplist.NewPool(mode)
@@ -80,6 +83,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
 		pool := skiplist.NewPoolRC(mode)
@@ -104,6 +108,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
 	}
@@ -113,7 +118,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "nmtree", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr":
+	case "nr", "ebr", "pebr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := nmtree.NewPool(mode)
 		tr := nmtree.NewTreeCS(pool)
@@ -128,6 +133,8 @@ func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Pools = []PoolInfo{pool}
+		t.Agitate = agitatorFor(d)
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := nmtree.NewPool(mode)
@@ -148,6 +155,7 @@ func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to nmtree", scheme)
 	}
@@ -157,7 +165,7 @@ func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "efrbtree", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr":
+	case "nr", "ebr", "pebr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		nodes := efrbtree.NewNodePool(mode)
 		infos := efrbtree.NewInfoPool(mode)
@@ -173,6 +181,8 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Pools = []PoolInfo{nodes, infos}
+		t.Agitate = agitatorFor(d)
 	case "hp":
 		dom := hp.NewDomain()
 		nodes := efrbtree.NewNodePool(mode)
@@ -194,6 +204,7 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{nodes, infos}
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		nodes := efrbtree.NewNodePool(mode)
@@ -215,6 +226,7 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{nodes, infos}
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to efrbtree", scheme)
 	}
@@ -224,7 +236,7 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "bonsai", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr":
+	case "nr", "ebr", "pebr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := bonsai.NewPool(mode)
 		tr := bonsai.NewTreeCS(pool)
@@ -239,6 +251,8 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Pools = []PoolInfo{pool}
+		t.Agitate = agitatorFor(d)
 	case "hp":
 		dom := hp.NewDomain()
 		pool := bonsai.NewPool(mode)
@@ -259,6 +273,7 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := bonsai.NewPool(mode)
@@ -279,6 +294,7 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
 		pool := bonsai.NewPoolRC(mode)
@@ -302,6 +318,7 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
 	}

@@ -2,10 +2,11 @@ package hmlist
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
-	"time"
 
 	"github.com/gosmr/gosmr/internal/arena"
 	"github.com/gosmr/gosmr/internal/core"
@@ -387,15 +388,26 @@ func TestNoLeaksAfterDrain(t *testing.T) {
 
 // TestUnsafeSchemeIsCaught demonstrates that the detect-mode arena catches
 // a scheme that frees immediately — validating that the stress tests above
-// are actually capable of failing.
+// are actually capable of failing. The arena's deref hook yields the
+// scheduler between slot resolution and liveness validation, handing the
+// unlink→free race window to the other workers; this makes the
+// use-after-free reproducible with fixed seeds on any core count, so the
+// test asserts a positive detection instead of skipping.
 func TestUnsafeSchemeIsCaught(t *testing.T) {
 	dom := unsafefree.NewDomain()
 	p := NewPool(arena.ModeDetect)
 	p.SetCount() // count UAF instead of panicking
+	var derefs atomic.Uint64
+	p.SetDerefHook(func(arena.Ref) {
+		if derefs.Add(1)%16 == 0 {
+			runtime.Gosched()
+		}
+	})
+	defer p.SetDerefHook(nil)
 	l := NewListCS(p)
 
-	deadline := time.Now().Add(5 * time.Second)
-	for p.Stats().UAF == 0 && time.Now().Before(deadline) {
+	const rounds = 8
+	for round := 0; round < rounds && p.Stats().UAF == 0; round++ {
 		var wg sync.WaitGroup
 		for w := 0; w < 4; w++ {
 			wg.Add(1)
@@ -414,11 +426,11 @@ func TestUnsafeSchemeIsCaught(t *testing.T) {
 						h.Get(k)
 					}
 				}
-			}(int64(w) + time.Now().UnixNano())
+			}(int64(round*31 + w + 1))
 		}
 		wg.Wait()
 	}
 	if p.Stats().UAF == 0 {
-		t.Skip("no use-after-free observed under immediate free (timing-dependent)")
+		t.Fatalf("no use-after-free detected in %d rounds under immediate free", rounds)
 	}
 }

@@ -134,29 +134,48 @@ func (h *HandleHPP) findRetry(key uint64) bool {
 	}
 }
 
+// maxOptimisticRetries bounds the restart loop of the optimistic Get.
+// The optimistic pass steps through marked nodes without repairing them,
+// so a traversal that keeps running into an invalidated link makes no
+// physical progress; after this many restarts Get falls back to the
+// find-based traversal, which snips the blocking marked nodes and is
+// therefore guaranteed to advance.
+const maxOptimisticRetries = 8
+
 // Get traverses optimistically: marked nodes are stepped through; only an
-// invalidated link forces a restart.
+// invalidated link forces a restart. Restarts are bounded (see
+// maxOptimisticRetries) to keep Get lock-free even when the region it
+// keeps re-entering stays invalidated.
 func (h *HandleHPP) Get(key uint64) (uint64, bool) {
 	l, t := h.l, h.t
 	defer t.ClearAll()
+	restarts := 0
 retry:
+	if restarts++; restarts > maxOptimisticRetries {
+		if !h.findRetry(key) {
+			return 0, false
+		}
+		return l.pool.Deref(h.succs[0]).val, true
+	}
 	pred := uint64(0)
 	var cur uint64
 	for lvl := MaxHeight - 1; lvl >= 0; lvl-- {
 		t.Protect(slotPred, pred)
 		cur = tagptr.RefOf(l.linkOf(pred, lvl).Load())
-		for {
-			if !t.TryProtect(slotCur, &cur, l.srcInv(pred, lvl), l.linkOf(pred, lvl)) {
-				goto retry
-			}
-			if cur == 0 {
-				break
-			}
+		if !t.TryProtect(slotCur, &cur, l.srcInv(pred, lvl), l.linkOf(pred, lvl)) {
+			goto retry
+		}
+		for cur != 0 {
 			node := l.pool.Deref(cur)
 			w := node.next[lvl].Load()
 			if tagptr.IsMarked(w) {
 				// Step through the deleted node: protect its successor
-				// from it, then adopt the successor as cur.
+				// from it, then adopt the successor as cur. The
+				// protection stays anchored at the marked node's own
+				// (frozen) link — re-validating against pred's link
+				// here would reset cur to pred's still-linked marked
+				// successor and ping-pong forever once no helping
+				// traversal is left to snip it.
 				next := tagptr.RefOf(w)
 				if !t.TryProtect(slotTmp, &next, &node.next[lvl], &node.next[lvl]) {
 					goto retry
@@ -169,6 +188,9 @@ retry:
 				pred = cur
 				t.Protect(slotPred, pred)
 				cur = tagptr.RefOf(w)
+				if !t.TryProtect(slotCur, &cur, l.srcInv(pred, lvl), l.linkOf(pred, lvl)) {
+					goto retry
+				}
 				continue
 			}
 			break

@@ -1,0 +1,108 @@
+package skiplist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Regression test for a liveness bug in the HP++ Get: the optimistic
+// traversal used to re-validate cur against pred's link after stepping
+// through a marked node, which reset cur to pred's still-linked marked
+// successor — an infinite ping-pong once no updater was left to snip the
+// marked node. Churning a tiny key range with scheduler yields at every
+// few derefs reproduced the hang reliably within a handful of seeds.
+func TestHPPGetLivelockRegression(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 12
+	}
+	for iter := 0; iter < iters; iter++ {
+		pool := NewPool(arena.ModeDetect)
+		pool.SetCount()
+		var ctr atomic.Uint64
+		pool.SetDerefHook(func(arena.Ref) {
+			if ctr.Add(1)%64 == 0 {
+				runtime.Gosched()
+			}
+		})
+		dom := core.NewDomain(core.Options{})
+		l := NewListHPP(pool)
+
+		const workers = 4
+		const ops = 600
+		const keys = 6
+		hs := make([]*HandleHPP, workers)
+		for w := range hs {
+			hs[w] = l.NewHandleHPP(dom)
+			hs[w].Seed(uint64(iter*97 + w*13 + 1))
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := uint64(iter)*0x9E3779B97F4A7C15 + uint64(w)*0x1234567
+				next := func() uint64 {
+					s += 0x9E3779B97F4A7C15
+					z := s
+					z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+					z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+					return z ^ (z >> 31)
+				}
+				h := hs[w]
+				for i := 0; i < ops; i++ {
+					k := next() % keys
+					switch c := next() % 100; {
+					case c < 40:
+						h.Get(k)
+					case c < 70:
+						h.Insert(k, next())
+					default:
+						h.Delete(k)
+					}
+				}
+			}(w)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("iter %d: workers livelocked\n%s", iter, buf[:n])
+		}
+		pool.SetDerefHook(nil)
+		for _, h := range hs {
+			h.Thread().Finish()
+		}
+		dom.NewThread(0).Reclaim()
+
+		// Quiescent sanity: every level terminates and never exposes an
+		// invalidated link to traversals.
+		for lvl := 0; lvl < MaxHeight; lvl++ {
+			steps := 0
+			w := l.head[lvl].Load()
+			for tagptr.RefOf(w) != 0 {
+				n := pool.Deref(tagptr.RefOf(w))
+				if tagptr.IsInvalid(n.next[lvl].Load()) {
+					t.Fatalf("iter %d: lvl %d reachable invalidated node key=%d", iter, lvl, n.key)
+				}
+				w = n.next[lvl].Load()
+				if steps++; steps > 1<<20 {
+					t.Fatalf("iter %d: lvl %d cycle", iter, lvl)
+				}
+			}
+		}
+		if st := pool.Stats(); st.UAF != 0 || st.DoubleFree != 0 {
+			t.Fatalf("iter %d: uaf=%d doublefree=%d", iter, st.UAF, st.DoubleFree)
+		}
+	}
+}

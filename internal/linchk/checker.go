@@ -1,0 +1,168 @@
+package linchk
+
+import (
+	"sort"
+)
+
+// Opts tunes a Check call.
+type Opts struct {
+	// MaxNodes bounds the number of search states explored before the
+	// checker gives up with OutcomeExhausted. 0 means DefaultMaxNodes.
+	MaxNodes int64
+}
+
+// DefaultMaxNodes is the default search budget. Well-formed histories
+// from correct implementations linearize in roughly O(n) node visits;
+// the budget only bites on pathological or buggy histories.
+const DefaultMaxNodes = 4 << 20
+
+// Check decides whether history h is linearizable with respect to spec
+// using Wing–Gong search with Lowe-style memoization.
+func Check(spec Spec, h History, opts Opts) Verdict {
+	budget := opts.MaxNodes
+	if budget <= 0 {
+		budget = DefaultMaxNodes
+	}
+	ops := make([]Op, len(h.Ops))
+	copy(ops, h.Ops)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
+
+	c := &checker{
+		ops:    ops,
+		done:   make([]uint64, (len(ops)+63)/64),
+		memo:   make(map[string]struct{}),
+		budget: budget,
+	}
+	ok := c.dfs(spec.Init(), len(ops))
+	v := Verdict{
+		Spec:     spec.Name(),
+		Total:    len(ops),
+		Explored: c.explored,
+		Depth:    len(ops) - c.bestRemaining,
+	}
+	switch {
+	case ok:
+		v.Outcome = OutcomeLinearizable
+	case c.exhausted:
+		v.Outcome = OutcomeExhausted
+	default:
+		v.Outcome = OutcomeNonLinearizable
+		v.Stuck = c.bestStuck
+		v.StuckState = c.bestState
+	}
+	return v
+}
+
+type checker struct {
+	ops      []Op
+	done     []uint64
+	memo     map[string]struct{}
+	budget   int64
+	explored int64
+
+	exhausted bool
+	// bestRemaining tracks the deepest point reached (fewest unlinearized
+	// ops); bestStuck holds the candidate ops that all failed there.
+	bestSet       bool
+	bestRemaining int
+	bestStuck     []Op
+	bestState     string
+}
+
+func (c *checker) isDone(i int) bool { return c.done[i/64]&(1<<uint(i%64)) != 0 }
+func (c *checker) setDone(i int)     { c.done[i/64] |= 1 << uint(i%64) }
+func (c *checker) clearDone(i int)   { c.done[i/64] &^= 1 << uint(i%64) }
+
+// key builds the memoization key for the current linearized set and
+// abstract state.
+func (c *checker) key(state State) string {
+	enc := state.Encode()
+	b := make([]byte, 0, len(c.done)*8+1+len(enc))
+	for _, w := range c.done {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(w>>uint(s)))
+		}
+	}
+	b = append(b, '|')
+	b = append(b, enc...)
+	return string(b)
+}
+
+func (c *checker) dfs(state State, remaining int) bool {
+	if remaining == 0 {
+		return true
+	}
+	c.explored++
+	if c.explored > c.budget {
+		c.exhausted = true
+		return false
+	}
+	// An op can be linearized first among the remaining ones only if it
+	// was invoked before the earliest remaining response: anything later
+	// is strictly after that whole operation.
+	minRet := ^uint64(0)
+	for i, op := range c.ops {
+		if !c.isDone(i) && op.Ret < minRet {
+			minRet = op.Ret
+		}
+	}
+	var stuck []Op
+	for i, op := range c.ops {
+		if c.isDone(i) || op.Inv > minRet {
+			continue
+		}
+		next, ok := state.Step(op)
+		if !ok {
+			stuck = append(stuck, op)
+			continue
+		}
+		c.setDone(i)
+		k := c.key(next)
+		if _, seen := c.memo[k]; !seen {
+			if c.dfs(next, remaining-1) {
+				return true
+			}
+			if c.exhausted {
+				c.clearDone(i)
+				return false
+			}
+			c.memo[k] = struct{}{}
+		}
+		c.clearDone(i)
+	}
+	if !c.bestSet || remaining < c.bestRemaining {
+		c.bestSet = true
+		c.bestRemaining = remaining
+		c.bestStuck = append([]Op(nil), stuck...)
+		c.bestState = state.Encode()
+	}
+	return false
+}
+
+// CheckKV checks a map/set history by decomposing it per key and checking
+// each sub-history against spec (SetSpec or MapSpec). The combined
+// verdict is linearizable iff every per-key verdict is.
+func CheckKV(spec Spec, h History, opts Opts) Verdict {
+	keys := make([]uint64, 0, 16)
+	parts := h.PartitionByKey()
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	out := Verdict{Spec: spec.Name(), Outcome: OutcomeLinearizable}
+	for _, k := range keys {
+		v := Check(spec, parts[k], opts)
+		out.Total += v.Total
+		out.Explored += v.Explored
+		out.Depth += v.Depth
+		if v.Outcome > out.Outcome {
+			out.Outcome = v.Outcome
+			out.Stuck = v.Stuck
+			out.StuckState = v.StuckState
+			out.Key = k
+			out.KeyScoped = true
+		}
+	}
+	return out
+}

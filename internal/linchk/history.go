@@ -1,0 +1,167 @@
+// Package linchk records concurrent operation histories and checks them
+// for linearizability against sequential specifications.
+//
+// The recording side is deliberately cheap: a single global atomic clock
+// hands out unique, totally ordered timestamps; each worker appends
+// completed operations to a private log (no locks, no allocation beyond
+// slice growth), and the logs are merged after the run. The checking side
+// is a Wing–Gong linearizability checker with Lowe's improvements:
+// depth-first search over linearization orders, pruned by a memoization
+// cache keyed on (set of linearized ops, abstract state).
+//
+// Four sequential specifications are provided — set, map, queue, stack —
+// covering every data structure in this repository. Map- and set-like
+// histories are additionally decomposed per key before checking
+// (operations on distinct keys commute, so the composition of per-key
+// verdicts is sound), which keeps the search tractable for long runs.
+package linchk
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind identifies an operation in a history.
+type Kind uint8
+
+// Operation kinds for the four specs. Get/Insert/Delete belong to the
+// set/map specs; Enqueue/Dequeue to the queue spec; Push/Pop to the stack
+// spec.
+const (
+	OpGet Kind = iota
+	OpInsert
+	OpDelete
+	OpEnqueue
+	OpDequeue
+	OpPush
+	OpPop
+)
+
+// String returns the conventional name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpEnqueue:
+		return "enqueue"
+	case OpDequeue:
+		return "dequeue"
+	case OpPush:
+		return "push"
+	case OpPop:
+		return "pop"
+	}
+	return "?"
+}
+
+// Op is one completed operation: what was invoked, what it returned, and
+// the interval [Inv, Ret] during which it was pending. Timestamps come
+// from a shared Clock and are unique across the whole history.
+type Op struct {
+	Worker int
+	Kind   Kind
+	// Key is the map/set key; unused by queue and stack ops.
+	Key uint64
+	// Val is the input value for Insert/Enqueue/Push and the output value
+	// for Get/Dequeue/Pop (meaningful only when Ok is true).
+	Val uint64
+	// Ok is the operation's boolean result: presence for Get, success for
+	// Insert/Delete, non-emptiness for Dequeue/Pop. Enqueue/Push always
+	// succeed and record true.
+	Ok       bool
+	Inv, Ret uint64
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpGet:
+		return fmt.Sprintf("w%d get(%d) = (%d,%v) [%d,%d]", o.Worker, o.Key, o.Val, o.Ok, o.Inv, o.Ret)
+	case OpInsert:
+		return fmt.Sprintf("w%d insert(%d,%d) = %v [%d,%d]", o.Worker, o.Key, o.Val, o.Ok, o.Inv, o.Ret)
+	case OpDelete:
+		return fmt.Sprintf("w%d delete(%d) = %v [%d,%d]", o.Worker, o.Key, o.Ok, o.Inv, o.Ret)
+	case OpEnqueue:
+		return fmt.Sprintf("w%d enqueue(%d) [%d,%d]", o.Worker, o.Val, o.Inv, o.Ret)
+	case OpDequeue:
+		return fmt.Sprintf("w%d dequeue() = (%d,%v) [%d,%d]", o.Worker, o.Val, o.Ok, o.Inv, o.Ret)
+	case OpPush:
+		return fmt.Sprintf("w%d push(%d) [%d,%d]", o.Worker, o.Val, o.Inv, o.Ret)
+	case OpPop:
+		return fmt.Sprintf("w%d pop() = (%d,%v) [%d,%d]", o.Worker, o.Val, o.Ok, o.Inv, o.Ret)
+	}
+	return "?"
+}
+
+// Clock is the global logical clock shared by all recorders of a run.
+// Every Tick returns a fresh, strictly increasing timestamp.
+type Clock struct {
+	t atomic.Uint64
+}
+
+// Tick returns the next timestamp.
+func (c *Clock) Tick() uint64 { return c.t.Add(1) }
+
+// Recorder is a per-worker operation log. A Recorder belongs to a single
+// goroutine; only the shared Clock is touched with atomics.
+type Recorder struct {
+	clock  *Clock
+	worker int
+	ops    []Op
+}
+
+// NewRecorder returns a recorder for one worker.
+func NewRecorder(c *Clock, worker int) *Recorder {
+	return &Recorder{clock: c, worker: worker, ops: make([]Op, 0, 1024)}
+}
+
+// Inv timestamps an invocation. Call immediately before the operation.
+func (r *Recorder) Inv() uint64 { return r.clock.Tick() }
+
+// Record appends a completed operation, timestamping its response now.
+func (r *Recorder) Record(k Kind, key, val uint64, ok bool, inv uint64) {
+	r.ops = append(r.ops, Op{
+		Worker: r.worker, Kind: k, Key: key, Val: val, Ok: ok,
+		Inv: inv, Ret: r.clock.Tick(),
+	})
+}
+
+// Ops returns the recorded log.
+func (r *Recorder) Ops() []Op { return r.ops }
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int { return len(r.ops) }
+
+// History is a merged multi-worker operation log.
+type History struct {
+	Ops []Op
+}
+
+// Merge combines per-worker logs into one history sorted by invocation
+// time.
+func Merge(rs ...*Recorder) History {
+	var h History
+	for _, r := range rs {
+		h.Ops = append(h.Ops, r.ops...)
+	}
+	sort.Slice(h.Ops, func(i, j int) bool { return h.Ops[i].Inv < h.Ops[j].Inv })
+	return h
+}
+
+// PartitionByKey splits a map/set history into per-key sub-histories.
+// Operations on distinct keys commute under the set and map specs, so
+// linearizability can be checked key by key (Herlihy & Wing's locality,
+// applied to the per-key sub-objects).
+func (h History) PartitionByKey() map[uint64]History {
+	out := map[uint64]History{}
+	for _, op := range h.Ops {
+		sub := out[op.Key]
+		sub.Ops = append(sub.Ops, op)
+		out[op.Key] = sub
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+package linchk
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// mk builds an op with explicit timestamps.
+func mk(w int, k Kind, key, val uint64, ok bool, inv, ret uint64) Op {
+	return Op{Worker: w, Kind: k, Key: key, Val: val, Ok: ok, Inv: inv, Ret: ret}
+}
+
+func hist(ops ...Op) History { return History{Ops: ops} }
+
+func requireOutcome(t *testing.T, v Verdict, want Outcome) {
+	t.Helper()
+	if v.Outcome != want {
+		t.Fatalf("outcome = %v, want %v\n%s", v.Outcome, want, v.Report())
+	}
+}
+
+// --- map/set fixtures -----------------------------------------------------
+
+func TestMapSequentialGood(t *testing.T) {
+	h := hist(
+		mk(0, OpInsert, 7, 70, true, 1, 2),
+		mk(0, OpGet, 7, 70, true, 3, 4),
+		mk(0, OpDelete, 7, 0, true, 5, 6),
+		mk(0, OpGet, 7, 0, false, 7, 8),
+		mk(0, OpDelete, 7, 0, false, 9, 10),
+		mk(0, OpInsert, 7, 71, true, 11, 12),
+		mk(0, OpInsert, 7, 72, false, 13, 14),
+		mk(0, OpGet, 7, 71, true, 15, 16),
+	)
+	requireOutcome(t, Check(MapSpec{}, h, Opts{}), OutcomeLinearizable)
+	requireOutcome(t, Check(SetSpec{}, h, Opts{}), OutcomeLinearizable)
+}
+
+func TestMapSequentialStaleReadRejected(t *testing.T) {
+	// insert completes strictly before the get, yet the get misses it.
+	h := hist(
+		mk(0, OpInsert, 7, 70, true, 1, 2),
+		mk(1, OpGet, 7, 0, false, 3, 4),
+	)
+	v := Check(MapSpec{}, h, Opts{})
+	requireOutcome(t, v, OutcomeNonLinearizable)
+	if v.Depth != 1 {
+		t.Fatalf("depth = %d, want 1", v.Depth)
+	}
+}
+
+func TestMapConcurrentMissAccepted(t *testing.T) {
+	// The get overlaps the insert, so it may linearize first and miss.
+	h := hist(
+		mk(0, OpInsert, 7, 70, true, 1, 4),
+		mk(1, OpGet, 7, 0, false, 2, 3),
+	)
+	requireOutcome(t, Check(MapSpec{}, h, Opts{}), OutcomeLinearizable)
+}
+
+func TestMapLostUpdateRejected(t *testing.T) {
+	// Two inserts of the same key both claim success with no delete
+	// between them — the classic lost-update / ABA-resurrection shape.
+	h := hist(
+		mk(0, OpInsert, 3, 30, true, 1, 4),
+		mk(1, OpInsert, 3, 31, true, 2, 3),
+	)
+	requireOutcome(t, Check(MapSpec{}, h, Opts{}), OutcomeNonLinearizable)
+	requireOutcome(t, Check(SetSpec{}, h, Opts{}), OutcomeNonLinearizable)
+}
+
+func TestMapValueCheckDistinguishesSpecs(t *testing.T) {
+	// Presence-wise legal, but the read returns the loser's value: the
+	// map spec rejects what the set spec accepts.
+	h := hist(
+		mk(0, OpInsert, 3, 30, true, 1, 2),
+		mk(1, OpInsert, 3, 31, false, 3, 4),
+		mk(1, OpGet, 3, 31, true, 5, 6),
+	)
+	requireOutcome(t, Check(SetSpec{}, h, Opts{}), OutcomeLinearizable)
+	requireOutcome(t, Check(MapSpec{}, h, Opts{}), OutcomeNonLinearizable)
+}
+
+func TestCheckKVReportsOffendingKey(t *testing.T) {
+	h := hist(
+		mk(0, OpInsert, 1, 10, true, 1, 2),
+		mk(0, OpGet, 1, 10, true, 3, 4),
+		mk(0, OpInsert, 2, 20, true, 5, 6),
+		mk(1, OpGet, 2, 0, false, 7, 8), // stale read on key 2 only
+	)
+	v := CheckKV(MapSpec{}, h, Opts{})
+	requireOutcome(t, v, OutcomeNonLinearizable)
+	if !v.KeyScoped || v.Key != 2 {
+		t.Fatalf("offending key = (%d, scoped=%v), want key 2", v.Key, v.KeyScoped)
+	}
+	if v.Total != 4 {
+		t.Fatalf("total = %d, want 4", v.Total)
+	}
+}
+
+// --- queue fixtures -------------------------------------------------------
+
+func TestQueueSequentialGood(t *testing.T) {
+	h := hist(
+		mk(0, OpEnqueue, 0, 1, true, 1, 2),
+		mk(0, OpEnqueue, 0, 2, true, 3, 4),
+		mk(1, OpDequeue, 0, 1, true, 5, 6),
+		mk(1, OpDequeue, 0, 2, true, 7, 8),
+		mk(1, OpDequeue, 0, 0, false, 9, 10),
+	)
+	requireOutcome(t, Check(QueueSpec{}, h, Opts{}), OutcomeLinearizable)
+}
+
+func TestQueueFIFOViolationRejected(t *testing.T) {
+	// Both enqueues complete before either dequeue; dequeue order is
+	// reversed — a lost FIFO ordering.
+	h := hist(
+		mk(0, OpEnqueue, 0, 1, true, 1, 2),
+		mk(0, OpEnqueue, 0, 2, true, 3, 4),
+		mk(1, OpDequeue, 0, 2, true, 5, 6),
+		mk(1, OpDequeue, 0, 1, true, 7, 8),
+	)
+	requireOutcome(t, Check(QueueSpec{}, h, Opts{}), OutcomeNonLinearizable)
+}
+
+func TestQueueConcurrentEnqueuesEitherOrder(t *testing.T) {
+	h := hist(
+		mk(0, OpEnqueue, 0, 1, true, 1, 4),
+		mk(1, OpEnqueue, 0, 2, true, 2, 3),
+		mk(2, OpDequeue, 0, 2, true, 5, 6),
+		mk(2, OpDequeue, 0, 1, true, 7, 8),
+	)
+	requireOutcome(t, Check(QueueSpec{}, h, Opts{}), OutcomeLinearizable)
+}
+
+func TestQueueFalseEmptyRejected(t *testing.T) {
+	// An enqueue completed, nothing was dequeued, yet a later dequeue
+	// reports empty — a lost element.
+	h := hist(
+		mk(0, OpEnqueue, 0, 1, true, 1, 2),
+		mk(1, OpDequeue, 0, 0, false, 3, 4),
+	)
+	requireOutcome(t, Check(QueueSpec{}, h, Opts{}), OutcomeNonLinearizable)
+}
+
+func TestQueueDuplicateDeliveryRejected(t *testing.T) {
+	h := hist(
+		mk(0, OpEnqueue, 0, 1, true, 1, 2),
+		mk(1, OpDequeue, 0, 1, true, 3, 4),
+		mk(2, OpDequeue, 0, 1, true, 5, 6),
+	)
+	requireOutcome(t, Check(QueueSpec{}, h, Opts{}), OutcomeNonLinearizable)
+}
+
+// --- stack fixtures -------------------------------------------------------
+
+func TestStackSequentialGood(t *testing.T) {
+	h := hist(
+		mk(0, OpPush, 0, 1, true, 1, 2),
+		mk(0, OpPush, 0, 2, true, 3, 4),
+		mk(1, OpPop, 0, 2, true, 5, 6),
+		mk(1, OpPop, 0, 1, true, 7, 8),
+		mk(1, OpPop, 0, 0, false, 9, 10),
+	)
+	requireOutcome(t, Check(StackSpec{}, h, Opts{}), OutcomeLinearizable)
+}
+
+func TestStackLIFOViolationRejected(t *testing.T) {
+	h := hist(
+		mk(0, OpPush, 0, 1, true, 1, 2),
+		mk(0, OpPush, 0, 2, true, 3, 4),
+		mk(1, OpPop, 0, 1, true, 5, 6), // must have been 2
+	)
+	requireOutcome(t, Check(StackSpec{}, h, Opts{}), OutcomeNonLinearizable)
+}
+
+func TestStackConcurrentPushesEitherOrder(t *testing.T) {
+	h := hist(
+		mk(0, OpPush, 0, 1, true, 1, 4),
+		mk(1, OpPush, 0, 2, true, 2, 3),
+		mk(2, OpPop, 0, 1, true, 5, 6),
+		mk(2, OpPop, 0, 2, true, 7, 8),
+	)
+	requireOutcome(t, Check(StackSpec{}, h, Opts{}), OutcomeLinearizable)
+}
+
+// --- checker mechanics ----------------------------------------------------
+
+func TestBudgetExhaustion(t *testing.T) {
+	h := hist(
+		mk(0, OpInsert, 1, 1, true, 1, 8),
+		mk(1, OpInsert, 1, 2, false, 2, 7),
+		mk(2, OpGet, 1, 1, true, 3, 6),
+		mk(3, OpDelete, 1, 0, true, 4, 9),
+	)
+	v := Check(MapSpec{}, h, Opts{MaxNodes: 1})
+	requireOutcome(t, v, OutcomeExhausted)
+	if v.Linearizable() {
+		t.Fatal("exhausted verdict must not claim linearizability")
+	}
+}
+
+func TestEmptyHistoryLinearizable(t *testing.T) {
+	for _, s := range []Spec{SetSpec{}, MapSpec{}, QueueSpec{}, StackSpec{}} {
+		requireOutcome(t, Check(s, History{}, Opts{}), OutcomeLinearizable)
+	}
+}
+
+func TestSpecFor(t *testing.T) {
+	if s := SpecFor(hist(mk(0, OpGet, 1, 0, false, 1, 2))); s == nil || s.Name() != "map" {
+		t.Fatalf("SpecFor kv = %v", s)
+	}
+	if s := SpecFor(hist(mk(0, OpEnqueue, 0, 1, true, 1, 2))); s == nil || s.Name() != "queue" {
+		t.Fatalf("SpecFor queue = %v", s)
+	}
+	if s := SpecFor(hist(mk(0, OpPush, 0, 1, true, 1, 2))); s == nil || s.Name() != "stack" {
+		t.Fatalf("SpecFor stack = %v", s)
+	}
+	mixed := hist(mk(0, OpPush, 0, 1, true, 1, 2), mk(0, OpEnqueue, 0, 1, true, 3, 4))
+	if s := SpecFor(mixed); s != nil {
+		t.Fatalf("SpecFor mixed = %v, want nil", s)
+	}
+}
+
+// TestLongSequentialHistoryFast: a model-generated single-threaded
+// history of a few thousand ops must check near-linearly.
+func TestLongSequentialHistoryFast(t *testing.T) {
+	c := &Clock{}
+	r := NewRecorder(c, 0)
+	rng := rand.New(rand.NewSource(1))
+	model := map[uint64]uint64{}
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(16))
+		inv := r.Inv()
+		switch rng.Intn(3) {
+		case 0:
+			_, in := model[k]
+			if !in {
+				model[k] = k * 2
+			}
+			r.Record(OpInsert, k, k*2, !in, inv)
+		case 1:
+			_, in := model[k]
+			delete(model, k)
+			r.Record(OpDelete, k, 0, in, inv)
+		default:
+			v, in := model[k]
+			r.Record(OpGet, k, v, in, inv)
+		}
+	}
+	v := CheckKV(MapSpec{}, Merge(r), Opts{})
+	requireOutcome(t, v, OutcomeLinearizable)
+	if v.Total != 4000 {
+		t.Fatalf("total = %d", v.Total)
+	}
+}
+
+// TestRecorderConcurrent drives the recorder from many goroutines against
+// a mutex-guarded map (trivially linearizable) and checks the merged
+// history: this validates the clock/recorder pipeline end to end.
+func TestRecorderConcurrent(t *testing.T) {
+	const workers = 4
+	const each = 500
+	var (
+		mu    sync.Mutex
+		truth = map[uint64]uint64{}
+		clock Clock
+		wg    sync.WaitGroup
+	)
+	recs := make([]*Recorder, workers)
+	for w := 0; w < workers; w++ {
+		recs[w] = NewRecorder(&clock, w)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := recs[w]
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for i := 0; i < each; i++ {
+				k := uint64(rng.Intn(8))
+				inv := r.Inv()
+				mu.Lock()
+				switch rng.Intn(3) {
+				case 0:
+					_, in := truth[k]
+					if !in {
+						truth[k] = k + 100
+					}
+					mu.Unlock()
+					r.Record(OpInsert, k, k+100, !in, inv)
+				case 1:
+					_, in := truth[k]
+					delete(truth, k)
+					mu.Unlock()
+					r.Record(OpDelete, k, 0, in, inv)
+				default:
+					v, in := truth[k]
+					mu.Unlock()
+					r.Record(OpGet, k, v, in, inv)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := Merge(recs...)
+	if len(h.Ops) != workers*each {
+		t.Fatalf("merged %d ops, want %d", len(h.Ops), workers*each)
+	}
+	requireOutcome(t, CheckKV(MapSpec{}, h, Opts{}), OutcomeLinearizable)
+}
+
+// TestVerdictReportShape: failure reports name the stuck ops and state.
+func TestVerdictReportShape(t *testing.T) {
+	h := hist(
+		mk(0, OpInsert, 7, 70, true, 1, 2),
+		mk(1, OpGet, 7, 0, false, 3, 4),
+	)
+	v := Check(MapSpec{}, h, Opts{})
+	rep := v.Report()
+	for _, want := range []string{"non-linearizable", "longest legal prefix", "get(7)"} {
+		if !contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

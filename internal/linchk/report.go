@@ -1,0 +1,97 @@
+package linchk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Outcome classifies a checker verdict, ordered by severity.
+type Outcome int
+
+const (
+	// OutcomeLinearizable: a legal sequential witness order was found.
+	OutcomeLinearizable Outcome = iota
+	// OutcomeExhausted: the search budget ran out before a witness or a
+	// refutation was found. Treat as inconclusive, not as a failure.
+	OutcomeExhausted
+	// OutcomeNonLinearizable: the search space was covered and no legal
+	// sequential order exists — a genuine consistency violation.
+	OutcomeNonLinearizable
+)
+
+// String returns the outcome's name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeLinearizable:
+		return "linearizable"
+	case OutcomeExhausted:
+		return "exhausted"
+	case OutcomeNonLinearizable:
+		return "non-linearizable"
+	}
+	return "?"
+}
+
+// Verdict is the result of checking one history.
+type Verdict struct {
+	Spec    string
+	Outcome Outcome
+	// Total is the number of operations checked; Depth is the length of
+	// the longest legal linearization prefix found (== Total on success).
+	Total, Depth int
+	// Explored counts search states visited.
+	Explored int64
+	// Stuck, on failure, lists the candidate operations at the deepest
+	// search point: each was pending there, and none has a result
+	// consistent with StuckState. One of them is the violation.
+	Stuck      []Op
+	StuckState string
+	// Key/KeyScoped identify the offending key when the verdict comes
+	// from a per-key decomposition (CheckKV).
+	Key       uint64
+	KeyScoped bool
+}
+
+// Linearizable reports whether the history was proven linearizable.
+func (v Verdict) Linearizable() bool { return v.Outcome == OutcomeLinearizable }
+
+// Report renders a human-readable account of the verdict. For failures it
+// shows where the search got stuck: the abstract state reached and the
+// pending operations whose recorded results are all impossible in it.
+func (v Verdict) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s history, %d ops, %d states explored",
+		v.Outcome, v.Spec, v.Total, v.Explored)
+	if v.Outcome == OutcomeLinearizable {
+		return b.String()
+	}
+	if v.KeyScoped {
+		fmt.Fprintf(&b, "\n  key %d", v.Key)
+	}
+	fmt.Fprintf(&b, "\n  longest legal prefix: %d/%d ops", v.Depth, v.Total)
+	if v.Outcome == OutcomeNonLinearizable {
+		fmt.Fprintf(&b, "\n  abstract state there: %s", decodeState(v.Spec, v.StuckState))
+		fmt.Fprintf(&b, "\n  no pending op can linearize next:")
+		for _, op := range v.Stuck {
+			fmt.Fprintf(&b, "\n    %s", op)
+		}
+	}
+	return b.String()
+}
+
+// decodeState makes the memoization encoding readable in reports.
+func decodeState(spec, enc string) string {
+	switch spec {
+	case "set", "map":
+		if enc == "-" {
+			return "key absent"
+		}
+		return "key present, value " + strings.TrimPrefix(enc, "+")
+	case "queue", "stack":
+		if enc == "" {
+			return "empty"
+		}
+		return "contents [" + strings.TrimSuffix(enc, ",") + "]"
+	}
+	return enc
+}

@@ -1,0 +1,188 @@
+package linchk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spec is a sequential specification: an initial abstract state plus a
+// transition function (on State) that accepts or rejects each recorded
+// operation's result.
+type Spec interface {
+	Name() string
+	Init() State
+}
+
+// State is an immutable abstract state. Step must not mutate the
+// receiver: it returns the successor state, or ok=false if the
+// operation's recorded result is impossible in this state.
+type State interface {
+	Step(op Op) (next State, ok bool)
+	// Encode returns a canonical encoding of the state for memoization.
+	Encode() string
+}
+
+// ---------------------------------------------------------------- set/map
+
+// SetSpec is the sequential specification of a set of keys restricted to
+// a single key: present or absent. Insert succeeds iff absent, Delete
+// succeeds iff present, Get reports presence. Use it on a per-key
+// sub-history (see History.PartitionByKey); CheckKV does this for you.
+type SetSpec struct{}
+
+// Name implements Spec.
+func (SetSpec) Name() string { return "set" }
+
+// Init implements Spec.
+func (SetSpec) Init() State { return regState{} }
+
+// MapSpec is SetSpec plus value checking: Get must return the value
+// stored by the inserting operation. Like SetSpec it specifies a single
+// key's sub-history.
+type MapSpec struct{}
+
+// Name implements Spec.
+func (MapSpec) Name() string { return "map" }
+
+// Init implements Spec.
+func (MapSpec) Init() State { return regState{checkVal: true} }
+
+// regState is the one-key abstract state shared by SetSpec and MapSpec.
+type regState struct {
+	present  bool
+	val      uint64
+	checkVal bool
+}
+
+func (s regState) Step(op Op) (State, bool) {
+	switch op.Kind {
+	case OpInsert:
+		if op.Ok != !s.present {
+			return nil, false
+		}
+		if op.Ok {
+			return regState{present: true, val: op.Val, checkVal: s.checkVal}, true
+		}
+		return s, true
+	case OpDelete:
+		if op.Ok != s.present {
+			return nil, false
+		}
+		if op.Ok {
+			return regState{checkVal: s.checkVal}, true
+		}
+		return s, true
+	case OpGet:
+		if op.Ok != s.present {
+			return nil, false
+		}
+		if op.Ok && s.checkVal && op.Val != s.val {
+			return nil, false
+		}
+		return s, true
+	}
+	return nil, false
+}
+
+func (s regState) Encode() string {
+	if !s.present {
+		return "-"
+	}
+	if s.checkVal {
+		return fmt.Sprintf("+%d", s.val)
+	}
+	return "+"
+}
+
+// ----------------------------------------------------------------- queue
+
+// QueueSpec is the sequential FIFO queue specification: Dequeue returns
+// the oldest enqueued value, or ok=false iff the queue is empty.
+type QueueSpec struct{}
+
+// Name implements Spec.
+func (QueueSpec) Name() string { return "queue" }
+
+// Init implements Spec.
+func (QueueSpec) Init() State { return seqState{fifo: true} }
+
+// ----------------------------------------------------------------- stack
+
+// StackSpec is the sequential LIFO stack specification: Pop returns the
+// newest pushed value, or ok=false iff the stack is empty.
+type StackSpec struct{}
+
+// Name implements Spec.
+func (StackSpec) Name() string { return "stack" }
+
+// Init implements Spec.
+func (StackSpec) Init() State { return seqState{} }
+
+// seqState holds queue/stack contents. items is treated as immutable;
+// every Step that changes the contents copies.
+type seqState struct {
+	items []uint64
+	fifo  bool
+}
+
+func (s seqState) Step(op Op) (State, bool) {
+	switch op.Kind {
+	case OpEnqueue, OpPush:
+		items := make([]uint64, len(s.items)+1)
+		copy(items, s.items)
+		items[len(s.items)] = op.Val
+		return seqState{items: items, fifo: s.fifo}, true
+	case OpDequeue, OpPop:
+		if !op.Ok {
+			return s, len(s.items) == 0
+		}
+		if len(s.items) == 0 {
+			return nil, false
+		}
+		take := len(s.items) - 1 // LIFO: newest
+		if s.fifo {
+			take = 0 // FIFO: oldest
+		}
+		if s.items[take] != op.Val {
+			return nil, false
+		}
+		items := make([]uint64, 0, len(s.items)-1)
+		items = append(items, s.items[:take]...)
+		items = append(items, s.items[take+1:]...)
+		return seqState{items: items, fifo: s.fifo}, true
+	}
+	return nil, false
+}
+
+func (s seqState) Encode() string {
+	var b strings.Builder
+	for _, v := range s.items {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// SpecFor returns the spec appropriate for a history's operation kinds,
+// or nil if the history mixes incompatible kinds.
+func SpecFor(h History) Spec {
+	var kv, q, st bool
+	for _, op := range h.Ops {
+		switch op.Kind {
+		case OpGet, OpInsert, OpDelete:
+			kv = true
+		case OpEnqueue, OpDequeue:
+			q = true
+		case OpPush, OpPop:
+			st = true
+		}
+	}
+	switch {
+	case kv && !q && !st:
+		return MapSpec{}
+	case q && !kv && !st:
+		return QueueSpec{}
+	case st && !kv && !q:
+		return StackSpec{}
+	}
+	return nil
+}

@@ -75,7 +75,9 @@ func TestGarbageInvariant(t *testing.T) {
 				g.AddRetired(int64(op))
 				outstanding += int64(op)
 			} else if outstanding > 0 {
-				n := int64(-op)
+				// Negate after widening: -int8(-128) overflows back to
+				// -128, which would turn AddFreed into a negative free.
+				n := -int64(op)
 				if n > outstanding {
 					n = outstanding
 				}

@@ -1,0 +1,81 @@
+package stress
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// injector owns the fault-injection state of one cell run. It plugs into
+// the arena's detect-mode deref hook (see arena.Pool.SetDerefHook), which
+// fires between slot resolution and liveness validation — exactly the
+// window a buggy reclamation scheme can free a node a reader is about to
+// touch. Widening that window makes unsafe schemes fail deterministically
+// on any core count, while correct schemes are unaffected by arbitrary
+// delays there.
+type injector struct {
+	// yieldEvery makes every Nth deref (across all workers) call
+	// runtime.Gosched, handing the race window to the other goroutines.
+	yieldEvery uint64
+	counter    atomic.Uint64
+
+	// Park support: when armed, the next deref parks its goroutine until
+	// release is closed — the "stalled reader parked mid-traversal
+	// holding a guard" adversary.
+	armed   atomic.Bool
+	parked  chan struct{}
+	release chan struct{}
+}
+
+func newInjector(yieldEvery int) *injector {
+	return &injector{
+		yieldEvery: uint64(yieldEvery),
+		parked:     make(chan struct{}),
+		release:    make(chan struct{}),
+	}
+}
+
+// hook is installed on every pool of the target under test.
+func (in *injector) hook(ref uint64) {
+	if in.armed.Load() && in.armed.CompareAndSwap(true, false) {
+		close(in.parked)
+		<-in.release
+		return
+	}
+	if in.yieldEvery > 0 && in.counter.Add(1)%in.yieldEvery == 0 {
+		runtime.Gosched()
+	}
+}
+
+// arm primes the park trap. Call only while the sole deref-ing goroutine
+// is the designated stalled reader.
+func (in *injector) arm() { in.armed.Store(true) }
+
+// awaitParked waits for the stalled reader to park, or disarms the trap
+// if no deref happens within the timeout (e.g. the structure is empty).
+// It reports whether a reader is parked.
+func (in *injector) awaitParked(timeout time.Duration) bool {
+	select {
+	case <-in.parked:
+		return true
+	case <-time.After(timeout):
+		if !in.armed.CompareAndSwap(true, false) {
+			// The reader won the race against the timeout and is parking.
+			<-in.parked
+			return true
+		}
+		return false
+	}
+}
+
+// releaseParked unblocks the parked reader (idempotent via sync.Once at
+// the caller; here it just closes).
+func (in *injector) releaseParked() { close(in.release) }
+
+// gosched runs n scheduler yields — the delayed-retirer pulse inserted
+// after destructive operations to stretch the unlink→reuse distance.
+func gosched(n int) {
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
