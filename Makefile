@@ -5,11 +5,15 @@
 
 GO ?= go
 
-.PHONY: check race test short stress bench vet
+.PHONY: check race test short stress bench bench-json vet
 
 check: vet
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) test -race -count=1 -run \
+		'ZeroValue|FrontierCache|StatsMonotone|ScanSet|ReleaseHint|Adaptive' \
+		./internal/hazards/ ./internal/hp/ ./internal/core/ \
+		./internal/ebr/ ./internal/pebr/ ./internal/arena/
 
 vet:
 	$(GO) vet ./...
@@ -25,3 +29,8 @@ stress:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=200ms ./internal/bench/
+
+# bench-json regenerates BENCH_reclaim.json at the repo root: the pinned
+# reclaim-scan microbench plus one fig-8 read-write cell per scheme.
+bench-json:
+	$(GO) run ./cmd/smrbench -reclaimjson BENCH_reclaim.json -dur 2s

@@ -31,19 +31,20 @@ import (
 
 func main() {
 	var (
-		fig        = flag.Int("fig", 0, "paper figure to reproduce (8-23)")
-		robustness = flag.String("robustness", "", "run the stalled-thread scenario for the given data structure")
-		ds         = flag.String("ds", "", "data structure for a free-form run")
-		scheme     = flag.String("scheme", "hp++", "reclamation scheme for a free-form run")
-		threads    = flag.Int("threads", 4, "worker count for a free-form run")
-		keyRange   = flag.Uint64("range", 10000, "key range for a free-form run")
-		workload   = flag.String("workload", "read-write", "workload: write-only | read-write | read-most")
-		dur        = flag.Duration("dur", time.Second, "duration per benchmark cell")
-		threadsCSV = flag.String("sweep", "1,2,4,8", "thread counts for figure sweeps")
-		schemesCSV = flag.String("schemes", "nr,ebr,pebr,hp,hp++,rc", "schemes for figure sweeps")
-		lo         = flag.Uint("lo", 10, "figure 10: smallest log2 key range")
-		hi         = flag.Uint("hi", 16, "figure 10: largest log2 key range")
-		list       = flag.Bool("list", false, "list registered targets and exit")
+		fig         = flag.Int("fig", 0, "paper figure to reproduce (8-23)")
+		robustness  = flag.String("robustness", "", "run the stalled-thread scenario for the given data structure")
+		ds          = flag.String("ds", "", "data structure for a free-form run")
+		scheme      = flag.String("scheme", "hp++", "reclamation scheme for a free-form run")
+		threads     = flag.Int("threads", 4, "worker count for a free-form run")
+		keyRange    = flag.Uint64("range", 10000, "key range for a free-form run")
+		workload    = flag.String("workload", "read-write", "workload: write-only | read-write | read-most")
+		dur         = flag.Duration("dur", time.Second, "duration per benchmark cell")
+		threadsCSV  = flag.String("sweep", "1,2,4,8", "thread counts for figure sweeps")
+		schemesCSV  = flag.String("schemes", "nr,ebr,pebr,hp,hp++,rc", "schemes for figure sweeps")
+		lo          = flag.Uint("lo", 10, "figure 10: smallest log2 key range")
+		hi          = flag.Uint("hi", 16, "figure 10: largest log2 key range")
+		list        = flag.Bool("list", false, "list registered targets and exit")
+		reclaimJSON = flag.String("reclaimjson", "", "write the reclaim-path benchmark report (scan microbench + per-scheme fig-8 cells) to this file")
 	)
 	flag.Parse()
 
@@ -60,6 +61,12 @@ func main() {
 	}
 
 	switch {
+	case *reclaimJSON != "":
+		f, err := os.Create(*reclaimJSON)
+		check(err)
+		check(bench.ReclaimJSON(f, strings.Split(*schemesCSV, ","), *dur))
+		check(f.Close())
+		fmt.Println("wrote", *reclaimJSON)
 	case *robustness != "":
 		check(bench.RobustnessFigure(os.Stdout, sweep, *robustness))
 	case *fig != 0:

@@ -79,6 +79,7 @@ type Pool[T any] struct {
 
 	allocs  atomic.Int64
 	frees   atomic.Int64
+	live    atomic.Int64 // current live occupancy; sole input to hiwater
 	hiwater atomic.Int64
 
 	uaf        atomic.Int64 // detected use-after-free derefs (ModeDetect)
@@ -152,9 +153,18 @@ func (p *Pool[T]) Alloc() (Ref, *T) {
 			p.slabs[si].CompareAndSwap(nil, &slab[T]{})
 		}
 	}
+	p.allocs.Add(1)
+	// The high-water mark derives from a single live counter: each Alloc
+	// observes the exact occupancy its own increment produced, so the CAS
+	// race below can only ever raise hiwater to a value the pool really
+	// reached. The old allocs.Add(1)-minus-frees.Load() formulation read a
+	// torn pair — the two counters at different instants — recording
+	// "peaks" that never existed and missing ones that did. The increment
+	// precedes the state store so the counter never under-counts a slot
+	// that is already handed out.
+	n := p.live.Add(1)
 	s := p.slotOf(ref)
 	s.state.Store(s.state.Load() + 2 | liveBit) // bump sequence, set live
-	n := p.allocs.Add(1) - p.frees.Load()
 	for {
 		hw := p.hiwater.Load()
 		if n <= hw || p.hiwater.CompareAndSwap(hw, n) {
@@ -185,6 +195,7 @@ func (p *Pool[T]) Free(ref Ref) {
 		}
 	}
 	p.frees.Add(1)
+	p.live.Add(-1)
 	if p.mode == ModeReuse {
 		p.pushFree(ref)
 	}
@@ -256,7 +267,7 @@ type Stats struct {
 	Name       string
 	Allocs     int64 // total allocations
 	Frees      int64 // total frees
-	Live       int64 // Allocs - Frees
+	Live       int64 // current live slots (single counter, never torn)
 	HighWater  int64 // maximum simultaneous live slots
 	Bytes      int64 // Live * sizeof(T)
 	PeakBytes  int64 // HighWater * sizeof(T)
@@ -267,14 +278,15 @@ type Stats struct {
 // Stats returns a snapshot of the pool's accounting.
 func (p *Pool[T]) Stats() Stats {
 	a, f := p.allocs.Load(), p.frees.Load()
+	live := p.live.Load()
 	hw := p.hiwater.Load()
 	return Stats{
 		Name:       p.name,
 		Allocs:     a,
 		Frees:      f,
-		Live:       a - f,
+		Live:       live,
 		HighWater:  hw,
-		Bytes:      (a - f) * p.elemSize,
+		Bytes:      live * p.elemSize,
 		PeakBytes:  hw * p.elemSize,
 		UAF:        p.uaf.Load(),
 		DoubleFree: p.doubleFree.Load(),

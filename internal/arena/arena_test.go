@@ -348,3 +348,56 @@ func TestDerefHookWidensRaceWindow(t *testing.T) {
 		t.Fatalf("UAF count after hook removal = %d, want 2", got)
 	}
 }
+
+// TestStatsMonotoneConsistency is the regression test for the torn-pair
+// high-water mark: deriving occupancy from allocs.Add(1) minus a separate
+// frees.Load() could record "peaks" that never existed. With W workers each
+// holding at most one slot, HighWater and Live must never exceed W and
+// HighWater must be monotone. (Live vs HighWater is not compared mid-run:
+// an Alloc raises the live counter before its high-water CAS, so a sampler
+// can transiently see Live above HighWater.)
+func TestStatsMonotoneConsistency(t *testing.T) {
+	p := NewPool[payload]("mono", ModeReuse)
+	const workers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ref, _ := p.Alloc()
+				p.Free(ref)
+			}
+		}()
+	}
+	lastHW := int64(0)
+	for i := 0; i < 20000; i++ {
+		st := p.Stats()
+		if st.Live < 0 {
+			t.Fatalf("negative live count %d", st.Live)
+		}
+		if st.Live > workers {
+			t.Fatalf("live %d exceeds max possible occupancy %d", st.Live, workers)
+		}
+		if st.HighWater > workers {
+			t.Fatalf("high water %d exceeds max possible occupancy %d", st.HighWater, workers)
+		}
+		if st.HighWater < lastHW {
+			t.Fatalf("high water went backwards: %d -> %d", lastHW, st.HighWater)
+		}
+		lastHW = st.HighWater
+	}
+	close(stop)
+	wg.Wait()
+	st := p.Stats()
+	if st.Live != 0 || st.Allocs != st.Frees {
+		t.Fatalf("quiescent pool inconsistent: live=%d allocs=%d frees=%d",
+			st.Live, st.Allocs, st.Frees)
+	}
+}

@@ -37,16 +37,24 @@ import (
 )
 
 // Defaults match the paper's evaluation (§5): Reclaim per 128 TryUnlinks,
-// DoInvalidation per 32 TryUnlinks.
+// DoInvalidation per 32 TryUnlinks. DefaultReclaimEvery doubles as the
+// floor of the adaptive reclamation threshold.
 const (
 	DefaultReclaimEvery    = 128
 	DefaultInvalidateEvery = 32
 )
 
+// maxFrontierCache caps the per-thread cache of released frontier slots.
+// The effective cap is usually lower — see Thread.cacheCap.
+const maxFrontierCache = 64
+
 // Options configures an HP++ domain.
 type Options struct {
-	// ReclaimEvery is the number of TryUnlink/Retire calls between
-	// reclamation passes (default 128).
+	// ReclaimEvery, if set > 0, is the fixed number of TryUnlink/Retire
+	// calls between reclamation passes. When <= 0 (the default) the
+	// cadence is adaptive: a thread scans when its retired set reaches
+	// max(DefaultReclaimEvery, hazards.AdaptiveFactor·H), H being the
+	// number of acquired hazard slots in the registry.
 	ReclaimEvery int
 	// InvalidateEvery is the number of TryUnlink calls between deferred
 	// invalidation passes (default 32).
@@ -59,9 +67,7 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.ReclaimEvery <= 0 {
-		o.ReclaimEvery = DefaultReclaimEvery
-	}
+	// ReclaimEvery <= 0 stays as-is: it selects the adaptive cadence.
 	if o.InvalidateEvery <= 0 {
 		o.InvalidateEvery = DefaultInvalidateEvery
 	}
@@ -150,12 +156,12 @@ type Thread struct {
 
 	unlinks int
 	retires int
-	scratch map[uint64]struct{}
+	scan    hazards.ScanSet // reusable filtered+sorted hazard snapshot
 }
 
 // NewThread returns a handle with nslots named traversal slots.
 func (d *Domain) NewThread(nslots int) *Thread {
-	t := &Thread{d: d, scratch: make(map[uint64]struct{})}
+	t := &Thread{d: d}
 	for i := 0; i < nslots; i++ {
 		t.slots = append(t.slots, d.reg.Acquire())
 	}
@@ -219,9 +225,30 @@ func (t *Thread) Retire(ref uint64, dealloc smr.Deallocator) {
 	t.retireds = append(t.retireds, smr.Retired{Ref: ref, D: dealloc})
 	t.d.g.AddRetired(1)
 	t.retires++
-	if t.retires%t.d.opts.ReclaimEvery == 0 {
+	if t.shouldReclaim() {
 		t.Reclaim()
 	}
+}
+
+// shouldReclaim decides the reclamation cadence: the fixed modulus when
+// Options.ReclaimEvery is positive, otherwise the adaptive threshold
+// R = max(DefaultReclaimEvery, hazards.AdaptiveFactor·H) applied to the
+// local retired-set size. Lazily tolerating a non-positive ReclaimEvery
+// also makes a zero-value Domain literal safe (no divide-by-zero).
+func (t *Thread) shouldReclaim() bool {
+	if every := t.d.opts.ReclaimEvery; every > 0 {
+		return (t.retires+t.unlinks)%every == 0
+	}
+	return len(t.retireds) >= hazards.ReclaimThreshold(t.d.reg.InUse(), DefaultReclaimEvery)
+}
+
+// invalidateEvery returns the deferred-invalidation cadence, clamping a
+// non-positive configured value (zero-value Domain literal) to the default.
+func (t *Thread) invalidateEvery() int {
+	if every := t.d.opts.InvalidateEvery; every > 0 {
+		return every
+	}
+	return DefaultInvalidateEvery
 }
 
 // TryUnlink implements Algorithm 3's TRYUNLINK. frontier lists the nodes
@@ -254,10 +281,10 @@ func (t *Thread) TryUnlink(frontier []uint64, doUnlink func() ([]smr.Retired, bo
 	t.unlinkeds = append(t.unlinkeds, unlinkBatch{nodes: nodes, inv: inv, hps: hps})
 	t.d.g.AddRetired(int64(len(nodes)))
 	t.unlinks++
-	if t.unlinks%t.d.opts.InvalidateEvery == 0 {
+	if t.unlinks%t.invalidateEvery() == 0 {
 		t.DoInvalidation()
 	}
-	if t.unlinks%t.d.opts.ReclaimEvery == 0 {
+	if t.shouldReclaim() {
 		t.Reclaim()
 	}
 	return true
@@ -326,12 +353,11 @@ func (t *Thread) Reclaim() {
 	}
 	// No fence needed here: DoInvalidation (Alg. 3) or FenceEpoch above
 	// (Alg. 5) already ordered invalidation with this scan.
-	clear(t.scratch)
-	d.reg.Snapshot(t.scratch)
+	t.scan.Load(&d.reg)
 	kept := t.retireds[:0]
 	freed := int64(0)
 	for _, r := range t.retireds {
-		if _, p := t.scratch[r.Ref]; p {
+		if t.scan.Contains(r.Ref) {
 			kept = append(kept, r)
 		} else {
 			r.Free()
@@ -387,9 +413,34 @@ func (t *Thread) acquire() *hazards.Slot {
 
 func (t *Thread) release(s *hazards.Slot) {
 	s.Clear()
-	if len(t.cache) < 64 {
+	if len(t.cache) < t.cacheCap() {
 		t.cache = append(t.cache, s)
 		return
 	}
 	t.d.reg.Release(s)
 }
+
+// cacheCap bounds the local frontier-slot cache by registry pressure.
+// Cached slots stay acquired (inUse) in the registry, so hoarding them is
+// only harmless while the registry has spare released slots; once every
+// slot is taken, each cached one is a slot other threads' Acquire must
+// skip — and one stranded forever if this goroutine exits without Finish.
+// The allowance is therefore the registry's current free-slot count,
+// capped at maxFrontierCache: under pressure the cache shrinks until every
+// cached slot is matched by a free one in the registry, and surplus
+// released slots go straight back (cheap via the registry's free-slot
+// hint).
+func (t *Thread) cacheCap() int {
+	free := t.d.reg.Len() - t.d.reg.InUse()
+	if free > maxFrontierCache {
+		return maxFrontierCache
+	}
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// CachedSlots returns the number of locally cached frontier slots (for
+// tests).
+func (t *Thread) CachedSlots() int { return len(t.cache) }

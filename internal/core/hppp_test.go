@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/hazards"
 	"github.com/gosmr/gosmr/internal/smr"
 	"github.com/gosmr/gosmr/internal/tagptr"
 )
@@ -304,5 +305,92 @@ func TestFinishHandsOffOrphans(t *testing.T) {
 	survivor.Reclaim()
 	if p.Live(ref) {
 		t.Fatal("orphan not adopted")
+	}
+}
+
+// TestZeroValueOptionsReclaim is the regression test for the zero-modulus
+// panics a Domain built from zero-value Options used to hit: the
+// ReclaimEvery and InvalidateEvery moduli in Retire/TryUnlink divided by
+// zero. Zero-value options now mean adaptive reclaim + default
+// invalidation cadence.
+func TestZeroValueOptionsReclaim(t *testing.T) {
+	for name, d := range map[string]*Domain{
+		"NewDomain(Options{})": NewDomain(Options{}),
+		"&Domain{}":            {},
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := newPool(arena.ModeReuse)
+			th := d.NewThread(1)
+			for i := 0; i < 2*DefaultInvalidateEvery; i++ {
+				ref, _ := p.Alloc()
+				ok := th.TryUnlink(nil, func() ([]smr.Retired, bool) {
+					return []smr.Retired{{Ref: ref, D: p}}, true
+				}, p)
+				if !ok {
+					t.Fatal("unlink failed")
+				}
+			}
+			for i := 0; i < 2*DefaultReclaimEvery; i++ {
+				ref, _ := p.Alloc()
+				th.Retire(ref, p)
+			}
+			th.Finish()
+			if got := d.Unreclaimed(); got != 0 {
+				t.Fatalf("unreclaimed after Finish = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestFrontierCacheBoundedByRegistryPressure is the regression test for
+// frontier-slot stranding: the per-thread cache used to hold up to 64
+// acquired slots unconditionally, so a goroutine exiting without Finish
+// stranded them with inUse set forever. The cap is now tied to the
+// registry's free-slot count: under pressure the cache drains to zero.
+func TestFrontierCacheBoundedByRegistryPressure(t *testing.T) {
+	d := NewDomain(Options{InvalidateEvery: 1, ReclaimEvery: 1 << 30})
+	p := newPool(arena.ModeReuse)
+	th := d.NewThread(0)
+	unlink := func() {
+		frontier := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+		ok := th.TryUnlink(frontier, func() ([]smr.Retired, bool) {
+			ref, _ := p.Alloc()
+			return []smr.Retired{{Ref: ref, D: p}}, true
+		}, p)
+		if !ok {
+			t.Fatal("unlink failed")
+		}
+	}
+	unlink() // InvalidateEvery=1: frontier slots released immediately
+	if th.CachedSlots() == 0 {
+		t.Fatal("expected cached frontier slots while the registry is idle")
+	}
+
+	// Apply pressure: take every free slot in the registry.
+	reg := d.Registry()
+	var held []*hazards.Slot
+	for reg.Len() > reg.InUse() {
+		held = append(held, reg.Acquire())
+	}
+	unlink()
+	if free := reg.Len() - reg.InUse(); th.CachedSlots() > free {
+		t.Fatalf("cache holds %d slots but registry has only %d free: hoarding under pressure",
+			th.CachedSlots(), free)
+	}
+	if got := th.CachedSlots(); got >= 8 {
+		t.Fatalf("cache did not shrink under pressure: %d slots", got)
+	}
+
+	// Pressure clears: the cache may fill again, bounded by free slots.
+	for _, s := range held {
+		reg.Release(s)
+	}
+	unlink()
+	if th.CachedSlots() == 0 {
+		t.Fatal("cache should refill once registry pressure clears")
+	}
+	free := reg.Len() - reg.InUse() + th.CachedSlots()
+	if got := th.CachedSlots(); got > free {
+		t.Fatalf("cache %d exceeds registry free-slot allowance %d", got, free)
 	}
 }

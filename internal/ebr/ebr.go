@@ -26,6 +26,8 @@ type Domain struct {
 	g       smr.Garbage
 
 	// CollectEvery overrides the retire threshold if set before use.
+	// Non-positive values (the zero-value Domain literal) fall back to
+	// DefaultCollectEvery lazily instead of panicking with a zero modulus.
 	CollectEvery int
 }
 
@@ -134,9 +136,18 @@ func (g *Guard) Retire(ref uint64, dealloc smr.Deallocator) {
 	g.bag = append(g.bag, entry{smr.Retired{Ref: ref, D: dealloc}, g.d.epoch.Load()})
 	g.d.g.AddRetired(1)
 	g.retires++
-	if g.retires%g.d.CollectEvery == 0 {
+	if g.retires%g.d.collectEvery() == 0 {
 		g.Collect()
 	}
+}
+
+// collectEvery returns the collection cadence, clamping a non-positive
+// configured value (zero-value Domain literal) to the default.
+func (d *Domain) collectEvery() int {
+	if every := d.CollectEvery; every > 0 {
+		return every
+	}
+	return DefaultCollectEvery
 }
 
 // Collect attempts to advance the global epoch and frees every bag entry

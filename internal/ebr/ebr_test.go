@@ -138,3 +138,22 @@ func TestConcurrentRetire(t *testing.T) {
 		t.Fatalf("double frees: %d", st.DoubleFree)
 	}
 }
+
+// TestZeroValueDomainCollects is the regression test for the zero-modulus
+// panic a zero-value &Domain{} used to hit on its 0th retire: CollectEvery
+// now clamps lazily to the default instead of dividing by zero.
+func TestZeroValueDomainCollects(t *testing.T) {
+	d := &Domain{}
+	p := arena.NewPool[uint64]("zv", arena.ModeReuse)
+	g := d.NewGuardEBR()
+	for i := 0; i < 2*DefaultCollectEvery; i++ {
+		g.Pin()
+		ref, _ := p.Alloc()
+		g.Retire(ref, p)
+		g.Unpin()
+	}
+	g.Drain()
+	if got := d.Unreclaimed(); got != 0 {
+		t.Fatalf("unreclaimed after drain = %d, want 0", got)
+	}
+}

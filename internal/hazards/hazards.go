@@ -4,7 +4,16 @@
 // write node references into and reclaiming threads scan.
 package hazards
 
-import "sync/atomic"
+import (
+	"slices"
+	"sync/atomic"
+)
+
+// slotPad pads each Slot to 128 bytes — two 64-byte cache lines, matching
+// the spatial-prefetcher granularity — so adjacent slots (which are written
+// by different threads on every protection change) never share a line.
+// The unpadded fields occupy 24 bytes.
+const slotPad = 128 - 24
 
 // Slot is a single hazard-pointer cell. Exactly one owning thread writes
 // Value at a time; any thread may read it during a reclamation scan.
@@ -12,6 +21,7 @@ type Slot struct {
 	value atomic.Uint64
 	inUse atomic.Uint32
 	next  *Slot
+	_     [slotPad]byte
 }
 
 // Set announces protection of ref.
@@ -28,12 +38,23 @@ func (s *Slot) Clear() { s.value.Store(0) }
 type Registry struct {
 	head atomic.Pointer[Slot]
 	n    atomic.Int64
+	live atomic.Int64
+	// hint points at the most recently released slot so Acquire can skip
+	// the linear scan over long runs of in-use slots in the common
+	// release-then-reacquire churn (HP++ frontier slots).
+	hint atomic.Pointer[Slot]
 }
 
 // Acquire returns an exclusive slot, reusing a released one if available.
 func (r *Registry) Acquire() *Slot {
+	if h := r.hint.Load(); h != nil && h.inUse.CompareAndSwap(0, 1) {
+		r.hint.CompareAndSwap(h, nil)
+		r.live.Add(1)
+		return h
+	}
 	for s := r.head.Load(); s != nil; s = s.next {
 		if s.inUse.Load() == 0 && s.inUse.CompareAndSwap(0, 1) {
+			r.live.Add(1)
 			return s
 		}
 	}
@@ -44,6 +65,7 @@ func (r *Registry) Acquire() *Slot {
 		s.next = h
 		if r.head.CompareAndSwap(h, s) {
 			r.n.Add(1)
+			r.live.Add(1)
 			return s
 		}
 	}
@@ -53,6 +75,8 @@ func (r *Registry) Acquire() *Slot {
 func (r *Registry) Release(s *Slot) {
 	s.value.Store(0)
 	s.inUse.Store(0)
+	r.live.Add(-1)
+	r.hint.Store(s)
 }
 
 // Snapshot adds every currently announced reference to set.
@@ -63,6 +87,103 @@ func (r *Registry) Snapshot(set map[uint64]struct{}) {
 		}
 	}
 }
+
+// SnapshotSorted appends every currently announced reference to buf[:0],
+// sorts it, and returns the slice. Reusing the returned buffer across
+// reclamation scans makes the scan allocation-free; membership is then a
+// binary search (Contains) instead of a map lookup — Michael's original
+// formulation of the reclamation scan.
+func (r *Registry) SnapshotSorted(buf []uint64) []uint64 {
+	buf = buf[:0]
+	for s := r.head.Load(); s != nil; s = s.next {
+		if v := s.value.Load(); v != 0 {
+			buf = append(buf, v)
+		}
+	}
+	slices.Sort(buf)
+	return buf
+}
+
+// Contains reports whether the sorted snapshot contains ref. It is a
+// hand-rolled binary search over a shrinking subslice: mid is always
+// len(s)>>1, which the compiler can prove in-bounds, so the probe loop
+// carries no bounds checks. The generic slices.BinarySearch costs a
+// non-inlinable call plus a comparator indirection per probe, which at
+// reclamation-scan volume (one probe chain per retired node) measurably
+// dominates the scan.
+func Contains(sorted []uint64, ref uint64) bool {
+	s := sorted
+	for len(s) > 0 {
+		mid := len(s) >> 1
+		v := s[mid]
+		if v == ref {
+			return true
+		}
+		if v < ref {
+			s = s[mid+1:]
+		} else {
+			s = s[:mid]
+		}
+	}
+	return false
+}
+
+// filterWords sizes the ScanSet membership filter: 16 words = 1024 bits,
+// two cache lines. With the ~dozens of announced hazards a scan sees, the
+// false-positive rate stays in the low percent, so nearly every
+// not-protected probe is rejected by a single load.
+const filterWords = 16
+
+func filterBit(ref uint64) (word, mask uint64) {
+	h := (ref * 0x9E3779B97F4A7C15) >> 54 // Fibonacci hash, top 10 bits
+	return h >> 6, 1 << (h & 63)
+}
+
+// ScanSet is the reusable per-thread scan state for a reclamation pass: a
+// sorted array of the announced references plus a 1024-bit hash summary of
+// them. Membership probes test the summary first — one load and a mask —
+// and fall through to the binary search only on probable hits. Since the
+// amortized guarantee behind the reclaim cadence is that most retired
+// nodes are NOT protected at scan time, the filter short-circuits almost
+// every probe. A false positive merely sends a probe to the binary search,
+// which gives the exact answer; the filter never changes the result.
+//
+// The zero value is ready to use; reusing one across scans makes the scan
+// allocation-free once the sorted buffer has grown to the registry size.
+type ScanSet struct {
+	sorted []uint64
+	filter [filterWords]uint64
+}
+
+// Load replaces the set's contents with a snapshot of every reference
+// currently announced in r.
+func (ss *ScanSet) Load(r *Registry) {
+	ss.sorted = ss.sorted[:0]
+	ss.filter = [filterWords]uint64{}
+	for s := r.head.Load(); s != nil; s = s.next {
+		if v := s.value.Load(); v != 0 {
+			ss.sorted = append(ss.sorted, v)
+			w, m := filterBit(v)
+			ss.filter[w] |= m
+		}
+	}
+	slices.Sort(ss.sorted)
+}
+
+// Contains reports whether ref was announced when the set was loaded.
+func (ss *ScanSet) Contains(ref uint64) bool {
+	w, m := filterBit(ref)
+	if ss.filter[w]&m == 0 {
+		return false
+	}
+	return Contains(ss.sorted, ref)
+}
+
+// Len returns the number of references in the set.
+func (ss *ScanSet) Len() int { return len(ss.sorted) }
+
+// Sorted exposes the sorted snapshot for tests.
+func (ss *ScanSet) Sorted() []uint64 { return ss.sorted }
 
 // Protects reports whether any slot currently announces ref. It is slower
 // than Snapshot for bulk queries and intended for tests.
@@ -77,3 +198,26 @@ func (r *Registry) Protects(ref uint64) bool {
 
 // Len returns the total number of slots ever created (in use or free).
 func (r *Registry) Len() int { return int(r.n.Load()) }
+
+// InUse returns the number of currently acquired slots — the H in the
+// adaptive reclamation threshold R = max(floor, k·H). It can be read
+// concurrently with Acquire/Release and is monotone-consistent (never
+// negative, never above Len).
+func (r *Registry) InUse() int { return int(r.live.Load()) }
+
+// AdaptiveFactor is the k in the adaptive reclamation threshold
+// R = max(floor, k·H). Scanning only once a thread's retired set reaches
+// k·H guarantees each scan frees at least a (k-1)/k fraction of it — at
+// most H refs can be protected by H slots — so the amortized per-retire
+// scan cost stays constant no matter how many threads join (Michael 2004).
+const AdaptiveFactor = 2
+
+// ReclaimThreshold returns the adaptive scan threshold for h acquired
+// slots: max(floor, AdaptiveFactor·h). The floor keeps tiny registries
+// from scanning on every retire.
+func ReclaimThreshold(h, floor int) int {
+	if r := AdaptiveFactor * h; r > floor {
+		return r
+	}
+	return floor
+}

@@ -1,6 +1,7 @@
 package hazards
 
 import (
+	"sort"
 	"sync"
 	"testing"
 )
@@ -78,5 +79,139 @@ func TestConcurrentAcquire(t *testing.T) {
 	r.Snapshot(set)
 	if len(set) != workers {
 		t.Fatalf("snapshot has %d refs, want %d", len(set), workers)
+	}
+}
+
+func TestSnapshotSortedMatchesMapSnapshot(t *testing.T) {
+	var r Registry
+	refs := []uint64{900, 3, 77, 12, 500}
+	for _, v := range refs {
+		r.Acquire().Set(v)
+	}
+	r.Acquire() // empty slot must not contribute
+	var buf []uint64
+	buf = r.SnapshotSorted(buf)
+	if !sort.SliceIsSorted(buf, func(i, j int) bool { return buf[i] < buf[j] }) {
+		t.Fatalf("snapshot not sorted: %v", buf)
+	}
+	want := map[uint64]struct{}{}
+	r.Snapshot(want)
+	if len(buf) != len(want) {
+		t.Fatalf("sorted snapshot %v vs map %v", buf, want)
+	}
+	for _, v := range refs {
+		if !Contains(buf, v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	if Contains(buf, 4) || Contains(buf, 0) {
+		t.Error("Contains reports absent refs")
+	}
+	// Buffer reuse: a second snapshot after changes reuses the backing array.
+	prev := &buf[0]
+	buf = r.SnapshotSorted(buf)
+	if &buf[0] != prev {
+		t.Error("SnapshotSorted reallocated a sufficient buffer")
+	}
+}
+
+func TestReleaseHintSkipsInUseRun(t *testing.T) {
+	var r Registry
+	// Build a long run of in-use slots, then release one in the middle:
+	// the next Acquire must come straight from the hint, not a fresh slot.
+	slots := make([]*Slot, 64)
+	for i := range slots {
+		slots[i] = r.Acquire()
+	}
+	victim := slots[32]
+	r.Release(victim)
+	if got := r.Acquire(); got != victim {
+		t.Fatalf("Acquire did not reuse the hinted slot")
+	}
+	if r.Len() != 64 {
+		t.Fatalf("len = %d, want 64", r.Len())
+	}
+}
+
+func TestInUseCountsAcquiredSlots(t *testing.T) {
+	var r Registry
+	if r.InUse() != 0 {
+		t.Fatalf("fresh registry InUse = %d", r.InUse())
+	}
+	a, b := r.Acquire(), r.Acquire()
+	if r.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", r.InUse())
+	}
+	r.Release(a)
+	if r.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", r.InUse())
+	}
+	r.Release(b)
+	if r.InUse() != 0 || r.Len() != 2 {
+		t.Fatalf("InUse = %d Len = %d, want 0/2", r.InUse(), r.Len())
+	}
+}
+
+func TestReclaimThreshold(t *testing.T) {
+	if got := ReclaimThreshold(0, 128); got != 128 {
+		t.Fatalf("floor not applied: %d", got)
+	}
+	if got := ReclaimThreshold(100, 128); got != 200 {
+		t.Fatalf("k·H not applied: %d", got)
+	}
+}
+
+func TestConcurrentAcquireReleaseKeepsCounts(t *testing.T) {
+	var r Registry
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s := r.Acquire()
+				s.Set(uint64(i + 1))
+				r.Release(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after all released", got)
+	}
+	if r.Len() > workers {
+		t.Fatalf("registry grew to %d slots for %d workers", r.Len(), workers)
+	}
+}
+
+func TestScanSetAgreesWithMapSnapshot(t *testing.T) {
+	r := &Registry{}
+	want := map[uint64]struct{}{}
+	for i := 0; i < 200; i++ {
+		v := uint64(i*i*7 + 13)
+		r.Acquire().Set(v)
+		want[v] = struct{}{}
+	}
+	var ss ScanSet
+	for round := 0; round < 2; round++ { // second round exercises reuse
+		ss.Load(r)
+		if ss.Len() != len(want) {
+			t.Fatalf("round %d: Len = %d, want %d", round, ss.Len(), len(want))
+		}
+		for v := range want {
+			if !ss.Contains(v) {
+				t.Errorf("round %d: false negative for %d", round, v)
+			}
+		}
+		for i := 0; i < 10000; i++ {
+			v := splitmix(uint64(i) + 5000)
+			if _, p := want[v]; !p && Contains(ss.Sorted(), v) {
+				t.Errorf("round %d: binary search false positive for %d", round, v)
+			}
+			if got := ss.Contains(v); got != func() bool { _, p := want[v]; return p }() {
+				t.Errorf("round %d: Contains(%d) = %v disagrees with map", round, v, got)
+			}
+		}
 	}
 }

@@ -1,0 +1,73 @@
+package hazards
+
+import "testing"
+
+// scanFixture builds a registry with h announced slots and a retired set of
+// n refs, a quarter of which are protected — the shape of one Reclaim pass.
+func scanFixture(h, n int) (*Registry, []uint64) {
+	r := &Registry{}
+	hazards := make([]uint64, 0, h)
+	for i := 0; i < h; i++ {
+		v := splitmix(uint64(i)*2 + 1)
+		r.Acquire().Set(v)
+		hazards = append(hazards, v)
+	}
+	retired := make([]uint64, n)
+	for i := range retired {
+		if i%4 == 0 {
+			retired[i] = hazards[i%h]
+		} else {
+			retired[i] = splitmix(uint64(i)*2 + 2)
+		}
+	}
+	return r, retired
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	v := x ^ (x >> 31)
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// BenchmarkReclaimScan compares the pre-overhaul map-based hazard snapshot
+// against the sorted-slice + binary-search path that Reclaim now uses, at
+// the pinned shape H=64 announced slots, 4096 retired refs.
+func BenchmarkReclaimScan(b *testing.B) {
+	const h, n = 64, 4096
+	reg, retired := scanFixture(h, n)
+
+	b.Run("map", func(b *testing.B) {
+		scratch := make(map[uint64]struct{}, h)
+		kept := 0
+		for i := 0; i < b.N; i++ {
+			clear(scratch)
+			reg.Snapshot(scratch)
+			for _, ref := range retired {
+				if _, p := scratch[ref]; p {
+					kept++
+				}
+			}
+		}
+		sinkInt = kept
+	})
+	b.Run("sorted", func(b *testing.B) {
+		var scan ScanSet
+		kept := 0
+		for i := 0; i < b.N; i++ {
+			scan.Load(reg)
+			for _, ref := range retired {
+				if scan.Contains(ref) {
+					kept++
+				}
+			}
+		}
+		sinkInt = kept
+	})
+}
+
+var sinkInt int

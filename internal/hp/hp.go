@@ -23,8 +23,14 @@ import (
 	"github.com/gosmr/gosmr/internal/tagptr"
 )
 
-// DefaultReclaimEvery is the number of retires between reclamation passes.
+// DefaultReclaimEvery is the fixed-cadence default: the number of retires
+// between reclamation passes when adaptive scanning is disabled. It doubles
+// as the floor of the adaptive threshold.
 const DefaultReclaimEvery = 128
+
+// AdaptiveFactor aliases the k of the adaptive reclamation threshold
+// R = max(DefaultReclaimEvery, k·H); see hazards.ReclaimThreshold.
+const AdaptiveFactor = hazards.AdaptiveFactor
 
 // Domain is a hazard-pointer reclamation domain.
 type Domain struct {
@@ -32,12 +38,16 @@ type Domain struct {
 	g       smr.Garbage
 	orphans smr.OrphanList
 
-	// ReclaimEvery overrides the retire threshold if set before use.
+	// ReclaimEvery, if set > 0 before use, pins the old fixed cadence:
+	// one reclamation pass every ReclaimEvery retires. When <= 0 (the
+	// zero value and the NewDomain default) the cadence is adaptive:
+	// a thread scans when its retired set reaches
+	// max(DefaultReclaimEvery, AdaptiveFactor·H).
 	ReclaimEvery int
 }
 
-// NewDomain creates an HP domain.
-func NewDomain() *Domain { return &Domain{ReclaimEvery: DefaultReclaimEvery} }
+// NewDomain creates an HP domain with the adaptive reclaim cadence.
+func NewDomain() *Domain { return &Domain{} }
 
 // Unreclaimed returns the number of retired-but-unfreed nodes.
 func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
@@ -56,12 +66,12 @@ type Thread struct {
 	slots   []*hazards.Slot
 	retired []smr.Retired
 	retires int
-	scratch map[uint64]struct{}
+	scan    hazards.ScanSet // reusable filtered+sorted hazard snapshot
 }
 
 // NewThread returns a handle with nslots protection slots.
 func (d *Domain) NewThread(nslots int) *Thread {
-	t := &Thread{d: d, scratch: make(map[uint64]struct{})}
+	t := &Thread{d: d}
 	for i := 0; i < nslots; i++ {
 		t.slots = append(t.slots, d.reg.Acquire())
 	}
@@ -110,9 +120,21 @@ func (t *Thread) Retire(ref uint64, dealloc smr.Deallocator) {
 	t.retired = append(t.retired, smr.Retired{Ref: ref, D: dealloc})
 	t.d.g.AddRetired(1)
 	t.retires++
-	if t.retires%t.d.ReclaimEvery == 0 {
+	if t.shouldReclaim() {
 		t.Reclaim()
 	}
+}
+
+// shouldReclaim decides the reclamation cadence. A positive ReclaimEvery
+// selects the fixed modulus; otherwise (including the zero-value Domain)
+// the adaptive threshold R = max(DefaultReclaimEvery, AdaptiveFactor·H)
+// applies to the local retired-set size — no division, so a zero-value
+// &Domain{} literal is safe.
+func (t *Thread) shouldReclaim() bool {
+	if every := t.d.ReclaimEvery; every > 0 {
+		return t.retires%every == 0
+	}
+	return len(t.retired) >= hazards.ReclaimThreshold(t.d.reg.InUse(), DefaultReclaimEvery)
 }
 
 // Reclaim scans the hazard slots and frees every retired node that no slot
@@ -124,12 +146,11 @@ func (t *Thread) Reclaim() {
 		return
 	}
 	// fence(SC) between retired-set retrieval and hazard scan — implicit.
-	clear(t.scratch)
-	d.reg.Snapshot(t.scratch)
+	t.scan.Load(&d.reg)
 	kept := t.retired[:0]
 	freed := int64(0)
 	for _, r := range t.retired {
-		if _, p := t.scratch[r.Ref]; p {
+		if t.scan.Contains(r.Ref) {
 			kept = append(kept, r)
 		} else {
 			r.Free()

@@ -166,3 +166,72 @@ func TestConcurrentProtectRetire(t *testing.T) {
 		t.Fatalf("detected %d use-after-free derefs", got)
 	}
 }
+
+// TestZeroValueDomainReclaims is the regression test for the divide-by-zero
+// panic a zero-value &Domain{} used to hit on its first Retire: with
+// ReclaimEvery left at 0 the old fixed-cadence modulus panicked. The zero
+// value now selects the adaptive cadence.
+func TestZeroValueDomainReclaims(t *testing.T) {
+	d := &Domain{}
+	p := arena.NewPool[uint64]("zv", arena.ModeReuse)
+	th := d.NewThread(1)
+	for i := 0; i < 4*DefaultReclaimEvery; i++ {
+		ref, _ := p.Alloc()
+		th.Retire(ref, p)
+	}
+	if d.g.TotalFreed() == 0 {
+		t.Fatal("adaptive cadence never triggered a reclamation pass")
+	}
+	th.Finish()
+	if got := d.Unreclaimed(); got != 0 {
+		t.Fatalf("unreclaimed after Finish = %d, want 0", got)
+	}
+}
+
+// TestAdaptiveThresholdScalesWithSlots checks the cadence side of the
+// adaptive scan: with H acquired slots a thread defers its scan until its
+// retired set reaches AdaptiveFactor*H (above the floor), so per-retire
+// scan cost stays amortized-constant as threads join.
+func TestAdaptiveThresholdScalesWithSlots(t *testing.T) {
+	d := &Domain{}
+	p := arena.NewPool[uint64]("adapt", arena.ModeReuse)
+	// Inflate H well past the floor.
+	const slots = 3 * DefaultReclaimEvery
+	idle := d.NewThread(slots)
+	defer idle.Finish()
+
+	th := d.NewThread(0)
+	defer th.Finish()
+	threshold := AdaptiveFactor * d.Registry().InUse()
+	if threshold <= DefaultReclaimEvery {
+		t.Fatalf("fixture broken: threshold %d not above floor", threshold)
+	}
+	for i := 0; i < threshold-1; i++ {
+		ref, _ := p.Alloc()
+		th.Retire(ref, p)
+	}
+	if got := d.g.TotalFreed(); got != 0 {
+		t.Fatalf("scan ran below the adaptive threshold (freed %d)", got)
+	}
+	ref, _ := p.Alloc()
+	th.Retire(ref, p)
+	if d.g.TotalFreed() == 0 {
+		t.Fatal("scan did not run once the adaptive threshold was reached")
+	}
+}
+
+// TestFixedCadenceOverride pins the backward-compatible path: a positive
+// ReclaimEvery keeps the old fixed modulus exactly.
+func TestFixedCadenceOverride(t *testing.T) {
+	d := &Domain{ReclaimEvery: 4}
+	p := arena.NewPool[uint64]("fixed", arena.ModeReuse)
+	th := d.NewThread(0)
+	defer th.Finish()
+	for i := 1; i <= 12; i++ {
+		ref, _ := p.Alloc()
+		th.Retire(ref, p)
+		if want := i%4 != 0; (th.RetiredLocal() == 0) == want {
+			t.Fatalf("after retire %d: retiredLocal = %d", i, th.RetiredLocal())
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package pebr
 
 import (
+	"slices"
 	"sync/atomic"
 
 	"github.com/gosmr/gosmr/internal/smr"
@@ -52,6 +53,8 @@ type Domain struct {
 	g       smr.Garbage
 
 	// CollectEvery and Patience override the defaults if set before use.
+	// A non-positive CollectEvery (the zero-value Domain literal) falls
+	// back to DefaultCollectEvery lazily instead of panicking.
 	CollectEvery int
 	Patience     uint32
 
@@ -102,7 +105,7 @@ type Guard struct {
 	r       *rec
 	bag     []entry
 	retires int
-	scratch map[uint64]struct{}
+	scratch []uint64 // reusable sorted shield snapshot
 }
 
 // NewGuard returns a guard with shield slots for the smr.Guard protocol.
@@ -114,7 +117,7 @@ func (d *Domain) NewGuardPEBR(slots int) *Guard {
 	if slots > MaxShields {
 		panic("pebr: too many shield slots requested")
 	}
-	return &Guard{d: d, r: d.acquireRec(), scratch: make(map[uint64]struct{})}
+	return &Guard{d: d, r: d.acquireRec()}
 }
 
 // Pin enters a critical section at the current epoch, clearing any
@@ -155,9 +158,18 @@ func (g *Guard) Retire(ref uint64, dealloc smr.Deallocator) {
 	g.bag = append(g.bag, entry{smr.Retired{Ref: ref, D: dealloc}, g.d.epoch.Load()})
 	g.d.g.AddRetired(1)
 	g.retires++
-	if g.retires%g.d.CollectEvery == 0 {
+	if g.retires%g.d.collectEvery() == 0 {
 		g.Collect()
 	}
+}
+
+// collectEvery returns the collection cadence, clamping a non-positive
+// configured value (zero-value Domain literal) to the default.
+func (d *Domain) collectEvery() int {
+	if every := d.CollectEvery; every > 0 {
+		return every
+	}
+	return DefaultCollectEvery
 }
 
 // Collect attempts to advance the epoch — ejecting threads that have
@@ -194,20 +206,22 @@ func (g *Guard) Collect() {
 	if !blocked {
 		d.epoch.CompareAndSwap(e, e+1)
 	}
-	// Snapshot shields: ejected (and all other) threads' shielded nodes
-	// stay unreclaimed, like hazard pointers.
-	clear(g.scratch)
+	// Snapshot shields into a reusable sorted buffer: ejected (and all
+	// other) threads' shielded nodes stay unreclaimed, like hazard
+	// pointers. Sorted-slice + binary search mirrors the HP/HP++ scan.
+	g.scratch = g.scratch[:0]
 	for r := d.threads.Load(); r != nil; r = r.next {
 		for i := range r.shields {
 			if v := r.shields[i].Load(); v != 0 {
-				g.scratch[v] = struct{}{}
+				g.scratch = append(g.scratch, v)
 			}
 		}
 	}
+	slices.Sort(g.scratch)
 	kept := g.bag[:0]
 	freed := int64(0)
 	for _, en := range g.bag {
-		_, shielded := g.scratch[en.r.Ref]
+		_, shielded := slices.BinarySearch(g.scratch, en.r.Ref)
 		if !shielded && en.epoch+2 <= min {
 			en.r.Free()
 			freed++

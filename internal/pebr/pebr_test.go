@@ -131,3 +131,25 @@ func TestGarbageBoundedDespiteStall(t *testing.T) {
 		t.Fatal("stalled thread never ejected")
 	}
 }
+
+// TestZeroValueDomainCollects is the regression test for the zero-modulus
+// panic a zero-value &Domain{} used to hit on its 0th retire: CollectEvery
+// now clamps lazily to the default. (Zero Patience is legal — it only
+// makes ejection immediate.)
+func TestZeroValueDomainCollects(t *testing.T) {
+	d := &Domain{}
+	p := arena.NewPool[uint64]("zv", arena.ModeReuse)
+	g := d.NewGuardPEBR(2)
+	for i := 0; i < 2*DefaultCollectEvery; i++ {
+		g.Pin()
+		ref, _ := p.Alloc()
+		g.Retire(ref, p)
+		g.Unpin()
+	}
+	for i := 0; i < 6; i++ {
+		g.Collect()
+	}
+	if got := d.Unreclaimed(); got != 0 {
+		t.Fatalf("unreclaimed after collect = %d, want 0", got)
+	}
+}

@@ -62,13 +62,24 @@ type GuardDomain interface {
 	NewGuard(slots int) Guard
 }
 
+// counterPad fills the remainder of a 64-byte cache line after an 8-byte
+// atomic counter, so each Garbage counter lives on its own line: every
+// Retire from every thread hits cur and totalRetired, and without padding
+// those writes also invalidate the line holding peak/totalFreed in every
+// other core's cache (false sharing).
+type counterPad [56]byte
+
 // Garbage tracks retired-but-unreclaimed node counts for a scheme
 // instance. All methods are safe for concurrent use.
 type Garbage struct {
 	cur          atomic.Int64
+	_            counterPad
 	peak         atomic.Int64
+	_            counterPad
 	totalRetired atomic.Int64
+	_            counterPad
 	totalFreed   atomic.Int64
+	_            counterPad
 }
 
 // AddRetired records n newly retired nodes.
