@@ -5,15 +5,15 @@
 
 GO ?= go
 
-.PHONY: check race test short stress bench bench-json vet
+.PHONY: check race test short stress bench bench-json bench-compare vet
 
 check: vet
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -count=1 -run \
-		'ZeroValue|FrontierCache|StatsMonotone|ScanSet|ReleaseHint|Adaptive' \
+		'ZeroValue|FrontierCache|StatsMonotone|ScanSet|ReleaseHint|Adaptive|Budget' \
 		./internal/hazards/ ./internal/hp/ ./internal/core/ \
-		./internal/ebr/ ./internal/pebr/ ./internal/arena/
+		./internal/ebr/ ./internal/pebr/ ./internal/arena/ ./internal/smr/
 
 vet:
 	$(GO) vet ./...
@@ -34,3 +34,12 @@ bench:
 # reclaim-scan microbench plus one fig-8 read-write cell per scheme.
 bench-json:
 	$(GO) run ./cmd/smrbench -reclaimjson BENCH_reclaim.json -dur 2s
+
+# bench-compare runs a fresh reclaim report into results/ (gitignored) and
+# diffs it against the committed BENCH_reclaim.json. Fails if the pinned
+# scan microbench regresses more than 5%; throughput cells warn at 25%.
+bench-compare:
+	mkdir -p results
+	$(GO) run ./cmd/smrbench -reclaimjson results/BENCH_reclaim.fresh.json -dur 2s
+	$(GO) run ./cmd/benchcompare -base BENCH_reclaim.json \
+		-fresh results/BENCH_reclaim.fresh.json -tolerance 0.05

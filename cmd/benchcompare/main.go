@@ -1,0 +1,117 @@
+// Command benchcompare diffs two BENCH_reclaim.json reports and fails if
+// the fresh run regresses beyond a tolerance band. It guards the pinned
+// reclaim-scan microbench (the repo's perf contract: sorted_ns_per_op at
+// the 64-hazard / 4096-retired point) and, more loosely, the per-scheme
+// throughput cells.
+//
+//	benchcompare -base BENCH_reclaim.json -fresh results/BENCH_reclaim.fresh.json
+//
+// Exit status: 0 within tolerance, 1 on regression, 2 on usage/IO error.
+//
+// Throughput cells are noisy on shared CI runners, so they get a wider
+// default band than the microbench and only warn unless -strictcells is
+// set. The scan microbench is single-threaded and tight, so it is always
+// enforced.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gosmr/gosmr/internal/bench"
+)
+
+func main() {
+	var (
+		base        = flag.String("base", "BENCH_reclaim.json", "committed baseline report")
+		fresh       = flag.String("fresh", "", "freshly generated report to compare against the baseline")
+		tolerance   = flag.Float64("tolerance", 0.05, "allowed fractional regression for the scan microbench (0.05 = 5%)")
+		cellTol     = flag.Float64("celltolerance", 0.25, "allowed fractional throughput drop per benchmark cell")
+		strictCells = flag.Bool("strictcells", false, "fail (not just warn) on cell throughput regressions")
+	)
+	flag.Parse()
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -fresh is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseRep, err := load(*base)
+	if err != nil {
+		fatal(err)
+	}
+	freshRep, err := load(*fresh)
+	if err != nil {
+		fatal(err)
+	}
+
+	failed := false
+
+	// The scan microbench is only comparable if both reports pinned the
+	// same shape.
+	if baseRep.Scan.Hazards != freshRep.Scan.Hazards || baseRep.Scan.Retired != freshRep.Scan.Retired {
+		fmt.Fprintf(os.Stderr, "benchcompare: scan shapes differ (base %d/%d, fresh %d/%d)\n",
+			baseRep.Scan.Hazards, baseRep.Scan.Retired, freshRep.Scan.Hazards, freshRep.Scan.Retired)
+		os.Exit(2)
+	}
+	delta := (freshRep.Scan.SortedNsPerOp - baseRep.Scan.SortedNsPerOp) / baseRep.Scan.SortedNsPerOp
+	status := "ok"
+	if delta > *tolerance {
+		status = "REGRESSION"
+		failed = true
+	}
+	fmt.Printf("scan sorted_ns_per_op: base=%.0f fresh=%.0f delta=%+.1f%% (tolerance %.0f%%) %s\n",
+		baseRep.Scan.SortedNsPerOp, freshRep.Scan.SortedNsPerOp, 100*delta, 100**tolerance, status)
+
+	// Index fresh cells by (ds, scheme, threads, workload).
+	type key struct {
+		ds, scheme, workload string
+		threads              int
+	}
+	freshCells := map[key]bench.CellResult{}
+	for _, c := range freshRep.Cells {
+		freshCells[key{c.DS, c.Scheme, c.Workload, c.Threads}] = c
+	}
+	for _, b := range baseRep.Cells {
+		f, ok := freshCells[key{b.DS, b.Scheme, b.Workload, b.Threads}]
+		if !ok {
+			fmt.Printf("cell %s/%s: missing from fresh report (skipped)\n", b.DS, b.Scheme)
+			continue
+		}
+		drop := (b.MopsPerSec - f.MopsPerSec) / b.MopsPerSec
+		status := "ok"
+		if drop > *cellTol {
+			if *strictCells {
+				status = "REGRESSION"
+				failed = true
+			} else {
+				status = "WARN"
+			}
+		}
+		fmt.Printf("cell %s/%s t=%d: base=%.3f fresh=%.3f Mops/s drop=%+.1f%% %s\n",
+			b.DS, b.Scheme, b.Threads, b.MopsPerSec, f.MopsPerSec, 100*drop, status)
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (bench.ReclaimReport, error) {
+	var r bench.ReclaimReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcompare:", err)
+	os.Exit(2)
+}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,8 +46,11 @@ func main() {
 		hi          = flag.Uint("hi", 16, "figure 10: largest log2 key range")
 		list        = flag.Bool("list", false, "list registered targets and exit")
 		reclaimJSON = flag.String("reclaimjson", "", "write the reclaim-path benchmark report (scan microbench + per-scheme fig-8 cells) to this file")
+		asJSON      = flag.Bool("json", false, "emit the free-form run's result (including smr_stats) as JSON")
+		fixedCad    = flag.Int("fixedcadence", 0, "pin the classic fixed per-thread reclaim cadence (0 = shared-budget adaptive); ablation knob for per-thread vs domain-wide accounting")
 	)
 	flag.Parse()
+	bench.FixedReclaimEvery = *fixedCad
 
 	if *list {
 		fmt.Println("data structures:", strings.Join(bench.Registered(), " "))
@@ -82,8 +86,15 @@ func main() {
 			Workload: wl,
 			KeyRange: *keyRange,
 		})
-		fmt.Printf("%-20s %10.3f Mops/s  ops=%d  peak-unreclaimed=%d  avg-unreclaimed=%.0f  peak-mem=%dKiB\n",
-			res.Target, res.MopsPerSec, res.Ops, res.PeakUnreclaimed, res.AvgUnreclaimed, res.PeakMemBytes/1024)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			check(enc.Encode(res))
+		} else {
+			fmt.Printf("%-20s %10.3f Mops/s  ops=%d  peak-unreclaimed=%d  avg-unreclaimed=%.0f  peak-mem=%dKiB  scans=%d  freed/scan=%.0f\n",
+				res.Target, res.MopsPerSec, res.Ops, res.PeakUnreclaimed, res.AvgUnreclaimed, res.PeakMemBytes/1024,
+				res.Stats.Scans, res.Stats.FreedPerScan)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)

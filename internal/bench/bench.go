@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/smr"
 )
 
 // Workload is the operation mix of a run.
@@ -65,6 +66,7 @@ type Handle interface {
 type PoolInfo interface {
 	Name() string
 	Stats() arena.Stats
+	Mode() arena.Mode
 	SetCount()
 	SetDerefHook(func(uint64))
 }
@@ -84,6 +86,8 @@ type Target struct {
 	Unreclaimed func() int64
 	// PeakUnreclaimed returns the scheme's exact peak unreclaimed count.
 	PeakUnreclaimed func() int64
+	// Stats returns the scheme domain's smr.Stats snapshot.
+	Stats func() smr.Stats
 	// MemBytes returns live arena bytes (nodes allocated and not freed).
 	MemBytes func() int64
 	// Stall, if non-nil, creates a participant that enters a critical
@@ -140,19 +144,40 @@ func (c Config) withDefaults() Config {
 
 // Result is the outcome of one run.
 type Result struct {
-	Target   string
-	Ops      uint64
-	Duration time.Duration
+	Target   string        `json:"target"`
+	Ops      uint64        `json:"ops"`
+	Duration time.Duration `json:"duration_ns"`
 	// MopsPerSec is throughput in million operations per second.
-	MopsPerSec float64
+	MopsPerSec float64 `json:"mops_per_sec"`
 	// PeakUnreclaimed is the exact peak retired-but-unfreed count.
-	PeakUnreclaimed int64
+	PeakUnreclaimed int64 `json:"peak_unreclaimed"`
 	// AvgUnreclaimed is the time-sampled average unreclaimed count.
-	AvgUnreclaimed float64
+	AvgUnreclaimed float64 `json:"avg_unreclaimed"`
 	// PeakMemBytes is the sampled peak of live arena bytes.
-	PeakMemBytes int64
+	PeakMemBytes int64 `json:"peak_mem_bytes"`
 	// FinalUnreclaimed is the unreclaimed count after Finish.
-	FinalUnreclaimed int64
+	FinalUnreclaimed int64 `json:"final_unreclaimed"`
+	// Stats is the domain's smr.Stats snapshot taken after Finish, with
+	// the arena fields filled from the target's pools.
+	Stats smr.Stats `json:"smr_stats"`
+}
+
+// SMRStats snapshots the target's scheme stats and fills the arena
+// live/quarantine fields from its pools (quarantined slots are exactly the
+// freed ones in detect mode, which never recycles).
+func (t Target) SMRStats() smr.Stats {
+	var st smr.Stats
+	if t.Stats != nil {
+		st = t.Stats()
+	}
+	for _, p := range t.Pools {
+		ps := p.Stats()
+		st.ArenaLive += ps.Live
+		if p.Mode() == arena.ModeDetect {
+			st.ArenaQuarantined += ps.Frees
+		}
+	}
+	return st
 }
 
 // rng is a splitmix64 generator; each worker owns one.
@@ -287,6 +312,7 @@ func Run(target Target, cfg Config) Result {
 	}
 	target.Finish()
 	res.FinalUnreclaimed = target.Unreclaimed()
+	res.Stats = target.SMRStats()
 	return res
 }
 
@@ -387,6 +413,7 @@ func RunLongReads(target Target, cfg Config) Result {
 	}
 	target.Finish()
 	res.FinalUnreclaimed = target.Unreclaimed()
+	res.Stats = target.SMRStats()
 	return res
 }
 

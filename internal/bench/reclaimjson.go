@@ -7,6 +7,7 @@ import (
 
 	"github.com/gosmr/gosmr/internal/arena"
 	"github.com/gosmr/gosmr/internal/hazards"
+	"github.com/gosmr/gosmr/internal/smr"
 )
 
 // Pinned shape of the reclaim-scan microbench: the number of announced
@@ -41,6 +42,9 @@ type CellResult struct {
 	Workload   string  `json:"workload"`
 	MopsPerSec float64 `json:"mops_per_sec"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// Stats is the domain's post-run smr.Stats snapshot (scan counts,
+	// freed-per-scan, occupancy) plus the arena live/quarantine totals.
+	Stats smr.Stats `json:"smr_stats"`
 }
 
 // ReclaimReport is the schema of BENCH_reclaim.json.
@@ -105,7 +109,7 @@ func RunScanMicrobench(minDur time.Duration) ScanResult {
 	scratch := make(map[uint64]struct{}, ScanHazards)
 	mapNs := timeScan(func() {
 		clear(scratch)
-		reg.Snapshot(scratch)
+		reg.BenchSnapshot(scratch)
 		for _, ref := range retired {
 			if _, p := scratch[ref]; p {
 				kept++
@@ -168,6 +172,7 @@ func ReclaimJSON(w io.Writer, schemes []string, dur time.Duration) error {
 			Workload:   ReadWrite.String(),
 			MopsPerSec: res.MopsPerSec,
 			NsPerOp:    1e3 / res.MopsPerSec,
+			Stats:      res.Stats,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -46,6 +46,24 @@ func Applicable(ds, scheme string) bool {
 	return true
 }
 
+// FixedReclaimEvery, when set > 0 before target construction, pins every
+// scheme to the classic fixed per-thread cadence (ReclaimEvery /
+// CollectEvery) instead of the shared-budget adaptive trigger. It is the
+// ablation knob behind smrbench's -fixedcadence flag, used to compare
+// per-thread against domain-wide accounting; leave it 0 for the default
+// adaptive behaviour.
+var FixedReclaimEvery int
+
+func newHPDomain() *hp.Domain {
+	d := hp.NewDomain()
+	d.ReclaimEvery = FixedReclaimEvery
+	return d
+}
+
+func newHPPDomain(epochFence bool) *core.Domain {
+	return core.NewDomain(core.Options{EpochFence: epochFence, ReclaimEvery: FixedReclaimEvery})
+}
+
 // guardDomain builds the CS-style domain for a scheme name, or nil if the
 // scheme is not CS-style.
 func guardDomain(scheme string) (smr.GuardDomain, smr.Domain) {
@@ -55,9 +73,11 @@ func guardDomain(scheme string) (smr.GuardDomain, smr.Domain) {
 		return d, d
 	case "ebr":
 		d := ebr.NewDomain()
+		d.CollectEvery = FixedReclaimEvery
 		return d, d
 	case "pebr":
 		d := pebr.NewDomain()
+		d.CollectEvery = FixedReclaimEvery
 		return d, d
 	case UnsafeScheme:
 		d := unsafefree.NewDomain()
@@ -123,12 +143,13 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.Finish = func() { drainGuards(guardsOfHM(hs)) }
 		t.Unreclaimed = d.Unreclaimed
 		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp":
-		dom := hp.NewDomain()
+		dom := newHPDomain()
 		pool := hmlist.NewPool(mode)
 		l := hmlist.NewListHP(pool)
 		var hs []*hmlist.HandleHP
@@ -145,11 +166,12 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
-		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		dom := newHPPDomain(scheme == "hp++ef")
 		pool := hmlist.NewPool(mode)
 		l := hmlist.NewListHPP(pool)
 		var hs []*hmlist.HandleHPP
@@ -166,6 +188,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
@@ -190,6 +213,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
 		t.Pools = []PoolInfo{pool}
@@ -215,12 +239,13 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.Finish = func() { drainGuards(guardsOfHHS(hs)) }
 		t.Unreclaimed = d.Unreclaimed
 		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp++", "hp++ef":
-		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		dom := newHPPDomain(scheme == "hp++ef")
 		pool := hhslist.NewPool(mode)
 		l := hhslist.NewListHPP(pool)
 		var hs []*hhslist.HandleHPP
@@ -237,6 +262,7 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
@@ -261,6 +287,7 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
 		t.Pools = []PoolInfo{pool}
@@ -293,12 +320,13 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = d.Unreclaimed
 		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp":
-		dom := hp.NewDomain()
+		dom := newHPDomain()
 		pool := hmlist.NewPool(mode)
 		m := hashmap.NewMapHP(pool, nb)
 		var hs []*hashmap.HandleHP
@@ -315,11 +343,12 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
-		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		dom := newHPPDomain(scheme == "hp++ef")
 		pool := hhslist.NewPool(mode)
 		m := hashmap.NewMapHPP(pool, nb)
 		var hs []*hashmap.HandleHPP
@@ -336,6 +365,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
@@ -360,6 +390,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
 		t.Pools = []PoolInfo{pool}

@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"github.com/gosmr/gosmr/internal/arena"
-	"github.com/gosmr/gosmr/internal/core"
 	"github.com/gosmr/gosmr/internal/ds/msqueue"
 	"github.com/gosmr/gosmr/internal/ds/tstack"
-	"github.com/gosmr/gosmr/internal/hp"
 	"github.com/gosmr/gosmr/internal/smr"
 )
 
@@ -44,6 +42,7 @@ type QueueTarget struct {
 	NewHandle   func() QueueHandle
 	Finish      func()
 	Unreclaimed func() int64
+	Stats       func() smr.Stats
 	Pools       []PoolInfo
 	Stall       func()
 	Agitate     func()
@@ -55,6 +54,7 @@ type StackTarget struct {
 	NewHandle   func() StackHandle
 	Finish      func()
 	Unreclaimed func() int64
+	Stats       func() smr.Stats
 	Pools       []PoolInfo
 	Stall       func()
 	Agitate     func()
@@ -67,7 +67,7 @@ func NewQueueTarget(scheme string, mode arena.Mode) (QueueTarget, error) {
 	t.Pools = []PoolInfo{pool}
 	switch scheme {
 	case "hp":
-		dom := hp.NewDomain()
+		dom := newHPDomain()
 		q := msqueue.NewQueueHP(pool)
 		var hs []*msqueue.HandleHP
 		t.NewHandle = func() QueueHandle {
@@ -82,9 +82,10 @@ func NewQueueTarget(scheme string, mode arena.Mode) (QueueTarget, error) {
 			dom.NewThread(0).Reclaim()
 		}
 		t.Unreclaimed = dom.Unreclaimed
+		t.Stats = dom.Stats
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 	case "hp++", "hp++ef":
-		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		dom := newHPPDomain(scheme == "hp++ef")
 		q := msqueue.NewQueueHPP(pool)
 		var hs []*msqueue.HandleHPP
 		t.NewHandle = func() QueueHandle {
@@ -99,6 +100,7 @@ func NewQueueTarget(scheme string, mode arena.Mode) (QueueTarget, error) {
 			dom.NewThread(0).Reclaim()
 		}
 		t.Unreclaimed = dom.Unreclaimed
+		t.Stats = dom.Stats
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to msqueue", scheme)
@@ -129,10 +131,11 @@ func NewStackTarget(scheme string, mode arena.Mode) (StackTarget, error) {
 			drainGuards(gs)
 		}
 		t.Unreclaimed = d.Unreclaimed
+		t.Stats = d.Stats
 		t.Stall = func() { gd.NewGuard(1).Pin() }
 		t.Agitate = agitatorFor(d)
 	case "hp":
-		dom := hp.NewDomain()
+		dom := newHPDomain()
 		s := tstack.NewStackHP(pool)
 		var hs []*tstack.StackHandleHP
 		t.NewHandle = func() StackHandle {
@@ -147,9 +150,10 @@ func NewStackTarget(scheme string, mode arena.Mode) (StackTarget, error) {
 			dom.NewThread(0).Reclaim()
 		}
 		t.Unreclaimed = dom.Unreclaimed
+		t.Stats = dom.Stats
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 	case "hp++", "hp++ef":
-		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		dom := newHPPDomain(scheme == "hp++ef")
 		s := tstack.NewStackHPP(pool)
 		var hs []*tstack.StackHandleHPP
 		t.NewHandle = func() StackHandle {
@@ -164,6 +168,7 @@ func NewStackTarget(scheme string, mode arena.Mode) (StackTarget, error) {
 			dom.NewThread(0).Reclaim()
 		}
 		t.Unreclaimed = dom.Unreclaimed
+		t.Stats = dom.Stats
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to tstack", scheme)

@@ -4,12 +4,10 @@ import (
 	"fmt"
 
 	"github.com/gosmr/gosmr/internal/arena"
-	"github.com/gosmr/gosmr/internal/core"
 	"github.com/gosmr/gosmr/internal/ds/bonsai"
 	"github.com/gosmr/gosmr/internal/ds/efrbtree"
 	"github.com/gosmr/gosmr/internal/ds/nmtree"
 	"github.com/gosmr/gosmr/internal/ds/skiplist"
-	"github.com/gosmr/gosmr/internal/hp"
 	"github.com/gosmr/gosmr/internal/rc"
 	"github.com/gosmr/gosmr/internal/smr"
 )
@@ -36,12 +34,13 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.Finish = func() { drainGuards(gs) }
 		t.Unreclaimed = d.Unreclaimed
 		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp":
-		dom := hp.NewDomain()
+		dom := newHPDomain()
 		pool := skiplist.NewPool(mode)
 		l := skiplist.NewListHP(pool)
 		var hs []*skiplist.HandleHP
@@ -59,11 +58,12 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
-		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		dom := newHPPDomain(scheme == "hp++ef")
 		pool := skiplist.NewPool(mode)
 		l := skiplist.NewListHPP(pool)
 		var hs []*skiplist.HandleHPP
@@ -81,6 +81,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
@@ -106,6 +107,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
 		t.Pools = []PoolInfo{pool}
@@ -131,12 +133,13 @@ func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.Finish = func() { drainGuards(gs) }
 		t.Unreclaimed = d.Unreclaimed
 		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp++", "hp++ef":
-		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		dom := newHPPDomain(scheme == "hp++ef")
 		pool := nmtree.NewPool(mode)
 		tr := nmtree.NewTreeHPP(pool)
 		var hs []*nmtree.HandleHPP
@@ -153,6 +156,7 @@ func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
@@ -179,12 +183,13 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.Finish = func() { drainGuards(gs) }
 		t.Unreclaimed = d.Unreclaimed
 		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
 		t.Pools = []PoolInfo{nodes, infos}
 		t.Agitate = agitatorFor(d)
 	case "hp":
-		dom := hp.NewDomain()
+		dom := newHPDomain()
 		nodes := efrbtree.NewNodePool(mode)
 		infos := efrbtree.NewInfoPool(mode)
 		tr := efrbtree.NewTreeHP(nodes, infos)
@@ -202,11 +207,12 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{nodes, infos}
 	case "hp++", "hp++ef":
-		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		dom := newHPPDomain(scheme == "hp++ef")
 		nodes := efrbtree.NewNodePool(mode)
 		infos := efrbtree.NewInfoPool(mode)
 		tr := efrbtree.NewTreeHPP(nodes, infos)
@@ -224,6 +230,7 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{nodes, infos}
@@ -249,12 +256,13 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.Finish = func() { drainGuards(gs) }
 		t.Unreclaimed = d.Unreclaimed
 		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { gd.NewGuard(1).Pin() }
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp":
-		dom := hp.NewDomain()
+		dom := newHPDomain()
 		pool := bonsai.NewPool(mode)
 		tr := bonsai.NewTreeHP(pool)
 		var hs []*bonsai.HandleHP
@@ -271,11 +279,12 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
-		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		dom := newHPPDomain(scheme == "hp++ef")
 		pool := bonsai.NewPool(mode)
 		tr := bonsai.NewTreeHPP(pool)
 		var hs []*bonsai.HandleHPP
@@ -292,6 +301,7 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
 		t.Pools = []PoolInfo{pool}
@@ -316,6 +326,7 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall = func() { dom.NewGuard().Pin() }
 		t.Pools = []PoolInfo{pool}

@@ -30,6 +30,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"github.com/gosmr/gosmr/internal/hazards"
 	"github.com/gosmr/gosmr/internal/smr"
@@ -52,9 +53,10 @@ const maxFrontierCache = 64
 type Options struct {
 	// ReclaimEvery, if set > 0, is the fixed number of TryUnlink/Retire
 	// calls between reclamation passes. When <= 0 (the default) the
-	// cadence is adaptive: a thread scans when its retired set reaches
-	// max(DefaultReclaimEvery, hazards.AdaptiveFactor·H), H being the
-	// number of acquired hazard slots in the registry.
+	// cadence is adaptive: a thread scans when the domain-wide retired
+	// total (the shared smr.Budget, not its local retired-set size)
+	// reaches max(DefaultReclaimEvery, hazards.AdaptiveFactor·H), H being
+	// the number of acquired hazard slots in the registry.
 	ReclaimEvery int
 	// InvalidateEvery is the number of TryUnlink calls between deferred
 	// invalidation passes (default 32).
@@ -87,6 +89,8 @@ type Domain struct {
 	opts    Options
 	reg     hazards.Registry
 	g       smr.Garbage
+	sm      smr.ScanMeter
+	budget  smr.Budget
 	orphans smr.OrphanList
 
 	fenceEpoch atomic.Uint64 // Algorithm 5 global fence epoch
@@ -102,6 +106,23 @@ func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
 
 // PeakUnreclaimed returns the peak unreclaimed count.
 func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
+
+// Stats returns an observability snapshot of the domain. Under Algorithm 5
+// the Epoch field carries the global fence epoch.
+func (d *Domain) Stats() smr.Stats {
+	st := smr.Stats{
+		Scheme:           "hp++",
+		RetiredBudget:    d.budget.Load(),
+		HazardSlots:      d.reg.Len(),
+		HazardSlotsInUse: d.reg.InUse(),
+	}
+	if d.opts.EpochFence {
+		st.Scheme = "hp++ef"
+		st.Epoch = d.fenceEpoch.Load()
+	}
+	smr.FillStats(&st, &d.g, &d.sm)
+	return st
+}
 
 // Registry exposes the hazard-slot registry (for tests).
 func (d *Domain) Registry() *hazards.Registry { return &d.reg }
@@ -156,12 +177,13 @@ type Thread struct {
 
 	unlinks int
 	retires int
+	budget  smr.BudgetCache
 	scan    hazards.ScanSet // reusable filtered+sorted hazard snapshot
 }
 
 // NewThread returns a handle with nslots named traversal slots.
 func (d *Domain) NewThread(nslots int) *Thread {
-	t := &Thread{d: d}
+	t := &Thread{d: d, budget: smr.NewBudgetCache(&d.budget)}
 	for i := 0; i < nslots; i++ {
 		t.slots = append(t.slots, d.reg.Acquire())
 	}
@@ -225,7 +247,7 @@ func (t *Thread) Retire(ref uint64, dealloc smr.Deallocator) {
 	t.retireds = append(t.retireds, smr.Retired{Ref: ref, D: dealloc})
 	t.d.g.AddRetired(1)
 	t.retires++
-	if t.shouldReclaim() {
+	if t.shouldReclaim(t.budget.Retire()) {
 		t.Reclaim()
 	}
 }
@@ -233,13 +255,19 @@ func (t *Thread) Retire(ref uint64, dealloc smr.Deallocator) {
 // shouldReclaim decides the reclamation cadence: the fixed modulus when
 // Options.ReclaimEvery is positive, otherwise the adaptive threshold
 // R = max(DefaultReclaimEvery, hazards.AdaptiveFactor·H) applied to the
-// local retired-set size. Lazily tolerating a non-positive ReclaimEvery
-// also makes a zero-value Domain literal safe (no divide-by-zero).
-func (t *Thread) shouldReclaim() bool {
+// domain-wide retired total. published reports whether the caller's
+// budget-cache update just flushed to the shared counter — adaptive scans
+// fire only on those batch boundaries, so the threshold check (and any
+// scan it triggers) is amortized over smr.BudgetBatch retires even when
+// other threads keep the domain total permanently above threshold. Lazily
+// tolerating a non-positive ReclaimEvery also makes a zero-value Domain
+// literal safe (no divide-by-zero).
+func (t *Thread) shouldReclaim(published bool) bool {
 	if every := t.d.opts.ReclaimEvery; every > 0 {
 		return (t.retires+t.unlinks)%every == 0
 	}
-	return len(t.retireds) >= hazards.ReclaimThreshold(t.d.reg.InUse(), DefaultReclaimEvery)
+	return published &&
+		t.budget.Total() >= int64(hazards.ReclaimThreshold(t.d.reg.InUse(), DefaultReclaimEvery))
 }
 
 // invalidateEvery returns the deferred-invalidation cadence, clamping a
@@ -280,11 +308,15 @@ func (t *Thread) TryUnlink(frontier []uint64, doUnlink func() ([]smr.Retired, bo
 	}
 	t.unlinkeds = append(t.unlinkeds, unlinkBatch{nodes: nodes, inv: inv, hps: hps})
 	t.d.g.AddRetired(int64(len(nodes)))
+	published := false
+	for range nodes {
+		published = t.budget.Retire() || published
+	}
 	t.unlinks++
 	if t.unlinks%t.invalidateEvery() == 0 {
 		t.DoInvalidation()
 	}
-	if t.shouldReclaim() {
+	if t.shouldReclaim(published) {
 		t.Reclaim()
 	}
 	return true
@@ -351,6 +383,7 @@ func (t *Thread) Reclaim() {
 	if len(t.retireds) == 0 {
 		return
 	}
+	start := time.Now()
 	// No fence needed here: DoInvalidation (Alg. 3) or FenceEpoch above
 	// (Alg. 5) already ordered invalidation with this scan.
 	t.scan.Load(&d.reg)
@@ -368,6 +401,8 @@ func (t *Thread) Reclaim() {
 	if freed > 0 {
 		d.g.AddFreed(freed)
 	}
+	t.budget.Freed(freed)
+	d.sm.AddScan(time.Since(start).Nanoseconds())
 }
 
 // Finish flushes pending invalidations, reclaims what it can, hands any
@@ -383,6 +418,7 @@ func (t *Thread) Finish() {
 		t.d.reg.Release(s)
 	}
 	t.cache = nil
+	t.budget.Flush()
 	if len(t.retireds) > 0 {
 		t.d.orphans.Push(t.retireds)
 		t.retireds = nil

@@ -11,11 +11,14 @@ package ebr
 
 import (
 	"sync/atomic"
+	"time"
 
 	"github.com/gosmr/gosmr/internal/smr"
 )
 
-// DefaultCollectEvery is the number of retires between collection attempts.
+// DefaultCollectEvery is the number of retires between collection attempts
+// under the fixed cadence; it doubles as the floor of the adaptive
+// threshold.
 const DefaultCollectEvery = 128
 
 // Domain is an epoch-based reclamation domain shared by any number of
@@ -24,10 +27,15 @@ type Domain struct {
 	epoch   atomic.Uint64
 	threads atomic.Pointer[rec]
 	g       smr.Garbage
+	sm      smr.ScanMeter
+	budget  smr.Budget
+	guards  atomic.Int64 // guards ever created: the H of the adaptive threshold
 
-	// CollectEvery overrides the retire threshold if set before use.
-	// Non-positive values (the zero-value Domain literal) fall back to
-	// DefaultCollectEvery lazily instead of panicking with a zero modulus.
+	// CollectEvery, if set > 0 before use, pins the fixed per-guard
+	// cadence: one collection attempt every CollectEvery retires. When
+	// <= 0 (the zero value and the NewDomain default) the cadence is
+	// adaptive: a guard collects when the domain-wide retired total (the
+	// shared smr.Budget) reaches max(DefaultCollectEvery, k·guards).
 	CollectEvery int
 }
 
@@ -39,10 +47,10 @@ type rec struct {
 	next  *rec
 }
 
-// NewDomain creates an EBR domain.
+// NewDomain creates an EBR domain with the adaptive collection cadence.
 func NewDomain() *Domain {
-	d := &Domain{CollectEvery: DefaultCollectEvery}
-	d.epoch.Store(2) // start above 0 so epoch-2 arithmetic never underflows
+	d := &Domain{}
+	d.epoch.Store(2) // start above 0 so "min ≥ e+2" arithmetic is uniform
 	return d
 }
 
@@ -55,7 +63,31 @@ func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
 // Epoch returns the current global epoch (for tests and diagnostics).
 func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
 
+// Stats returns an observability snapshot of the domain. EpochLag is the
+// distance from the global epoch to the slowest pinned guard (0 when
+// nothing is pinned).
+func (d *Domain) Stats() smr.Stats {
+	e := d.epoch.Load()
+	min, _ := d.minPinnedEpoch()
+	st := smr.Stats{
+		Scheme:        "ebr",
+		RetiredBudget: d.budget.Load(),
+		Epoch:         e,
+		EpochLag:      e - min,
+	}
+	smr.FillStats(&st, &d.g, &d.sm)
+	return st
+}
+
 func (d *Domain) acquireRec() *rec {
+	d.guards.Add(1)
+	// Lazy epoch init for zero-value &Domain{} literals: NewDomain starts
+	// the epoch at 2 so the "retired at e, free at min ≥ e+2" arithmetic
+	// stays uniform; the collect path itself never subtracts (Collect
+	// compares en.epoch+2 <= min), so epoch 0 cannot underflow — this CAS
+	// just makes the two construction paths indistinguishable, including
+	// in Epoch() diagnostics and Stats.
+	d.epoch.CompareAndSwap(0, 2)
 	for r := d.threads.Load(); r != nil; r = r.next {
 		if r.inUse.Load() == 0 && r.inUse.CompareAndSwap(0, 1) {
 			return r
@@ -105,6 +137,7 @@ type Guard struct {
 	r       *rec
 	bag     []entry
 	retires int
+	budget  smr.BudgetCache
 }
 
 // NewGuard returns a new guard. The slots argument is ignored (EBR needs
@@ -113,7 +146,7 @@ func (d *Domain) NewGuard(slots int) smr.Guard { return d.NewGuardEBR() }
 
 // NewGuardEBR returns a concretely-typed guard.
 func (d *Domain) NewGuardEBR() *Guard {
-	return &Guard{d: d, r: d.acquireRec()}
+	return &Guard{d: d, r: d.acquireRec(), budget: smr.NewBudgetCache(&d.budget)}
 }
 
 // Pin enters a critical section at the current global epoch.
@@ -136,24 +169,32 @@ func (g *Guard) Retire(ref uint64, dealloc smr.Deallocator) {
 	g.bag = append(g.bag, entry{smr.Retired{Ref: ref, D: dealloc}, g.d.epoch.Load()})
 	g.d.g.AddRetired(1)
 	g.retires++
-	if g.retires%g.d.collectEvery() == 0 {
+	if g.shouldCollect(g.budget.Retire()) {
 		g.Collect()
 	}
 }
 
-// collectEvery returns the collection cadence, clamping a non-positive
-// configured value (zero-value Domain literal) to the default.
-func (d *Domain) collectEvery() int {
-	if every := d.CollectEvery; every > 0 {
-		return every
+// shouldCollect decides the collection cadence: the fixed per-guard
+// modulus when CollectEvery is positive, otherwise the adaptive threshold
+// max(DefaultCollectEvery, k·guards) applied to the domain-wide retired
+// total — k·guards playing the role HP's k·H does, since each guard's pin
+// can hold an unbounded prefix of the retired sequence. published gates
+// the adaptive check to the budget cache's batch boundaries so a domain
+// total stuck above threshold (stalled pin) costs one bag sweep per
+// smr.BudgetBatch retires, not one per retire.
+func (g *Guard) shouldCollect(published bool) bool {
+	if every := g.d.CollectEvery; every > 0 {
+		return g.retires%every == 0
 	}
-	return DefaultCollectEvery
+	return published &&
+		g.budget.Total() >= int64(smr.ReclaimThreshold(int(g.d.guards.Load()), DefaultCollectEvery))
 }
 
 // Collect attempts to advance the global epoch and frees every bag entry
 // that is two or more epochs old relative to the slowest pinned thread.
 func (g *Guard) Collect() {
 	d := g.d
+	start := time.Now()
 	e := d.epoch.Load()
 	min, caughtUp := d.minPinnedEpoch()
 	if caughtUp {
@@ -177,6 +218,8 @@ func (g *Guard) Collect() {
 	if freed > 0 {
 		d.g.AddFreed(freed)
 	}
+	g.budget.Freed(freed)
+	d.sm.AddScan(time.Since(start).Nanoseconds())
 }
 
 // Drain repeatedly collects until the local bag is empty. The guard must

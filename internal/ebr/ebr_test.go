@@ -139,9 +139,10 @@ func TestConcurrentRetire(t *testing.T) {
 	}
 }
 
-// TestZeroValueDomainCollects is the regression test for the zero-modulus
-// panic a zero-value &Domain{} used to hit on its 0th retire: CollectEvery
-// now clamps lazily to the default instead of dividing by zero.
+// TestZeroValueDomainCollects is the regression test for zero-value
+// &Domain{} literals: CollectEvery == 0 selects the adaptive cadence
+// (historically it panicked with a zero modulus), so retire/collect must
+// work and eventually free everything.
 func TestZeroValueDomainCollects(t *testing.T) {
 	d := &Domain{}
 	p := arena.NewPool[uint64]("zv", arena.ModeReuse)
@@ -155,5 +156,35 @@ func TestZeroValueDomainCollects(t *testing.T) {
 	g.Drain()
 	if got := d.Unreclaimed(); got != 0 {
 		t.Fatalf("unreclaimed after drain = %d, want 0", got)
+	}
+}
+
+// TestZeroValueDomainEpochInit covers the satellite audit of the "retired
+// at e, free at min >= e+2" arithmetic on zero-value domains: the collect
+// path only ever *adds* 2 to a retire epoch (it never computes e-2), so
+// epoch 0 cannot underflow — but a zero-value domain used to run its whole
+// life at epochs 0,1,2,... while NewDomain starts at 2. acquireRec now
+// lazily CASes the epoch 0 -> 2 so both construction paths are
+// indistinguishable, including in Epoch()/Stats diagnostics.
+func TestZeroValueDomainEpochInit(t *testing.T) {
+	d := &Domain{}
+	if got := d.Epoch(); got != 0 {
+		t.Fatalf("untouched zero-value epoch = %d, want 0", got)
+	}
+	g := d.NewGuardEBR()
+	if got := d.Epoch(); got != 2 {
+		t.Fatalf("epoch after first guard = %d, want 2 (lazy init)", got)
+	}
+	p := arena.NewPool[uint64]("zv-epoch", arena.ModeDetect)
+	g.Pin()
+	ref, _ := p.Alloc()
+	g.Retire(ref, p)
+	g.Unpin()
+	g.Drain()
+	if p.Live(ref) {
+		t.Fatal("retired node not freed on zero-value domain")
+	}
+	if got := d.Stats().Epoch; got < 2 {
+		t.Fatalf("Stats().Epoch = %d, want >= 2", got)
 	}
 }

@@ -5,8 +5,11 @@
 package hazards
 
 import (
+	"math/bits"
 	"slices"
 	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/smr"
 )
 
 // slotPad pads each Slot to 128 bytes — two 64-byte cache lines, matching
@@ -39,18 +42,28 @@ type Registry struct {
 	head atomic.Pointer[Slot]
 	n    atomic.Int64
 	live atomic.Int64
-	// hint points at the most recently released slot so Acquire can skip
-	// the linear scan over long runs of in-use slots in the common
-	// release-then-reacquire churn (HP++ frontier slots).
+	// hint points at a recently released slot so Acquire can skip the
+	// linear scan over long runs of in-use slots in the common
+	// release-then-reacquire churn (HP++ frontier slots). Invariant: the
+	// hint is published only when empty (Release CAS nil→slot) and taken
+	// down only by CAS, so a racing Release can never overwrite a hint
+	// that still points at a free slot, and Acquire self-heals a hint
+	// left pointing at a slot some other thread already re-acquired.
 	hint atomic.Pointer[Slot]
 }
 
 // Acquire returns an exclusive slot, reusing a released one if available.
 func (r *Registry) Acquire() *Slot {
-	if h := r.hint.Load(); h != nil && h.inUse.CompareAndSwap(0, 1) {
+	if h := r.hint.Load(); h != nil {
+		if h.inUse.CompareAndSwap(0, 1) {
+			r.hint.CompareAndSwap(h, nil)
+			r.live.Add(1)
+			return h
+		}
+		// Stale hint: the slot was re-acquired through the list scan by
+		// another thread. Clear it (CAS — a concurrent Release may have
+		// already replaced it with a genuinely free slot).
 		r.hint.CompareAndSwap(h, nil)
-		r.live.Add(1)
-		return h
 	}
 	for s := r.head.Load(); s != nil; s = s.next {
 		if s.inUse.Load() == 0 && s.inUse.CompareAndSwap(0, 1) {
@@ -71,16 +84,27 @@ func (r *Registry) Acquire() *Slot {
 	}
 }
 
-// Release clears the slot and returns it to the registry for reuse.
+// Release clears the slot and returns it to the registry for reuse. The
+// hint is only published into an empty cell: unconditionally overwriting
+// it could discard a hint to a still-free slot and leave this one's hint
+// to be invalidated by a later Acquire through the list scan, costing two
+// fast paths instead of one. The list scan remains the backstop, so a
+// skipped hint publish never loses a slot.
 func (r *Registry) Release(s *Slot) {
 	s.value.Store(0)
 	s.inUse.Store(0)
 	r.live.Add(-1)
-	r.hint.Store(s)
+	r.hint.CompareAndSwap(nil, s)
 }
 
-// Snapshot adds every currently announced reference to set.
-func (r *Registry) Snapshot(set map[uint64]struct{}) {
+// BenchSnapshot adds every currently announced reference to set.
+//
+// Baseline for benchmarks only (BenchmarkReclaimScan and the pinned
+// microbench behind make bench-json measure the map-based scan against
+// ScanSet): schemes must use ScanSet / SnapshotSorted, which are
+// allocation-free and probe by filtered binary search instead of map
+// lookup.
+func (r *Registry) BenchSnapshot(set map[uint64]struct{}) {
 	for s := r.head.Load(); s != nil; s = s.next {
 		if v := s.value.Load(); v != 0 {
 			set[v] = struct{}{}
@@ -128,55 +152,91 @@ func Contains(sorted []uint64, ref uint64) bool {
 	return false
 }
 
-// filterWords sizes the ScanSet membership filter: 16 words = 1024 bits,
-// two cache lines. With the ~dozens of announced hazards a scan sees, the
-// false-positive rate stays in the low percent, so nearly every
-// not-protected probe is rejected by a single load.
-const filterWords = 16
+// minFilterWords is the smallest ScanSet filter: 16 words = 1024 bits, two
+// cache lines. It covers up to 256 entries at <=25% fill; beyond that the
+// filter doubles (see filterWordsFor), keeping the false-positive rate in
+// the low percent at any slot count instead of saturating the way the old
+// fixed 1024-bit summary did past ~256 announced slots.
+const minFilterWords = 16
 
-func filterBit(ref uint64) (word, mask uint64) {
-	h := (ref * 0x9E3779B97F4A7C15) >> 54 // Fibonacci hash, top 10 bits
+// filterWordsFor returns the power-of-two word count whose bit capacity is
+// at least filterBitsPerEntry per expected entry, never below
+// minFilterWords. With 32 bits per entry a full filter is at most ~3.1%
+// set, which bounds the false-positive rate of a 1-bit-per-key summary at
+// about the same figure.
+const filterBitsPerEntry = 32
+
+func filterWordsFor(n int) int {
+	w := minFilterWords
+	for w*64 < n*filterBitsPerEntry {
+		w <<= 1
+	}
+	return w
+}
+
+// filterBit maps ref to its summary bit for a filter of 1<<shiftBits
+// words: a Fibonacci-hash multiply whose top (6 + log2(words)) bits select
+// word and bit. The multiplier spreads the low entropy of arena refs
+// (small pool indices in the low bits) across the top bits.
+func filterBit(ref uint64, shift uint) (word, mask uint64) {
+	h := (ref * 0x9E3779B97F4A7C15) >> shift
 	return h >> 6, 1 << (h & 63)
 }
 
 // ScanSet is the reusable per-thread scan state for a reclamation pass: a
-// sorted array of the announced references plus a 1024-bit hash summary of
-// them. Membership probes test the summary first — one load and a mask —
-// and fall through to the binary search only on probable hits. Since the
-// amortized guarantee behind the reclaim cadence is that most retired
-// nodes are NOT protected at scan time, the filter short-circuits almost
-// every probe. A false positive merely sends a probe to the binary search,
-// which gives the exact answer; the filter never changes the result.
+// sorted array of the announced references plus a 1-bit-per-key hash
+// summary of them, sized from the registry's slot count (power-of-two
+// growth, ~3% maximum fill). Membership probes test the summary first —
+// one load and a mask — and fall through to the binary search only on
+// probable hits. Since the amortized guarantee behind the reclaim cadence
+// is that most retired nodes are NOT protected at scan time, the filter
+// short-circuits almost every probe. A false positive merely sends a probe
+// to the binary search, which gives the exact answer; the filter never
+// changes the result.
 //
 // The zero value is ready to use; reusing one across scans makes the scan
-// allocation-free once the sorted buffer has grown to the registry size.
+// allocation-free once the buffers have grown to the registry size.
 type ScanSet struct {
 	sorted []uint64
-	filter [filterWords]uint64
+	filter []uint64
+	shift  uint // 64 - 6 - log2(len(filter)): selects filterBit's top bits
+	// fallthroughs counts probes the filter passed but the binary search
+	// rejected — the filter's observed false positives. Monotone across
+	// Loads; used by the false-positive-rate regression test.
+	fallthroughs int64
 }
 
 // Load replaces the set's contents with a snapshot of every reference
-// currently announced in r.
+// currently announced in r, resizing the filter to the registry's current
+// slot count.
 func (ss *ScanSet) Load(r *Registry) {
-	ss.sorted = ss.sorted[:0]
-	ss.filter = [filterWords]uint64{}
-	for s := r.head.Load(); s != nil; s = s.next {
-		if v := s.value.Load(); v != 0 {
-			ss.sorted = append(ss.sorted, v)
-			w, m := filterBit(v)
-			ss.filter[w] |= m
-		}
+	words := filterWordsFor(r.Len())
+	if len(ss.filter) != words {
+		ss.filter = make([]uint64, words)
+		ss.shift = uint(64 - 6 - bits.TrailingZeros(uint(words)))
+	} else {
+		clear(ss.filter)
 	}
-	slices.Sort(ss.sorted)
+	ss.sorted = r.SnapshotSorted(ss.sorted)
+	for _, v := range ss.sorted {
+		w, m := filterBit(v, ss.shift)
+		ss.filter[w] |= m
+	}
 }
 
 // Contains reports whether ref was announced when the set was loaded.
 func (ss *ScanSet) Contains(ref uint64) bool {
-	w, m := filterBit(ref)
-	if ss.filter[w]&m == 0 {
+	w, m := filterBit(ref, ss.shift)
+	// The bounds check doubles as zero-value support: an unloaded set has
+	// an empty filter (and empty sorted snapshot), so every probe misses.
+	if w >= uint64(len(ss.filter)) || ss.filter[w]&m == 0 {
 		return false
 	}
-	return Contains(ss.sorted, ref)
+	if Contains(ss.sorted, ref) {
+		return true
+	}
+	ss.fallthroughs++
+	return false
 }
 
 // Len returns the number of references in the set.
@@ -185,8 +245,16 @@ func (ss *ScanSet) Len() int { return len(ss.sorted) }
 // Sorted exposes the sorted snapshot for tests.
 func (ss *ScanSet) Sorted() []uint64 { return ss.sorted }
 
+// FilterBits returns the current summary size in bits (0 before first Load).
+func (ss *ScanSet) FilterBits() int { return len(ss.filter) * 64 }
+
+// Fallthroughs returns the cumulative count of filter false positives:
+// probes that passed the summary but missed the binary search. The
+// false-positive regression test divides this by total negative probes.
+func (ss *ScanSet) Fallthroughs() int64 { return ss.fallthroughs }
+
 // Protects reports whether any slot currently announces ref. It is slower
-// than Snapshot for bulk queries and intended for tests.
+// than a ScanSet for bulk queries and intended for tests.
 func (r *Registry) Protects(ref uint64) bool {
 	for s := r.head.Load(); s != nil; s = s.next {
 		if s.value.Load() == ref {
@@ -205,19 +273,11 @@ func (r *Registry) Len() int { return int(r.n.Load()) }
 // negative, never above Len).
 func (r *Registry) InUse() int { return int(r.live.Load()) }
 
-// AdaptiveFactor is the k in the adaptive reclamation threshold
-// R = max(floor, k·H). Scanning only once a thread's retired set reaches
-// k·H guarantees each scan frees at least a (k-1)/k fraction of it — at
-// most H refs can be protected by H slots — so the amortized per-retire
-// scan cost stays constant no matter how many threads join (Michael 2004).
-const AdaptiveFactor = 2
+// AdaptiveFactor aliases the k of the adaptive reclamation threshold
+// R = max(floor, k·H); the canonical definition (shared with the epoch
+// schemes, whose H is the guard-record count) lives in package smr.
+const AdaptiveFactor = smr.AdaptiveFactor
 
 // ReclaimThreshold returns the adaptive scan threshold for h acquired
-// slots: max(floor, AdaptiveFactor·h). The floor keeps tiny registries
-// from scanning on every retire.
-func ReclaimThreshold(h, floor int) int {
-	if r := AdaptiveFactor * h; r > floor {
-		return r
-	}
-	return floor
-}
+// slots: max(floor, AdaptiveFactor·h). See smr.ReclaimThreshold.
+func ReclaimThreshold(h, floor int) int { return smr.ReclaimThreshold(h, floor) }

@@ -1,6 +1,7 @@
 package hazards
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func TestSnapshotCollectsAnnouncedRefs(t *testing.T) {
 	b.Set(2)
 	c.Clear()
 	set := map[uint64]struct{}{}
-	r.Snapshot(set)
+	r.BenchSnapshot(set)
 	if len(set) != 2 {
 		t.Fatalf("snapshot = %v", set)
 	}
@@ -76,7 +77,7 @@ func TestConcurrentAcquire(t *testing.T) {
 		seen[s] = true
 	}
 	set := map[uint64]struct{}{}
-	r.Snapshot(set)
+	r.BenchSnapshot(set)
 	if len(set) != workers {
 		t.Fatalf("snapshot has %d refs, want %d", len(set), workers)
 	}
@@ -95,7 +96,7 @@ func TestSnapshotSortedMatchesMapSnapshot(t *testing.T) {
 		t.Fatalf("snapshot not sorted: %v", buf)
 	}
 	want := map[uint64]struct{}{}
-	r.Snapshot(want)
+	r.BenchSnapshot(want)
 	if len(buf) != len(want) {
 		t.Fatalf("sorted snapshot %v vs map %v", buf, want)
 	}
@@ -213,5 +214,94 @@ func TestScanSetAgreesWithMapSnapshot(t *testing.T) {
 				t.Errorf("round %d: Contains(%d) = %v disagrees with map", round, v, got)
 			}
 		}
+	}
+}
+
+func TestReleaseHintNeverServesInUseSlot(t *testing.T) {
+	// Regression test for the hint-staleness race: Release used to publish
+	// its slot as the hint unconditionally, so a second Release could
+	// overwrite a still-valid hint, and Acquire could observe a hint whose
+	// slot had already been re-acquired. Under -race this also checks the
+	// hint handoff itself for data races. Each worker must receive a slot
+	// that is exclusively its own: the token it writes must survive a
+	// scheduling point.
+	var r Registry
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tok uint64) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				s := r.Acquire()
+				if got := s.Get(); got != 0 {
+					t.Errorf("acquired dirty slot holding %d", got)
+				}
+				s.Set(tok)
+				runtime.Gosched()
+				if got := s.Get(); got != tok {
+					t.Errorf("slot stolen: wrote %d, read %d", tok, got)
+				}
+				r.Release(s)
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if got := r.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after all released", got)
+	}
+	if r.Len() > workers {
+		t.Fatalf("registry grew to %d slots for %d workers", r.Len(), workers)
+	}
+}
+
+func TestScanSetFilterScalesPastLegacyCapacity(t *testing.T) {
+	// The filter used to be fixed at 1024 bits, saturating for registries
+	// beyond a few hundred hazard slots and degrading Contains to a binary
+	// search per probe. Verify that with >256 occupied slots the filter
+	// (a) grows beyond the legacy size and (b) keeps the false-positive
+	// rate - measured as binary-search fallthroughs on absent refs - at a
+	// few percent.
+	r := &Registry{}
+	const occupied = 400
+	present := map[uint64]struct{}{}
+	for i := 0; i < occupied; i++ {
+		v := splitmix(uint64(i) + 1)
+		r.Acquire().Set(v)
+		present[v] = struct{}{}
+	}
+	var ss ScanSet
+	ss.Load(r)
+	if ss.Len() != len(present) {
+		t.Fatalf("Len = %d, want %d", ss.Len(), len(present))
+	}
+	if bits := ss.FilterBits(); bits <= 1024 {
+		t.Fatalf("filter stuck at legacy capacity: %d bits for %d slots", bits, occupied)
+	}
+	for v := range present {
+		if !ss.Contains(v) {
+			t.Fatalf("false negative for %d", v)
+		}
+	}
+	before := ss.Fallthroughs()
+	const probes = 200000
+	negatives := 0
+	for i := 0; i < probes; i++ {
+		v := splitmix(uint64(i) + 1<<40)
+		if _, p := present[v]; p {
+			continue
+		}
+		negatives++
+		if ss.Contains(v) {
+			t.Fatalf("Contains(%d) = true for absent ref", v)
+		}
+	}
+	falsePositives := ss.Fallthroughs() - before
+	rate := float64(falsePositives) / float64(negatives)
+	t.Logf("filter: %d bits, %d occupied, %d/%d fallthroughs (%.3f%%)",
+		ss.FilterBits(), occupied, falsePositives, negatives, 100*rate)
+	// 400 entries in a >=16384-bit filter is ~2.4% fill; allow headroom.
+	if rate > 0.05 {
+		t.Fatalf("false-positive rate %.3f exceeds 5%%", rate)
 	}
 }

@@ -46,7 +46,7 @@ func BenchmarkReclaimScan(b *testing.B) {
 		kept := 0
 		for i := 0; i < b.N; i++ {
 			clear(scratch)
-			reg.Snapshot(scratch)
+			reg.BenchSnapshot(scratch)
 			for _, ref := range retired {
 				if _, p := scratch[ref]; p {
 					kept++

@@ -17,6 +17,7 @@ package hp
 
 import (
 	"sync/atomic"
+	"time"
 
 	"github.com/gosmr/gosmr/internal/hazards"
 	"github.com/gosmr/gosmr/internal/smr"
@@ -29,19 +30,22 @@ import (
 const DefaultReclaimEvery = 128
 
 // AdaptiveFactor aliases the k of the adaptive reclamation threshold
-// R = max(DefaultReclaimEvery, k·H); see hazards.ReclaimThreshold.
+// R = max(DefaultReclaimEvery, k·H); see smr.ReclaimThreshold.
 const AdaptiveFactor = hazards.AdaptiveFactor
 
 // Domain is a hazard-pointer reclamation domain.
 type Domain struct {
 	reg     hazards.Registry
 	g       smr.Garbage
+	sm      smr.ScanMeter
+	budget  smr.Budget
 	orphans smr.OrphanList
 
 	// ReclaimEvery, if set > 0 before use, pins the old fixed cadence:
-	// one reclamation pass every ReclaimEvery retires. When <= 0 (the
-	// zero value and the NewDomain default) the cadence is adaptive:
-	// a thread scans when its retired set reaches
+	// one reclamation pass every ReclaimEvery retires per thread. When
+	// <= 0 (the zero value and the NewDomain default) the cadence is
+	// adaptive: a thread scans when the domain-wide retired total (the
+	// shared budget, not its local retired-set size) reaches
 	// max(DefaultReclaimEvery, AdaptiveFactor·H).
 	ReclaimEvery int
 }
@@ -55,6 +59,18 @@ func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
 // PeakUnreclaimed returns the peak retired-but-unfreed count.
 func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
 
+// Stats returns an observability snapshot of the domain.
+func (d *Domain) Stats() smr.Stats {
+	st := smr.Stats{
+		Scheme:           "hp",
+		RetiredBudget:    d.budget.Load(),
+		HazardSlots:      d.reg.Len(),
+		HazardSlotsInUse: d.reg.InUse(),
+	}
+	smr.FillStats(&st, &d.g, &d.sm)
+	return st
+}
+
 // Registry exposes the hazard-slot registry (for tests).
 func (d *Domain) Registry() *hazards.Registry { return &d.reg }
 
@@ -66,12 +82,13 @@ type Thread struct {
 	slots   []*hazards.Slot
 	retired []smr.Retired
 	retires int
+	budget  smr.BudgetCache
 	scan    hazards.ScanSet // reusable filtered+sorted hazard snapshot
 }
 
 // NewThread returns a handle with nslots protection slots.
 func (d *Domain) NewThread(nslots int) *Thread {
-	t := &Thread{d: d}
+	t := &Thread{d: d, budget: smr.NewBudgetCache(&d.budget)}
 	for i := 0; i < nslots; i++ {
 		t.slots = append(t.slots, d.reg.Acquire())
 	}
@@ -126,15 +143,20 @@ func (t *Thread) Retire(ref uint64, dealloc smr.Deallocator) {
 }
 
 // shouldReclaim decides the reclamation cadence. A positive ReclaimEvery
-// selects the fixed modulus; otherwise (including the zero-value Domain)
-// the adaptive threshold R = max(DefaultReclaimEvery, AdaptiveFactor·H)
-// applies to the local retired-set size — no division, so a zero-value
-// &Domain{} literal is safe.
+// selects the fixed per-thread modulus; otherwise (including the
+// zero-value Domain) the adaptive threshold
+// R = max(DefaultReclaimEvery, AdaptiveFactor·H) applies to the domain's
+// shared retired total. The budget cache publishes (and the threshold is
+// consulted) only once per smr.BudgetBatch local retires, so a thread
+// whose neighbours hold garbage above threshold still amortizes its scan
+// cost over a full batch instead of scanning on every retire.
 func (t *Thread) shouldReclaim() bool {
 	if every := t.d.ReclaimEvery; every > 0 {
+		t.budget.Retire() // keep the domain total accurate for Stats
 		return t.retires%every == 0
 	}
-	return len(t.retired) >= hazards.ReclaimThreshold(t.d.reg.InUse(), DefaultReclaimEvery)
+	return t.budget.Retire() &&
+		t.budget.Total() >= int64(hazards.ReclaimThreshold(t.d.reg.InUse(), DefaultReclaimEvery))
 }
 
 // Reclaim scans the hazard slots and frees every retired node that no slot
@@ -145,6 +167,7 @@ func (t *Thread) Reclaim() {
 	if len(t.retired) == 0 {
 		return
 	}
+	start := time.Now()
 	// fence(SC) between retired-set retrieval and hazard scan — implicit.
 	t.scan.Load(&d.reg)
 	kept := t.retired[:0]
@@ -161,6 +184,8 @@ func (t *Thread) Reclaim() {
 	if freed > 0 {
 		d.g.AddFreed(freed)
 	}
+	t.budget.Freed(freed)
+	d.sm.AddScan(time.Since(start).Nanoseconds())
 }
 
 // Finish releases the thread's slots and hands any locally retired nodes
@@ -172,6 +197,7 @@ func (t *Thread) Finish() {
 		t.d.reg.Release(s)
 	}
 	t.slots = nil
+	t.budget.Flush()
 	if len(t.retired) > 0 {
 		t.d.orphans.Push(t.retired)
 		t.retired = nil

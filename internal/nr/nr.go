@@ -25,6 +25,13 @@ func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
 // frees).
 func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
 
+// Stats returns an observability snapshot: pure garbage flow, no scans.
+func (d *Domain) Stats() smr.Stats {
+	st := smr.Stats{Scheme: "nr"}
+	smr.FillStats(&st, &d.g, nil)
+	return st
+}
+
 type guard struct {
 	d *Domain
 }

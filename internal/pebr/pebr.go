@@ -16,12 +16,15 @@ package pebr
 import (
 	"slices"
 	"sync/atomic"
+	"time"
 
 	"github.com/gosmr/gosmr/internal/smr"
 )
 
 const (
-	// DefaultCollectEvery is the number of retires between collections.
+	// DefaultCollectEvery is the number of retires between collections
+	// under the fixed cadence; it doubles as the floor of the adaptive
+	// threshold.
 	DefaultCollectEvery = 128
 	// DefaultPatience is how many collection passes may observe the same
 	// thread lagging before it is ejected.
@@ -51,19 +54,25 @@ type Domain struct {
 	epoch   atomic.Uint64
 	threads atomic.Pointer[rec]
 	g       smr.Garbage
+	sm      smr.ScanMeter
+	budget  smr.Budget
+	guards  atomic.Int64 // guards ever created: the H of the adaptive threshold
 
-	// CollectEvery and Patience override the defaults if set before use.
-	// A non-positive CollectEvery (the zero-value Domain literal) falls
-	// back to DefaultCollectEvery lazily instead of panicking.
+	// CollectEvery, if set > 0 before use, pins the fixed per-guard
+	// cadence: one collection attempt every CollectEvery retires. When
+	// <= 0 (the zero value and the NewDomain default) the cadence is
+	// adaptive: a guard collects when the domain-wide retired total (the
+	// shared smr.Budget) reaches max(DefaultCollectEvery, k·guards).
+	// Patience overrides the ejection patience if set before use.
 	CollectEvery int
 	Patience     uint32
 
 	ejections atomic.Int64
 }
 
-// NewDomain creates a PEBR domain.
+// NewDomain creates a PEBR domain with the adaptive collection cadence.
 func NewDomain() *Domain {
-	d := &Domain{CollectEvery: DefaultCollectEvery, Patience: DefaultPatience}
+	d := &Domain{Patience: DefaultPatience}
 	d.epoch.Store(2)
 	return d
 }
@@ -77,7 +86,38 @@ func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
 // Ejections returns the cumulative number of thread neutralizations.
 func (d *Domain) Ejections() int64 { return d.ejections.Load() }
 
+// Stats returns an observability snapshot of the domain. EpochLag is the
+// distance from the global epoch to the slowest pinned, non-ejected guard
+// (0 when nothing is pinned).
+func (d *Domain) Stats() smr.Stats {
+	e := d.epoch.Load()
+	min := e
+	for r := d.threads.Load(); r != nil; r = r.next {
+		st := r.state.Load()
+		if st&pinnedBit == 0 || st&ejectedBit != 0 {
+			continue
+		}
+		if ep := st >> 2; ep < min {
+			min = ep
+		}
+	}
+	st := smr.Stats{
+		Scheme:        "pebr",
+		RetiredBudget: d.budget.Load(),
+		Epoch:         e,
+		EpochLag:      e - min,
+		Ejections:     d.ejections.Load(),
+	}
+	smr.FillStats(&st, &d.g, &d.sm)
+	return st
+}
+
 func (d *Domain) acquireRec() *rec {
+	d.guards.Add(1)
+	// Lazy epoch init for zero-value &Domain{} literals, mirroring
+	// ebr.Domain: the collect path never subtracts from the epoch, so this
+	// only aligns diagnostics with NewDomain's starting epoch.
+	d.epoch.CompareAndSwap(0, 2)
 	for r := d.threads.Load(); r != nil; r = r.next {
 		if r.inUse.Load() == 0 && r.inUse.CompareAndSwap(0, 1) {
 			return r
@@ -105,6 +145,7 @@ type Guard struct {
 	r       *rec
 	bag     []entry
 	retires int
+	budget  smr.BudgetCache
 	scratch []uint64 // reusable sorted shield snapshot
 }
 
@@ -117,7 +158,7 @@ func (d *Domain) NewGuardPEBR(slots int) *Guard {
 	if slots > MaxShields {
 		panic("pebr: too many shield slots requested")
 	}
-	return &Guard{d: d, r: d.acquireRec()}
+	return &Guard{d: d, r: d.acquireRec(), budget: smr.NewBudgetCache(&d.budget)}
 }
 
 // Pin enters a critical section at the current epoch, clearing any
@@ -158,18 +199,22 @@ func (g *Guard) Retire(ref uint64, dealloc smr.Deallocator) {
 	g.bag = append(g.bag, entry{smr.Retired{Ref: ref, D: dealloc}, g.d.epoch.Load()})
 	g.d.g.AddRetired(1)
 	g.retires++
-	if g.retires%g.d.collectEvery() == 0 {
+	if g.shouldCollect(g.budget.Retire()) {
 		g.Collect()
 	}
 }
 
-// collectEvery returns the collection cadence, clamping a non-positive
-// configured value (zero-value Domain literal) to the default.
-func (d *Domain) collectEvery() int {
-	if every := d.CollectEvery; every > 0 {
-		return every
+// shouldCollect decides the collection cadence: the fixed per-guard
+// modulus when CollectEvery is positive, otherwise the adaptive threshold
+// max(DefaultCollectEvery, k·guards) applied to the domain-wide retired
+// total, consulted only on the budget cache's batch boundaries (see
+// ebr.Guard.shouldCollect for the amortization argument).
+func (g *Guard) shouldCollect(published bool) bool {
+	if every := g.d.CollectEvery; every > 0 {
+		return g.retires%every == 0
 	}
-	return DefaultCollectEvery
+	return published &&
+		g.budget.Total() >= int64(smr.ReclaimThreshold(int(g.d.guards.Load()), DefaultCollectEvery))
 }
 
 // Collect attempts to advance the epoch — ejecting threads that have
@@ -177,6 +222,7 @@ func (d *Domain) collectEvery() int {
 // is old enough and not covered by any shield.
 func (g *Guard) Collect() {
 	d := g.d
+	start := time.Now()
 	e := d.epoch.Load()
 	min := e
 	blocked := false
@@ -233,6 +279,8 @@ func (g *Guard) Collect() {
 	if freed > 0 {
 		d.g.AddFreed(freed)
 	}
+	g.budget.Freed(freed)
+	d.sm.AddScan(time.Since(start).Nanoseconds())
 }
 
 // BagLen returns the number of locally retired, unfreed nodes.

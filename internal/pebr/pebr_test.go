@@ -124,7 +124,7 @@ func TestGarbageBoundedDespiteStall(t *testing.T) {
 		w.Unpin()
 	}
 	w.Collect()
-	if d.Unreclaimed() > 3*int64(d.CollectEvery)+int64(MaxShields) {
+	if d.Unreclaimed() > 3*int64(DefaultCollectEvery)+int64(MaxShields) {
 		t.Fatalf("unreclaimed = %d despite ejection; not robust", d.Unreclaimed())
 	}
 	if d.Ejections() == 0 {
@@ -132,10 +132,11 @@ func TestGarbageBoundedDespiteStall(t *testing.T) {
 	}
 }
 
-// TestZeroValueDomainCollects is the regression test for the zero-modulus
-// panic a zero-value &Domain{} used to hit on its 0th retire: CollectEvery
-// now clamps lazily to the default. (Zero Patience is legal — it only
-// makes ejection immediate.)
+// TestZeroValueDomainCollects is the regression test for zero-value
+// &Domain{} literals: CollectEvery == 0 selects the adaptive cadence
+// (historically it panicked with a zero modulus), and the epoch
+// initializes lazily to NewDomain's starting value on first guard
+// creation. (Zero Patience is legal — it only makes ejection immediate.)
 func TestZeroValueDomainCollects(t *testing.T) {
 	d := &Domain{}
 	p := arena.NewPool[uint64]("zv", arena.ModeReuse)
@@ -151,5 +152,8 @@ func TestZeroValueDomainCollects(t *testing.T) {
 	}
 	if got := d.Unreclaimed(); got != 0 {
 		t.Fatalf("unreclaimed after collect = %d, want 0", got)
+	}
+	if got := d.epoch.Load(); got < 2 {
+		t.Fatalf("zero-value domain epoch = %d, want lazy init to >= 2", got)
 	}
 }

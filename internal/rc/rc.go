@@ -51,6 +51,14 @@ func (d *Domain) Unreclaimed() int64 { return d.e.Unreclaimed() }
 // PeakUnreclaimed returns the peak pending-decrement count.
 func (d *Domain) PeakUnreclaimed() int64 { return d.e.PeakUnreclaimed() }
 
+// Stats returns the underlying EBR domain's snapshot relabelled "rc":
+// RC's garbage flow *is* the flow of deferred decrements through EBR.
+func (d *Domain) Stats() smr.Stats {
+	st := d.e.Stats()
+	st.Scheme = "rc"
+	return st
+}
+
 // EBR exposes the underlying epoch domain (for tests).
 func (d *Domain) EBR() *ebr.Domain { return d.e }
 

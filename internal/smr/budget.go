@@ -1,0 +1,100 @@
+package smr
+
+import "sync/atomic"
+
+// AdaptiveFactor is the k in the adaptive reclamation threshold
+// R = max(floor, k·H). Scanning only once the domain's retired total
+// reaches k·H guarantees each scan pass can free all but the at-most-H
+// protected references, so the amortized per-retire scan cost stays
+// constant no matter how many threads join (Michael 2004). The hazards
+// package re-exports this constant for the HP family.
+const AdaptiveFactor = 2
+
+// ReclaimThreshold returns the adaptive scan threshold for h protection
+// slots (hazard slots, shields, or guard records, depending on the
+// scheme): max(floor, AdaptiveFactor·h). The floor keeps tiny domains
+// from scanning on every retire.
+func ReclaimThreshold(h, floor int) int {
+	if r := AdaptiveFactor * h; r > floor {
+		return r
+	}
+	return floor
+}
+
+// BudgetBatch is the per-thread caching granularity of a Budget: a thread
+// publishes its retire count to the shared counter (and re-reads the
+// shared total) only once per BudgetBatch retires, so the shared cache
+// line is touched O(1/BudgetBatch) times per retire instead of every
+// time. It also rate-limits adaptive scans — a thread consults the
+// domain-wide threshold at most once per BudgetBatch local retires, which
+// keeps the amortized scan cost constant even when other threads hold
+// enough garbage to keep the domain total permanently above threshold.
+const BudgetBatch = 32
+
+// Budget is the domain-wide retired-but-unreclaimed counter that the
+// shared-budget reclaim trigger reads: every scheme instance owns one,
+// every thread/guard batches updates into it through a BudgetCache, and
+// scans fire on max(floor, k·H) of this domain total rather than of any
+// single thread's retired-set size. Padding keeps the hot counter off
+// every neighbouring field's cache line. The zero value is ready to use.
+type Budget struct {
+	_ counterPad
+	n atomic.Int64
+	_ counterPad
+}
+
+// Add atomically adds delta (which may be negative) and returns the new
+// domain total.
+func (b *Budget) Add(delta int64) int64 { return b.n.Add(delta) }
+
+// Load returns the current domain-wide retired total. It may run behind
+// the true total by up to BudgetBatch-1 per active thread (unpublished
+// per-thread pending counts).
+func (b *Budget) Load() int64 { return b.n.Load() }
+
+// BudgetCache is a thread-local view of a shared Budget. It is owned by a
+// single thread/guard and is not safe for concurrent use; the Budget it
+// points at is shared.
+type BudgetCache struct {
+	b       *Budget
+	pending int64 // local retires not yet published to b
+	shared  int64 // shared total as of the last publish
+}
+
+// NewBudgetCache returns a cache publishing into b.
+func NewBudgetCache(b *Budget) BudgetCache { return BudgetCache{b: b} }
+
+// Retire records one local retire. It reports whether this call published
+// the pending count to the shared Budget (once per BudgetBatch retires) —
+// the moment at which callers should consult the domain-wide reclaim
+// threshold, so threshold checks and scan attempts are both rate-limited
+// to the batch cadence.
+func (c *BudgetCache) Retire() bool {
+	c.pending++
+	if c.pending >= BudgetBatch {
+		c.Flush()
+		return true
+	}
+	return false
+}
+
+// Freed publishes any pending retires minus n nodes freed by a scan, and
+// refreshes the cached shared total. Call it after every reclamation pass
+// that freed n > 0 nodes so the domain total falls promptly.
+func (c *BudgetCache) Freed(n int64) {
+	c.shared = c.b.Add(c.pending - n)
+	c.pending = 0
+}
+
+// Flush publishes the pending count and refreshes the cached shared
+// total. Threads must flush before abandoning the cache (Finish) so the
+// domain total does not permanently under-count orphaned garbage.
+func (c *BudgetCache) Flush() {
+	c.shared = c.b.Add(c.pending)
+	c.pending = 0
+}
+
+// Total returns this thread's best estimate of the domain-wide retired
+// total: the shared count observed at the last publish plus the local
+// pending retires. It involves no atomics.
+func (c *BudgetCache) Total() int64 { return c.shared + c.pending }

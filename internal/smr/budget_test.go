@@ -1,0 +1,119 @@
+package smr
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetCacheFlushesOnBatchBoundary(t *testing.T) {
+	var b Budget
+	c := NewBudgetCache(&b)
+	for i := 1; i < BudgetBatch; i++ {
+		if c.Retire() {
+			t.Fatalf("flush boundary reported at %d retires", i)
+		}
+		if got := b.Load(); got != 0 {
+			t.Fatalf("shared counter leaked early: %d after %d retires", got, i)
+		}
+	}
+	if !c.Retire() {
+		t.Fatalf("no flush boundary at %d retires", BudgetBatch)
+	}
+	if got := b.Load(); got != BudgetBatch {
+		t.Fatalf("shared counter = %d, want %d", got, BudgetBatch)
+	}
+	if got := c.Total(); got != BudgetBatch {
+		t.Fatalf("Total = %d, want %d", got, BudgetBatch)
+	}
+}
+
+func TestBudgetCacheFreedCreditsSharedCounter(t *testing.T) {
+	var b Budget
+	c := NewBudgetCache(&b)
+	for i := 0; i < BudgetBatch; i++ {
+		c.Retire()
+	}
+	// Retire a few more without reaching the next boundary, then report a
+	// scan that freed most of the domain total.
+	for i := 0; i < 5; i++ {
+		c.Retire()
+	}
+	c.Freed(30)
+	if got := b.Load(); got != BudgetBatch+5-30 {
+		t.Fatalf("shared counter = %d, want %d", got, BudgetBatch+5-30)
+	}
+	if got := c.Total(); got != b.Load() {
+		t.Fatalf("Total = %d disagrees with shared %d after Freed", got, b.Load())
+	}
+}
+
+func TestBudgetCacheFlushPublishesPending(t *testing.T) {
+	var b Budget
+	c := NewBudgetCache(&b)
+	for i := 0; i < 7; i++ {
+		c.Retire()
+	}
+	c.Flush()
+	if got := b.Load(); got != 7 {
+		t.Fatalf("shared counter = %d after Flush, want 7", got)
+	}
+	c.Flush() // idempotent on empty pending
+	if got := b.Load(); got != 7 {
+		t.Fatalf("second Flush changed counter to %d", got)
+	}
+}
+
+func TestBudgetSharedAcrossThreads(t *testing.T) {
+	var b Budget
+	const workers = 8
+	const perWorker = 10 * BudgetBatch
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := NewBudgetCache(&b)
+			for i := 0; i < perWorker; i++ {
+				c.Retire()
+			}
+			c.Flush()
+		}()
+	}
+	wg.Wait()
+	if got := b.Load(); got != workers*perWorker {
+		t.Fatalf("domain total = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestReclaimThresholdAdaptive(t *testing.T) {
+	if got := ReclaimThreshold(0, 128); got != 128 {
+		t.Fatalf("floor not applied: %d", got)
+	}
+	if got := ReclaimThreshold(100, 128); got != AdaptiveFactor*100 {
+		t.Fatalf("k*H not applied: %d", got)
+	}
+}
+
+func TestStatsFillFromGarbage(t *testing.T) {
+	var g Garbage
+	var m ScanMeter
+	g.AddRetired(100)
+	g.AddFreed(60)
+	g.AddRetired(0) // peak tracking is in Unreclaimed bookkeeping
+	m.AddScan(1500)
+	m.AddScan(500)
+	st := Stats{Scheme: "test"}
+	FillStats(&st, &g, &m)
+	if st.TotalRetired != 100 || st.TotalFreed != 60 {
+		t.Fatalf("retired/freed = %d/%d", st.TotalRetired, st.TotalFreed)
+	}
+	if st.Unreclaimed != 40 {
+		t.Fatalf("unreclaimed = %d, want 40", st.Unreclaimed)
+	}
+	if st.Scans != 2 || st.ScanNs != 2000 {
+		t.Fatalf("scans/ns = %d/%d", st.Scans, st.ScanNs)
+	}
+	if st.FreedPerScan != 30 {
+		t.Fatalf("freed per scan = %v, want 30", st.FreedPerScan)
+	}
+}

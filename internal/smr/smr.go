@@ -51,6 +51,9 @@ type Domain interface {
 	Unreclaimed() int64
 	// PeakUnreclaimed returns the maximum value Unreclaimed has reached.
 	PeakUnreclaimed() int64
+	// Stats returns an observability snapshot of the domain. The Arena*
+	// fields are the harness's responsibility, not the scheme's.
+	Stats() Stats
 }
 
 // GuardDomain is a Domain whose per-thread handles follow the Guard

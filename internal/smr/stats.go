@@ -1,0 +1,90 @@
+package smr
+
+import "sync/atomic"
+
+// Stats is a point-in-time observability snapshot of a reclamation domain:
+// how much garbage it holds, how hard the scan path is working, and how
+// far behind the slowest participant is. Every scheme implements
+// Domain.Stats; the bench and stress harnesses additionally fill the Arena*
+// fields from the data structure's pools before emitting JSON.
+//
+// Fields that do not apply to a scheme are left zero: only the HP family
+// has hazard slots, only the epoch family has epochs, only PEBR ejects.
+type Stats struct {
+	// Scheme is the implementing scheme's short name ("hp", "hp++",
+	// "ebr", "pebr", "rc", "nr", "unsafefree").
+	Scheme string `json:"scheme"`
+
+	// Unreclaimed / PeakUnreclaimed are the current and high-water
+	// retired-but-unfreed node counts; TotalRetired / TotalFreed the
+	// cumulative flows they are the difference of.
+	Unreclaimed     int64 `json:"unreclaimed"`
+	PeakUnreclaimed int64 `json:"peak_unreclaimed"`
+	TotalRetired    int64 `json:"total_retired"`
+	TotalFreed      int64 `json:"total_freed"`
+
+	// Scans counts reclamation passes (HP/HP++ hazard scans, EBR/PEBR
+	// collects); ScanNs is the cumulative wall time spent in them and
+	// FreedPerScan the mean nodes freed per pass (0 when Scans == 0).
+	Scans        int64   `json:"scans"`
+	ScanNs       int64   `json:"scan_ns"`
+	FreedPerScan float64 `json:"freed_per_scan"`
+
+	// RetiredBudget is the domain-wide shared retired total driving the
+	// adaptive trigger (smr.Budget); it lags Unreclaimed by at most the
+	// per-thread caches' unpublished counts.
+	RetiredBudget int64 `json:"retired_budget,omitempty"`
+
+	// HazardSlots / HazardSlotsInUse report hazard-slot occupancy for the
+	// HP family (registry length and currently acquired count).
+	HazardSlots      int `json:"hazard_slots,omitempty"`
+	HazardSlotsInUse int `json:"hazard_slots_in_use,omitempty"`
+
+	// Epoch is the global epoch and EpochLag its distance to the oldest
+	// pinned participant (0 when nothing is pinned) for the epoch family.
+	Epoch    uint64 `json:"epoch,omitempty"`
+	EpochLag uint64 `json:"epoch_lag,omitempty"`
+
+	// Ejections counts PEBR neutralizations of lagging guards.
+	Ejections int64 `json:"ejections,omitempty"`
+
+	// ArenaLive / ArenaQuarantined are filled by the harness from the
+	// target's arena pools: live slots still allocated, and slots parked
+	// in detect-mode quarantine instead of being reused.
+	ArenaLive        int64 `json:"arena_live,omitempty"`
+	ArenaQuarantined int64 `json:"arena_quarantined,omitempty"`
+}
+
+// ScanMeter accumulates reclamation-pass counters for FillStats. Embed it
+// next to a Garbage and call AddScan once per pass.
+type ScanMeter struct {
+	scans  atomic.Int64
+	_      counterPad
+	scanNs atomic.Int64
+	_      counterPad
+}
+
+// AddScan records one reclamation pass that took ns wall nanoseconds.
+func (m *ScanMeter) AddScan(ns int64) {
+	m.scans.Add(1)
+	m.scanNs.Add(ns)
+}
+
+// Scans returns the number of reclamation passes recorded.
+func (m *ScanMeter) Scans() int64 { return m.scans.Load() }
+
+// FillStats populates the garbage-flow and scan-rate fields of st from g
+// and m (m may be nil for schemes with no scan pass, e.g. nr).
+func FillStats(st *Stats, g *Garbage, m *ScanMeter) {
+	st.Unreclaimed = g.Unreclaimed()
+	st.PeakUnreclaimed = g.PeakUnreclaimed()
+	st.TotalRetired = g.TotalRetired()
+	st.TotalFreed = g.TotalFreed()
+	if m != nil {
+		st.Scans = m.Scans()
+		st.ScanNs = m.scanNs.Load()
+		if st.Scans > 0 {
+			st.FreedPerScan = float64(st.TotalFreed) / float64(st.Scans)
+		}
+	}
+}

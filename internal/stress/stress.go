@@ -32,6 +32,7 @@ import (
 	"github.com/gosmr/gosmr/internal/arena"
 	"github.com/gosmr/gosmr/internal/bench"
 	"github.com/gosmr/gosmr/internal/linchk"
+	"github.com/gosmr/gosmr/internal/smr"
 )
 
 // Cell is one (data structure, scheme) pair of the safety matrix.
@@ -139,6 +140,9 @@ type CellResult struct {
 	ParkedStall bool   `json:"parked_stall"`
 	ElapsedMS   int64  `json:"elapsed_ms"`
 	Report      string `json:"report,omitempty"`
+	// Stats is the domain's smr.Stats snapshot taken after Finish, with
+	// the arena fields filled from the cell's pools.
+	Stats smr.Stats `json:"smr_stats"`
 }
 
 // Passed reports whether the cell behaved correctly (memory-safe and
@@ -179,6 +183,7 @@ func Run(cell Cell, opts Options) (CellResult, error) {
 		finish      func()
 		agitate     func()
 		unreclaimed func() int64
+		stats       func() smr.Stats
 		prefill     func()
 		workers     []func()
 		stallOp     func()
@@ -190,6 +195,7 @@ func Run(cell Cell, opts Options) (CellResult, error) {
 			return res, err
 		}
 		pools, finish, agitate, unreclaimed = target.Pools, target.Finish, target.Agitate, target.Unreclaimed
+		stats = target.Stats
 		handles := make([]*bench.Recorded, opts.Workers)
 		for w := range handles {
 			handles[w] = bench.NewRecorded(target.NewHandle(), newRec())
@@ -232,6 +238,7 @@ func Run(cell Cell, opts Options) (CellResult, error) {
 			return res, err
 		}
 		pools, finish, agitate, unreclaimed = target.Pools, target.Finish, target.Agitate, target.Unreclaimed
+		stats = target.Stats
 		handles := make([]*bench.RecordedQueue, opts.Workers)
 		for w := range handles {
 			handles[w] = bench.NewRecordedQueue(target.NewHandle(), newRec())
@@ -268,6 +275,7 @@ func Run(cell Cell, opts Options) (CellResult, error) {
 			return res, err
 		}
 		pools, finish, agitate, unreclaimed = target.Pools, target.Finish, target.Agitate, target.Unreclaimed
+		stats = target.Stats
 		handles := make([]*bench.RecordedStack, opts.Workers)
 		for w := range handles {
 			handles[w] = bench.NewRecordedStack(target.NewHandle(), newRec())
@@ -363,6 +371,16 @@ func Run(cell Cell, opts Options) (CellResult, error) {
 		res.DoubleFree += st.DoubleFree
 	}
 	res.Unreclaimed = unreclaimed()
+	if stats != nil {
+		res.Stats = stats()
+	}
+	for _, p := range pools {
+		ps := p.Stats()
+		res.Stats.ArenaLive += ps.Live
+		if p.Mode() == arena.ModeDetect {
+			res.Stats.ArenaQuarantined += ps.Frees
+		}
+	}
 
 	h := linchk.Merge(recs...)
 	res.Ops = len(h.Ops)

@@ -25,6 +25,13 @@ func (d *Domain) Unreclaimed() int64 { return 0 }
 // PeakUnreclaimed is always 0.
 func (d *Domain) PeakUnreclaimed() int64 { return 0 }
 
+// Stats returns an observability snapshot; retired == freed by design.
+func (d *Domain) Stats() smr.Stats {
+	st := smr.Stats{Scheme: "unsafefree"}
+	smr.FillStats(&st, &d.g, nil)
+	return st
+}
+
 type guard struct{ d *Domain }
 
 func (g *guard) Pin()                         {}
