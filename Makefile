@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check race test short stress bench bench-json bench-compare vet
+.PHONY: check race test short stress bench bench-json bench-compare vet serve-smoke
 
 check: vet
 	$(GO) build ./...
@@ -26,6 +26,12 @@ race:
 
 stress:
 	$(GO) run ./cmd/stress -unsafe
+
+# serve-smoke boots gosmrd (hp++, detect mode), fires a kvload burst at
+# it, and asserts a clean SIGTERM drain with zero arena violations. The
+# report lands in results/BENCH_kvsvc.json (gitignored).
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=200ms ./internal/bench/

@@ -1,0 +1,342 @@
+// Command kvload drives a running gosmrd with a Zipf-skewed get/put/del
+// mix over N pipelined connections, then reports throughput, request
+// latency percentiles, and the reclamation high-water marks scraped from
+// the daemon's admin endpoint.
+//
+//	kvload -addr 127.0.0.1:7070 -admin 127.0.0.1:7071 \
+//	       -conns 8 -requests 100000 -zipf 1.1 -out BENCH_kvsvc.json
+//
+// The skew matters for SMR: a Zipf workload hammers a few hot keys, so
+// deletes and re-inserts keep retiring nodes that concurrent readers on
+// other connections may still be traversing — exactly the traffic shape
+// hazard-pointer schemes must survive. With gosmrd in -mode detect the
+// arena validates every access; kvload exits non-zero if the scrape shows
+// any use-after-free or double-free, making the pair a one-command
+// end-to-end safety check.
+//
+// With -out, kvload writes a bench.ReclaimReport-shaped JSON artifact
+// (one service-layer cell with latency percentiles and the store-wide
+// smr.Stats) that cmd/benchcompare can diff against a previous run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/bench"
+	"github.com/gosmr/gosmr/internal/kvsvc"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "gosmrd wire address")
+		admin    = flag.String("admin", "", "gosmrd admin address to scrape after the run (empty skips)")
+		conns    = flag.Int("conns", 8, "concurrent connections")
+		requests = flag.Int("requests", 10000, "total requests across all connections")
+		keys     = flag.Uint64("keys", 65536, "key space size")
+		zipfS    = flag.Float64("zipf", 1.1, "Zipf skew exponent s (<=1 means uniform)")
+		getPct   = flag.Int("get", 80, "percent gets")
+		putPct   = flag.Int("put", 15, "percent puts (rest are deletes)")
+		pipeline = flag.Int("pipeline", 32, "max in-flight requests per connection")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		out      = flag.String("out", "", "write a BENCH_kvsvc.json report here")
+		dialT    = flag.Duration("dial-timeout", 5*time.Second, "keep retrying the first dial for this long")
+	)
+	flag.Parse()
+	if *conns < 1 || *requests < 1 || *pipeline < 1 || *keys < 2 {
+		fmt.Fprintln(os.Stderr, "kvload: conns, requests, pipeline must be >= 1 and keys >= 2")
+		os.Exit(2)
+	}
+	if *getPct < 0 || *putPct < 0 || *getPct+*putPct > 100 {
+		fmt.Fprintln(os.Stderr, "kvload: -get and -put must be >= 0 and sum to <= 100")
+		os.Exit(2)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		allLats []int64 // per-request latency, ns
+		statErr atomic.Int64
+	)
+	start := time.Now()
+	for c := 0; c < *conns; c++ {
+		ops := *requests / *conns
+		if c < *requests%*conns {
+			ops++
+		}
+		if ops == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c, ops int) {
+			defer wg.Done()
+			lats, errs := runConn(*addr, *dialT, connParams{
+				ops:      ops,
+				keys:     *keys,
+				zipfS:    *zipfS,
+				getPct:   *getPct,
+				putPct:   *putPct,
+				pipeline: *pipeline,
+				seed:     *seed + int64(c)*0x9E3779B9,
+			})
+			statErr.Add(errs)
+			mu.Lock()
+			allLats = append(allLats, lats...)
+			mu.Unlock()
+		}(c, ops)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if len(allLats) == 0 {
+		fmt.Fprintln(os.Stderr, "kvload: no responses received")
+		os.Exit(1)
+	}
+	sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
+	p50 := percentileUs(allLats, 0.50)
+	p95 := percentileUs(allLats, 0.95)
+	p99 := percentileUs(allLats, 0.99)
+	opsPerSec := float64(len(allLats)) / wall.Seconds()
+
+	delPct := 100 - *getPct - *putPct
+	workload := fmt.Sprintf("zipf(%.2f) get=%d%%/put=%d%%/del=%d%% pipeline=%d", *zipfS, *getPct, *putPct, delPct, *pipeline)
+	fmt.Printf("kvload: %d ops over %d conns in %v (%s)\n", len(allLats), *conns, wall.Round(time.Millisecond), workload)
+	fmt.Printf("kvload: throughput %.0f ops/s, latency p50=%.1fµs p95=%.1fµs p99=%.1fµs\n", opsPerSec, p50, p95, p99)
+	if n := statErr.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "kvload: %d requests returned StatusErr\n", n)
+		os.Exit(1)
+	}
+	if got := len(allLats); got != *requests {
+		fmt.Fprintf(os.Stderr, "kvload: sent %d requests but got %d responses\n", *requests, got)
+		os.Exit(1)
+	}
+
+	// Scrape the admin endpoint for the server-side view: live per-shard
+	// smr.Stats, the retired-node high-water mark, and — the safety gate —
+	// detect-mode arena violation counters.
+	var adminStats *kvsvc.AdminStats
+	if *admin != "" {
+		st, err := scrape(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvload: admin scrape:", err)
+			os.Exit(1)
+		}
+		adminStats = st
+		fmt.Printf("kvload: server %s ops=%d peak_unreclaimed=%d arena_peak_bytes=%d\n",
+			st.Scheme, st.ServedOps, st.Total.PeakUnreclaimed, st.ArenaPeakBytes)
+		if st.ArenaUAF > 0 || st.ArenaDoubleFree > 0 {
+			fmt.Fprintf(os.Stderr, "kvload: ARENA VIOLATIONS: uaf=%d double_free=%d\n", st.ArenaUAF, st.ArenaDoubleFree)
+			os.Exit(1)
+		}
+	}
+
+	if *out != "" {
+		if err := writeReport(*out, adminStats, *conns, *keys, workload, opsPerSec, p50, p95, p99); err != nil {
+			fmt.Fprintln(os.Stderr, "kvload: write report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kvload: wrote %s\n", *out)
+	}
+}
+
+type connParams struct {
+	ops      int
+	keys     uint64
+	zipfS    float64
+	getPct   int
+	putPct   int
+	pipeline int
+	seed     int64
+}
+
+// runConn drives one pipelined connection: a sender that keeps up to
+// pipeline requests outstanding (flushing its write buffer only when it
+// would otherwise block, so a burst costs one syscall) and an in-line
+// receiver loop timing each response against its send timestamp. Request
+// IDs are sequential, so id mod pipeline indexes a start-time ring whose
+// slots cannot collide while at most pipeline requests are in flight.
+func runConn(addr string, dialT time.Duration, p connParams) (lats []int64, statusErrs int64) {
+	c := dialRetry(addr, dialT)
+	defer c.Close()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+
+	rng := rand.New(rand.NewSource(p.seed))
+	var zipf *rand.Zipf
+	if p.zipfS > 1 {
+		zipf = rand.NewZipf(rng, p.zipfS, 1, p.keys-1)
+	}
+	nextKey := func() uint64 {
+		if zipf != nil {
+			return zipf.Uint64()
+		}
+		return uint64(rng.Int63n(int64(p.keys)))
+	}
+
+	// Atomic slots: the sender stores a slot just after reacquiring its
+	// token (so the receiver is done with the previous occupant), but the
+	// store and the receiver's load have no channel edge between them —
+	// the ordering flows through the server round-trip.
+	starts := make([]atomic.Int64, p.pipeline)
+	lats = make([]int64, 0, p.ops)
+	tokens := make(chan struct{}, p.pipeline)
+	for i := 0; i < p.pipeline; i++ {
+		tokens <- struct{}{}
+	}
+	dead := make(chan struct{}) // closed if the receiver bails out early
+
+	var recvWG sync.WaitGroup
+	recvWG.Add(1)
+	go func() {
+		defer recvWG.Done()
+		var frame []byte
+		for i := 0; i < p.ops; i++ {
+			var err error
+			frame, err = kvsvc.ReadFrame(br, frame)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kvload: read response %d/%d: %v\n", i, p.ops, err)
+				close(dead)
+				return
+			}
+			resp, err := kvsvc.DecodeResponse(frame)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "kvload: decode response:", err)
+				close(dead)
+				return
+			}
+			lats = append(lats, time.Now().UnixNano()-starts[int(resp.ID)%p.pipeline].Load())
+			if resp.Status == kvsvc.StatusErr {
+				statusErrs++
+			}
+			tokens <- struct{}{}
+		}
+	}()
+
+	var buf []byte
+	for i := 0; i < p.ops; i++ {
+		select {
+		case <-tokens:
+		default:
+			// The window is full: push the buffered burst to the server
+			// before blocking for a response token — or give up if the
+			// receiver already declared the connection dead.
+			bw.Flush()
+			select {
+			case <-tokens:
+			case <-dead:
+				recvWG.Wait()
+				return lats, statusErrs
+			}
+		}
+		req := kvsvc.Request{ID: uint32(i), Key: nextKey()}
+		switch pick := rng.Intn(100); {
+		case pick < p.getPct:
+			req.Op = kvsvc.OpGet
+		case pick < p.getPct+p.putPct:
+			req.Op = kvsvc.OpPut
+			req.Val = req.Key + 1
+		default:
+			req.Op = kvsvc.OpDel
+		}
+		starts[i%p.pipeline].Store(time.Now().UnixNano())
+		buf = kvsvc.AppendRequest(buf[:0], req)
+		if _, err := bw.Write(buf); err != nil {
+			fmt.Fprintln(os.Stderr, "kvload: write:", err)
+			break
+		}
+	}
+	bw.Flush()
+	recvWG.Wait()
+	return lats, statusErrs
+}
+
+// dialRetry keeps retrying the dial until the deadline so kvload can be
+// started alongside gosmrd (the smoke script does exactly that).
+func dialRetry(addr string, d time.Duration) net.Conn {
+	deadline := time.Now().Add(d)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "kvload: dial %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func scrape(admin string) (*kvsvc.AdminStats, error) {
+	resp, err := http.Get("http://" + admin + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("admin /stats: HTTP %d", resp.StatusCode)
+	}
+	var st kvsvc.AdminStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// percentileUs returns the p-quantile of sorted ns latencies in µs.
+func percentileUs(sorted []int64, p float64) float64 {
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / 1e3
+}
+
+// writeReport emits a bench.ReclaimReport with one service-layer cell so
+// cmd/benchcompare can diff kvload runs like any other bench artifact.
+// The scan section is left zero: there is no in-process scan microbench
+// in a network run, and benchcompare skips the scan gate when both
+// reports agree it is absent.
+func writeReport(path string, admin *kvsvc.AdminStats, conns int, keys uint64, workload string, opsPerSec, p50, p95, p99 float64) error {
+	cell := bench.CellResult{
+		DS:         "kvsvc",
+		Scheme:     "unknown",
+		Threads:    conns,
+		KeyRange:   keys,
+		Workload:   workload,
+		MopsPerSec: opsPerSec / 1e6,
+		NsPerOp:    1e9 / opsPerSec,
+		P50Us:      p50,
+		P95Us:      p95,
+		P99Us:      p99,
+	}
+	if admin != nil {
+		cell.Scheme = admin.Scheme
+		cell.Stats = admin.Total
+	}
+	report := bench.ReclaimReport{
+		GeneratedBy: "kvload",
+		Cells:       []bench.CellResult{cell},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

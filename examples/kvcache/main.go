@@ -1,11 +1,14 @@
 // kvcache: a concurrent fixed-capacity key-value cache built on the
-// chaining hash map with HP++ reclamation — the kind of workload the
+// kvsvc sharded store with HP++ reclamation — the kind of workload the
 // paper's introduction motivates (high-churn shared maps where memory
 // must be bounded without a stop-the-world collector).
 //
-// Eight workers hammer the cache with a Zipf-ish skewed mix of lookups,
-// inserts and invalidations for two seconds, then the program reports
-// throughput and how much retired memory HP++ kept in flight.
+// The store is the same shard-per-domain composition gosmrd serves over
+// the network: four shards, each owning its own HP++ domain and chaining
+// hash map, so reclamation pressure stays confined to the shard that
+// generated it. Eight workers hammer it with a Zipf-ish skewed mix of
+// lookups, inserts and invalidations for two seconds, then the program
+// reports throughput and how much retired memory HP++ kept in flight.
 //
 //	go run ./examples/kvcache
 package main
@@ -17,9 +20,7 @@ import (
 	"time"
 
 	"github.com/gosmr/gosmr/internal/arena"
-	"github.com/gosmr/gosmr/internal/core"
-	"github.com/gosmr/gosmr/internal/ds/hashmap"
-	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/kvsvc"
 )
 
 const (
@@ -29,9 +30,15 @@ const (
 )
 
 func main() {
-	dom := core.NewDomain(core.Options{})
-	pool := hhslist.NewPool(arena.ModeReuse)
-	m := hashmap.NewMapHPP(pool, 1<<10)
+	store, err := kvsvc.NewStore(kvsvc.Config{
+		Shards:  4,
+		Scheme:  "hp++",
+		Mode:    arena.ModeReuse,
+		Buckets: 1 << 8, // 4 shards × 256 buckets ≈ the old single map's 1024
+	})
+	if err != nil {
+		panic(err)
+	}
 
 	var (
 		hits, misses, puts, evicts atomic.Uint64
@@ -39,15 +46,15 @@ func main() {
 		wg                         sync.WaitGroup
 	)
 
-	handles := make([]*hashmap.HandleHPP, workers)
+	handles := make([]kvsvc.Handle, workers)
 	for i := range handles {
-		handles[i] = m.NewHandleHPP(dom)
+		handles[i] = store.NewHandle()
 	}
 
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(h *hashmap.HandleHPP, seed uint64) {
+		go func(h kvsvc.Handle, seed uint64) {
 			defer wg.Done()
 			s := seed
 			for !stop.Load() {
@@ -80,7 +87,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	total := hits.Load() + misses.Load() + puts.Load() + evicts.Load()
-	st := pool.Stats()
+	st := store.ArenaTotals()
 	fmt.Printf("ops        : %d (%.2f Mops/s)\n", total, float64(total)/elapsed.Seconds()/1e6)
 	fmt.Printf("lookups    : %d hits / %d misses (%.1f%% hit rate)\n",
 		hits.Load(), misses.Load(),
@@ -89,11 +96,8 @@ func main() {
 	fmt.Printf("memory     : %d live entries (%d KiB), high-water %d KiB\n",
 		st.Live, st.Bytes/1024, st.PeakBytes/1024)
 	fmt.Printf("hp++       : %d retired-unreclaimed now, peak %d — bounded, no GC pauses\n",
-		dom.Unreclaimed(), dom.PeakUnreclaimed())
+		store.Unreclaimed(), store.PeakUnreclaimed())
 
-	for _, h := range handles {
-		h.Thread().Finish()
-	}
-	dom.NewThread(0).Reclaim()
-	fmt.Printf("after drain: %d unreclaimed\n", dom.Unreclaimed())
+	store.Drain()
+	fmt.Printf("after drain: %d unreclaimed\n", store.Unreclaimed())
 }

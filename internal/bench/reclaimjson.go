@@ -42,6 +42,12 @@ type CellResult struct {
 	Workload   string  `json:"workload"`
 	MopsPerSec float64 `json:"mops_per_sec"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// P50Us/P95Us/P99Us are request latency percentiles in microseconds.
+	// Only service-layer cells (kvload against gosmrd) fill them; the
+	// in-process microbench cells have no per-op latency distribution.
+	P50Us float64 `json:"p50_us,omitempty"`
+	P95Us float64 `json:"p95_us,omitempty"`
+	P99Us float64 `json:"p99_us,omitempty"`
 	// Stats is the domain's post-run smr.Stats snapshot (scan counts,
 	// freed-per-scan, occupancy) plus the arena live/quarantine totals.
 	Stats smr.Stats `json:"smr_stats"`

@@ -29,7 +29,7 @@ const UnsafeScheme = "unsafefree"
 
 // DataStructures lists the registered data structures.
 func DataStructures() []string {
-	return []string{"hmlist", "hhslist", "hashmap", "skiplist", "nmtree", "efrbtree", "bonsai"}
+	return []string{"hmlist", "hhslist", "hashmap", "skiplist", "nmtree", "efrbtree", "bonsai", "kvmap"}
 }
 
 // Applicable reports whether scheme applies to ds — the Table 2 facts the
@@ -41,7 +41,10 @@ func Applicable(ds, scheme string) bool {
 	case "hp":
 		return ds != "hhslist" && ds != "nmtree"
 	case "rc":
-		return ds != "efrbtree" && ds != "nmtree"
+		// kvmap (the kvsvc service store) additionally excludes RC: its
+		// long-lived worker handles would retain cross-bucket traces that
+		// never drain promptly (see kvsvc.Schemes).
+		return ds != "efrbtree" && ds != "nmtree" && ds != "kvmap"
 	}
 	return true
 }
@@ -123,6 +126,8 @@ func NewTarget(ds, scheme string, mode arena.Mode) (Target, error) {
 		return newEFRBTarget(scheme, mode)
 	case "bonsai":
 		return newBonsaiTarget(scheme, mode)
+	case "kvmap":
+		return newKVMapTarget(scheme, mode)
 	}
 	return Target{}, fmt.Errorf("bench: unknown data structure %q", ds)
 }

@@ -1,0 +1,490 @@
+// Package kvsvc is the sharded key-value service layer: the first
+// subsystem in this repository that puts the reclamation schemes under
+// real, network-shaped traffic (pipelined connections, skewed key
+// popularity, bursts, graceful drain) instead of in-process benchmark
+// loops.
+//
+// A Store is a fixed array of shards. Each shard owns its *own*
+// reclamation domain — a core.Domain for HP++, an hp/ebr/pebr/nr domain
+// otherwise — and its own arena-backed chaining hash map. The shard-per-
+// domain layout is deliberate:
+//
+//   - reclamation pressure is confined: a stalled or slow reader on one
+//     shard bounds that shard's garbage, not the whole store's;
+//   - hazard registries and epoch record lists stay small, so Reclaim
+//     scans and Collect walks stay proportional to one shard's workers;
+//   - per-shard smr.Stats gauges make imbalance observable from the
+//     admin endpoint (one hot shard shows up as one hot row).
+//
+// Keys are routed to shards with a splitmix64 stream seeded differently
+// from the in-map bucket hash: if both moduli consumed the same mix, the
+// keys owned by shard i would all satisfy mix(k) ≡ i (mod Shards) and —
+// with power-of-two shard and bucket counts — would land in only
+// 1/Shards of the shard's buckets.
+//
+// The Store is the embeddable core; Server in server.go fronts it with
+// the wire protocol, per-shard worker pools and the admin endpoint.
+package kvsvc
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/hashmap"
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/ds/hmlist"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nr"
+	"github.com/gosmr/gosmr/internal/pebr"
+	"github.com/gosmr/gosmr/internal/smr"
+	"github.com/gosmr/gosmr/internal/unsafefree"
+)
+
+// Schemes lists the reclamation schemes a Store can run on. RC is
+// excluded: its guards retain cross-bucket traces that the service's
+// long-lived worker handles would never drain promptly.
+var Schemes = []string{"nr", "ebr", "pebr", "hp", "hp++", "hp++ef"}
+
+// UnsafeScheme is the deliberately broken immediate-free control. It is
+// accepted by NewStore so the stress harness can run the must-fail cell,
+// but it is not in Schemes and gosmrd refuses it.
+const UnsafeScheme = "unsafefree"
+
+// ValidScheme reports whether scheme is servable (UnsafeScheme is not).
+func ValidScheme(scheme string) bool {
+	for _, s := range Schemes {
+		if s == scheme {
+			return true
+		}
+	}
+	return false
+}
+
+// Handle is the per-worker operation surface. It is structurally
+// identical to bench.Handle, so Store handles plug straight into the
+// bench and stress harnesses. Handles are not safe for concurrent use.
+type Handle interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, val uint64) bool
+	Delete(key uint64) bool
+}
+
+// ArenaPool is the slice of the arena pool API the service and the
+// harnesses need; every per-package pool wrapper satisfies it (it is the
+// kvsvc-side twin of bench.PoolInfo, kept separate so bench can depend
+// on kvsvc and not vice versa).
+type ArenaPool interface {
+	Name() string
+	Stats() arena.Stats
+	Mode() arena.Mode
+	SetCount()
+	SetDerefHook(func(uint64))
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Shards is the number of independent (domain, map) pairs (default 8).
+	Shards int
+	// Scheme selects the reclamation scheme (default "hp++").
+	Scheme string
+	// Mode is the arena mode: ModeReuse to serve, ModeDetect to stress.
+	Mode arena.Mode
+	// Buckets is the per-shard hash-map bucket count (default 256).
+	Buckets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Scheme == "" {
+		c.Scheme = "hp++"
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 1 << 8
+	}
+	return c
+}
+
+// shard is one (domain, map) pair. The closures capture the concrete
+// scheme wiring exactly like the bench target registry does; newH and
+// finish must only be called under the owning Store's mutex.
+type shard struct {
+	dom     smr.Domain
+	pools   []ArenaPool
+	newH    func() Handle
+	finish  func()
+	stall   func()
+	agitate func()
+}
+
+func newShard(scheme string, mode arena.Mode, buckets int) (*shard, error) {
+	s := &shard{}
+	switch scheme {
+	case "nr", "ebr", "pebr", UnsafeScheme:
+		var gd smr.GuardDomain
+		switch scheme {
+		case "nr":
+			gd = nr.NewDomain()
+		case "ebr":
+			gd = ebr.NewDomain()
+		case "pebr":
+			gd = pebr.NewDomain()
+		default:
+			gd = unsafefree.NewDomain()
+		}
+		pool := hhslist.NewPool(mode)
+		m := hashmap.NewMapCS(pool, buckets)
+		var hs []*hashmap.HandleCS
+		s.dom = gd
+		s.pools = []ArenaPool{pool}
+		s.newH = func() Handle {
+			h := m.NewHandleCS(gd)
+			hs = append(hs, h)
+			return h
+		}
+		s.finish = func() {
+			var gs []smr.Guard
+			for _, h := range hs {
+				gs = append(gs, h.Guard())
+			}
+			drainGuards(gs)
+		}
+		s.stall = func() { gd.NewGuard(1).Pin() }
+		s.agitate = agitatorFor(gd)
+	case "hp":
+		dom := hp.NewDomain()
+		pool := hmlist.NewPool(mode)
+		m := hashmap.NewMapHP(pool, buckets)
+		var hs []*hashmap.HandleHP
+		s.dom = dom
+		s.pools = []ArenaPool{pool}
+		s.newH = func() Handle {
+			h := m.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		s.finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
+	case "hp++", "hp++ef":
+		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
+		pool := hhslist.NewPool(mode)
+		m := hashmap.NewMapHPP(pool, buckets)
+		var hs []*hashmap.HandleHPP
+		s.dom = dom
+		s.pools = []ArenaPool{pool}
+		s.newH = func() Handle {
+			h := m.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		s.finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
+	default:
+		return nil, fmt.Errorf("kvsvc: unknown scheme %q", scheme)
+	}
+	return s, nil
+}
+
+// agitatorFor returns one reclamation-pressure pulse for CS domains (the
+// stress harness's storm injector): an epoch-advance/ejection attempt.
+// The closure owns its guard and must be called from a single goroutine.
+func agitatorFor(d smr.Domain) func() {
+	switch dom := d.(type) {
+	case *ebr.Domain:
+		g := dom.NewGuardEBR()
+		return func() { g.Collect() }
+	case *pebr.Domain:
+		g := dom.NewGuardPEBR(1)
+		return func() { g.Collect() }
+	}
+	return nil
+}
+
+// drainGuards drains CS-style guards after the store stops serving.
+func drainGuards(gs []smr.Guard) {
+	for _, g := range gs {
+		if gg, ok := g.(*pebr.Guard); ok {
+			gg.ClearShields()
+		}
+	}
+	for i := 0; i < 8; i++ {
+		for _, g := range gs {
+			switch gg := g.(type) {
+			case *ebr.Guard:
+				gg.Collect()
+			case *pebr.Guard:
+				gg.Collect()
+			}
+		}
+	}
+}
+
+// Store is the sharded key-value store: Config.Shards independent
+// (reclamation domain, hash map) pairs behind a key router. Methods on
+// the Store itself are safe for concurrent use; the Handles it hands out
+// are per-worker.
+type Store struct {
+	cfg    Config
+	shards []*shard
+
+	mu      sync.Mutex
+	drained bool
+}
+
+// NewStore builds a store with cfg (zero fields take defaults).
+func NewStore(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	st := &Store{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		sh, err := newShard(cfg.Scheme, cfg.Mode, cfg.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		st.shards = append(st.shards, sh)
+	}
+	return st, nil
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Scheme returns the configured scheme name.
+func (s *Store) Scheme() string { return s.cfg.Scheme }
+
+// shardMix is a splitmix64 finalizer on a different stream than the
+// in-map bucket hash (see the package comment for why that matters).
+func shardMix(x uint64) uint64 {
+	x ^= 0xA24BAED4963EE407
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ShardOf returns the index of the shard owning key.
+func (s *Store) ShardOf(key uint64) int {
+	return int(shardMix(key) % uint64(len(s.shards)))
+}
+
+// routedHandle fans a Handle out across every shard by key.
+type routedHandle struct {
+	s    *Store
+	subs []Handle
+}
+
+func (h *routedHandle) at(key uint64) Handle { return h.subs[h.s.ShardOf(key)] }
+
+func (h *routedHandle) Get(key uint64) (uint64, bool) { return h.at(key).Get(key) }
+func (h *routedHandle) Insert(key, val uint64) bool   { return h.at(key).Insert(key, val) }
+func (h *routedHandle) Delete(key uint64) bool        { return h.at(key).Delete(key) }
+
+// NewHandle returns a per-worker handle spanning all shards: each op is
+// routed to the shard owning its key. The worker acquires one guard or
+// thread in every shard's domain.
+func (s *Store) NewHandle() Handle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := &routedHandle{s: s, subs: make([]Handle, len(s.shards))}
+	for i, sh := range s.shards {
+		h.subs[i] = sh.newH()
+	}
+	return h
+}
+
+// NewShardHandle returns a per-worker handle bound to shard i only — the
+// server's shard workers use these so each worker participates in exactly
+// one domain. The caller must route only shard-i keys through it.
+func (s *Store) NewShardHandle(i int) Handle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shards[i].newH()
+}
+
+// Unreclaimed returns the store-wide retired-but-unfreed node count.
+func (s *Store) Unreclaimed() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.dom.Unreclaimed()
+	}
+	return n
+}
+
+// PeakUnreclaimed returns the sum of per-shard unreclaimed high-water
+// marks (an upper bound on the store-wide peak: the shards need not have
+// peaked simultaneously).
+func (s *Store) PeakUnreclaimed() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.dom.PeakUnreclaimed()
+	}
+	return n
+}
+
+// ShardStats returns one smr.Stats per shard with the arena live and
+// quarantine gauges filled from the shard's pools.
+func (s *Store) ShardStats() []smr.Stats {
+	out := make([]smr.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		st := sh.dom.Stats()
+		for _, p := range sh.pools {
+			ps := p.Stats()
+			st.ArenaLive += ps.Live
+			if p.Mode() == arena.ModeDetect {
+				st.ArenaQuarantined += ps.Frees
+			}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// StatsTotal aggregates the raw per-shard scheme stats (no arena fill:
+// the bench harness fills arena gauges from Pools itself).
+func (s *Store) StatsTotal() smr.Stats {
+	per := make([]smr.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		per[i] = sh.dom.Stats()
+	}
+	return AggregateStats(per)
+}
+
+// AggregateStats folds per-shard snapshots into one store-wide view:
+// flows and gauges are summed, the epoch is the max (domains advance
+// independently) and the epoch lag is the worst shard's lag.
+func AggregateStats(per []smr.Stats) smr.Stats {
+	var t smr.Stats
+	for i, st := range per {
+		if i == 0 {
+			t.Scheme = st.Scheme
+		}
+		t.Unreclaimed += st.Unreclaimed
+		t.PeakUnreclaimed += st.PeakUnreclaimed
+		t.TotalRetired += st.TotalRetired
+		t.TotalFreed += st.TotalFreed
+		t.Scans += st.Scans
+		t.ScanNs += st.ScanNs
+		t.RetiredBudget += st.RetiredBudget
+		t.HazardSlots += st.HazardSlots
+		t.HazardSlotsInUse += st.HazardSlotsInUse
+		t.Ejections += st.Ejections
+		t.ArenaLive += st.ArenaLive
+		t.ArenaQuarantined += st.ArenaQuarantined
+		if st.Epoch > t.Epoch {
+			t.Epoch = st.Epoch
+		}
+		if st.EpochLag > t.EpochLag {
+			t.EpochLag = st.EpochLag
+		}
+	}
+	if t.Scans > 0 {
+		t.FreedPerScan = float64(t.TotalFreed) / float64(t.Scans)
+	}
+	return t
+}
+
+// ArenaTotals sums the arena accounting of every shard pool.
+func (s *Store) ArenaTotals() arena.Stats {
+	var t arena.Stats
+	t.Name = "kvsvc"
+	for _, sh := range s.shards {
+		for _, p := range sh.pools {
+			ps := p.Stats()
+			t.Allocs += ps.Allocs
+			t.Frees += ps.Frees
+			t.Live += ps.Live
+			t.HighWater += ps.HighWater
+			t.Bytes += ps.Bytes
+			t.PeakBytes += ps.PeakBytes
+			t.UAF += ps.UAF
+			t.DoubleFree += ps.DoubleFree
+		}
+	}
+	return t
+}
+
+// BugCounts returns the detect-mode violation totals (use-after-free
+// derefs, double frees) across every shard pool.
+func (s *Store) BugCounts() (uaf, doubleFree int64) {
+	t := s.ArenaTotals()
+	return t.UAF, t.DoubleFree
+}
+
+// Pools lists every arena pool backing the store (one per shard).
+func (s *Store) Pools() []ArenaPool {
+	var ps []ArenaPool
+	for _, sh := range s.shards {
+		ps = append(ps, sh.pools...)
+	}
+	return ps
+}
+
+// Drain finishes every handle the store has handed out — flushing
+// pending invalidations, reclaiming what the schemes allow, releasing
+// hazard slots and guards — and runs a final reclamation pass per shard.
+// Handles must not be used after Drain. Idempotent.
+func (s *Store) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return
+	}
+	s.drained = true
+	for _, sh := range s.shards {
+		sh.finish()
+	}
+}
+
+// Stall parks a never-progressing participant on shard 0's domain (the
+// §4.4 robustness adversary, scoped to one shard by construction).
+func (s *Store) Stall() { s.shards[0].stall() }
+
+// Agitator returns a reclamation-pressure pulse covering every shard, or
+// nil when the scheme has no external collection pulse (HP family, NR).
+// The returned closure must be called from a single goroutine.
+func (s *Store) Agitator() func() {
+	var pulses []func()
+	for _, sh := range s.shards {
+		if sh.agitate != nil {
+			pulses = append(pulses, sh.agitate)
+		}
+	}
+	if len(pulses) == 0 {
+		return nil
+	}
+	return func() {
+		for _, p := range pulses {
+			p()
+		}
+	}
+}
+
+// Put upserts key→val through h. The chaining maps' Insert is
+// insert-if-absent, so an existing key is deleted first; the two steps
+// are individually linearizable but not atomic together — concurrent
+// puts to one key each win a step and the final value is one of the
+// contenders', which is the usual last-writer-wins cache contract.
+func Put(h Handle, key, val uint64) bool {
+	for i := 0; i < 8; i++ {
+		if h.Insert(key, val) {
+			return true
+		}
+		h.Delete(key)
+	}
+	return false
+}

@@ -1,0 +1,326 @@
+package kvsvc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+// ServerConfig parameterizes a Server.
+type ServerConfig struct {
+	// Addr is the TCP listen address for the wire protocol (e.g.
+	// "127.0.0.1:7070"; ":0" picks a free port).
+	Addr string
+	// AdminAddr is the HTTP admin listen address ("" disables admin).
+	AdminAddr string
+	// WorkersPerShard is the number of worker goroutines (each owning a
+	// shard-bound Handle) per shard (default 2).
+	WorkersPerShard int
+	// QueueDepth is the per-shard request queue capacity (default 256).
+	QueueDepth int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.WorkersPerShard <= 0 {
+		c.WorkersPerShard = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// request is one decoded wire request bound for a shard queue, carrying
+// the per-connection response channel (the connection's writer goroutine
+// does the in-flight accounting as it writes each response).
+type request struct {
+	req Request
+	out chan<- Response
+}
+
+// Server fronts a Store with the wire protocol: per-connection pipelined
+// reads, per-shard worker pools (so every worker participates in exactly
+// one shard's reclamation domain), batched writes, and an HTTP admin
+// endpoint serving live per-shard smr.Stats.
+type Server struct {
+	cfg   ServerConfig
+	store *Store
+
+	ln      net.Listener
+	adminLn net.Listener
+	admin   *http.Server
+
+	queues   []chan request
+	workerWG sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	connWG sync.WaitGroup
+
+	draining atomic.Bool
+	accepted atomic.Int64
+	served   atomic.Int64
+}
+
+// NewServer binds the listeners and starts the shard worker pools; call
+// Serve to start accepting. The server owns store's drain: Shutdown
+// calls store.Drain after the last worker exits.
+func NewServer(store *Store, cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, store: store, conns: map[net.Conn]struct{}{}}
+
+	var err error
+	if s.ln, err = net.Listen("tcp", cfg.Addr); err != nil {
+		return nil, err
+	}
+	if cfg.AdminAddr != "" {
+		if s.adminLn, err = net.Listen("tcp", cfg.AdminAddr); err != nil {
+			s.ln.Close()
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", s.handleStats)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		s.admin = &http.Server{Handler: mux}
+		go s.admin.Serve(s.adminLn)
+	}
+
+	for i := 0; i < store.NumShards(); i++ {
+		q := make(chan request, cfg.QueueDepth)
+		s.queues = append(s.queues, q)
+		for w := 0; w < cfg.WorkersPerShard; w++ {
+			h := store.NewShardHandle(i)
+			s.workerWG.Add(1)
+			go s.shardWorker(q, h)
+		}
+	}
+	return s, nil
+}
+
+// Addr returns the wire listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// AdminAddr returns the admin listener's address, or "".
+func (s *Server) AdminAddr() string {
+	if s.adminLn == nil {
+		return ""
+	}
+	return s.adminLn.Addr().String()
+}
+
+// Serve accepts connections until Shutdown closes the listener. It
+// returns nil on graceful shutdown.
+func (s *Server) Serve() error {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		s.connMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connMu.Unlock()
+		s.connWG.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// shardWorker executes requests for one shard with its own handle.
+func (s *Server) shardWorker(q <-chan request, h Handle) {
+	defer s.workerWG.Done()
+	for r := range q {
+		r.out <- execute(h, r.req)
+		s.served.Add(1)
+	}
+}
+
+// execute runs one request against a handle.
+func execute(h Handle, r Request) Response {
+	switch r.Op {
+	case OpGet:
+		if v, ok := h.Get(r.Key); ok {
+			return Response{ID: r.ID, Status: StatusOK, Val: v}
+		}
+		return Response{ID: r.ID, Status: StatusNotFound}
+	case OpPut:
+		if Put(h, r.Key, r.Val) {
+			return Response{ID: r.ID, Status: StatusOK}
+		}
+		return Response{ID: r.ID, Status: StatusErr}
+	case OpDel:
+		if h.Delete(r.Key) {
+			return Response{ID: r.ID, Status: StatusOK}
+		}
+		return Response{ID: r.ID, Status: StatusNotFound}
+	}
+	return Response{ID: r.ID, Status: StatusErr}
+}
+
+// serveConn owns one connection: a read loop decoding pipelined frames
+// and dispatching them to shard queues, and a writer goroutine batching
+// responses back out. The reader never closes the response channel while
+// requests are in flight, and the writer keeps draining it even after a
+// write error so shard workers can never block on a dead connection.
+func (s *Server) serveConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, c)
+		s.connMu.Unlock()
+		c.Close()
+	}()
+
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	out := make(chan Response, 4*s.cfg.QueueDepth/s.store.NumShards()+16)
+	var inflight sync.WaitGroup
+
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		var buf []byte
+		broken := false
+		for resp := range out {
+			if !broken {
+				buf = AppendResponse(buf[:0], resp)
+				if _, err := bw.Write(buf); err != nil {
+					broken = true
+				} else if len(out) == 0 {
+					// Batch boundary: flush only when no more responses
+					// are queued, so a pipelined burst costs one syscall.
+					if err := bw.Flush(); err != nil {
+						broken = true
+					}
+				}
+			}
+			inflight.Done()
+		}
+		if !broken {
+			bw.Flush()
+		}
+	}()
+
+	var frame []byte
+	for {
+		var err error
+		frame, err = ReadFrame(br, frame)
+		if err != nil {
+			// io.EOF is a clean close; anything else (truncated frame,
+			// garbage length, oversized frame) poisons the byte stream,
+			// so the connection is dropped either way.
+			break
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			break
+		}
+		inflight.Add(1)
+		if req.Op == OpPing {
+			out <- Response{ID: req.ID, Status: StatusOK}
+			continue
+		}
+		s.queues[s.store.ShardOf(req.Key)] <- request{req: req, out: out}
+	}
+	inflight.Wait() // all dispatched requests answered and written
+	close(out)
+	writerWG.Wait()
+}
+
+// Shutdown gracefully drains the server: stop accepting, let live
+// connections finish their pipelines (force-closing them if ctx expires
+// first), stop the shard workers, drain the store's reclamation domains,
+// and stop the admin endpoint. It returns an error if any arena pool
+// recorded a detect-mode violation (use-after-free or double free).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+	}
+
+	for _, q := range s.queues {
+		close(q)
+	}
+	s.workerWG.Wait()
+	s.store.Drain()
+
+	if s.admin != nil {
+		s.admin.Shutdown(context.Background())
+	}
+
+	if uaf, df := s.store.BugCounts(); uaf > 0 || df > 0 {
+		return fmt.Errorf("kvsvc: arena detected %d use-after-free and %d double-free violations", uaf, df)
+	}
+	return nil
+}
+
+// Served returns the number of requests executed by shard workers.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// AdminStats is the JSON document served at the admin endpoint's /stats
+// (and scraped by kvload): store-wide totals plus one smr.Stats row per
+// shard, with arena live/quarantine gauges filled.
+type AdminStats struct {
+	Scheme          string      `json:"scheme"`
+	Shards          int         `json:"shards"`
+	AcceptedConns   int64       `json:"accepted_conns"`
+	ServedOps       int64       `json:"served_ops"`
+	ArenaLiveBytes  int64       `json:"arena_live_bytes"`
+	ArenaPeakBytes  int64       `json:"arena_peak_bytes"`
+	ArenaUAF        int64       `json:"arena_uaf"`
+	ArenaDoubleFree int64       `json:"arena_double_free"`
+	Total           smr.Stats   `json:"total"`
+	PerShard        []smr.Stats `json:"per_shard"`
+}
+
+// Snapshot builds the AdminStats document.
+func (s *Server) Snapshot() AdminStats {
+	per := s.store.ShardStats()
+	at := s.store.ArenaTotals()
+	return AdminStats{
+		Scheme:          s.store.Scheme(),
+		Shards:          s.store.NumShards(),
+		AcceptedConns:   s.accepted.Load(),
+		ServedOps:       s.served.Load(),
+		ArenaLiveBytes:  at.Bytes,
+		ArenaPeakBytes:  at.PeakBytes,
+		ArenaUAF:        at.UAF,
+		ArenaDoubleFree: at.DoubleFree,
+		Total:           AggregateStats(per),
+		PerShard:        per,
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}

@@ -1,0 +1,166 @@
+// Wire protocol for gosmrd: length-prefixed binary frames over TCP.
+//
+// Every frame is a 4-byte big-endian payload length followed by the
+// payload. Requests and responses are fixed-size, so the codec is a
+// handful of loads and stores and the only dynamic decision is the
+// length check. Clients pipeline freely: requests carry a client-chosen
+// ID, responses echo it, and the server may reorder responses across
+// shards (within one shard they stay FIFO).
+//
+//	request  payload: op(1) id(4) key(8) val(8)   = 21 bytes
+//	response payload: id(4) status(1) val(8)      = 13 bytes
+//
+// Decoding never panics on hostile input: every malformed frame maps to
+// one of the typed errors below, and the server answers by closing the
+// connection (a garbage length prefix poisons the rest of the byte
+// stream, so per-request error responses would be meaningless).
+package kvsvc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcodes.
+const (
+	OpGet uint8 = 1 + iota
+	OpPut
+	OpDel
+	OpPing
+)
+
+// Response statuses.
+const (
+	StatusOK uint8 = iota
+	StatusNotFound
+	StatusErr
+)
+
+// MaxFrame is the largest accepted payload length. Both message kinds
+// are tiny and fixed-size; the cap exists so a garbage length prefix
+// cannot make the reader allocate or block for gigabytes.
+const MaxFrame = 1 << 10
+
+const (
+	reqLen  = 21
+	respLen = 13
+	hdrLen  = 4
+)
+
+// Typed wire errors. ReadFrame and the Decode functions return exactly
+// these (possibly wrapped with detail); the server treats any of them as
+// a fatal connection error.
+var (
+	// ErrFrameTooLarge: the length prefix exceeds MaxFrame.
+	ErrFrameTooLarge = errors.New("kvsvc: frame length exceeds MaxFrame")
+	// ErrBadLength: the payload length does not match the fixed message
+	// size (including zero-length frames).
+	ErrBadLength = errors.New("kvsvc: frame length does not match message size")
+	// ErrBadOp: unknown request opcode.
+	ErrBadOp = errors.New("kvsvc: unknown opcode")
+	// ErrBadStatus: unknown response status.
+	ErrBadStatus = errors.New("kvsvc: unknown status")
+	// ErrTruncated: the peer closed the connection mid-frame.
+	ErrTruncated = errors.New("kvsvc: truncated frame")
+)
+
+// Request is one client→server message.
+type Request struct {
+	Op  uint8
+	ID  uint32
+	Key uint64
+	Val uint64
+}
+
+// Response is one server→client message.
+type Response struct {
+	ID     uint32
+	Status uint8
+	Val    uint64
+}
+
+// AppendRequest appends r as a framed message to dst.
+func AppendRequest(dst []byte, r Request) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, reqLen)
+	dst = append(dst, r.Op)
+	dst = binary.BigEndian.AppendUint32(dst, r.ID)
+	dst = binary.BigEndian.AppendUint64(dst, r.Key)
+	dst = binary.BigEndian.AppendUint64(dst, r.Val)
+	return dst
+}
+
+// DecodeRequest decodes a request payload (the frame body, without the
+// length prefix).
+func DecodeRequest(p []byte) (Request, error) {
+	if len(p) != reqLen {
+		return Request{}, fmt.Errorf("%w: request payload is %d bytes, want %d", ErrBadLength, len(p), reqLen)
+	}
+	r := Request{
+		Op:  p[0],
+		ID:  binary.BigEndian.Uint32(p[1:5]),
+		Key: binary.BigEndian.Uint64(p[5:13]),
+		Val: binary.BigEndian.Uint64(p[13:21]),
+	}
+	if r.Op < OpGet || r.Op > OpPing {
+		return Request{}, fmt.Errorf("%w: %d", ErrBadOp, r.Op)
+	}
+	return r, nil
+}
+
+// AppendResponse appends r as a framed message to dst.
+func AppendResponse(dst []byte, r Response) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, respLen)
+	dst = binary.BigEndian.AppendUint32(dst, r.ID)
+	dst = append(dst, r.Status)
+	dst = binary.BigEndian.AppendUint64(dst, r.Val)
+	return dst
+}
+
+// DecodeResponse decodes a response payload.
+func DecodeResponse(p []byte) (Response, error) {
+	if len(p) != respLen {
+		return Response{}, fmt.Errorf("%w: response payload is %d bytes, want %d", ErrBadLength, len(p), respLen)
+	}
+	r := Response{
+		ID:     binary.BigEndian.Uint32(p[0:4]),
+		Status: p[4],
+		Val:    binary.BigEndian.Uint64(p[5:13]),
+	}
+	if r.Status > StatusErr {
+		return Response{}, fmt.Errorf("%w: %d", ErrBadStatus, r.Status)
+	}
+	return r, nil
+}
+
+// ReadFrame reads one length-prefixed payload from br into buf (which is
+// grown as needed and returned re-sliced). A clean close at a frame
+// boundary returns io.EOF; a close inside a frame returns ErrTruncated;
+// an oversized or zero length prefix returns ErrFrameTooLarge or
+// ErrBadLength without consuming the payload.
+func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [hdrLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, MaxFrame)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-length frame", ErrBadLength)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return buf, nil
+}

@@ -1,0 +1,170 @@
+package kvsvc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, ID: 1, Key: 42},
+		{Op: OpPut, ID: 0xFFFFFFFF, Key: 1<<64 - 1, Val: 7},
+		{Op: OpDel, ID: 0, Key: 0},
+		{Op: OpPing, ID: 12345},
+	}
+	var stream []byte
+	for _, r := range reqs {
+		stream = AppendRequest(stream, r)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var buf []byte
+	for i, want := range reqs {
+		var err error
+		buf, err = ReadFrame(br, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(br, buf); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{ID: 1, Status: StatusOK, Val: 99},
+		{ID: 2, Status: StatusNotFound},
+		{ID: 3, Status: StatusErr, Val: 1<<64 - 1},
+	}
+	var stream []byte
+	for _, r := range resps {
+		stream = AppendResponse(stream, r)
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var buf []byte
+	for i, want := range resps {
+		var err error
+		buf, err = ReadFrame(br, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := DecodeResponse(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+// frameWith builds a raw frame with an arbitrary declared length and body.
+func frameWith(declared uint32, body []byte) []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, declared)
+	return append(b, body...)
+}
+
+func TestReadFrameRejectsMalformedFrames(t *testing.T) {
+	cases := []struct {
+		name  string
+		input []byte
+		want  error
+	}{
+		{"oversized declared length", frameWith(MaxFrame+1, nil), ErrFrameTooLarge},
+		{"huge declared length", frameWith(0xFFFFFFFF, nil), ErrFrameTooLarge},
+		{"zero-length frame", frameWith(0, nil), ErrBadLength},
+		{"truncated header", []byte{0x00, 0x01}, ErrTruncated},
+		{"truncated payload", frameWith(reqLen, make([]byte, 5)), ErrTruncated},
+		{"payload one byte short", frameWith(reqLen, make([]byte, reqLen-1)), ErrTruncated},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			br := bufio.NewReader(bytes.NewReader(tc.input))
+			_, err := ReadFrame(br, nil)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ReadFrame(%x) err = %v, want %v", tc.input, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsGarbagePayloads(t *testing.T) {
+	goodReq := make([]byte, reqLen)
+	goodReq[0] = byte(OpGet)
+
+	badOp := make([]byte, reqLen)
+	badOp[0] = 0 // below OpGet
+	badOp2 := make([]byte, reqLen)
+	badOp2[0] = byte(OpPing) + 1
+
+	badStatus := make([]byte, respLen)
+	badStatus[4] = StatusErr + 1
+
+	t.Run("request short", func(t *testing.T) {
+		if _, err := DecodeRequest(goodReq[:reqLen-1]); !errors.Is(err, ErrBadLength) {
+			t.Fatalf("err = %v, want ErrBadLength", err)
+		}
+	})
+	t.Run("request long", func(t *testing.T) {
+		if _, err := DecodeRequest(append(goodReq, 0)); !errors.Is(err, ErrBadLength) {
+			t.Fatalf("err = %v, want ErrBadLength", err)
+		}
+	})
+	t.Run("request empty", func(t *testing.T) {
+		if _, err := DecodeRequest(nil); !errors.Is(err, ErrBadLength) {
+			t.Fatalf("err = %v, want ErrBadLength", err)
+		}
+	})
+	t.Run("request op zero", func(t *testing.T) {
+		if _, err := DecodeRequest(badOp); !errors.Is(err, ErrBadOp) {
+			t.Fatalf("err = %v, want ErrBadOp", err)
+		}
+	})
+	t.Run("request op past ping", func(t *testing.T) {
+		if _, err := DecodeRequest(badOp2); !errors.Is(err, ErrBadOp) {
+			t.Fatalf("err = %v, want ErrBadOp", err)
+		}
+	})
+	t.Run("response short", func(t *testing.T) {
+		if _, err := DecodeResponse(make([]byte, respLen-1)); !errors.Is(err, ErrBadLength) {
+			t.Fatalf("err = %v, want ErrBadLength", err)
+		}
+	})
+	t.Run("response bad status", func(t *testing.T) {
+		if _, err := DecodeResponse(badStatus); !errors.Is(err, ErrBadStatus) {
+			t.Fatalf("err = %v, want ErrBadStatus", err)
+		}
+	})
+}
+
+// TestReadFrameReusesBuffer checks the zero-alloc steady state: a large
+// enough buffer passed back in is reused, not reallocated.
+func TestReadFrameReusesBuffer(t *testing.T) {
+	stream := AppendRequest(nil, Request{Op: OpGet, ID: 1, Key: 2})
+	stream = AppendRequest(stream, Request{Op: OpDel, ID: 2, Key: 3})
+	br := bufio.NewReader(bytes.NewReader(stream))
+	buf := make([]byte, 0, 64)
+	first, err := ReadFrame(br, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ReadFrame(br, first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("ReadFrame reallocated despite sufficient capacity")
+	}
+}

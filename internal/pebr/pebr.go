@@ -51,12 +51,18 @@ type rec struct {
 
 // Domain is a PEBR reclamation domain.
 type Domain struct {
-	epoch   atomic.Uint64
-	threads atomic.Pointer[rec]
-	g       smr.Garbage
-	sm      smr.ScanMeter
-	budget  smr.Budget
-	guards  atomic.Int64 // guards ever created: the H of the adaptive threshold
+	epoch atomic.Uint64
+	// minEpoch caches the oldest pinned, non-ejected guard epoch as of the
+	// last Collect pass (the pass already walks every record, so the cache
+	// is free). Stats reads it instead of re-walking the record list,
+	// making snapshots O(1) — the admin endpoint polls Stats on every
+	// scrape across every shard, so the walk was per-request work.
+	minEpoch atomic.Uint64
+	threads  atomic.Pointer[rec]
+	g        smr.Garbage
+	sm       smr.ScanMeter
+	budget   smr.Budget
+	guards   atomic.Int64 // guards ever created: the H of the adaptive threshold
 
 	// CollectEvery, if set > 0 before use, pins the fixed per-guard
 	// cadence: one collection attempt every CollectEvery retires. When
@@ -74,6 +80,7 @@ type Domain struct {
 func NewDomain() *Domain {
 	d := &Domain{Patience: DefaultPatience}
 	d.epoch.Store(2)
+	d.minEpoch.Store(2)
 	return d
 }
 
@@ -88,18 +95,18 @@ func (d *Domain) Ejections() int64 { return d.ejections.Load() }
 
 // Stats returns an observability snapshot of the domain. EpochLag is the
 // distance from the global epoch to the slowest pinned, non-ejected guard
-// (0 when nothing is pinned).
+// as of the last Collect pass (0 when nothing was pinned then). Reading
+// the cached minimum instead of walking the record list keeps Stats O(1);
+// the lag is stale by at most one collection interval, which is also how
+// often the value can change meaningfully.
 func (d *Domain) Stats() smr.Stats {
 	e := d.epoch.Load()
-	min := e
-	for r := d.threads.Load(); r != nil; r = r.next {
-		st := r.state.Load()
-		if st&pinnedBit == 0 || st&ejectedBit != 0 {
-			continue
-		}
-		if ep := st >> 2; ep < min {
-			min = ep
-		}
+	min := d.minEpoch.Load()
+	if min == 0 || min > e {
+		// Zero-value domain that has never collected, or the epoch was
+		// read before a concurrent Collect's advance was cached: clamp so
+		// the lag never underflows.
+		min = e
 	}
 	st := smr.Stats{
 		Scheme:        "pebr",
@@ -250,8 +257,14 @@ func (g *Guard) Collect() {
 		}
 	}
 	if !blocked {
-		d.epoch.CompareAndSwap(e, e+1)
+		if d.epoch.CompareAndSwap(e, e+1) {
+			min = e + 1 // nothing pinned behind; the new epoch has no lag
+		}
 	}
+	// Publish the walk's result for O(1) Stats snapshots. Concurrent
+	// collectors may interleave stores; any of their values is a valid
+	// recent observation, so last-writer-wins is fine for a gauge.
+	d.minEpoch.Store(min)
 	// Snapshot shields into a reusable sorted buffer: ejected (and all
 	// other) threads' shielded nodes stay unreclaimed, like hazard
 	// pointers. Sorted-slice + binary search mirrors the HP/HP++ scan.

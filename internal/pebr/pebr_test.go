@@ -157,3 +157,56 @@ func TestZeroValueDomainCollects(t *testing.T) {
 		t.Fatalf("zero-value domain epoch = %d, want lazy init to >= 2", got)
 	}
 }
+
+// TestStatsEpochLagIsCachedAndCorrect is the regression test for the O(1)
+// Stats snapshot: EpochLag must come from the minimum cached by Collect's
+// record walk and agree with a fresh walk of the record list, both while
+// a lagging guard holds the epoch back and after it releases it.
+func TestStatsEpochLagIsCachedAndCorrect(t *testing.T) {
+	d := NewDomain()
+	d.CollectEvery = 1
+	d.Patience = 1 << 30 // never eject: the lag must stay visible
+	p := arena.NewPool[uint64]("lag", arena.ModeDetect)
+
+	lag := d.NewGuardPEBR(2)
+	lag.Pin() // pins the starting epoch and stays there
+
+	w := d.NewGuardPEBR(2)
+	for i := 0; i < 8; i++ {
+		w.Pin()
+		ref, _ := p.Alloc()
+		w.Retire(ref, p) // CollectEvery=1: every retire runs a Collect
+		w.Unpin()
+	}
+
+	walk := func() (e, min uint64) {
+		e = d.epoch.Load()
+		min = e
+		for r := d.threads.Load(); r != nil; r = r.next {
+			st := r.state.Load()
+			if st&pinnedBit == 0 || st&ejectedBit != 0 {
+				continue
+			}
+			if ep := st >> 2; ep < min {
+				min = ep
+			}
+		}
+		return e, min
+	}
+
+	st := d.Stats()
+	e, min := walk()
+	if want := e - min; st.EpochLag != want || want == 0 {
+		t.Fatalf("EpochLag = %d, walk says %d (epoch %d, min %d); lag must be nonzero with a pinned straggler",
+			st.EpochLag, want, e, min)
+	}
+
+	// Release the straggler: the next Collect advances the epoch and must
+	// refresh the cache so the reported lag drops back to zero.
+	lag.Unpin()
+	w.Collect()
+	st = d.Stats()
+	if st.EpochLag != 0 {
+		t.Fatalf("EpochLag = %d after the straggler unpinned and a Collect ran, want 0", st.EpochLag)
+	}
+}
