@@ -40,6 +40,13 @@ func main() {
 		buckets = flag.Int("buckets", 256, "hash buckets per shard")
 		queue   = flag.Int("queue", 256, "per-shard request queue depth")
 		drainT  = flag.Duration("drain-timeout", 10*time.Second, "max time to wait for live connections on shutdown")
+
+		maxConns  = flag.Int("max-conns", 1024, "max concurrent connections; accepts past the cap are shed (negative = unlimited)")
+		budget    = flag.Int("conn-budget", 128, "per-connection in-flight response budget; excess requests get StatusOverloaded")
+		idleT     = flag.Duration("idle-timeout", 2*time.Minute, "evict a connection idle this long (negative disables)")
+		writeT    = flag.Duration("write-timeout", 10*time.Second, "evict a connection whose response write stalls this long (negative disables)")
+		dispatchT = flag.Duration("dispatch-timeout", 20*time.Millisecond, "max wait for space on a full shard queue before shedding (negative = shed immediately)")
+		connWbuf  = flag.Int("conn-wbuf", 64<<10, "per-connection kernel send buffer cap in bytes (negative = kernel default)")
 	)
 	flag.Parse()
 
@@ -73,6 +80,12 @@ func main() {
 		AdminAddr:       *admin,
 		WorkersPerShard: *workers,
 		QueueDepth:      *queue,
+		MaxConns:        *maxConns,
+		ConnBudget:      *budget,
+		IdleTimeout:     *idleT,
+		WriteTimeout:    *writeT,
+		DispatchTimeout: *dispatchT,
+		ConnWriteBuffer: *connWbuf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gosmrd:", err)

@@ -14,6 +14,14 @@
 // any use-after-free or double-free, making the pair a one-command
 // end-to-end safety check.
 //
+// kvload implements the client half of the overload contract: a request
+// answered StatusOverloaded is retried with jittered exponential backoff
+// (up to -retries attempts) instead of being counted as served, every
+// read carries a -req-timeout deadline, and shed/retried/failed totals
+// are reported next to the latency numbers. Against a deliberately
+// saturated server the expected outcome is nonzero sheds and retries but
+// zero failures — the workload recovers to 100% completion.
+//
 // With -out, kvload writes a bench.ReclaimReport-shaped JSON artifact
 // (one service-layer cell with latency percentiles and the store-wide
 // smr.Stats) that cmd/benchcompare can diff against a previous run.
@@ -22,6 +30,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -51,6 +60,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		out      = flag.String("out", "", "write a BENCH_kvsvc.json report here")
 		dialT    = flag.Duration("dial-timeout", 5*time.Second, "keep retrying the first dial for this long")
+
+		reqT       = flag.Duration("req-timeout", 10*time.Second, "per-request response deadline (0 disables)")
+		maxRetries = flag.Int("retries", 10, "max resends of a request answered StatusOverloaded")
+		backoff    = flag.Duration("backoff", 2*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+		backoffMax = flag.Duration("backoff-max", 200*time.Millisecond, "retry backoff cap")
 	)
 	flag.Parse()
 	if *conns < 1 || *requests < 1 || *pipeline < 1 || *keys < 2 {
@@ -66,7 +80,7 @@ func main() {
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		allLats []int64 // per-request latency, ns
-		statErr atomic.Int64
+		total   connResult
 	)
 	start := time.Now()
 	for c := 0; c < *conns; c++ {
@@ -80,18 +94,25 @@ func main() {
 		wg.Add(1)
 		go func(c, ops int) {
 			defer wg.Done()
-			lats, errs := runConn(*addr, *dialT, connParams{
-				ops:      ops,
-				keys:     *keys,
-				zipfS:    *zipfS,
-				getPct:   *getPct,
-				putPct:   *putPct,
-				pipeline: *pipeline,
-				seed:     *seed + int64(c)*0x9E3779B9,
+			res := runConn(*addr, *dialT, connParams{
+				ops:        ops,
+				keys:       *keys,
+				zipfS:      *zipfS,
+				getPct:     *getPct,
+				putPct:     *putPct,
+				pipeline:   *pipeline,
+				seed:       *seed + int64(c)*0x9E3779B9,
+				reqTimeout: *reqT,
+				maxRetries: *maxRetries,
+				backoff:    *backoff,
+				backoffMax: *backoffMax,
 			})
-			statErr.Add(errs)
 			mu.Lock()
-			allLats = append(allLats, lats...)
+			allLats = append(allLats, res.lats...)
+			total.statusErrs += res.statusErrs
+			total.shed += res.shed
+			total.retried += res.retried
+			total.failed += res.failed
 			mu.Unlock()
 		}(c, ops)
 	}
@@ -112,12 +133,17 @@ func main() {
 	workload := fmt.Sprintf("zipf(%.2f) get=%d%%/put=%d%%/del=%d%% pipeline=%d", *zipfS, *getPct, *putPct, delPct, *pipeline)
 	fmt.Printf("kvload: %d ops over %d conns in %v (%s)\n", len(allLats), *conns, wall.Round(time.Millisecond), workload)
 	fmt.Printf("kvload: throughput %.0f ops/s, latency p50=%.1fµs p95=%.1fµs p99=%.1fµs\n", opsPerSec, p50, p95, p99)
-	if n := statErr.Load(); n > 0 {
+	fmt.Printf("kvload: overload shed=%d retried=%d failed=%d\n", total.shed, total.retried, total.failed)
+	if n := total.statusErrs; n > 0 {
 		fmt.Fprintf(os.Stderr, "kvload: %d requests returned StatusErr\n", n)
 		os.Exit(1)
 	}
+	if total.failed > 0 {
+		fmt.Fprintf(os.Stderr, "kvload: %d requests still overloaded after %d retries\n", total.failed, *maxRetries)
+		os.Exit(1)
+	}
 	if got := len(allLats); got != *requests {
-		fmt.Fprintf(os.Stderr, "kvload: sent %d requests but got %d responses\n", *requests, got)
+		fmt.Fprintf(os.Stderr, "kvload: sent %d requests but completed %d\n", *requests, got)
 		os.Exit(1)
 	}
 
@@ -134,6 +160,8 @@ func main() {
 		adminStats = st
 		fmt.Printf("kvload: server %s ops=%d peak_unreclaimed=%d arena_peak_bytes=%d\n",
 			st.Scheme, st.ServedOps, st.Total.PeakUnreclaimed, st.ArenaPeakBytes)
+		fmt.Printf("kvload: server shed_total=%d (budget=%d queue_full=%d conns=%d dropped=%d) evicted_idle=%d evicted_slow=%d\n",
+			st.ShedTotal, st.ShedBudget, st.ShedQueueFull, st.ShedConns, st.ShedDropped, st.EvictedIdle, st.EvictedSlow)
 		if st.ArenaUAF > 0 || st.ArenaDoubleFree > 0 {
 			fmt.Fprintf(os.Stderr, "kvload: ARENA VIOLATIONS: uaf=%d double_free=%d\n", st.ArenaUAF, st.ArenaDoubleFree)
 			os.Exit(1)
@@ -150,22 +178,52 @@ func main() {
 }
 
 type connParams struct {
-	ops      int
-	keys     uint64
-	zipfS    float64
-	getPct   int
-	putPct   int
-	pipeline int
-	seed     int64
+	ops        int
+	keys       uint64
+	zipfS      float64
+	getPct     int
+	putPct     int
+	pipeline   int
+	seed       int64
+	reqTimeout time.Duration
+	maxRetries int
+	backoff    time.Duration
+	backoffMax time.Duration
+}
+
+// connResult is one connection's tally. Latencies are per completed
+// request and per attempt (the clock restarts on each resend): a retried
+// request measures the attempt that succeeded, while the shed/retried
+// counters report how much extra work overload cost.
+type connResult struct {
+	lats       []int64
+	statusErrs int64
+	shed       int64 // StatusOverloaded responses received
+	retried    int64 // resends scheduled (≤ shed; the rest exhausted their retries)
+	failed     int64 // requests abandoned after maxRetries
+}
+
+// slot is the per-request state for one pipeline window position.
+// Request IDs are slot indices handed out through a free-list, so a
+// slot is exclusively owned from send to final response and the state
+// cannot be clobbered even when retries complete out of order (the old
+// id-mod-pipeline ring assumed strictly ordered completion, which
+// StatusOverloaded resends break). The mutex covers the handoff between
+// the sender writing req/start and the receiver reading them; there is
+// no channel edge between those two, only the server round-trip.
+type slot struct {
+	mu    sync.Mutex
+	req   kvsvc.Request
+	tries int
+	start int64
 }
 
 // runConn drives one pipelined connection: a sender that keeps up to
 // pipeline requests outstanding (flushing its write buffer only when it
-// would otherwise block, so a burst costs one syscall) and an in-line
-// receiver loop timing each response against its send timestamp. Request
-// IDs are sequential, so id mod pipeline indexes a start-time ring whose
-// slots cannot collide while at most pipeline requests are in flight.
-func runConn(addr string, dialT time.Duration, p connParams) (lats []int64, statusErrs int64) {
+// would otherwise block, so a burst costs one syscall) and a receiver
+// that completes slots, schedules backoff resends for StatusOverloaded,
+// and enforces the per-request response deadline.
+func runConn(addr string, dialT time.Duration, p connParams) connResult {
 	c := dialRetry(addr, dialT)
 	defer c.Close()
 	br := bufio.NewReader(c)
@@ -183,28 +241,42 @@ func runConn(addr string, dialT time.Duration, p connParams) (lats []int64, stat
 		return uint64(rng.Int63n(int64(p.keys)))
 	}
 
-	// Atomic slots: the sender stores a slot just after reacquiring its
-	// token (so the receiver is done with the previous occupant), but the
-	// store and the receiver's load have no channel edge between them —
-	// the ordering flows through the server round-trip.
-	starts := make([]atomic.Int64, p.pipeline)
-	lats = make([]int64, 0, p.ops)
-	tokens := make(chan struct{}, p.pipeline)
+	slots := make([]slot, p.pipeline)
+	free := make(chan uint32, p.pipeline)
 	for i := 0; i < p.pipeline; i++ {
-		tokens <- struct{}{}
+		free <- uint32(i)
 	}
-	dead := make(chan struct{}) // closed if the receiver bails out early
+	// Resends parked by backoff timers. At most one per outstanding slot,
+	// so the buffer guarantees a fired timer never blocks (and a timer
+	// that outlives an aborted run just parks its send in the buffer).
+	retries := make(chan kvsvc.Request, p.pipeline)
+	dead := make(chan struct{})     // receiver bailed out; sender must stop
+	doneRecv := make(chan struct{}) // all ops completed
+	var outstanding atomic.Int64
+
+	var res connResult
+	res.lats = make([]int64, 0, p.ops)
 
 	var recvWG sync.WaitGroup
 	recvWG.Add(1)
 	go func() {
 		defer recvWG.Done()
 		var frame []byte
-		for i := 0; i < p.ops; i++ {
+		for completed := 0; completed < p.ops; {
+			if p.reqTimeout > 0 {
+				c.SetReadDeadline(time.Now().Add(p.reqTimeout))
+			}
 			var err error
 			frame, err = kvsvc.ReadFrame(br, frame)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "kvload: read response %d/%d: %v\n", i, p.ops, err)
+				if errors.Is(err, os.ErrDeadlineExceeded) && outstanding.Load() == 0 {
+					// Nothing in flight (every live request is parked in a
+					// backoff timer), so no frame was torn mid-read — the
+					// stream is intact and the deadline is not a timeout.
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "kvload: read response (%d/%d done, %d outstanding): %v\n",
+					completed, p.ops, outstanding.Load(), err)
 				close(dead)
 				return
 			}
@@ -214,31 +286,64 @@ func runConn(addr string, dialT time.Duration, p connParams) (lats []int64, stat
 				close(dead)
 				return
 			}
-			lats = append(lats, time.Now().UnixNano()-starts[int(resp.ID)%p.pipeline].Load())
-			if resp.Status == kvsvc.StatusErr {
-				statusErrs++
+			if int(resp.ID) >= p.pipeline {
+				fmt.Fprintf(os.Stderr, "kvload: response id %d outside pipeline window %d\n", resp.ID, p.pipeline)
+				close(dead)
+				return
 			}
-			tokens <- struct{}{}
+			sl := &slots[resp.ID]
+			if resp.Status == kvsvc.StatusOverloaded {
+				res.shed++
+				sl.mu.Lock()
+				sl.tries++
+				tries := sl.tries
+				req := sl.req
+				sl.mu.Unlock()
+				if tries > p.maxRetries {
+					res.failed++
+					completed++
+					outstanding.Add(-1)
+					free <- resp.ID
+					continue
+				}
+				res.retried++
+				time.AfterFunc(jitteredBackoff(p.backoff, p.backoffMax, tries), func() {
+					retries <- req
+				})
+				continue
+			}
+			sl.mu.Lock()
+			res.lats = append(res.lats, time.Now().UnixNano()-sl.start)
+			sl.mu.Unlock()
+			if resp.Status == kvsvc.StatusErr {
+				res.statusErrs++
+			}
+			completed++
+			outstanding.Add(-1)
+			free <- resp.ID
 		}
+		close(doneRecv)
 	}()
 
 	var buf []byte
-	for i := 0; i < p.ops; i++ {
-		select {
-		case <-tokens:
-		default:
-			// The window is full: push the buffered burst to the server
-			// before blocking for a response token — or give up if the
-			// receiver already declared the connection dead.
-			bw.Flush()
-			select {
-			case <-tokens:
-			case <-dead:
-				recvWG.Wait()
-				return lats, statusErrs
-			}
+	broken := false
+	send := func(req kvsvc.Request, fresh bool) {
+		sl := &slots[req.ID]
+		sl.mu.Lock()
+		sl.req = req
+		if fresh {
+			sl.tries = 0
 		}
-		req := kvsvc.Request{ID: uint32(i), Key: nextKey()}
+		sl.start = time.Now().UnixNano()
+		sl.mu.Unlock()
+		buf = kvsvc.AppendRequest(buf[:0], req)
+		if _, err := bw.Write(buf); err != nil {
+			fmt.Fprintln(os.Stderr, "kvload: write:", err)
+			broken = true
+		}
+	}
+	newRequest := func(id uint32) kvsvc.Request {
+		req := kvsvc.Request{ID: id, Key: nextKey()}
 		switch pick := rng.Intn(100); {
 		case pick < p.getPct:
 			req.Op = kvsvc.OpGet
@@ -248,16 +353,81 @@ func runConn(addr string, dialT time.Duration, p connParams) (lats []int64, stat
 		default:
 			req.Op = kvsvc.OpDel
 		}
-		starts[i%p.pipeline].Store(time.Now().UnixNano())
-		buf = kvsvc.AppendRequest(buf[:0], req)
-		if _, err := bw.Write(buf); err != nil {
-			fmt.Fprintln(os.Stderr, "kvload: write:", err)
-			break
+		return req
+	}
+
+	sent := 0
+	for !broken {
+		// Resends first: a shed request already holds its slot, so it
+		// gates the window harder than a fresh request would.
+		select {
+		case r := <-retries:
+			send(r, false)
+			continue
+		default:
+		}
+		if sent >= p.ops {
+			// Everything sent; stay alive to push resends until the
+			// receiver completes (or gives up on) the stragglers.
+			bw.Flush()
+			select {
+			case r := <-retries:
+				send(r, false)
+			case <-doneRecv:
+				return finish(bw, &recvWG, &res)
+			case <-dead:
+				return finish(bw, &recvWG, &res)
+			}
+			continue
+		}
+		select {
+		case r := <-retries:
+			send(r, false)
+		case id := <-free:
+			outstanding.Add(1)
+			sent++
+			send(newRequest(id), true)
+		case <-dead:
+			return finish(bw, &recvWG, &res)
+		default:
+			// The window is full: push the buffered burst to the server
+			// before blocking for a free slot or a resend.
+			bw.Flush()
+			select {
+			case r := <-retries:
+				send(r, false)
+			case id := <-free:
+				outstanding.Add(1)
+				sent++
+				send(newRequest(id), true)
+			case <-dead:
+				return finish(bw, &recvWG, &res)
+			}
 		}
 	}
+	return finish(bw, &recvWG, &res)
+}
+
+// finish flushes whatever is buffered, waits for the receiver, and
+// returns the tallied result.
+func finish(bw *bufio.Writer, recvWG *sync.WaitGroup, res *connResult) connResult {
 	bw.Flush()
 	recvWG.Wait()
-	return lats, statusErrs
+	return *res
+}
+
+// jitteredBackoff is base doubled per attempt (1-based), capped at max,
+// then jittered into [d/2, d] so clients shed together do not retry in
+// lockstep and re-overload the server in phase.
+func jitteredBackoff(base, max time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt-1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // dialRetry keeps retrying the dial until the deadline so kvload can be

@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/gosmr/gosmr/internal/smr"
 )
@@ -26,6 +28,39 @@ type ServerConfig struct {
 	WorkersPerShard int
 	// QueueDepth is the per-shard request queue capacity (default 256).
 	QueueDepth int
+	// MaxConns caps concurrently served connections; accepts beyond the
+	// cap are closed immediately (accept-time shedding). 0 selects the
+	// default (1024); negative means unlimited.
+	MaxConns int
+	// ConnBudget is the per-connection in-flight response budget: the
+	// number of accepted-but-not-yet-written responses one connection may
+	// have outstanding. Requests past the budget are answered with
+	// StatusOverloaded instead of queueing, so a connection that stops
+	// reading can never back up into a shard worker. 0 selects the
+	// default (128).
+	ConnBudget int
+	// IdleTimeout is the maximum time the server waits for the next frame
+	// from a client before evicting the connection. 0 selects the default
+	// (2m); negative disables the idle deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout is the per-write deadline on the response path: a
+	// client that stops draining its socket is evicted once a response
+	// write stalls this long. 0 selects the default (10s); negative
+	// disables the write deadline.
+	WriteTimeout time.Duration
+	// DispatchTimeout is how long a connection's reader waits for space
+	// on a full shard queue before answering StatusOverloaded. 0 selects
+	// the default (20ms); negative sheds immediately.
+	DispatchTimeout time.Duration
+	// ConnWriteBuffer caps the kernel send buffer (SO_SNDBUF) of each
+	// accepted TCP connection. It bounds the kernel memory one
+	// non-reading client can pin and is what makes WriteTimeout eviction
+	// responsive: with the default autotuned buffer the kernel absorbs
+	// megabytes of responses before a write ever stalls, so a slow
+	// reader is only evicted after its whole receive window AND a
+	// multi-megabyte send buffer fill. 0 selects the default (64 KiB);
+	// negative leaves the kernel default (autotuning).
+	ConnWriteBuffer int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -35,28 +70,64 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
 	}
+	if c.MaxConns == 0 {
+		c.MaxConns = 1024
+	}
+	if c.ConnBudget <= 0 {
+		c.ConnBudget = 128
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DispatchTimeout == 0 {
+		c.DispatchTimeout = 20 * time.Millisecond
+	}
+	if c.ConnWriteBuffer == 0 {
+		c.ConnWriteBuffer = 64 << 10
+	}
 	return c
 }
 
+// outMsg is one queued response plus whether it holds one of the
+// connection's budget credits. Credits are released by the writer only
+// after the response is written (or the connection is declared broken),
+// so the budget tracks what the client has actually consumed.
+type outMsg struct {
+	resp     Response
+	credited bool
+}
+
 // request is one decoded wire request bound for a shard queue, carrying
-// the per-connection response channel (the connection's writer goroutine
-// does the in-flight accounting as it writes each response).
+// the per-connection response channel. The response send is credited and
+// therefore can never block (see serveConn's capacity invariant), which
+// is the property that keeps a slow client from stalling a shard worker.
 type request struct {
 	req Request
-	out chan<- Response
+	out chan<- outMsg
 }
 
 // Server fronts a Store with the wire protocol: per-connection pipelined
 // reads, per-shard worker pools (so every worker participates in exactly
 // one shard's reclamation domain), batched writes, and an HTTP admin
 // endpoint serving live per-shard smr.Stats.
+//
+// Overload model: the server never lets one peer block shared progress.
+// Accepts past MaxConns are shed at accept time; requests past a
+// connection's ConnBudget or into a shard queue that stays full past
+// DispatchTimeout are answered StatusOverloaded; connections that stop
+// sending (IdleTimeout) or stop reading (WriteTimeout) are evicted. All
+// five events are counted and exported via AdminStats.
 type Server struct {
 	cfg   ServerConfig
 	store *Store
 
-	ln      net.Listener
-	adminLn net.Listener
-	admin   *http.Server
+	ln       net.Listener
+	adminLn  net.Listener
+	admin    *http.Server
+	adminErr chan error
 
 	queues   []chan request
 	workerWG sync.WaitGroup
@@ -65,9 +136,17 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	connWG sync.WaitGroup
 
-	draining atomic.Bool
-	accepted atomic.Int64
-	served   atomic.Int64
+	draining  atomic.Bool
+	accepted  atomic.Int64
+	served    atomic.Int64
+	liveConns atomic.Int64
+
+	shedConns     atomic.Int64 // accepts closed at the MaxConns cap
+	shedBudget    atomic.Int64 // StatusOverloaded: connection budget exceeded
+	shedQueueFull atomic.Int64 // StatusOverloaded: shard queue full past DispatchTimeout
+	shedDropped   atomic.Int64 // budget sheds dropped because the writer is stalled too
+	evictedIdle   atomic.Int64 // connections evicted by the read (idle) deadline
+	evictedSlow   atomic.Int64 // connections evicted by the write deadline
 }
 
 // NewServer binds the listeners and starts the shard worker pools; call
@@ -92,7 +171,8 @@ func NewServer(store *Store, cfg ServerConfig) (*Server, error) {
 			fmt.Fprintln(w, "ok")
 		})
 		s.admin = &http.Server{Handler: mux}
-		go s.admin.Serve(s.adminLn)
+		s.adminErr = make(chan error, 1)
+		go func() { s.adminErr <- s.admin.Serve(s.adminLn) }()
 	}
 
 	for i := 0; i < store.NumShards(); i++ {
@@ -119,7 +199,9 @@ func (s *Server) AdminAddr() string {
 }
 
 // Serve accepts connections until Shutdown closes the listener. It
-// returns nil on graceful shutdown.
+// returns nil on graceful shutdown. Accepts past MaxConns are shed
+// (closed immediately) so a connection flood cannot exhaust goroutines;
+// only the accept loop increments liveConns, so the cap is strict.
 func (s *Server) Serve() error {
 	for {
 		c, err := s.ln.Accept()
@@ -130,6 +212,15 @@ func (s *Server) Serve() error {
 			return err
 		}
 		s.accepted.Add(1)
+		if max := s.cfg.MaxConns; max > 0 && s.liveConns.Load() >= int64(max) {
+			s.shedConns.Add(1)
+			c.Close()
+			continue
+		}
+		if tc, ok := c.(*net.TCPConn); ok && s.cfg.ConnWriteBuffer > 0 {
+			tc.SetWriteBuffer(s.cfg.ConnWriteBuffer)
+		}
+		s.liveConns.Add(1)
 		s.connMu.Lock()
 		s.conns[c] = struct{}{}
 		s.connMu.Unlock()
@@ -142,7 +233,7 @@ func (s *Server) Serve() error {
 func (s *Server) shardWorker(q <-chan request, h Handle) {
 	defer s.workerWG.Done()
 	for r := range q {
-		r.out <- execute(h, r.req)
+		r.out <- outMsg{resp: execute(h, r.req), credited: true}
 		s.served.Add(1)
 	}
 }
@@ -171,9 +262,20 @@ func execute(h Handle, r Request) Response {
 
 // serveConn owns one connection: a read loop decoding pipelined frames
 // and dispatching them to shard queues, and a writer goroutine batching
-// responses back out. The reader never closes the response channel while
-// requests are in flight, and the writer keeps draining it even after a
-// write error so shard workers can never block on a dead connection.
+// responses back out.
+//
+// Capacity invariant (the no-stall guarantee): out has 2·B slots for a
+// budget of B. Credited messages — dispatched requests, pings, and
+// queue-full sheds — are gated by the credits semaphore, so at most B of
+// them exist between acquire and the writer's release; uncredited
+// budget-shed messages are capped at B by the uncredited counter (the
+// reader drops the shed, counted, when even that lane is full). Any
+// sender of a credited message therefore always finds a free slot:
+// credited-in-channel ≤ B−1 while it holds its own credit, and
+// uncredited-in-channel ≤ B. Shard workers send only credited messages,
+// so they can NEVER block on a connection, no matter how the peer
+// behaves — the service-layer analogue of the bounded-garbage guarantee
+// the reclamation schemes give against stalled threads.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.connWG.Done()
 	defer func() {
@@ -181,11 +283,18 @@ func (s *Server) serveConn(c net.Conn) {
 		delete(s.conns, c)
 		s.connMu.Unlock()
 		c.Close()
+		s.liveConns.Add(-1)
 	}()
 
+	budget := s.cfg.ConnBudget
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
-	out := make(chan Response, 4*s.cfg.QueueDepth/s.store.NumShards()+16)
+	out := make(chan outMsg, 2*budget)
+	credits := make(chan struct{}, budget)
+	for i := 0; i < budget; i++ {
+		credits <- struct{}{}
+	}
+	var uncredited atomic.Int64 // uncredited sheds enqueued and not yet dequeued
 	var inflight sync.WaitGroup
 
 	var writerWG sync.WaitGroup
@@ -194,18 +303,36 @@ func (s *Server) serveConn(c net.Conn) {
 		defer writerWG.Done()
 		var buf []byte
 		broken := false
-		for resp := range out {
+		fail := func(err error) {
+			broken = true
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.evictedSlow.Add(1)
+			}
+			// Evict: closing the connection kicks the read loop out of
+			// its blocking read, so the whole connection tears down
+			// instead of silently discarding responses forever.
+			c.Close()
+		}
+		for m := range out {
 			if !broken {
-				buf = AppendResponse(buf[:0], resp)
+				buf = AppendResponse(buf[:0], m.resp)
+				if s.cfg.WriteTimeout > 0 {
+					c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+				}
 				if _, err := bw.Write(buf); err != nil {
-					broken = true
+					fail(err)
 				} else if len(out) == 0 {
 					// Batch boundary: flush only when no more responses
 					// are queued, so a pipelined burst costs one syscall.
 					if err := bw.Flush(); err != nil {
-						broken = true
+						fail(err)
 					}
 				}
+			}
+			if m.credited {
+				credits <- struct{}{}
+			} else {
+				uncredited.Add(-1)
 			}
 			inflight.Done()
 		}
@@ -216,35 +343,90 @@ func (s *Server) serveConn(c net.Conn) {
 
 	var frame []byte
 	for {
+		if s.cfg.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		var err error
 		frame, err = ReadFrame(br, frame)
 		if err != nil {
-			// io.EOF is a clean close; anything else (truncated frame,
-			// garbage length, oversized frame) poisons the byte stream,
-			// so the connection is dropped either way.
+			// io.EOF is a clean close; a deadline expiry is an idle
+			// eviction; anything else (truncated frame, garbage length,
+			// oversized frame) poisons the byte stream. The connection is
+			// dropped either way.
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.evictedIdle.Add(1)
+			}
 			break
 		}
 		req, err := DecodeRequest(frame)
 		if err != nil {
 			break
 		}
-		inflight.Add(1)
-		if req.Op == OpPing {
-			out <- Response{ID: req.ID, Status: StatusOK}
+
+		select {
+		case <-credits:
+		default:
+			// Budget exceeded: the client already has ConnBudget
+			// responses it has not read. Shed on the bounded uncredited
+			// lane; if even that is full the writer is stalled and the
+			// shed is dropped — the client's request timeout covers it.
+			s.shedBudget.Add(1)
+			if uncredited.Load() < int64(budget) {
+				uncredited.Add(1)
+				inflight.Add(1)
+				out <- outMsg{resp: Response{ID: req.ID, Status: StatusOverloaded}}
+			} else {
+				s.shedDropped.Add(1)
+			}
 			continue
 		}
-		s.queues[s.store.ShardOf(req.Key)] <- request{req: req, out: out}
+		inflight.Add(1)
+		if req.Op == OpPing {
+			out <- outMsg{resp: Response{ID: req.ID, Status: StatusOK}, credited: true}
+			continue
+		}
+		q := s.queues[s.store.ShardOf(req.Key)]
+		select {
+		case q <- request{req: req, out: out}:
+		default:
+			if !s.dispatchSlow(q, request{req: req, out: out}) {
+				s.shedQueueFull.Add(1)
+				out <- outMsg{resp: Response{ID: req.ID, Status: StatusOverloaded}, credited: true}
+			}
+		}
 	}
-	inflight.Wait() // all dispatched requests answered and written
+	inflight.Wait() // all accepted requests answered (or shed) and handed to the writer
 	close(out)
 	writerWG.Wait()
+}
+
+// dispatchSlow waits up to DispatchTimeout for space on a full shard
+// queue; false means the request must be shed. The wait is the only
+// place a connection's reader blocks on shared state, and it is bounded
+// — a full queue can delay one reader by at most the timeout, never
+// wedge it (the pre-overload server blocked here forever, which let one
+// slow shard hold every connection's read loop and Shutdown hostage).
+func (s *Server) dispatchSlow(q chan<- request, r request) bool {
+	d := s.cfg.DispatchTimeout
+	if d <= 0 {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case q <- r:
+		return true
+	case <-t.C:
+		return false
+	}
 }
 
 // Shutdown gracefully drains the server: stop accepting, let live
 // connections finish their pipelines (force-closing them if ctx expires
 // first), stop the shard workers, drain the store's reclamation domains,
-// and stop the admin endpoint. It returns an error if any arena pool
-// recorded a detect-mode violation (use-after-free or double free).
+// and stop the admin endpoint. It returns an error if the admin listener
+// failed while serving or if any arena pool recorded a detect-mode
+// violation (use-after-free or double free).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.ln.Close()
@@ -271,27 +453,42 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.workerWG.Wait()
 	s.store.Drain()
 
+	var errs []error
 	if s.admin != nil {
 		s.admin.Shutdown(context.Background())
+		// Serve has returned by now (its listener is closed); surface any
+		// failure other than the clean ErrServerClosed instead of having
+		// lost it to a fire-and-forget goroutine.
+		if err := <-s.adminErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errs = append(errs, fmt.Errorf("kvsvc: admin listener: %w", err))
+		}
 	}
 
 	if uaf, df := s.store.BugCounts(); uaf > 0 || df > 0 {
-		return fmt.Errorf("kvsvc: arena detected %d use-after-free and %d double-free violations", uaf, df)
+		errs = append(errs, fmt.Errorf("kvsvc: arena detected %d use-after-free and %d double-free violations", uaf, df))
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Served returns the number of requests executed by shard workers.
 func (s *Server) Served() int64 { return s.served.Load() }
 
 // AdminStats is the JSON document served at the admin endpoint's /stats
-// (and scraped by kvload): store-wide totals plus one smr.Stats row per
-// shard, with arena live/quarantine gauges filled.
+// (and scraped by kvload): store-wide totals, the overload/eviction
+// counters, plus one smr.Stats row per shard with arena gauges filled.
 type AdminStats struct {
 	Scheme          string      `json:"scheme"`
 	Shards          int         `json:"shards"`
 	AcceptedConns   int64       `json:"accepted_conns"`
+	LiveConns       int64       `json:"live_conns"`
 	ServedOps       int64       `json:"served_ops"`
+	ShedConns       int64       `json:"shed_conns"`
+	ShedBudget      int64       `json:"shed_budget"`
+	ShedQueueFull   int64       `json:"shed_queue_full"`
+	ShedDropped     int64       `json:"shed_dropped"`
+	ShedTotal       int64       `json:"shed_total"`
+	EvictedIdle     int64       `json:"evicted_idle"`
+	EvictedSlow     int64       `json:"evicted_slow"`
 	ArenaLiveBytes  int64       `json:"arena_live_bytes"`
 	ArenaPeakBytes  int64       `json:"arena_peak_bytes"`
 	ArenaUAF        int64       `json:"arena_uaf"`
@@ -304,11 +501,20 @@ type AdminStats struct {
 func (s *Server) Snapshot() AdminStats {
 	per := s.store.ShardStats()
 	at := s.store.ArenaTotals()
+	shedB, shedQ, shedC := s.shedBudget.Load(), s.shedQueueFull.Load(), s.shedConns.Load()
 	return AdminStats{
 		Scheme:          s.store.Scheme(),
 		Shards:          s.store.NumShards(),
 		AcceptedConns:   s.accepted.Load(),
+		LiveConns:       s.liveConns.Load(),
 		ServedOps:       s.served.Load(),
+		ShedConns:       shedC,
+		ShedBudget:      shedB,
+		ShedQueueFull:   shedQ,
+		ShedDropped:     s.shedDropped.Load(),
+		ShedTotal:       shedB + shedQ + shedC,
+		EvictedIdle:     s.evictedIdle.Load(),
+		EvictedSlow:     s.evictedSlow.Load(),
 		ArenaLiveBytes:  at.Bytes,
 		ArenaPeakBytes:  at.PeakBytes,
 		ArenaUAF:        at.UAF,

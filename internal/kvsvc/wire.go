@@ -37,6 +37,11 @@ const (
 	StatusOK uint8 = iota
 	StatusNotFound
 	StatusErr
+	// StatusOverloaded is the shed signal: the server refused to execute
+	// the request because the connection exceeded its in-flight budget or
+	// the target shard queue stayed full past the dispatch timeout. The
+	// request had no effect; clients should retry with backoff.
+	StatusOverloaded
 )
 
 // MaxFrame is the largest accepted payload length. Both message kinds
@@ -129,7 +134,7 @@ func DecodeResponse(p []byte) (Response, error) {
 		Status: p[4],
 		Val:    binary.BigEndian.Uint64(p[5:13]),
 	}
-	if r.Status > StatusErr {
+	if r.Status > StatusOverloaded {
 		return Response{}, fmt.Errorf("%w: %d", ErrBadStatus, r.Status)
 	}
 	return r, nil
@@ -139,14 +144,17 @@ func DecodeResponse(p []byte) (Response, error) {
 // grown as needed and returned re-sliced). A clean close at a frame
 // boundary returns io.EOF; a close inside a frame returns ErrTruncated;
 // an oversized or zero length prefix returns ErrFrameTooLarge or
-// ErrBadLength without consuming the payload.
+// ErrBadLength without consuming the payload. Transport errors stay
+// inspectable through the wrap: errors.Is(err, os.ErrDeadlineExceeded)
+// distinguishes a read-deadline expiry from a torn stream, which is how
+// the server attributes idle-timeout evictions.
 func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
 	var hdr [hdrLen]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		return nil, fmt.Errorf("%w: %w", ErrTruncated, err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
@@ -160,7 +168,7 @@ func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		return nil, fmt.Errorf("%w: %w", ErrTruncated, err)
 	}
 	return buf, nil
 }

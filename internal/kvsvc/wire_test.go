@@ -46,6 +46,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{ID: 1, Status: StatusOK, Val: 99},
 		{ID: 2, Status: StatusNotFound},
 		{ID: 3, Status: StatusErr, Val: 1<<64 - 1},
+		{ID: 4, Status: StatusOverloaded},
 	}
 	var stream []byte
 	for _, r := range resps {
@@ -110,7 +111,7 @@ func TestDecodeRejectsGarbagePayloads(t *testing.T) {
 	badOp2[0] = byte(OpPing) + 1
 
 	badStatus := make([]byte, respLen)
-	badStatus[4] = StatusErr + 1
+	badStatus[4] = StatusOverloaded + 1
 
 	t.Run("request short", func(t *testing.T) {
 		if _, err := DecodeRequest(goodReq[:reqLen-1]); !errors.Is(err, ErrBadLength) {

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # serve_smoke.sh: end-to-end smoke test of the gosmrd service layer.
 #
-# Boots gosmrd (8 shards, hp++, arena detect mode so every dereference is
-# validated), fires a short kvload burst at it, then sends SIGTERM and
-# asserts the daemon drains cleanly: exit 0 means every connection was
-# flushed, every shard's reclamation drained, and the arena recorded zero
-# use-after-free or double-free violations. kvload itself exits non-zero
-# if the admin scrape shows violations, so the pair gates both sides.
+# Phase 1 boots gosmrd (8 shards, hp++, arena detect mode so every
+# dereference is validated), fires a short kvload burst at it, then sends
+# SIGTERM and asserts the daemon drains cleanly: exit 0 means every
+# connection was flushed, every shard's reclamation drained, and the
+# arena recorded zero use-after-free or double-free violations. kvload
+# itself exits non-zero if the admin scrape shows violations, so the pair
+# gates both sides.
+#
+# Phase 2 is the overload gate: a deliberately saturated server (one
+# shard, one worker, 4-deep queue, immediate shedding) must shed a
+# nonzero number of requests as StatusOverloaded, kvload's retry/backoff
+# must still recover to 100% completion (it exits non-zero otherwise),
+# and the drain must stay clean with zero arena violations.
 #
 # Usage: scripts/serve_smoke.sh [requests]
 set -euo pipefail
@@ -50,4 +57,37 @@ grep -q "clean drain" "$BIN/gosmrd.log" || {
     cat "$BIN/gosmrd.log" >&2
     exit 1
 }
-echo "serve-smoke: OK ($REQUESTS requests, clean drain, zero arena violations)"
+echo "serve-smoke: phase 1 OK ($REQUESTS requests, clean drain, zero arena violations)"
+
+# ---- Phase 2: overload ----
+# One worker behind a 4-deep queue with immediate shedding: most of the
+# burst must come back StatusOverloaded, and kvload's retry/backoff has
+# to grind it to 100% completion anyway.
+"$BIN/gosmrd" -addr "$ADDR" -admin "$ADMIN" -shards 1 -workers 1 -queue 4 \
+    -dispatch-timeout -1ns -scheme hp++ -mode detect \
+    >"$BIN/gosmrd2.json" 2>"$BIN/gosmrd2.log" &
+SRV_PID=$!
+
+"$BIN/kvload" -addr "$ADDR" -admin "$ADMIN" \
+    -conns 16 -requests 4000 -pipeline 64 -keys 512 -retries 12 \
+    | tee "$BIN/kvload2.log"
+
+SHED=$(sed -n 's/.*shed_total=\([0-9]*\).*/\1/p' "$BIN/kvload2.log")
+if [ -z "$SHED" ] || [ "$SHED" -eq 0 ]; then
+    echo "serve-smoke: overload phase shed nothing (shed_total=${SHED:-missing}) — the saturated server should be shedding" >&2
+    exit 1
+fi
+
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+    echo "serve-smoke: overloaded gosmrd drain FAILED" >&2
+    cat "$BIN/gosmrd2.log" >&2
+    exit 1
+fi
+SRV_PID=""
+grep -q "clean drain" "$BIN/gosmrd2.log" || {
+    echo "serve-smoke: overloaded gosmrd exited 0 but never reported a clean drain" >&2
+    cat "$BIN/gosmrd2.log" >&2
+    exit 1
+}
+echo "serve-smoke: phase 2 OK (shed_total=$SHED, 100% completion via retries, clean drain)"
