@@ -37,7 +37,8 @@ func main() {
 		scheme  = flag.String("scheme", "hp++", "reclamation scheme: "+strings.Join(kvsvc.Schemes, " | "))
 		mode    = flag.String("mode", "reuse", "arena mode: reuse (serve) | detect (quarantine + UAF validation)")
 		workers = flag.Int("workers", 2, "worker goroutines per shard")
-		buckets = flag.Int("buckets", 256, "hash buckets per shard")
+		buckets = flag.Int("buckets", 256, "hash buckets per shard (initial directory size for -engine somap)")
+		engine  = flag.String("engine", "somap", "shard map engine: "+strings.Join(kvsvc.Engines, " | "))
 		queue   = flag.Int("queue", 256, "per-shard request queue depth")
 		drainT  = flag.Duration("drain-timeout", 10*time.Second, "max time to wait for live connections on shutdown")
 
@@ -52,6 +53,10 @@ func main() {
 
 	if !kvsvc.ValidScheme(*scheme) {
 		fmt.Fprintf(os.Stderr, "gosmrd: unknown scheme %q (want one of %s)\n", *scheme, strings.Join(kvsvc.Schemes, ", "))
+		os.Exit(2)
+	}
+	if !kvsvc.ValidEngine(*engine) {
+		fmt.Fprintf(os.Stderr, "gosmrd: unknown engine %q (want one of %s)\n", *engine, strings.Join(kvsvc.Engines, ", "))
 		os.Exit(2)
 	}
 	var am arena.Mode
@@ -70,6 +75,7 @@ func main() {
 		Scheme:  *scheme,
 		Mode:    am,
 		Buckets: *buckets,
+		Engine:  *engine,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gosmrd:", err)
@@ -92,8 +98,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Fprintf(os.Stderr, "gosmrd: serving %d shards (%s, %s mode) on %s, admin on %s\n",
-		*shards, *scheme, *mode, srv.Addr(), srv.AdminAddr())
+	fmt.Fprintf(os.Stderr, "gosmrd: serving %d shards (%s engine, %s, %s mode) on %s, admin on %s\n",
+		*shards, *engine, *scheme, *mode, srv.Addr(), srv.AdminAddr())
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

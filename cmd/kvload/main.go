@@ -22,6 +22,12 @@
 // saturated server the expected outcome is nonzero sheds and retries but
 // zero failures — the workload recovers to 100% completion.
 //
+// With -preload N, kvload first bulk-puts keys [0,N) over contiguous
+// per-connection ranges (latencies discarded) before the measured phase:
+// against the somap engine this walks the shard directories through
+// their full doubling cascade, so the measured mix — and the separately
+// reported GET-only p99 — observes the resized map.
+//
 // With -out, kvload writes a bench.ReclaimReport-shaped JSON artifact
 // (one service-layer cell with latency percentiles and the store-wide
 // smr.Stats) that cmd/benchcompare can diff against a previous run.
@@ -58,6 +64,7 @@ func main() {
 		putPct   = flag.Int("put", 15, "percent puts (rest are deletes)")
 		pipeline = flag.Int("pipeline", 32, "max in-flight requests per connection")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		preload  = flag.Uint64("preload", 0, "bulk-put keys [0,N) before the measured phase (forces somap directory grows)")
 		out      = flag.String("out", "", "write a BENCH_kvsvc.json report here")
 		dialT    = flag.Duration("dial-timeout", 5*time.Second, "keep retrying the first dial for this long")
 
@@ -76,10 +83,64 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Preload phase: contiguous sequential put ranges, one per
+	// connection, so N distinct keys land in the store before anything is
+	// measured. Against the somap engine this drives the per-shard
+	// directories through their full doubling cascade; the measured phase
+	// then sees the *resized* map, which is exactly what the scaling gate
+	// (p99 GET at 1M keys vs 10k) wants to observe. Preload latencies are
+	// discarded.
+	if *preload > 0 {
+		pStart := time.Now()
+		var pwg sync.WaitGroup
+		var pmu sync.Mutex
+		var ptotal connResult
+		var pcount int64
+		per := *preload / uint64(*conns)
+		for c := 0; c < *conns; c++ {
+			from := uint64(c) * per
+			to := from + per
+			if c == *conns-1 {
+				to = *preload
+			}
+			if to == from {
+				continue
+			}
+			pwg.Add(1)
+			go func(from, to uint64) {
+				defer pwg.Done()
+				start := from
+				res := runConn(*addr, *dialT, connParams{
+					ops:        int(to - from),
+					keys:       *keys,
+					pipeline:   *pipeline,
+					reqTimeout: *reqT,
+					maxRetries: *maxRetries,
+					backoff:    *backoff,
+					backoffMax: *backoffMax,
+					seqPutFrom: &start,
+				})
+				pmu.Lock()
+				pcount += int64(len(res.lats))
+				ptotal.statusErrs += res.statusErrs
+				ptotal.failed += res.failed
+				pmu.Unlock()
+			}(from, to)
+		}
+		pwg.Wait()
+		if ptotal.statusErrs > 0 || ptotal.failed > 0 || pcount != int64(*preload) {
+			fmt.Fprintf(os.Stderr, "kvload: preload incomplete: %d/%d puts (errs=%d failed=%d)\n",
+				pcount, *preload, ptotal.statusErrs, ptotal.failed)
+			os.Exit(1)
+		}
+		fmt.Printf("kvload: preloaded %d keys in %v\n", *preload, time.Since(pStart).Round(time.Millisecond))
+	}
+
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
 		allLats []int64 // per-request latency, ns
+		getLats []int64 // GET-only subset
 		total   connResult
 	)
 	start := time.Now()
@@ -109,6 +170,7 @@ func main() {
 			})
 			mu.Lock()
 			allLats = append(allLats, res.lats...)
+			getLats = append(getLats, res.getLats...)
 			total.statusErrs += res.statusErrs
 			total.shed += res.shed
 			total.retried += res.retried
@@ -127,12 +189,17 @@ func main() {
 	p50 := percentileUs(allLats, 0.50)
 	p95 := percentileUs(allLats, 0.95)
 	p99 := percentileUs(allLats, 0.99)
+	var p99Get float64
+	if len(getLats) > 0 {
+		sort.Slice(getLats, func(i, j int) bool { return getLats[i] < getLats[j] })
+		p99Get = percentileUs(getLats, 0.99)
+	}
 	opsPerSec := float64(len(allLats)) / wall.Seconds()
 
 	delPct := 100 - *getPct - *putPct
 	workload := fmt.Sprintf("zipf(%.2f) get=%d%%/put=%d%%/del=%d%% pipeline=%d", *zipfS, *getPct, *putPct, delPct, *pipeline)
 	fmt.Printf("kvload: %d ops over %d conns in %v (%s)\n", len(allLats), *conns, wall.Round(time.Millisecond), workload)
-	fmt.Printf("kvload: throughput %.0f ops/s, latency p50=%.1fµs p95=%.1fµs p99=%.1fµs\n", opsPerSec, p50, p95, p99)
+	fmt.Printf("kvload: throughput %.0f ops/s, latency p50=%.1fµs p95=%.1fµs p99=%.1fµs p99(get)=%.1fµs\n", opsPerSec, p50, p95, p99, p99Get)
 	fmt.Printf("kvload: overload shed=%d retried=%d failed=%d\n", total.shed, total.retried, total.failed)
 	if n := total.statusErrs; n > 0 {
 		fmt.Fprintf(os.Stderr, "kvload: %d requests returned StatusErr\n", n)
@@ -169,7 +236,7 @@ func main() {
 	}
 
 	if *out != "" {
-		if err := writeReport(*out, adminStats, *conns, *keys, workload, opsPerSec, p50, p95, p99); err != nil {
+		if err := writeReport(*out, adminStats, *conns, *keys, *preload, workload, opsPerSec, p50, p95, p99, p99Get); err != nil {
 			fmt.Fprintln(os.Stderr, "kvload: write report:", err)
 			os.Exit(1)
 		}
@@ -189,6 +256,11 @@ type connParams struct {
 	maxRetries int
 	backoff    time.Duration
 	backoffMax time.Duration
+	// seqPutFrom, when non-nil, switches the connection from the random
+	// mix to the preload shape: ops sequential puts starting at
+	// *seqPutFrom (key k gets value k+1). Latencies still accumulate but
+	// the caller discards them.
+	seqPutFrom *uint64
 }
 
 // connResult is one connection's tally. Latencies are per completed
@@ -197,6 +269,7 @@ type connParams struct {
 // counters report how much extra work overload cost.
 type connResult struct {
 	lats       []int64
+	getLats    []int64 // subset of lats: completed OpGet requests
 	statusErrs int64
 	shed       int64 // StatusOverloaded responses received
 	retried    int64 // resends scheduled (≤ shed; the rest exhausted their retries)
@@ -313,8 +386,13 @@ func runConn(addr string, dialT time.Duration, p connParams) connResult {
 				continue
 			}
 			sl.mu.Lock()
-			res.lats = append(res.lats, time.Now().UnixNano()-sl.start)
+			lat := time.Now().UnixNano() - sl.start
+			op := sl.req.Op
 			sl.mu.Unlock()
+			res.lats = append(res.lats, lat)
+			if op == kvsvc.OpGet {
+				res.getLats = append(res.getLats, lat)
+			}
 			if resp.Status == kvsvc.StatusErr {
 				res.statusErrs++
 			}
@@ -343,6 +421,11 @@ func runConn(addr string, dialT time.Duration, p connParams) connResult {
 		}
 	}
 	newRequest := func(id uint32) kvsvc.Request {
+		if p.seqPutFrom != nil {
+			k := *p.seqPutFrom
+			*p.seqPutFrom++
+			return kvsvc.Request{ID: id, Op: kvsvc.OpPut, Key: k, Val: k + 1}
+		}
 		req := kvsvc.Request{ID: id, Key: nextKey()}
 		switch pick := rng.Intn(100); {
 		case pick < p.getPct:
@@ -477,18 +560,20 @@ func percentileUs(sorted []int64, p float64) float64 {
 // The scan section is left zero: there is no in-process scan microbench
 // in a network run, and benchcompare skips the scan gate when both
 // reports agree it is absent.
-func writeReport(path string, admin *kvsvc.AdminStats, conns int, keys uint64, workload string, opsPerSec, p50, p95, p99 float64) error {
+func writeReport(path string, admin *kvsvc.AdminStats, conns int, keys, preloaded uint64, workload string, opsPerSec, p50, p95, p99, p99Get float64) error {
 	cell := bench.CellResult{
-		DS:         "kvsvc",
-		Scheme:     "unknown",
-		Threads:    conns,
-		KeyRange:   keys,
-		Workload:   workload,
-		MopsPerSec: opsPerSec / 1e6,
-		NsPerOp:    1e9 / opsPerSec,
-		P50Us:      p50,
-		P95Us:      p95,
-		P99Us:      p99,
+		DS:            "kvsvc",
+		Scheme:        "unknown",
+		Threads:       conns,
+		KeyRange:      keys,
+		Workload:      workload,
+		MopsPerSec:    opsPerSec / 1e6,
+		NsPerOp:       1e9 / opsPerSec,
+		P50Us:         p50,
+		P95Us:         p95,
+		P99Us:         p99,
+		P99GetUs:      p99Get,
+		PreloadedKeys: preloaded,
 	}
 	if admin != nil {
 		cell.Scheme = admin.Scheme

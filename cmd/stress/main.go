@@ -45,6 +45,7 @@ func main() {
 		delay    = flag.Int("delay", 4, "yields after each remove (0 = off)")
 		noStorm  = flag.Bool("no-storm", false, "disable the reclamation storm")
 		yield    = flag.Int("yield", 64, "scheduler yield every Nth deref (0 = off)")
+		noResize = flag.Bool("no-resize-storm", false, "disable the resize storm (somap cells run with tiny directories otherwise)")
 		out      = flag.String("out", "results", "directory for the JSON report")
 		list     = flag.Bool("list", false, "list matrix cells and exit")
 	)
@@ -79,6 +80,7 @@ func main() {
 			DelayRetire: *delay,
 			Storm:       !*noStorm,
 			YieldEvery:  *yield,
+			ResizeStorm: !*noResize,
 		},
 	}
 

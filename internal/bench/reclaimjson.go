@@ -48,6 +48,13 @@ type CellResult struct {
 	P50Us float64 `json:"p50_us,omitempty"`
 	P95Us float64 `json:"p95_us,omitempty"`
 	P99Us float64 `json:"p99_us,omitempty"`
+	// P99GetUs is the GET-only p99 in microseconds: the number the
+	// resizable-map scaling gate compares across key-space sizes (GETs
+	// isolate read-path traversal length from insert/delete retry cost).
+	P99GetUs float64 `json:"p99_get_us,omitempty"`
+	// PreloadedKeys is how many keys were bulk-loaded before the
+	// measured phase (0 = none).
+	PreloadedKeys uint64 `json:"preloaded_keys,omitempty"`
 	// Stats is the domain's post-run smr.Stats snapshot (scan counts,
 	// freed-per-scan, occupancy) plus the arena live/quarantine totals.
 	Stats smr.Stats `json:"smr_stats"`

@@ -29,7 +29,7 @@ const UnsafeScheme = "unsafefree"
 
 // DataStructures lists the registered data structures.
 func DataStructures() []string {
-	return []string{"hmlist", "hhslist", "hashmap", "skiplist", "nmtree", "efrbtree", "bonsai", "kvmap"}
+	return []string{"hmlist", "hhslist", "hashmap", "somap", "skiplist", "nmtree", "efrbtree", "bonsai", "kvmap"}
 }
 
 // Applicable reports whether scheme applies to ds — the Table 2 facts the
@@ -43,8 +43,10 @@ func Applicable(ds, scheme string) bool {
 	case "rc":
 		// kvmap (the kvsvc service store) additionally excludes RC: its
 		// long-lived worker handles would retain cross-bucket traces that
-		// never drain promptly (see kvsvc.Schemes).
-		return ds != "efrbtree" && ds != "nmtree" && ds != "kvmap"
+		// never drain promptly (see kvsvc.Schemes). somap inherits the
+		// same exclusion — it is the kvsvc engine, and its permanent
+		// dummy chain would keep every retired neighbour's trace alive.
+		return ds != "efrbtree" && ds != "nmtree" && ds != "kvmap" && ds != "somap"
 	}
 	return true
 }
@@ -118,6 +120,8 @@ func NewTarget(ds, scheme string, mode arena.Mode) (Target, error) {
 		return newHHSListTarget(scheme, mode)
 	case "hashmap":
 		return newHashMapTarget(scheme, mode)
+	case "somap":
+		return newSomapTarget(scheme, mode)
 	case "skiplist":
 		return newSkipListTarget(scheme, mode)
 	case "nmtree":

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/ds/hmlist"
+	"github.com/gosmr/gosmr/internal/ds/somap"
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+// Somap target knobs, read at target construction like FixedReclaimEvery.
+// The defaults give a small map that still grows under bench workloads;
+// the stress harness's resize-storm fault sets them to (2, 1) so
+// directory doublings and dummy splices happen constantly while faults
+// are injected.
+var (
+	// SomapInitialBuckets is the initial directory size for new somap
+	// targets (rounded up to a power of two).
+	SomapInitialBuckets = 64
+	// SomapMaxLoad is the items-per-bucket threshold that doubles the
+	// directory.
+	SomapMaxLoad = 4
+)
+
+func somapCfg() somap.Config {
+	return somap.Config{InitialBuckets: SomapInitialBuckets, MaxLoad: SomapMaxLoad}
+}
+
+func newSomapTarget(scheme string, mode arena.Mode) (Target, error) {
+	t := Target{DS: "somap", Scheme: scheme}
+	switch scheme {
+	case "nr", "ebr", "pebr", UnsafeScheme:
+		gd, d := guardDomain(scheme)
+		pool := hhslist.NewPool(mode)
+		m := somap.NewMapCS(pool, somapCfg())
+		var hs []*somap.HandleCS
+		t.NewHandle = func() Handle {
+			h := m.NewHandleCS(gd)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			var gs []smr.Guard
+			for _, h := range hs {
+				gs = append(gs, h.Guard())
+			}
+			drainGuards(gs)
+		}
+		t.Unreclaimed = d.Unreclaimed
+		t.PeakUnreclaimed = d.PeakUnreclaimed
+		t.Stats = d.Stats
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Pools = []PoolInfo{pool}
+		t.Agitate = agitatorFor(d)
+	case "hp":
+		dom := newHPDomain()
+		pool := hmlist.NewPool(mode)
+		m := somap.NewMapHP(pool, somapCfg())
+		var hs []*somap.HandleHP
+		t.NewHandle = func() Handle {
+			h := m.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
+	case "hp++", "hp++ef":
+		dom := newHPPDomain(scheme == "hp++ef")
+		pool := hhslist.NewPool(mode)
+		m := somap.NewMapHPP(pool, somapCfg())
+		var hs []*somap.HandleHPP
+		t.NewHandle = func() Handle {
+			h := m.NewHandleHPP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Pools = []PoolInfo{pool}
+	default:
+		return t, fmt.Errorf("bench: scheme %q not applicable to somap", scheme)
+	}
+	return t, nil
+}

@@ -28,6 +28,18 @@ type ListCS struct {
 // NewListCS creates an empty list over pool.
 func NewListCS(pool Pool) *ListCS { return &ListCS{pool: pool} }
 
+// linkOf returns the link to traverse from: the list head for start 0,
+// otherwise the next field of the start node. The *From operations
+// require that a non-zero start refers to a sentinel — a node the caller
+// guarantees is never marked, unlinked, or freed — so the link is as
+// stable an entry point as the head itself.
+func (l *ListCS) linkOf(start uint64) *atomic.Uint64 {
+	if start == 0 {
+		return &l.head
+	}
+	return &l.pool.Deref(start).next
+}
+
 // NewHandleCS returns a per-worker handle using guards from dom.
 func (l *ListCS) NewHandleCS(dom smr.GuardDomain) *HandleCS {
 	return &HandleCS{l: l, g: dom.NewGuard(csSlots)}
@@ -57,13 +69,14 @@ func (h *HandleCS) restart() {
 	h.g.Pin()
 }
 
-// search is the Harris traversal with anchor-based chain unlinking.
+// search is the Harris traversal with anchor-based chain unlinking,
+// entering the list at start (0 = head) and locating the (key, aux) pair.
 // Restarts internally on interference or guard neutralization.
-func (h *HandleCS) search(key uint64) posCS {
+func (h *HandleCS) search(key, aux, start uint64) posCS {
 	l, g := h.l, h.g
 retry:
-	prevLink := &l.head
-	prevRef := uint64(0)
+	prevLink := l.linkOf(start)
+	prevRef := start
 	cur := tagptr.RefOf(prevLink.Load())
 
 	anchorRef := uint64(0)
@@ -83,7 +96,7 @@ retry:
 		nextW := node.next.Load()
 		next := tagptr.RefOf(nextW)
 		if !tagptr.IsMarked(nextW) {
-			if node.key < key {
+			if pairBefore(node.key, node.aux, key, aux) {
 				if !g.Track(csPrev, cur) {
 					h.restart()
 					goto retry
@@ -93,7 +106,7 @@ retry:
 				cur = next
 				continue
 			}
-			found = node.key == key
+			found = node.key == key && node.aux == aux
 			break
 		}
 		if anchorLink == nil {
@@ -132,11 +145,15 @@ retry:
 // Get is the wait-free Herlihy-Shavit read: no helping, marks ignored
 // while traversing. (Wait-free for EBR/NR; PEBR's ejection can force a
 // restart, making it lock-free, per §4.3.)
-func (h *HandleCS) Get(key uint64) (uint64, bool) {
+func (h *HandleCS) Get(key uint64) (uint64, bool) { return h.GetFrom(0, key, 0) }
+
+// GetFrom is Get entering the list at the sentinel start (0 = head) and
+// matching the (key, aux) pair.
+func (h *HandleCS) GetFrom(start, key, aux uint64) (uint64, bool) {
 	h.g.Pin()
 	defer h.g.Unpin()
 retry:
-	cur := tagptr.RefOf(h.l.head.Load())
+	cur := tagptr.RefOf(h.l.linkOf(start).Load())
 	for cur != 0 {
 		if !h.g.Track(csCur, cur) {
 			h.restart()
@@ -144,8 +161,8 @@ retry:
 		}
 		node := h.l.pool.Deref(cur)
 		nextW := node.next.Load()
-		if node.key >= key {
-			if node.key == key && !tagptr.IsMarked(nextW) {
+		if !pairBefore(node.key, node.aux, key, aux) {
+			if node.key == key && node.aux == aux && !tagptr.IsMarked(nextW) {
 				return node.val, true
 			}
 			return 0, false
@@ -156,16 +173,20 @@ retry:
 }
 
 // Insert adds key→val; it fails if key is already present.
-func (h *HandleCS) Insert(key, val uint64) bool {
+func (h *HandleCS) Insert(key, val uint64) bool { return h.InsertFrom(0, key, 0, val) }
+
+// InsertFrom is Insert entering the list at the sentinel start (0 = head)
+// with the full (key, aux) ordering pair.
+func (h *HandleCS) InsertFrom(start, key, aux, val uint64) bool {
 	h.g.Pin()
 	defer h.g.Unpin()
 	for {
-		pos := h.search(key)
+		pos := h.search(key, aux, start)
 		if pos.found {
 			return false
 		}
 		ref, n := h.l.pool.Alloc()
-		n.key, n.val = key, val
+		n.key, n.aux, n.val = key, aux, val
 		n.next.Store(tagptr.Pack(pos.cur, 0))
 		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
 			return true
@@ -174,12 +195,40 @@ func (h *HandleCS) Insert(key, val uint64) bool {
 	}
 }
 
-// Delete removes key, reporting whether it was present.
-func (h *HandleCS) Delete(key uint64) bool {
+// EnsureFrom returns the node holding (key, aux=0), inserting it with a
+// zero value if absent — the get-or-insert hook behind somap's dummy
+// nodes. Insertion races converge on a single winner, so every caller
+// sees the same ref. The returned node must be treated as a sentinel:
+// callers must never Delete it, which is what keeps the ref (and *From
+// traversals through it) stable forever.
+func (h *HandleCS) EnsureFrom(start, key uint64) uint64 {
 	h.g.Pin()
 	defer h.g.Unpin()
 	for {
-		pos := h.search(key)
+		pos := h.search(key, 0, start)
+		if pos.found {
+			return pos.cur
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.aux, n.val = key, 0, 0
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return ref
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleCS) Delete(key uint64) bool { return h.DeleteFrom(0, key, 0) }
+
+// DeleteFrom is Delete entering the list at the sentinel start (0 = head)
+// and matching the (key, aux) pair.
+func (h *HandleCS) DeleteFrom(start, key, aux uint64) bool {
+	h.g.Pin()
+	defer h.g.Unpin()
+	for {
+		pos := h.search(key, aux, start)
 		if !pos.found {
 			return false
 		}

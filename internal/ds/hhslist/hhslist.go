@@ -27,11 +27,22 @@ import (
 )
 
 // Node is a list node. The next word packs the successor with Mark
-// (logical deletion) and Invalid (HP++) bits.
+// (logical deletion) and Invalid (HP++) bits. Nodes are ordered by the
+// (key, aux) pair: plain list usage leaves aux zero, while the
+// split-ordered map (internal/ds/somap) stores the bit-reversed hash in
+// key and the full user key in aux, restoring injectivity when two hashes
+// collapse onto the same split-order key.
 type Node struct {
 	next atomic.Uint64
 	key  uint64
+	aux  uint64
 	val  uint64
+}
+
+// pairBefore reports whether (k1, a1) orders strictly before (k2, a2) in
+// the list's lexicographic (key, aux) order.
+func pairBefore(k1, a1, k2, a2 uint64) bool {
+	return k1 < k2 || (k1 == k2 && a1 < a2)
 }
 
 // Pool allocates list nodes and implements core.Invalidator.
@@ -53,6 +64,9 @@ func (p Pool) Invalidate(ref uint64) {
 
 // Key returns ref's key (for tests).
 func (p Pool) Key(ref uint64) uint64 { return p.Deref(ref).key }
+
+// Aux returns ref's aux word (for tests).
+func (p Pool) Aux(ref uint64) uint64 { return p.Deref(ref).aux }
 
 // NextWord returns ref's raw next word (for tests).
 func (p Pool) NextWord(ref uint64) tagptr.Word { return p.Deref(ref).next.Load() }

@@ -311,7 +311,7 @@ func TestChainUnlinkIsSingleCAS(t *testing.T) {
 		t.Fatal("get(8) failed")
 	}
 	h.g.Pin()
-	pos := h.search(8)
+	pos := h.search(8, 0, 0)
 	h.g.Unpin()
 	if !pos.found {
 		t.Fatal("search(8) did not find 8")

@@ -28,6 +28,18 @@ type ListHPP struct {
 // NewListHPP creates an empty list over pool.
 func NewListHPP(pool Pool) *ListHPP { return &ListHPP{pool: pool} }
 
+// linkOf returns the link to traverse from: the list head for start 0,
+// otherwise the next field of the start node. A non-zero start must be a
+// sentinel — never marked, unlinked, invalidated, or freed — which is why
+// the first TryProtect below may pass a nil srcInvalid for it exactly as
+// it does for the head.
+func (l *ListHPP) linkOf(start uint64) *atomic.Uint64 {
+	if start == 0 {
+		return &l.head
+	}
+	return &l.pool.Deref(start).next
+}
+
 // NewHandleHPP returns a per-worker handle.
 func (l *ListHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
 	return &HandleHPP{l: l, t: dom.NewThread(hppSlots)}
@@ -57,11 +69,11 @@ type posHPP struct {
 // and unlink the chain immediately preceding the destination with one
 // TryUnlink. ok=false means a protection failed or an unlink raced; the
 // caller must restart.
-func (h *HandleHPP) trySearch(key uint64) (posHPP, bool) {
+func (h *HandleHPP) trySearch(key, aux, start uint64) (posHPP, bool) {
 	l, t := h.l, h.t
-	prevLink := &l.head
-	var prevInv *atomic.Uint64 // head is never invalidated
-	prevRef := uint64(0)
+	prevLink := l.linkOf(start)
+	var prevInv *atomic.Uint64 // head and sentinels are never invalidated
+	prevRef := start
 	cur := tagptr.RefOf(prevLink.Load())
 
 	anchorRef := uint64(0)
@@ -83,14 +95,14 @@ func (h *HandleHPP) trySearch(key uint64) (posHPP, bool) {
 		nextW := node.next.Load()
 		next := tagptr.RefOf(nextW)
 		if !tagptr.IsMarked(nextW) {
-			if node.key < key {
+			if pairBefore(node.key, node.aux, key, aux) {
 				prevRef, prevLink, prevInv = cur, &node.next, &node.next
 				t.Swap(hpCur, hpPrev)
 				anchorRef, anchorLink, anchorNext = 0, nil, 0
 				cur = next
 				continue
 			}
-			found = node.key == key
+			found = node.key == key && node.aux == aux
 			break
 		}
 		// cur is logically deleted: step through it optimistically.
@@ -145,11 +157,15 @@ func (h *HandleHPP) trySearch(key uint64) (posHPP, bool) {
 // Get is the Herlihy-Shavit read: it walks straight through marked nodes
 // without helping. Under HP++ each hop needs a TryProtect, so it is
 // lock-free rather than wait-free (§4.3 of the paper).
-func (h *HandleHPP) Get(key uint64) (uint64, bool) {
+func (h *HandleHPP) Get(key uint64) (uint64, bool) { return h.GetFrom(0, key, 0) }
+
+// GetFrom is Get entering the list at the sentinel start (0 = head) and
+// matching the (key, aux) pair.
+func (h *HandleHPP) GetFrom(start, key, aux uint64) (uint64, bool) {
 	l, t := h.l, h.t
 	defer t.ClearAll()
 retry:
-	prevLink := &l.head
+	prevLink := l.linkOf(start)
 	var prevInv *atomic.Uint64
 	cur := tagptr.RefOf(prevLink.Load())
 	for {
@@ -164,8 +180,8 @@ retry:
 		}
 		node := l.pool.Deref(cur)
 		nextW := node.next.Load()
-		if node.key >= key {
-			if node.key == key && !tagptr.IsMarked(nextW) {
+		if !pairBefore(node.key, node.aux, key, aux) {
+			if node.key == key && node.aux == aux && !tagptr.IsMarked(nextW) {
 				return node.val, true
 			}
 			return 0, false
@@ -177,10 +193,14 @@ retry:
 }
 
 // Insert adds key→val; it fails if key is already present.
-func (h *HandleHPP) Insert(key, val uint64) bool {
+func (h *HandleHPP) Insert(key, val uint64) bool { return h.InsertFrom(0, key, 0, val) }
+
+// InsertFrom is Insert entering the list at the sentinel start (0 = head)
+// with the full (key, aux) ordering pair.
+func (h *HandleHPP) InsertFrom(start, key, aux, val uint64) bool {
 	defer h.t.ClearAll()
 	for {
-		pos, ok := h.trySearch(key)
+		pos, ok := h.trySearch(key, aux, start)
 		if !ok {
 			continue
 		}
@@ -188,7 +208,7 @@ func (h *HandleHPP) Insert(key, val uint64) bool {
 			return false
 		}
 		ref, n := h.l.pool.Alloc()
-		n.key, n.val = key, val
+		n.key, n.aux, n.val = key, aux, val
 		n.next.Store(tagptr.Pack(pos.cur, 0))
 		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
 			return true
@@ -197,11 +217,41 @@ func (h *HandleHPP) Insert(key, val uint64) bool {
 	}
 }
 
-// Delete removes key, reporting whether it was present.
-func (h *HandleHPP) Delete(key uint64) bool {
+// EnsureFrom returns the node holding (key, aux=0), inserting it with a
+// zero value if absent — the get-or-insert hook behind somap's dummy
+// nodes. Insertion races converge on a single winner, so every caller
+// sees the same ref. The returned node must be treated as a sentinel:
+// callers must never Delete it, so the ref outlives the protections
+// dropped by ClearAll on return.
+func (h *HandleHPP) EnsureFrom(start, key uint64) uint64 {
 	defer h.t.ClearAll()
 	for {
-		pos, ok := h.trySearch(key)
+		pos, ok := h.trySearch(key, 0, start)
+		if !ok {
+			continue
+		}
+		if pos.found {
+			return pos.cur
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.aux, n.val = key, 0, 0
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return ref
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHPP) Delete(key uint64) bool { return h.DeleteFrom(0, key, 0) }
+
+// DeleteFrom is Delete entering the list at the sentinel start (0 = head)
+// and matching the (key, aux) pair.
+func (h *HandleHPP) DeleteFrom(start, key, aux uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos, ok := h.trySearch(key, aux, start)
 		if !ok {
 			continue
 		}

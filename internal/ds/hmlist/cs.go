@@ -109,7 +109,7 @@ func (h *HandleCS) Insert(key, val uint64) bool {
 			return false
 		}
 		ref, n := h.l.pool.Alloc()
-		n.key, n.val = key, val
+		n.key, n.aux, n.val = key, 0, val
 		n.next.Store(tagptr.Pack(pos.cur, 0))
 		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
 			return true

@@ -22,11 +22,22 @@ import (
 )
 
 // Node is a list node. The next word packs the successor reference with
-// the Mark (logical deletion) and, for HP++, Invalid bits.
+// the Mark (logical deletion) and, for HP++, Invalid bits. Nodes are
+// ordered by the (key, aux) pair: plain list usage leaves aux zero, while
+// the split-ordered map (internal/ds/somap) stores the bit-reversed hash
+// in key and the full user key in aux, restoring injectivity when two
+// hashes collapse onto the same split-order key.
 type Node struct {
 	next atomic.Uint64
 	key  uint64
+	aux  uint64
 	val  uint64
+}
+
+// pairBefore reports whether (k1, a1) orders strictly before (k2, a2) in
+// the list's lexicographic (key, aux) order.
+func pairBefore(k1, a1, k2, a2 uint64) bool {
+	return k1 < k2 || (k1 == k2 && a1 < a2)
 }
 
 // Pool allocates list nodes and implements core.Invalidator.

@@ -21,6 +21,17 @@ type ListHP struct {
 // NewListHP creates an empty list over pool.
 func NewListHP(pool Pool) *ListHP { return &ListHP{pool: pool} }
 
+// linkOf returns the link to traverse from: the list head for start 0,
+// otherwise the next field of the start node. A non-zero start must be a
+// sentinel — never marked, unlinked, or freed — so validating against its
+// link is as sound as validating against the head.
+func (l *ListHP) linkOf(start uint64) *atomic.Uint64 {
+	if start == 0 {
+		return &l.head
+	}
+	return &l.pool.Deref(start).next
+}
+
 // Hazard slot indices.
 const (
 	hpPrev  = 0
@@ -56,10 +67,10 @@ type posHP struct {
 // find locates key with validated hand-over-hand protection. On return,
 // cur (if non-zero) is protected by slot hpCur and the node containing
 // prev by slot hpPrev.
-func (h *HandleHP) find(key uint64) posHP {
+func (h *HandleHP) find(key, aux, start uint64) posHP {
 	l, t := h.l, h.t
 retry:
-	prev := &l.head
+	prev := l.linkOf(start)
 	cur := tagptr.RefOf(prev.Load())
 	for cur != 0 {
 		// Protect cur and validate: prev must still hold cur untagged.
@@ -82,8 +93,9 @@ retry:
 			cur = next
 			continue
 		}
-		if curNode.key >= key {
-			return posHP{prev: prev, cur: cur, next: next, found: curNode.key == key}
+		if !pairBefore(curNode.key, curNode.aux, key, aux) {
+			return posHP{prev: prev, cur: cur, next: next,
+				found: curNode.key == key && curNode.aux == aux}
 		}
 		prev = &curNode.next
 		t.Swap(hpPrev, hpCur)
@@ -93,8 +105,12 @@ retry:
 }
 
 // Get returns the value stored under key.
-func (h *HandleHP) Get(key uint64) (uint64, bool) {
-	pos := h.find(key)
+func (h *HandleHP) Get(key uint64) (uint64, bool) { return h.GetFrom(0, key, 0) }
+
+// GetFrom is Get entering the list at the sentinel start (0 = head) and
+// matching the (key, aux) pair.
+func (h *HandleHP) GetFrom(start, key, aux uint64) (uint64, bool) {
+	pos := h.find(key, aux, start)
 	defer h.t.ClearAll()
 	if !pos.found {
 		return 0, false
@@ -103,15 +119,19 @@ func (h *HandleHP) Get(key uint64) (uint64, bool) {
 }
 
 // Insert adds key→val; it fails if key is already present.
-func (h *HandleHP) Insert(key, val uint64) bool {
+func (h *HandleHP) Insert(key, val uint64) bool { return h.InsertFrom(0, key, 0, val) }
+
+// InsertFrom is Insert entering the list at the sentinel start (0 = head)
+// with the full (key, aux) ordering pair.
+func (h *HandleHP) InsertFrom(start, key, aux, val uint64) bool {
 	defer h.t.ClearAll()
 	for {
-		pos := h.find(key)
+		pos := h.find(key, aux, start)
 		if pos.found {
 			return false
 		}
 		ref, n := h.l.pool.Alloc()
-		n.key, n.val = key, val
+		n.key, n.aux, n.val = key, aux, val
 		n.next.Store(tagptr.Pack(pos.cur, 0))
 		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
 			return true
@@ -120,11 +140,37 @@ func (h *HandleHP) Insert(key, val uint64) bool {
 	}
 }
 
-// Delete removes key, reporting whether it was present.
-func (h *HandleHP) Delete(key uint64) bool {
+// EnsureFrom returns the node holding (key, aux=0), inserting it with a
+// zero value if absent — the get-or-insert hook behind somap's dummy
+// nodes. Insertion races converge on a single winner, so every caller
+// sees the same ref. The returned node must be treated as a sentinel:
+// callers must never Delete it, which keeps the ref stable forever.
+func (h *HandleHP) EnsureFrom(start, key uint64) uint64 {
 	defer h.t.ClearAll()
 	for {
-		pos := h.find(key)
+		pos := h.find(key, 0, start)
+		if pos.found {
+			return pos.cur
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.aux, n.val = key, 0, 0
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prev.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return ref
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHP) Delete(key uint64) bool { return h.DeleteFrom(0, key, 0) }
+
+// DeleteFrom is Delete entering the list at the sentinel start (0 = head)
+// and matching the (key, aux) pair.
+func (h *HandleHP) DeleteFrom(start, key, aux uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos := h.find(key, aux, start)
 		if !pos.found {
 			return false
 		}

@@ -1,0 +1,89 @@
+package somap
+
+import (
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+// MapCS is the split-ordered map for critical-section schemes (EBR,
+// PEBR, NR — and the unsafefree control), over one HHS list.
+type MapCS struct {
+	dir  directory
+	list *hhslist.ListCS
+}
+
+// NewMapCS creates a map over pool.
+func NewMapCS(pool hhslist.Pool, cfg Config) *MapCS {
+	m := &MapCS{list: hhslist.NewListCS(pool)}
+	m.dir.init(cfg.withDefaults())
+	return m
+}
+
+// Buckets returns the current directory size.
+func (m *MapCS) Buckets() uint64 { return m.dir.Buckets() }
+
+// Len returns the current item count.
+func (m *MapCS) Len() int64 { return m.dir.Len() }
+
+// NewHandleCS returns a per-worker handle.
+func (m *MapCS) NewHandleCS(dom smr.GuardDomain) *HandleCS {
+	return &HandleCS{m: m, h: m.list.NewHandleCS(dom)}
+}
+
+// HandleCS is a per-worker handle; not safe for concurrent use.
+type HandleCS struct {
+	m *MapCS
+	h *hhslist.HandleCS
+}
+
+// Guard exposes the underlying guard.
+func (h *HandleCS) Guard() smr.Guard { return h.h.Guard() }
+
+// bucket returns the dummy ref of the bucket owning hash, initializing
+// the bucket (and, recursively, its ancestors) on first touch.
+func (h *HandleCS) bucket(hash uint64) uint64 {
+	b := h.m.dir.bucketOf(hash)
+	if r := h.m.dir.load(b); r != 0 {
+		return r
+	}
+	return h.initBucket(b)
+}
+
+func (h *HandleCS) initBucket(b uint64) uint64 {
+	if r := h.m.dir.load(b); r != 0 {
+		return r
+	}
+	start := uint64(0)
+	if b != 0 {
+		start = h.initBucket(parentBucket(b))
+	}
+	ref := h.h.EnsureFrom(start, soDummy(b))
+	h.m.dir.publish(b, ref)
+	return ref
+}
+
+// Get returns the value stored under key.
+func (h *HandleCS) Get(key uint64) (uint64, bool) {
+	hv := mix(key)
+	return h.h.GetFrom(h.bucket(hv), soRegular(hv), key)
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleCS) Insert(key, val uint64) bool {
+	hv := mix(key)
+	if !h.h.InsertFrom(h.bucket(hv), soRegular(hv), key, val) {
+		return false
+	}
+	h.m.dir.added()
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleCS) Delete(key uint64) bool {
+	hv := mix(key)
+	if !h.h.DeleteFrom(h.bucket(hv), soRegular(hv), key) {
+		return false
+	}
+	h.m.dir.removed()
+	return true
+}

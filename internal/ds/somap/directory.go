@@ -1,0 +1,73 @@
+package somap
+
+import "sync/atomic"
+
+// segment is one CAS-published block of the bucket directory. Entries
+// are dummy-node refs; 0 means the bucket is not initialized yet.
+type segment [segSize]atomic.Uint64
+
+// directory is the resizable part of the map: a fixed array of segment
+// pointers (so growth never copies anything), the current power-of-two
+// bucket count, and the item count that drives doubling. It is shared
+// verbatim by every scheme variant.
+type directory struct {
+	size    atomic.Uint64
+	count   atomic.Int64
+	maxLoad uint64
+	segs    [maxSegs]atomic.Pointer[segment]
+}
+
+func (d *directory) init(cfg Config) {
+	d.size.Store(uint64(cfg.InitialBuckets))
+	d.maxLoad = uint64(cfg.MaxLoad)
+}
+
+// bucketOf maps a hash to its bucket under the current size. The size
+// may double concurrently; using a stale (smaller) size is always safe —
+// the stale bucket's run is a superset of the current one and its dummy
+// still precedes every key it routed.
+func (d *directory) bucketOf(h uint64) uint64 { return h & (d.size.Load() - 1) }
+
+// load returns bucket b's dummy ref, or 0 if not yet initialized.
+func (d *directory) load(b uint64) uint64 {
+	seg := d.segs[b>>segBits].Load()
+	if seg == nil {
+		return 0
+	}
+	return seg[b&(segSize-1)].Load()
+}
+
+// publish records bucket b's dummy ref. All initializers of b converge
+// on the same ref (the list's get-or-insert has a single winner), so the
+// entry CAS races are benign: first writer wins, the rest agree.
+func (d *directory) publish(b, ref uint64) {
+	si := b >> segBits
+	seg := d.segs[si].Load()
+	if seg == nil {
+		d.segs[si].CompareAndSwap(nil, new(segment))
+		seg = d.segs[si].Load()
+	}
+	seg[b&(segSize-1)].CompareAndSwap(0, ref)
+}
+
+// added bumps the item count after a successful insert and publishes a
+// doubled size when the load factor is crossed. One CAS suffices: a lost
+// race means some other inserter already doubled to the same value.
+func (d *directory) added() {
+	n := d.count.Add(1)
+	sz := d.size.Load()
+	if uint64(n) > sz*d.maxLoad && sz < MaxBuckets {
+		d.size.CompareAndSwap(sz, sz<<1)
+	}
+}
+
+// removed drops the item count after a successful delete. The directory
+// never shrinks (standard for split-ordered lists: dummies are
+// permanent), so there is no downsizing counterpart.
+func (d *directory) removed() { d.count.Add(-1) }
+
+// Buckets returns the current directory size (for tests and stats).
+func (d *directory) Buckets() uint64 { return d.size.Load() }
+
+// Len returns the current item count (for tests and stats).
+func (d *directory) Len() int64 { return d.count.Load() }

@@ -1,0 +1,131 @@
+package somap
+
+import (
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/ds/hmlist"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nr"
+	"github.com/gosmr/gosmr/internal/pebr"
+)
+
+// applyOps decodes ops (3 bytes each: selector, key, value) against both
+// h and a reference map[uint64]uint64, failing on the first divergence.
+// Selector 0xF* inserts a fresh never-before-seen key instead of a
+// small-space key, so fuzz inputs can force directory growth at will;
+// the small key space (64) keeps the rest of the ops colliding hard.
+func applyOps(t *testing.T, h mapHandle, ops []byte) {
+	t.Helper()
+	ref := map[uint64]uint64{}
+	fresh := uint64(0)
+	for i := 0; i+2 < len(ops); i += 3 {
+		sel, kb, vb := ops[i], ops[i+1], ops[i+2]
+		k := uint64(kb % 64)
+		if sel >= 0xF0 {
+			// Forced grow: a unique key far above the shared space.
+			k = 1<<32 | fresh
+			fresh++
+		}
+		switch sel % 3 {
+		case 0:
+			v := uint64(vb) + 1
+			if got := h.Insert(k, v); got != !keyIn(ref, k) {
+				t.Fatalf("op %d: Insert(%d) = %v, ref has key: %v", i/3, k, got, keyIn(ref, k))
+			}
+			if !keyIn(ref, k) {
+				ref[k] = v
+			}
+		case 1:
+			gotV, gotOK := h.Get(k)
+			wantV, wantOK := ref[k], keyIn(ref, k)
+			if gotOK != wantOK || (gotOK && gotV != wantV) {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", i/3, k, gotV, gotOK, wantV, wantOK)
+			}
+		default:
+			if got := h.Delete(k); got != keyIn(ref, k) {
+				t.Fatalf("op %d: Delete(%d) = %v, ref has key: %v", i/3, k, got, keyIn(ref, k))
+			}
+			delete(ref, k)
+		}
+	}
+	for k, v := range ref {
+		if gotV, ok := h.Get(k); !ok || gotV != v {
+			t.Fatalf("final Get(%d) = (%d,%v), want (%d,true)", k, gotV, ok, v)
+		}
+	}
+}
+
+// FuzzOpsVsReference feeds arbitrary op tapes through a storm-configured
+// HP++ map (2 buckets, load factor 1 — every fuzz input that nets
+// inserts crosses doublings) and cross-checks every result against a
+// Go map.
+func FuzzOpsVsReference(f *testing.F) {
+	f.Add([]byte{0x00, 1, 1, 0x01, 1, 0, 0x02, 1, 0})
+	f.Add([]byte{0xF0, 0, 1, 0xF0, 0, 2, 0xF0, 0, 3, 0x01, 0, 0})
+	// A grow-then-churn tape: fresh inserts interleaved with small-space
+	// inserts, gets and deletes.
+	var tape []byte
+	for i := byte(0); i < 60; i++ {
+		tape = append(tape, 0xF0, 0, i, i, i, i, i+1, i, i)
+	}
+	f.Add(tape)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		m := NewMapHPP(hhslist.NewPool(arena.ModeDetect), stormCfg)
+		dom := core.NewDomain(core.Options{})
+		h := m.NewHandleHPP(dom)
+		applyOps(t, h, ops)
+		h.Thread().Finish()
+		dom.NewThread(0).Reclaim()
+		if unr := dom.Unreclaimed(); unr != 0 {
+			t.Fatalf("%d nodes unreclaimed after drain", unr)
+		}
+	})
+}
+
+// TestQuickCheckAllVariants is the seeded quick-check table: randomized
+// op tapes (several seeds, storm config) against every scheme variant,
+// cross-checked op-for-op against a Go map.
+func TestQuickCheckAllVariants(t *testing.T) {
+	tapes := make([][]byte, 0, 4)
+	for seed := uint64(1); seed <= 4; seed++ {
+		r := rng{s: seed * 0xC0FFEE}
+		tape := make([]byte, 3*1500)
+		for i := range tape {
+			tape[i] = byte(r.next())
+		}
+		tapes = append(tapes, tape)
+	}
+	newHandles := map[string]func() mapHandle{
+		"ebr": func() mapHandle {
+			return NewMapCS(hhslist.NewPool(arena.ModeDetect), stormCfg).NewHandleCS(ebr.NewDomain())
+		},
+		"pebr": func() mapHandle {
+			return NewMapCS(hhslist.NewPool(arena.ModeDetect), stormCfg).NewHandleCS(pebr.NewDomain())
+		},
+		"nr": func() mapHandle {
+			return NewMapCS(hhslist.NewPool(arena.ModeDetect), stormCfg).NewHandleCS(nr.NewDomain())
+		},
+		"hp": func() mapHandle {
+			return NewMapHP(hmlist.NewPool(arena.ModeDetect), stormCfg).NewHandleHP(hp.NewDomain())
+		},
+		"hp++": func() mapHandle {
+			return NewMapHPP(hhslist.NewPool(arena.ModeDetect), stormCfg).NewHandleHPP(core.NewDomain(core.Options{}))
+		},
+		"hp++ef": func() mapHandle {
+			return NewMapHPP(hhslist.NewPool(arena.ModeDetect), stormCfg).NewHandleHPP(core.NewDomain(core.Options{EpochFence: true}))
+		},
+	}
+	for name, mk := range newHandles {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			for _, tape := range tapes {
+				h := mk()
+				applyOps(t, h, tape)
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package somap
+
+import (
+	"github.com/gosmr/gosmr/internal/ds/hmlist"
+	"github.com/gosmr/gosmr/internal/hp"
+)
+
+// MapHP is the split-ordered map under original hazard pointers, over
+// one Harris-Michael list (HHS lists are not HP-compatible). Validation
+// against a dummy's next field is as sound as against the head: dummies
+// are never marked or unlinked, so "the previous link still holds cur,
+// untagged" retains its meaning at every entry point.
+type MapHP struct {
+	dir  directory
+	list *hmlist.ListHP
+}
+
+// NewMapHP creates a map over pool.
+func NewMapHP(pool hmlist.Pool, cfg Config) *MapHP {
+	m := &MapHP{list: hmlist.NewListHP(pool)}
+	m.dir.init(cfg.withDefaults())
+	return m
+}
+
+// Buckets returns the current directory size.
+func (m *MapHP) Buckets() uint64 { return m.dir.Buckets() }
+
+// Len returns the current item count.
+func (m *MapHP) Len() int64 { return m.dir.Len() }
+
+// NewHandleHP returns a per-worker handle.
+func (m *MapHP) NewHandleHP(dom *hp.Domain) *HandleHP {
+	return &HandleHP{m: m, h: m.list.NewHandleHP(dom)}
+}
+
+// HandleHP is a per-worker handle; not safe for concurrent use.
+type HandleHP struct {
+	m *MapHP
+	h *hmlist.HandleHP
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleHP) Thread() *hp.Thread { return h.h.Thread() }
+
+// bucket returns the dummy ref of the bucket owning hash, initializing
+// the bucket (and, recursively, its ancestors) on first touch.
+func (h *HandleHP) bucket(hash uint64) uint64 {
+	b := h.m.dir.bucketOf(hash)
+	if r := h.m.dir.load(b); r != 0 {
+		return r
+	}
+	return h.initBucket(b)
+}
+
+func (h *HandleHP) initBucket(b uint64) uint64 {
+	if r := h.m.dir.load(b); r != 0 {
+		return r
+	}
+	start := uint64(0)
+	if b != 0 {
+		start = h.initBucket(parentBucket(b))
+	}
+	ref := h.h.EnsureFrom(start, soDummy(b))
+	h.m.dir.publish(b, ref)
+	return ref
+}
+
+// Get returns the value stored under key.
+func (h *HandleHP) Get(key uint64) (uint64, bool) {
+	hv := mix(key)
+	return h.h.GetFrom(h.bucket(hv), soRegular(hv), key)
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHP) Insert(key, val uint64) bool {
+	hv := mix(key)
+	if !h.h.InsertFrom(h.bucket(hv), soRegular(hv), key, val) {
+		return false
+	}
+	h.m.dir.added()
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHP) Delete(key uint64) bool {
+	hv := mix(key)
+	if !h.h.DeleteFrom(h.bucket(hv), soRegular(hv), key) {
+		return false
+	}
+	h.m.dir.removed()
+	return true
+}

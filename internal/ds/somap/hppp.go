@@ -1,0 +1,94 @@
+package somap
+
+import (
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+)
+
+// MapHPP is the split-ordered map under HP++, over one HHS list. The
+// traversal entering at a bucket's dummy is the paper's Algorithm 4
+// unchanged: the dummy is never invalidated, so the first TryProtect
+// treats it exactly like the list head, and chain unlinks racing a
+// parked reader are covered by the frontier protection + deferred
+// invalidation machinery regardless of which shortcut the reader came
+// through.
+type MapHPP struct {
+	dir  directory
+	list *hhslist.ListHPP
+}
+
+// NewMapHPP creates a map over pool.
+func NewMapHPP(pool hhslist.Pool, cfg Config) *MapHPP {
+	m := &MapHPP{list: hhslist.NewListHPP(pool)}
+	m.dir.init(cfg.withDefaults())
+	return m
+}
+
+// Buckets returns the current directory size.
+func (m *MapHPP) Buckets() uint64 { return m.dir.Buckets() }
+
+// Len returns the current item count.
+func (m *MapHPP) Len() int64 { return m.dir.Len() }
+
+// NewHandleHPP returns a per-worker handle.
+func (m *MapHPP) NewHandleHPP(dom *core.Domain) *HandleHPP {
+	return &HandleHPP{m: m, h: m.list.NewHandleHPP(dom)}
+}
+
+// HandleHPP is a per-worker handle; not safe for concurrent use.
+type HandleHPP struct {
+	m *MapHPP
+	h *hhslist.HandleHPP
+}
+
+// Thread exposes the underlying HP++ thread.
+func (h *HandleHPP) Thread() *core.Thread { return h.h.Thread() }
+
+// bucket returns the dummy ref of the bucket owning hash, initializing
+// the bucket (and, recursively, its ancestors) on first touch.
+func (h *HandleHPP) bucket(hash uint64) uint64 {
+	b := h.m.dir.bucketOf(hash)
+	if r := h.m.dir.load(b); r != 0 {
+		return r
+	}
+	return h.initBucket(b)
+}
+
+func (h *HandleHPP) initBucket(b uint64) uint64 {
+	if r := h.m.dir.load(b); r != 0 {
+		return r
+	}
+	start := uint64(0)
+	if b != 0 {
+		start = h.initBucket(parentBucket(b))
+	}
+	ref := h.h.EnsureFrom(start, soDummy(b))
+	h.m.dir.publish(b, ref)
+	return ref
+}
+
+// Get returns the value stored under key.
+func (h *HandleHPP) Get(key uint64) (uint64, bool) {
+	hv := mix(key)
+	return h.h.GetFrom(h.bucket(hv), soRegular(hv), key)
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleHPP) Insert(key, val uint64) bool {
+	hv := mix(key)
+	if !h.h.InsertFrom(h.bucket(hv), soRegular(hv), key, val) {
+		return false
+	}
+	h.m.dir.added()
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleHPP) Delete(key uint64) bool {
+	hv := mix(key)
+	if !h.h.DeleteFrom(h.bucket(hv), soRegular(hv), key) {
+		return false
+	}
+	h.m.dir.removed()
+	return true
+}

@@ -1,0 +1,109 @@
+// Package somap implements the split-ordered-list resizable lock-free
+// hash map of Shalev & Shamir ("Split-Ordered Lists: Lock-Free Extensible
+// Hash Tables", JACM 2006), layered on the repository's Harris-list
+// substrates: the HHS list (internal/ds/hhslist) for the CS schemes and
+// HP++, and the Harris-Michael list (internal/ds/hmlist) for original HP.
+//
+// All items live in ONE sorted linked list; the hash table is just an
+// array of shortcuts into it. Each bucket b owns a permanent sentinel
+// ("dummy") node; resizing never moves an item — doubling the bucket
+// count only means new dummies get lazily spliced between existing nodes.
+// That works because nodes are sorted by *split-order* keys, the
+// bit-reversal of their hash:
+//
+//   - a regular item with hash h sorts at reverse(h) | 1 (odd),
+//   - bucket b's dummy sorts at reverse(b)          (even).
+//
+// With a power-of-two size s, bucket b = h & (s-1) is the low bits of h
+// — the HIGH bits of reverse(h) — so every item of bucket b sits in one
+// contiguous run beginning at b's dummy, and when s doubles, bucket
+// b+s's new dummy splits that run exactly in half (the recursive split).
+// The trailing 1-bit keeps every item strictly after the dummy of any
+// bucket that can own it.
+//
+// Because reverse(mix(k))|1 collapses hashes differing only in their top
+// bit, the underlying lists order nodes by the (key, aux) pair: somap
+// stores the split-order key in key and the full user key in aux
+// (dummies use aux 0, and can never collide with items — parities
+// differ), so map semantics stay exact under any collision.
+//
+// The bucket directory is a fixed array of CAS-published segments of
+// dummy refs, so growing never copies or reallocates the table: the
+// size field doubles with one CAS when count/size exceeds the load
+// factor, and buckets initialize lazily on first touch — walking parent
+// buckets (recursively) until an initialized ancestor is found, then
+// get-or-inserting the dummy through the list itself.
+//
+// Safety under reclamation is inherited from the lists plus one
+// structural invariant: dummy nodes are never marked, unlinked,
+// invalidated, or freed. Directory entries therefore never dangle, a
+// dummy's next field is as stable a traversal entry as the list head
+// (HP++'s first TryProtect keeps srcInvalid=nil; HP validates against
+// the dummy's link; CS anchors may be dummies), and a reader parked
+// across a directory doubling simply continues in the one list every
+// bucket shortcut points into.
+package somap
+
+import "math/bits"
+
+const (
+	segBits = 9
+	segSize = 1 << segBits
+
+	maxSegs = 1 << 13
+
+	// MaxBuckets caps directory growth (4M buckets).
+	MaxBuckets = segSize * maxSegs
+)
+
+// Config parameterizes a map.
+type Config struct {
+	// InitialBuckets is the starting directory size, rounded up to a
+	// power of two (default 8, max MaxBuckets). The stress harness's
+	// resize-storm knob sets it tiny so doublings happen constantly.
+	InitialBuckets int
+	// MaxLoad is the average number of items per bucket that triggers a
+	// doubling (default 4; 1 for resize storms).
+	MaxLoad int
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialBuckets <= 0 {
+		c.InitialBuckets = 8
+	}
+	if c.InitialBuckets > MaxBuckets {
+		c.InitialBuckets = MaxBuckets
+	}
+	// Round up to a power of two: bucketOf masks with size-1.
+	c.InitialBuckets = 1 << uint(bits.Len(uint(c.InitialBuckets-1)))
+	if c.MaxLoad <= 0 {
+		c.MaxLoad = 4
+	}
+	return c
+}
+
+// mix is the splitmix64 finalizer — the same stream as the fixed-bucket
+// hashmap (and deliberately distinct from kvsvc's shard router).
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// soRegular is the split-order key of an item with hash h: bit-reversed,
+// with the tie-breaking 1 that sorts items strictly after every dummy
+// that can own them.
+func soRegular(h uint64) uint64 { return bits.Reverse64(h) | 1 }
+
+// soDummy is the split-order key of bucket b's dummy: bit-reversed, even.
+func soDummy(b uint64) uint64 { return bits.Reverse64(b) }
+
+// parentBucket clears the highest set bit of b: the bucket whose run
+// contained b's items before the doubling that created b. parent(b) < b,
+// so recursive initialization terminates at bucket 0.
+func parentBucket(b uint64) uint64 {
+	return b &^ (1 << uint(bits.Len64(b)-1))
+}

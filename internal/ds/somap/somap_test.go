@@ -1,0 +1,202 @@
+package somap
+
+import (
+	"math/bits"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/core"
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/ds/hmlist"
+	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nr"
+	"github.com/gosmr/gosmr/internal/pebr"
+)
+
+// rng is a splitmix64 generator for deterministic pseudo-random tests.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// TestSplitOrderKeys checks the reversed-bit key algebra that the whole
+// structure rests on: parities, dummy-before-items, and the recursive
+// split property (doubling the size splits each bucket's run exactly
+// into bucket b and bucket b+s, with the new dummy between them).
+func TestSplitOrderKeys(t *testing.T) {
+	r := rng{s: 0xD0D0}
+	for i := 0; i < 200000; i++ {
+		h := r.next()
+		if soRegular(h)&1 != 1 {
+			t.Fatalf("soRegular(%#x) is even", h)
+		}
+		for _, s := range []uint64{1, 2, 8, 1 << 10, 1 << 20} {
+			b := h & (s - 1)
+			if soDummy(b)&1 != 0 {
+				t.Fatalf("soDummy(%d) is odd", b)
+			}
+			// The owning bucket's dummy precedes the item...
+			if !(soDummy(b) < soRegular(h)) {
+				t.Fatalf("soDummy(%d)=%#x !< soRegular(%#x)=%#x (size %d)",
+					b, soDummy(b), h, soRegular(h), s)
+			}
+			// ...and after a doubling the item lands in b or b+s: its
+			// new bucket's dummy still precedes it, and if it stays in b,
+			// it sorts BEFORE the sibling dummy soDummy(b+s) (the new
+			// dummy splits the old run in two).
+			nb := h & (2*s - 1)
+			if nb != b && nb != b+s {
+				t.Fatalf("doubling moved bucket %d to %d (size %d)", b, nb, s)
+			}
+			if !(soDummy(nb) < soRegular(h)) {
+				t.Fatalf("post-split dummy %d does not precede item", nb)
+			}
+			if nb == b && s < 1<<63 && !(soRegular(h) < soDummy(b+s)) {
+				t.Fatalf("item stayed in %d but sorts after sibling dummy %d", b, b+s)
+			}
+		}
+	}
+}
+
+func TestParentBucket(t *testing.T) {
+	cases := map[uint64]uint64{1: 0, 2: 0, 3: 1, 4: 0, 5: 1, 6: 2, 7: 3, 12: 4, 1 << 20: 0, 1<<20 | 5: 5}
+	for b, want := range cases {
+		if got := parentBucket(b); got != want {
+			t.Fatalf("parentBucket(%d) = %d, want %d", b, got, want)
+		}
+	}
+	r := rng{s: 0xBEEF}
+	for i := 0; i < 100000; i++ {
+		b := r.next()%uint64(MaxBuckets-1) + 1
+		p := parentBucket(b)
+		if p >= b {
+			t.Fatalf("parentBucket(%d) = %d not smaller", b, p)
+		}
+		// The parent's dummy key precedes the child's: the child splices
+		// strictly inside (or at the end of) the parent's run.
+		if !(soDummy(p) < soDummy(b)) {
+			t.Fatalf("soDummy(parent %d) !< soDummy(%d)", p, b)
+		}
+	}
+}
+
+// mapHandle is the common op surface of the three variants.
+type mapHandle interface {
+	Get(key uint64) (uint64, bool)
+	Insert(key, val uint64) bool
+	Delete(key uint64) bool
+}
+
+// runBasic drives one handle through a grow-heavy deterministic workload
+// against a reference map.
+func runBasic(t *testing.T, h mapHandle, buckets func() uint64) {
+	t.Helper()
+	const n = 4000
+	ref := map[uint64]uint64{}
+	r := rng{s: 42}
+	for i := 0; i < n; i++ {
+		k := r.next() % (n / 2)
+		switch r.next() % 10 {
+		case 0, 1, 2, 3, 4, 5:
+			v := r.next()
+			if got := h.Insert(k, v); got != (!keyIn(ref, k)) {
+				t.Fatalf("op %d: Insert(%d) = %v, ref disagrees", i, k, got)
+			}
+			if !keyIn(ref, k) {
+				ref[k] = v
+			}
+		case 6, 7:
+			gotV, gotOK := h.Get(k)
+			wantV, wantOK := ref[k], keyIn(ref, k)
+			if gotOK != wantOK || (gotOK && gotV != wantV) {
+				t.Fatalf("op %d: Get(%d) = (%d,%v), want (%d,%v)", i, k, gotV, gotOK, wantV, wantOK)
+			}
+		default:
+			if got := h.Delete(k); got != keyIn(ref, k) {
+				t.Fatalf("op %d: Delete(%d) = %v, ref disagrees", i, k, got)
+			}
+			delete(ref, k)
+		}
+	}
+	for k, v := range ref {
+		if gotV, ok := h.Get(k); !ok || gotV != v {
+			t.Fatalf("final Get(%d) = (%d,%v), want (%d,true)", k, gotV, ok, v)
+		}
+	}
+	if buckets() <= 2 {
+		t.Fatalf("directory never grew: %d buckets", buckets())
+	}
+}
+
+func keyIn(m map[uint64]uint64, k uint64) bool { _, ok := m[k]; return ok }
+
+// stormCfg forces constant doublings: 2 initial buckets, load factor 1.
+var stormCfg = Config{InitialBuckets: 2, MaxLoad: 1}
+
+func TestBasicCS(t *testing.T) {
+	t.Run("ebr", func(t *testing.T) {
+		m := NewMapCS(hhslist.NewPool(arena.ModeDetect), stormCfg)
+		runBasic(t, m.NewHandleCS(ebr.NewDomain()), m.Buckets)
+	})
+	t.Run("pebr", func(t *testing.T) {
+		m := NewMapCS(hhslist.NewPool(arena.ModeDetect), stormCfg)
+		runBasic(t, m.NewHandleCS(pebr.NewDomain()), m.Buckets)
+	})
+	t.Run("nr", func(t *testing.T) {
+		m := NewMapCS(hhslist.NewPool(arena.ModeDetect), stormCfg)
+		runBasic(t, m.NewHandleCS(nr.NewDomain()), m.Buckets)
+	})
+}
+
+func TestBasicHPP(t *testing.T) {
+	for _, fence := range []bool{false, true} {
+		name := "hp++"
+		if fence {
+			name = "hp++ef"
+		}
+		t.Run(name, func(t *testing.T) {
+			m := NewMapHPP(hhslist.NewPool(arena.ModeDetect), stormCfg)
+			dom := core.NewDomain(core.Options{EpochFence: fence})
+			h := m.NewHandleHPP(dom)
+			runBasic(t, h, m.Buckets)
+			h.Thread().Finish()
+			dom.NewThread(0).Reclaim()
+		})
+	}
+}
+
+func TestBasicHP(t *testing.T) {
+	m := NewMapHP(hmlist.NewPool(arena.ModeDetect), stormCfg)
+	dom := hp.NewDomain()
+	h := m.NewHandleHP(dom)
+	runBasic(t, h, m.Buckets)
+	h.Thread().Finish()
+	dom.NewThread(0).Reclaim()
+}
+
+// TestLenTracksCount checks the count driving the load factor.
+func TestLenTracksCount(t *testing.T) {
+	m := NewMapHPP(hhslist.NewPool(arena.ModeReuse), Config{})
+	h := m.NewHandleHPP(core.NewDomain(core.Options{}))
+	for k := uint64(0); k < 100; k++ {
+		h.Insert(k, k)
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", m.Len())
+	}
+	for k := uint64(0); k < 50; k++ {
+		h.Delete(k)
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", m.Len())
+	}
+	if m.Buckets() != 1<<uint(bits.Len(uint(100/4))) && m.Buckets() < 16 {
+		t.Fatalf("unexpected bucket count %d", m.Buckets())
+	}
+}

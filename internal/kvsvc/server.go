@@ -478,6 +478,7 @@ func (s *Server) Served() int64 { return s.served.Load() }
 // counters, plus one smr.Stats row per shard with arena gauges filled.
 type AdminStats struct {
 	Scheme          string      `json:"scheme"`
+	Engine          string      `json:"engine"`
 	Shards          int         `json:"shards"`
 	AcceptedConns   int64       `json:"accepted_conns"`
 	LiveConns       int64       `json:"live_conns"`
@@ -504,6 +505,7 @@ func (s *Server) Snapshot() AdminStats {
 	shedB, shedQ, shedC := s.shedBudget.Load(), s.shedQueueFull.Load(), s.shedConns.Load()
 	return AdminStats{
 		Scheme:          s.store.Scheme(),
+		Engine:          s.store.Engine(),
 		Shards:          s.store.NumShards(),
 		AcceptedConns:   s.accepted.Load(),
 		LiveConns:       s.liveConns.Load(),

@@ -89,11 +89,17 @@ type Faults struct {
 	// slot resolution and liveness validation — the window in which a
 	// buggy scheme frees a node out from under a reader. 0 disables.
 	YieldEvery int
+	// ResizeStorm shrinks resizable structures to a tiny initial
+	// directory with load factor 1 (somap: 2 buckets, double on every
+	// insert beyond the count), so directory doublings and dummy-node
+	// splices happen continuously while the other faults are active.
+	// Ignored by fixed-size structures.
+	ResizeStorm bool
 }
 
 // DefaultFaults enables every adversary at moderate intensity.
 func DefaultFaults() Faults {
-	return Faults{StallReader: true, DelayRetire: 4, Storm: true, YieldEvery: 64}
+	return Faults{StallReader: true, DelayRetire: 4, Storm: true, YieldEvery: 64, ResizeStorm: true}
 }
 
 // Options parameterizes one cell run.
@@ -190,6 +196,15 @@ func Run(cell Cell, opts Options) (CellResult, error) {
 	)
 	switch cell.Kind {
 	case "map":
+		if cell.DS == "somap" && opts.Faults.ResizeStorm {
+			// Storm knob: the somap target reads these package vars at
+			// construction (same pattern as bench.FixedReclaimEvery).
+			// 2 initial buckets + load factor 1 force a doubling on
+			// nearly every net insert for the whole run.
+			ib, ml := bench.SomapInitialBuckets, bench.SomapMaxLoad
+			bench.SomapInitialBuckets, bench.SomapMaxLoad = 2, 1
+			defer func() { bench.SomapInitialBuckets, bench.SomapMaxLoad = ib, ml }()
+		}
 		target, err := bench.NewTarget(cell.DS, cell.Scheme, arena.ModeDetect)
 		if err != nil {
 			return res, err

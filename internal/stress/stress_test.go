@@ -76,6 +76,8 @@ func TestSafeCellsSubsample(t *testing.T) {
 		{"bonsai", "rc", "map"},
 		{"hhslist", "pebr", "map"},
 		{"hashmap", "ebr", "map"},
+		{"somap", "hp++", "map"},
+		{"somap", "hp", "map"},
 		{"nmtree", "hp++ef", "map"},
 		{"efrbtree", "pebr", "map"},
 		{"msqueue", "hp++", "queue"},
@@ -116,6 +118,7 @@ func TestFullMatrixSafe(t *testing.T) {
 func TestUnsafeCellsFlagged(t *testing.T) {
 	cells := []Cell{
 		{"hmlist", bench.UnsafeScheme, "map"},
+		{"somap", bench.UnsafeScheme, "map"},
 		{"tstack", bench.UnsafeScheme, "stack"},
 	}
 	for _, c := range cells {

@@ -15,6 +15,12 @@
 # must still recover to 100% completion (it exits non-zero otherwise),
 # and the drain must stay clean with zero arena violations.
 #
+# Phase 3 is the resize gate: gosmrd starts with 8-bucket shard
+# directories (somap engine) and kvload preloads 200k distinct keys —
+# hundreds of directory doublings and dummy splices under live detect-
+# mode traffic — then runs a measured mix over the grown map. The drain
+# must stay clean with zero unreclaimed nodes and zero violations.
+#
 # Usage: scripts/serve_smoke.sh [requests]
 set -euo pipefail
 
@@ -91,3 +97,36 @@ grep -q "clean drain" "$BIN/gosmrd2.log" || {
     exit 1
 }
 echo "serve-smoke: phase 2 OK (shed_total=$SHED, 100% completion via retries, clean drain)"
+
+# ---- Phase 3: resize storm ----
+# Tiny initial directories + a 200k-key preload force the split-ordered
+# maps through their full doubling cascade while detect mode validates
+# every dereference; the measured mix then runs over the grown map.
+PRELOAD=200000
+"$BIN/gosmrd" -addr "$ADDR" -admin "$ADMIN" -shards 8 -scheme hp++ -mode detect \
+    -engine somap -buckets 8 \
+    >"$BIN/gosmrd3.json" 2>"$BIN/gosmrd3.log" &
+SRV_PID=$!
+
+"$BIN/kvload" -addr "$ADDR" -admin "$ADMIN" \
+    -conns 8 -requests "$REQUESTS" -keys "$PRELOAD" -preload "$PRELOAD" -zipf 1.1 \
+    | tee "$BIN/kvload3.log"
+
+grep -q "preloaded $PRELOAD keys" "$BIN/kvload3.log" || {
+    echo "serve-smoke: resize phase did not complete the preload" >&2
+    exit 1
+}
+
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+    echo "serve-smoke: resize-storm gosmrd drain FAILED" >&2
+    cat "$BIN/gosmrd3.log" >&2
+    exit 1
+fi
+SRV_PID=""
+grep -q "clean drain" "$BIN/gosmrd3.log" || {
+    echo "serve-smoke: resize-storm gosmrd exited 0 but never reported a clean drain" >&2
+    cat "$BIN/gosmrd3.log" >&2
+    exit 1
+}
+echo "serve-smoke: phase 3 OK ($PRELOAD keys preloaded through growing directories, clean drain)"
