@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check race test short stress bench bench-json bench-compare vet serve-smoke
+.PHONY: check race test short stress bench bench-json bench-compare vet serve-smoke bench-kvsvc
 
 check: vet
 	$(GO) build ./...
@@ -32,6 +32,12 @@ stress:
 # report lands in results/BENCH_kvsvc.json (gitignored).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# bench-kvsvc regenerates BENCH_kvsvc.json at the repo root: the
+# (engine × read-fastpath) service-layer matrix under a 1M-key preload,
+# detect mode throughout.
+bench-kvsvc:
+	bash scripts/bench_kvsvc.sh
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=200ms ./internal/bench/

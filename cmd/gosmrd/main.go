@@ -48,6 +48,9 @@ func main() {
 		writeT    = flag.Duration("write-timeout", 10*time.Second, "evict a connection whose response write stalls this long (negative disables)")
 		dispatchT = flag.Duration("dispatch-timeout", 20*time.Millisecond, "max wait for space on a full shard queue before shedding (negative = shed immediately)")
 		connWbuf  = flag.Int("conn-wbuf", 64<<10, "per-connection kernel send buffer cap in bytes (negative = kernel default)")
+
+		readFast  = flag.Bool("read-fastpath", true, "execute GETs on the connection goroutine instead of the worker pipeline")
+		readCache = flag.Int("read-handle-cache", 0, "idle fast-path read handles pooled per shard across connections (0 = default, negative disables pooling)")
 	)
 	flag.Parse()
 
@@ -92,6 +95,9 @@ func main() {
 		WriteTimeout:    *writeT,
 		DispatchTimeout: *dispatchT,
 		ConnWriteBuffer: *connWbuf,
+
+		DisableReadFastPath: !*readFast,
+		ReadHandleCache:     *readCache,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gosmrd:", err)

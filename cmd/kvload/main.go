@@ -66,6 +66,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		preload  = flag.Uint64("preload", 0, "bulk-put keys [0,N) before the measured phase (forces somap directory grows)")
 		out      = flag.String("out", "", "write a BENCH_kvsvc.json report here")
+		note     = flag.String("note", "", "free-form tag appended to the workload string in output and reports")
 		dialT    = flag.Duration("dial-timeout", 5*time.Second, "keep retrying the first dial for this long")
 
 		reqT       = flag.Duration("req-timeout", 10*time.Second, "per-request response deadline (0 disables)")
@@ -189,17 +190,21 @@ func main() {
 	p50 := percentileUs(allLats, 0.50)
 	p95 := percentileUs(allLats, 0.95)
 	p99 := percentileUs(allLats, 0.99)
-	var p99Get float64
+	var p50Get, p99Get float64
 	if len(getLats) > 0 {
 		sort.Slice(getLats, func(i, j int) bool { return getLats[i] < getLats[j] })
+		p50Get = percentileUs(getLats, 0.50)
 		p99Get = percentileUs(getLats, 0.99)
 	}
 	opsPerSec := float64(len(allLats)) / wall.Seconds()
 
 	delPct := 100 - *getPct - *putPct
 	workload := fmt.Sprintf("zipf(%.2f) get=%d%%/put=%d%%/del=%d%% pipeline=%d", *zipfS, *getPct, *putPct, delPct, *pipeline)
+	if *note != "" {
+		workload += " " + *note
+	}
 	fmt.Printf("kvload: %d ops over %d conns in %v (%s)\n", len(allLats), *conns, wall.Round(time.Millisecond), workload)
-	fmt.Printf("kvload: throughput %.0f ops/s, latency p50=%.1fµs p95=%.1fµs p99=%.1fµs p99(get)=%.1fµs\n", opsPerSec, p50, p95, p99, p99Get)
+	fmt.Printf("kvload: throughput %.0f ops/s, latency p50=%.1fµs p95=%.1fµs p99=%.1fµs p50(get)=%.1fµs p99(get)=%.1fµs\n", opsPerSec, p50, p95, p99, p50Get, p99Get)
 	fmt.Printf("kvload: overload shed=%d retried=%d failed=%d\n", total.shed, total.retried, total.failed)
 	if n := total.statusErrs; n > 0 {
 		fmt.Fprintf(os.Stderr, "kvload: %d requests returned StatusErr\n", n)
@@ -225,8 +230,8 @@ func main() {
 			os.Exit(1)
 		}
 		adminStats = st
-		fmt.Printf("kvload: server %s ops=%d peak_unreclaimed=%d arena_peak_bytes=%d\n",
-			st.Scheme, st.ServedOps, st.Total.PeakUnreclaimed, st.ArenaPeakBytes)
+		fmt.Printf("kvload: server %s ops=%d fastpath_gets=%d peak_unreclaimed=%d arena_peak_bytes=%d\n",
+			st.Scheme, st.ServedOps, st.FastpathGets, st.Total.PeakUnreclaimed, st.ArenaPeakBytes)
 		fmt.Printf("kvload: server shed_total=%d (budget=%d queue_full=%d conns=%d dropped=%d) evicted_idle=%d evicted_slow=%d\n",
 			st.ShedTotal, st.ShedBudget, st.ShedQueueFull, st.ShedConns, st.ShedDropped, st.EvictedIdle, st.EvictedSlow)
 		if st.ArenaUAF > 0 || st.ArenaDoubleFree > 0 {
@@ -236,7 +241,7 @@ func main() {
 	}
 
 	if *out != "" {
-		if err := writeReport(*out, adminStats, *conns, *keys, *preload, workload, opsPerSec, p50, p95, p99, p99Get); err != nil {
+		if err := writeReport(*out, adminStats, *conns, *keys, *preload, workload, opsPerSec, p50, p95, p99, p50Get, p99Get); err != nil {
 			fmt.Fprintln(os.Stderr, "kvload: write report:", err)
 			os.Exit(1)
 		}
@@ -560,7 +565,7 @@ func percentileUs(sorted []int64, p float64) float64 {
 // The scan section is left zero: there is no in-process scan microbench
 // in a network run, and benchcompare skips the scan gate when both
 // reports agree it is absent.
-func writeReport(path string, admin *kvsvc.AdminStats, conns int, keys, preloaded uint64, workload string, opsPerSec, p50, p95, p99, p99Get float64) error {
+func writeReport(path string, admin *kvsvc.AdminStats, conns int, keys, preloaded uint64, workload string, opsPerSec, p50, p95, p99, p50Get, p99Get float64) error {
 	cell := bench.CellResult{
 		DS:            "kvsvc",
 		Scheme:        "unknown",
@@ -572,11 +577,14 @@ func writeReport(path string, admin *kvsvc.AdminStats, conns int, keys, preloade
 		P50Us:         p50,
 		P95Us:         p95,
 		P99Us:         p99,
+		P50GetUs:      p50Get,
 		P99GetUs:      p99Get,
 		PreloadedKeys: preloaded,
 	}
 	if admin != nil {
 		cell.Scheme = admin.Scheme
+		cell.Engine = admin.Engine
+		cell.FastpathGets = admin.FastpathGets
 		cell.Stats = admin.Total
 	}
 	report := bench.ReclaimReport{

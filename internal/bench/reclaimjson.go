@@ -48,10 +48,19 @@ type CellResult struct {
 	P50Us float64 `json:"p50_us,omitempty"`
 	P95Us float64 `json:"p95_us,omitempty"`
 	P99Us float64 `json:"p99_us,omitempty"`
-	// P99GetUs is the GET-only p99 in microseconds: the number the
-	// resizable-map scaling gate compares across key-space sizes (GETs
-	// isolate read-path traversal length from insert/delete retry cost).
+	// P50GetUs/P99GetUs are the GET-only latency percentiles in
+	// microseconds: the numbers the read-fast-path gate compares with the
+	// fast path on versus off, and the resizable-map scaling gate compares
+	// across key-space sizes (GETs isolate read-path traversal length from
+	// insert/delete retry cost).
+	P50GetUs float64 `json:"p50_get_us,omitempty"`
 	P99GetUs float64 `json:"p99_get_us,omitempty"`
+	// Engine is the shard map engine behind a service-layer cell
+	// (somap/hashmap); empty for in-process microbench cells.
+	Engine string `json:"engine,omitempty"`
+	// FastpathGets is how many GETs the server executed on the connection
+	// goroutine instead of the worker pipeline during the run.
+	FastpathGets int64 `json:"fastpath_gets,omitempty"`
 	// PreloadedKeys is how many keys were bulk-loaded before the
 	// measured phase (0 = none).
 	PreloadedKeys uint64 `json:"preloaded_keys,omitempty"`

@@ -10,6 +10,7 @@
 package ebr
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,7 +30,16 @@ type Domain struct {
 	g       smr.Garbage
 	sm      smr.ScanMeter
 	budget  smr.Budget
-	guards  atomic.Int64 // guards ever created: the H of the adaptive threshold
+	guards  atomic.Int64 // live (unfinished) guards: the H of the adaptive threshold
+
+	// orphans holds epoch-tagged bags abandoned by finished guards; any
+	// surviving guard's next Collect adopts them. Epochs ride along so an
+	// adopted entry frees under exactly the rule its retirer would have
+	// applied. Spinlock + atomic count mirror smr.OrphanList (orphan
+	// traffic is guard shutdown only).
+	orphanMu sync.Mutex
+	orphanN  atomic.Int32
+	orphans  []entry
 
 	// CollectEvery, if set > 0 before use, pins the fixed per-guard
 	// cadence: one collection attempt every CollectEvery retires. When
@@ -102,6 +112,44 @@ func (d *Domain) acquireRec() *rec {
 			return r
 		}
 	}
+}
+
+// pushOrphans hands a finished guard's leftover bag to the domain.
+func (d *Domain) pushOrphans(bag []entry) {
+	d.orphanMu.Lock()
+	d.orphans = append(d.orphans, bag...)
+	d.orphanN.Store(int32(len(d.orphans)))
+	d.orphanMu.Unlock()
+}
+
+// adoptOrphans appends all orphaned entries to dst, clears the list, and
+// returns dst. The atomic count makes the common empty case lock-free.
+func (d *Domain) adoptOrphans(dst []entry) []entry {
+	if d.orphanN.Load() == 0 {
+		return dst
+	}
+	d.orphanMu.Lock()
+	dst = append(dst, d.orphans...)
+	d.orphans = d.orphans[:0]
+	d.orphanN.Store(0)
+	d.orphanMu.Unlock()
+	return dst
+}
+
+// Records reports the size of the epoch-record list: total records ever
+// created and how many are currently held by live guards. Records are
+// recycled through Finish the way hazard registry slots are released, so
+// a workload that churns guards (one per network connection, say) should
+// see total stabilize at its peak concurrency instead of growing with
+// guards ever created.
+func (d *Domain) Records() (total, live int) {
+	for r := d.threads.Load(); r != nil; r = r.next {
+		total++
+		if r.inUse.Load() != 0 {
+			live++
+		}
+	}
+	return total, live
 }
 
 // minPinnedEpoch returns the minimum epoch among pinned threads, or the
@@ -195,6 +243,7 @@ func (g *Guard) shouldCollect(published bool) bool {
 func (g *Guard) Collect() {
 	d := g.d
 	start := time.Now()
+	g.bag = d.adoptOrphans(g.bag)
 	e := d.epoch.Load()
 	min, caughtUp := d.minPinnedEpoch()
 	if caughtUp {
@@ -230,6 +279,27 @@ func (g *Guard) Drain() {
 	for len(g.bag) > 0 {
 		g.Collect()
 	}
+}
+
+// Finish retires the guard itself: it unpins, makes a final collection
+// attempt, hands any survivors to the domain's orphan list (adopted by
+// whichever guard collects next), and releases the epoch record for reuse
+// by a future guard. A finished guard therefore costs the domain nothing —
+// the record list and the adaptive threshold's H track peak concurrency,
+// not guards ever created — which is what lets a server attach a guard to
+// every connection it ever accepts. The guard must not be used after
+// Finish.
+func (g *Guard) Finish() {
+	g.Unpin()
+	g.Collect() // also flushes the budget cache via Freed
+	if len(g.bag) > 0 {
+		g.d.pushOrphans(g.bag)
+		g.bag = nil
+	}
+	g.budget.Flush()
+	g.d.guards.Add(-1)
+	g.r.inUse.Store(0)
+	g.r = nil
 }
 
 // BagLen returns the number of locally retired, not yet freed nodes.

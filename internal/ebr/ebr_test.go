@@ -139,6 +139,105 @@ func TestConcurrentRetire(t *testing.T) {
 	}
 }
 
+// TestFinishReleasesRecordAndOrphans: a finished guard's record must be
+// recyclable by the next guard and its leftover bag must be adopted (with
+// retire epochs intact) and eventually freed by a survivor.
+func TestFinishReleasesRecordAndOrphans(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("fin", arena.ModeDetect)
+
+	g := d.NewGuardEBR()
+	g.Pin()
+	ref, _ := p.Alloc()
+	g.Retire(ref, p)
+	g.Unpin()
+	g.Finish() // the entry is too young to free inline -> orphaned
+
+	if total, live := d.Records(); total != 1 || live != 0 {
+		t.Fatalf("records after finish = (%d,%d), want (1,0)", total, live)
+	}
+
+	g2 := d.NewGuardEBR()
+	if total, live := d.Records(); total != 1 || live != 1 {
+		t.Fatalf("record not recycled: (%d,%d), want (1,1)", total, live)
+	}
+	g2.Collect() // adopt the orphan
+	g2.Drain()
+	if p.Live(ref) {
+		t.Fatal("orphaned entry never freed")
+	}
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed = %d", d.Unreclaimed())
+	}
+	g2.Finish()
+}
+
+// TestGuardChurnRecyclesRecords models a server handing a guard to every
+// connection it accepts: sequential churn must not grow the record list
+// (one record recycled forever) and must leak nothing.
+func TestGuardChurnRecyclesRecords(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("churn", arena.ModeReuse)
+	for i := 0; i < 100; i++ {
+		g := d.NewGuardEBR()
+		g.Pin()
+		ref, _ := p.Alloc()
+		g.Retire(ref, p)
+		g.Unpin()
+		g.Finish()
+	}
+	if total, live := d.Records(); total != 1 || live != 0 {
+		t.Fatalf("sequential churn records = (%d,%d), want (1,0)", total, live)
+	}
+	g := d.NewGuardEBR()
+	g.Collect() // adopt whatever the last finishers orphaned
+	g.Drain()
+	g.Finish()
+	if got := d.Unreclaimed(); got != 0 {
+		t.Fatalf("unreclaimed after churn drain = %d", got)
+	}
+}
+
+func TestConcurrentGuardChurn(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("churn-c", arena.ModeReuse)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g := d.NewGuardEBR()
+				g.Pin()
+				ref, _ := p.Alloc()
+				g.Retire(ref, p)
+				g.Unpin()
+				g.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	total, live := d.Records()
+	if live != 0 {
+		t.Fatalf("live records after churn = %d, want 0", live)
+	}
+	if total > workers {
+		t.Fatalf("records = %d, want <= %d (peak concurrency)", total, workers)
+	}
+	g := d.NewGuardEBR()
+	g.Collect()
+	g.Drain()
+	g.Finish()
+	st := p.Stats()
+	if st.Live != 0 {
+		t.Fatalf("leaked %d nodes", st.Live)
+	}
+	if st.DoubleFree != 0 {
+		t.Fatalf("double frees: %d", st.DoubleFree)
+	}
+}
+
 // TestZeroValueDomainCollects is the regression test for zero-value
 // &Domain{} literals: CollectEvery == 0 selects the adaptive cadence
 // (historically it panicked with a zero modulus), so retire/collect must

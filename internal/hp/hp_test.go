@@ -89,7 +89,7 @@ func TestOrphanAdoption(t *testing.T) {
 	blocker.Protect(0, ref) // keeps the node from being freed at Finish
 	dying.Retire(ref, p)
 	dying.Finish()
-	if p.Live(ref) == false {
+	if !p.Live(ref) {
 		t.Fatal("protected node freed during Finish")
 	}
 

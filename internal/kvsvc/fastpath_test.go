@@ -1,0 +1,267 @@
+package kvsvc
+
+// Read-fast-path tests: GETs executed on the connection goroutine must
+// bypass a stalled worker pipeline without ever reordering ahead of the
+// connection's own mutations, pings must stay answerable at budget
+// saturation, and — the lifecycle half of the feature — connection churn
+// must not grow the hazard registries or epoch record lists with
+// connections ever accepted.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/ebr"
+)
+
+// TestFastPathGetBypassesStalledWorker: with the only shard worker parked
+// mid-mutation, a *different* connection's GETs are still served — on the
+// reader goroutine — while the mutation pipeline is wedged. This is the
+// wait-free-read property the fast path exists for.
+func TestFastPathGetBypassesStalledWorker(t *testing.T) {
+	srv, st := startTuned(t, ServerConfig{
+		WorkersPerShard: 1,
+		QueueDepth:      64,
+		ConnBudget:      32,
+	})
+
+	writer := dialClient(t, srv.Addr())
+	writer.send(Request{Op: OpPut, ID: 1, Key: 1, Val: 11})
+	writer.recv(1)
+
+	parked, release := parkFirstDeref(st)
+	defer release()
+	writer.send(Request{Op: OpPut, ID: 2, Key: 2, Val: 22}) // parks the worker mid-insert
+	select {
+	case <-parked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker never parked on the deref hook")
+	}
+
+	// A second connection has no pending mutations, so its GETs take the
+	// fast path and complete even though the shard's only worker is
+	// parked and cannot serve anything.
+	reader := dialClient(t, srv.Addr())
+	reader.c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reader.send(Request{Op: OpGet, ID: 10, Key: 1}, Request{Op: OpGet, ID: 11, Key: 999})
+	got := reader.recv(2)
+	if got[10].Status != StatusOK || got[10].Val != 11 {
+		t.Fatalf("fast-path get while worker parked: %+v", got[10])
+	}
+	if got[11].Status != StatusNotFound {
+		t.Fatalf("fast-path miss while worker parked: %+v", got[11])
+	}
+	if srv.FastGets() < 2 {
+		t.Fatalf("fastpath_gets = %d, want >= 2", srv.FastGets())
+	}
+
+	release()
+	if got := writer.recv(1); got[2].Status != StatusOK {
+		t.Fatalf("parked put resolved wrong: %+v", got[2])
+	}
+
+	clearDerefHooks(st)
+	reader.c.Close()
+	writer.c.Close()
+	shutdownClean(t, srv, 5*time.Second)
+}
+
+// TestFastPathReadYourWrites: a pipelined put;get on one key must always
+// observe the put, whether the get rides the queue behind the pending
+// mutation or takes the fast path after it executed. The per-shard
+// pending counter is what makes this hold — without it the reader-side
+// get could overtake its own connection's queued put.
+func TestFastPathReadYourWrites(t *testing.T) {
+	srv, _ := startTuned(t, ServerConfig{
+		WorkersPerShard: 1,
+		QueueDepth:      64,
+		ConnBudget:      64,
+	})
+	tc := dialClient(t, srv.Addr())
+	tc.c.SetReadDeadline(time.Now().Add(30 * time.Second))
+
+	const key = 7
+	for i := uint64(0); i < 300; i++ {
+		put := Request{Op: OpPut, ID: uint32(2 * i), Key: key, Val: i}
+		get := Request{Op: OpGet, ID: uint32(2*i + 1), Key: key}
+		tc.send(put, get) // one write: both frames race the worker
+		got := tc.recv(2)
+		if got[put.ID].Status != StatusOK {
+			t.Fatalf("round %d: put status %d", i, got[put.ID].Status)
+		}
+		if got[get.ID].Status != StatusOK || got[get.ID].Val != i {
+			t.Fatalf("round %d: get = %+v, want val %d (read-your-writes)", i, got[get.ID], i)
+		}
+	}
+	// The pipelined gets above almost always find their put still pending
+	// and ride the queue — that is the point. A lone get with the pipeline
+	// drained must take the fast path and still see the last write.
+	tc.send(Request{Op: OpGet, ID: 1000, Key: key})
+	if got := tc.recv(1); got[1000].Status != StatusOK || got[1000].Val != 299 {
+		t.Fatalf("drained-pipeline get = %+v, want val 299", got[1000])
+	}
+	if srv.FastGets() == 0 {
+		t.Fatal("no get ever took the fast path")
+	}
+
+	tc.c.Close()
+	shutdownClean(t, srv, 5*time.Second)
+}
+
+// TestPingUncreditedAtBudget pins the OpPing-at-budget contract from
+// wire.go: with every credit held by in-flight mutations, a data request
+// is shed StatusOverloaded but a ping still answers StatusOK — keepalives
+// ride the uncredited lane and never compete with data for budget.
+func TestPingUncreditedAtBudget(t *testing.T) {
+	srv, st := startTuned(t, ServerConfig{
+		WorkersPerShard: 1,
+		QueueDepth:      64,
+		ConnBudget:      2,
+		DispatchTimeout: 100 * time.Millisecond,
+	})
+	tc := dialClient(t, srv.Addr())
+	tc.send(Request{Op: OpPut, ID: 1, Key: 1, Val: 11})
+	tc.recv(1)
+
+	parked, release := parkFirstDeref(st)
+	defer release()
+	tc.send(Request{Op: OpPut, ID: 2, Key: 2, Val: 22}) // parks the worker, holds credit 1
+	select {
+	case <-parked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("worker never parked")
+	}
+	tc.send(Request{Op: OpPut, ID: 3, Key: 3, Val: 33}) // queued, holds credit 2
+
+	// Budget exhausted: the data get is shed, the ping is not.
+	tc.send(Request{Op: OpGet, ID: 4, Key: 1}, Request{Op: OpPing, ID: 5})
+	got := tc.recv(2)
+	if got[4].Status != StatusOverloaded {
+		t.Fatalf("data request at budget: status %d, want StatusOverloaded", got[4].Status)
+	}
+	if got[5].Status != StatusOK {
+		t.Fatalf("ping at budget: status %d, want StatusOK (uncredited lane)", got[5].Status)
+	}
+
+	release()
+	got = tc.recv(2)
+	if got[2].Status != StatusOK || got[3].Status != StatusOK {
+		t.Fatalf("parked puts resolved wrong: %+v %+v", got[2], got[3])
+	}
+
+	clearDerefHooks(st)
+	tc.c.Close()
+	shutdownClean(t, srv, 5*time.Second)
+}
+
+// churnConns opens n sequential connections, each issuing GETs (and one
+// put on the first, to seed the key), and waits for every teardown.
+func churnConns(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		tc := dialClient(t, srv.Addr())
+		tc.c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		tc.send(Request{Op: OpGet, ID: 1, Key: 1}, Request{Op: OpGet, ID: 2, Key: uint64(i) + 100})
+		tc.recv(2)
+		tc.c.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Snapshot().LiveConns > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connections never finished tearing down")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestConnChurnStabilizesRegistry is the tentpole's lifecycle acceptance
+// test: the hazard registry must stabilize at peak concurrency instead of
+// growing with connections ever accepted. Before handles had a release
+// path, every connection's fast-path handle stayed in the shard's live
+// set forever and its hazard slots inflated Registry.Len() — and with it
+// every ScanSet built from it — linearly in accepted connections.
+func TestConnChurnStabilizesRegistry(t *testing.T) {
+	for _, cache := range []struct {
+		name string
+		size int
+	}{
+		{"pooled", 4},    // handles handed off between connections
+		{"unpooled", -1}, // every teardown releases to the store
+	} {
+		t.Run(cache.name, func(t *testing.T) {
+			srv, st := startTuned(t, ServerConfig{
+				WorkersPerShard: 1,
+				ReadHandleCache: cache.size,
+			})
+			tc := dialClient(t, srv.Addr())
+			tc.send(Request{Op: OpPut, ID: 1, Key: 1, Val: 11})
+			tc.recv(1)
+			tc.c.Close()
+
+			churnConns(t, srv, 3) // warmup: create/pool the steady-state handles
+			mid := st.ShardStats()[0]
+			midHandles := st.LiveHandles()
+
+			churnConns(t, srv, 30)
+			end := st.ShardStats()[0]
+			endHandles := st.LiveHandles()
+
+			if end.HazardSlots > mid.HazardSlots {
+				t.Fatalf("Registry.Len grew with accepted connections: %d -> %d (cache=%s)",
+					mid.HazardSlots, end.HazardSlots, cache.name)
+			}
+			if end.HazardSlotsInUse > mid.HazardSlotsInUse {
+				t.Fatalf("hazard slots in use grew: %d -> %d", mid.HazardSlotsInUse, end.HazardSlotsInUse)
+			}
+			if endHandles > midHandles {
+				t.Fatalf("live handles grew with accepted connections: %d -> %d", midHandles, endHandles)
+			}
+			if srv.FastGets() == 0 {
+				t.Fatal("churn traffic never hit the fast path")
+			}
+
+			shutdownClean(t, srv, 5*time.Second)
+		})
+	}
+}
+
+// TestConnChurnStabilizesEBRRecords is the epoch-scheme twin: guard
+// records (the H of the adaptive collect threshold) must recycle through
+// Guard.Finish instead of accumulating one per connection ever accepted.
+func TestConnChurnStabilizesEBRRecords(t *testing.T) {
+	st, err := NewStore(Config{Shards: 1, Scheme: "ebr", Mode: arena.ModeDetect, Buckets: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(st, ServerConfig{
+		Addr:            "127.0.0.1:0",
+		WorkersPerShard: 1,
+		ReadHandleCache: -1, // force a real release every teardown
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+
+	tc := dialClient(t, srv.Addr())
+	tc.send(Request{Op: OpPut, ID: 1, Key: 1, Val: 11})
+	tc.recv(1)
+	tc.c.Close()
+
+	dom := st.shards[0].dom.(*ebr.Domain)
+	churnConns(t, srv, 3)
+	midTotal, _ := dom.Records()
+	churnConns(t, srv, 30)
+	endTotal, endLive := dom.Records()
+
+	if endTotal > midTotal {
+		t.Fatalf("EBR record list grew with accepted connections: %d -> %d", midTotal, endTotal)
+	}
+	// Steady state: worker handle + agitator guard, nothing from churn.
+	if want := st.LiveHandles() + 1; endLive > want {
+		t.Fatalf("live records = %d, want <= %d (workers + agitator)", endLive, want)
+	}
+
+	shutdownClean(t, srv, 5*time.Second)
+}

@@ -141,15 +141,60 @@ func (c Config) withDefaults() Config {
 }
 
 // shard is one (domain, map) pair. The closures capture the concrete
-// scheme wiring exactly like the bench target registry does; newH and
-// finish must only be called under the owning Store's mutex.
+// scheme wiring exactly like the bench target registry does; newH,
+// releaseH, live and finish must only be called under the owning Store's
+// mutex.
 type shard struct {
-	dom     smr.Domain
-	pools   []ArenaPool
-	newH    func() Handle
-	finish  func()
-	stall   func()
-	agitate func()
+	dom      smr.Domain
+	pools    []ArenaPool
+	newH     func() Handle
+	releaseH func(Handle)
+	live     func() int
+	finish   func()
+	stall    func()
+	agitate  func()
+}
+
+// wireHandles installs a shard's handle lifecycle. Handles live in a set
+// keyed by their concrete type: newH registers, releaseH finishes one
+// handle and drops it (unknown handles are ignored), finish finishes every
+// survivor and runs drainDomain, the scheme's final domain-wide
+// reclamation pass. Before releaseH existed every wiring appended handles
+// to an unbounded slice, so a server that acquired a handle per connection
+// grew its hazard registry (and with it every ScanSet built from
+// Registry.Len()) with connections ever accepted instead of peak
+// concurrency.
+func wireHandles[H interface {
+	comparable
+	Handle
+}](s *shard, newHandle func() H, finishHandle func(H), drainDomain func()) {
+	live := make(map[H]struct{})
+	s.newH = func() Handle {
+		h := newHandle()
+		live[h] = struct{}{}
+		return h
+	}
+	s.releaseH = func(h Handle) {
+		hh, ok := h.(H)
+		if !ok {
+			return
+		}
+		if _, ok := live[hh]; !ok {
+			return
+		}
+		delete(live, hh)
+		finishHandle(hh)
+	}
+	s.live = func() int { return len(live) }
+	s.finish = func() {
+		for hh := range live {
+			finishHandle(hh)
+		}
+		clear(live)
+		if drainDomain != nil {
+			drainDomain()
+		}
+	}
 }
 
 // newShard builds one (domain, map) pair for the configured engine. The
@@ -184,60 +229,35 @@ func newShardSomap(scheme string, mode arena.Mode, buckets int) (*shard, error) 
 		}
 		pool := hhslist.NewPool(mode)
 		m := somap.NewMapCS(pool, cfg)
-		var hs []*somap.HandleCS
 		s.dom = gd
 		s.pools = []ArenaPool{pool}
-		s.newH = func() Handle {
-			h := m.NewHandleCS(gd)
-			hs = append(hs, h)
-			return h
-		}
-		s.finish = func() {
-			var gs []smr.Guard
-			for _, h := range hs {
-				gs = append(gs, h.Guard())
-			}
-			drainGuards(gs)
-		}
+		wireHandles(s,
+			func() *somap.HandleCS { return m.NewHandleCS(gd) },
+			func(h *somap.HandleCS) { finishGuard(h.Guard()) },
+			drainDomainCS(gd))
 		s.stall = func() { gd.NewGuard(1).Pin() }
 		s.agitate = agitatorFor(gd)
 	case "hp":
 		dom := hp.NewDomain()
 		pool := hmlist.NewPool(mode)
 		m := somap.NewMapHP(pool, cfg)
-		var hs []*somap.HandleHP
 		s.dom = dom
 		s.pools = []ArenaPool{pool}
-		s.newH = func() Handle {
-			h := m.NewHandleHP(dom)
-			hs = append(hs, h)
-			return h
-		}
-		s.finish = func() {
-			for _, h := range hs {
-				h.Thread().Finish()
-			}
-			dom.NewThread(0).Reclaim()
-		}
+		wireHandles(s,
+			func() *somap.HandleHP { return m.NewHandleHP(dom) },
+			func(h *somap.HandleHP) { h.Thread().Finish() },
+			func() { dom.NewThread(0).Reclaim() })
 		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := hhslist.NewPool(mode)
 		m := somap.NewMapHPP(pool, cfg)
-		var hs []*somap.HandleHPP
 		s.dom = dom
 		s.pools = []ArenaPool{pool}
-		s.newH = func() Handle {
-			h := m.NewHandleHPP(dom)
-			hs = append(hs, h)
-			return h
-		}
-		s.finish = func() {
-			for _, h := range hs {
-				h.Thread().Finish()
-			}
-			dom.NewThread(0).Reclaim()
-		}
+		wireHandles(s,
+			func() *somap.HandleHPP { return m.NewHandleHPP(dom) },
+			func(h *somap.HandleHPP) { h.Thread().Finish() },
+			func() { dom.NewThread(0).Reclaim() })
 		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
 	default:
 		return nil, fmt.Errorf("kvsvc: unknown scheme %q", scheme)
@@ -262,60 +282,35 @@ func newShardHashmap(scheme string, mode arena.Mode, buckets int) (*shard, error
 		}
 		pool := hhslist.NewPool(mode)
 		m := hashmap.NewMapCS(pool, buckets)
-		var hs []*hashmap.HandleCS
 		s.dom = gd
 		s.pools = []ArenaPool{pool}
-		s.newH = func() Handle {
-			h := m.NewHandleCS(gd)
-			hs = append(hs, h)
-			return h
-		}
-		s.finish = func() {
-			var gs []smr.Guard
-			for _, h := range hs {
-				gs = append(gs, h.Guard())
-			}
-			drainGuards(gs)
-		}
+		wireHandles(s,
+			func() *hashmap.HandleCS { return m.NewHandleCS(gd) },
+			func(h *hashmap.HandleCS) { finishGuard(h.Guard()) },
+			drainDomainCS(gd))
 		s.stall = func() { gd.NewGuard(1).Pin() }
 		s.agitate = agitatorFor(gd)
 	case "hp":
 		dom := hp.NewDomain()
 		pool := hmlist.NewPool(mode)
 		m := hashmap.NewMapHP(pool, buckets)
-		var hs []*hashmap.HandleHP
 		s.dom = dom
 		s.pools = []ArenaPool{pool}
-		s.newH = func() Handle {
-			h := m.NewHandleHP(dom)
-			hs = append(hs, h)
-			return h
-		}
-		s.finish = func() {
-			for _, h := range hs {
-				h.Thread().Finish()
-			}
-			dom.NewThread(0).Reclaim()
-		}
+		wireHandles(s,
+			func() *hashmap.HandleHP { return m.NewHandleHP(dom) },
+			func(h *hashmap.HandleHP) { h.Thread().Finish() },
+			func() { dom.NewThread(0).Reclaim() })
 		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := hhslist.NewPool(mode)
 		m := hashmap.NewMapHPP(pool, buckets)
-		var hs []*hashmap.HandleHPP
 		s.dom = dom
 		s.pools = []ArenaPool{pool}
-		s.newH = func() Handle {
-			h := m.NewHandleHPP(dom)
-			hs = append(hs, h)
-			return h
-		}
-		s.finish = func() {
-			for _, h := range hs {
-				h.Thread().Finish()
-			}
-			dom.NewThread(0).Reclaim()
-		}
+		wireHandles(s,
+			func() *hashmap.HandleHPP { return m.NewHandleHPP(dom) },
+			func(h *hashmap.HandleHPP) { h.Thread().Finish() },
+			func() { dom.NewThread(0).Reclaim() })
 		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
 	default:
 		return nil, fmt.Errorf("kvsvc: unknown scheme %q", scheme)
@@ -338,23 +333,51 @@ func agitatorFor(d smr.Domain) func() {
 	return nil
 }
 
-// drainGuards drains CS-style guards after the store stops serving.
-func drainGuards(gs []smr.Guard) {
-	for _, g := range gs {
-		if gg, ok := g.(*pebr.Guard); ok {
-			gg.ClearShields()
-		}
+// finishGuard releases a CS-style guard. EBR/PEBR guards have a full
+// Finish lifecycle: the epoch record is recycled, shields are revoked and
+// leftover bag entries are orphaned for a surviving guard to free. NR and
+// unsafefree guards hold nothing.
+func finishGuard(g smr.Guard) {
+	switch gg := g.(type) {
+	case *ebr.Guard:
+		gg.Finish()
+	case *pebr.Guard:
+		gg.Finish()
 	}
-	for i := 0; i < 8; i++ {
-		for _, g := range gs {
-			switch gg := g.(type) {
-			case *ebr.Guard:
-				gg.Collect()
-			case *pebr.Guard:
-				gg.Collect()
+}
+
+// drainRounds is how many collection passes the shard-finish reclamation
+// sweeps run. Epoch schemes need ~3 passes for a freshly retired node
+// (advance to e+1, e+2, then free); the extra headroom absorbs adopted
+// orphans that re-enter the bag mid-sweep. Bounded so a stalled pin (the
+// robustness adversary) cannot hang Drain.
+const drainRounds = 8
+
+// drainDomainCS returns the post-release reclamation pass for CS domains:
+// a fresh temporary guard adopts everything the finished handles orphaned
+// and collects until the epoch outruns the retire horizon. nr and
+// unsafefree domains free immediately (or never), so there is nothing to
+// drain.
+func drainDomainCS(gd smr.GuardDomain) func() {
+	switch dom := gd.(type) {
+	case *ebr.Domain:
+		return func() {
+			g := dom.NewGuardEBR()
+			for i := 0; i < drainRounds; i++ {
+				g.Collect()
 			}
+			g.Finish()
+		}
+	case *pebr.Domain:
+		return func() {
+			g := dom.NewGuardPEBR(1)
+			for i := 0; i < drainRounds; i++ {
+				g.Collect()
+			}
+			g.Finish()
 		}
 	}
+	return nil
 }
 
 // Store is the sharded key-value store: Config.Shards independent
@@ -441,6 +464,64 @@ func (s *Store) NewShardHandle(i int) Handle {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.shards[i].newH()
+}
+
+// ReleaseShardHandle finishes a handle obtained from NewShardHandle(i):
+// pending retires are freed or orphaned and the handle's hazard slots or
+// epoch record return to shard i's domain for reuse by future handles.
+// The handle must not be used afterwards. No-op after Drain (Drain
+// already finished every live handle) and for handles the shard does not
+// recognize.
+func (s *Store) ReleaseShardHandle(i int, h Handle) {
+	if h == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return
+	}
+	s.shards[i].releaseH(h)
+}
+
+// ReleaseHandle finishes a handle obtained from NewHandle or
+// NewShardHandle. Routed handles release their per-shard sub-handles;
+// shard-bound handles are offered to every shard (the live sets are
+// disjoint, so exactly one accepts). The handle must not be used
+// afterwards. No-op after Drain.
+func (s *Store) ReleaseHandle(h Handle) {
+	if h == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return
+	}
+	if rh, ok := h.(*routedHandle); ok {
+		for i, sub := range rh.subs {
+			s.shards[i].releaseH(sub)
+		}
+		return
+	}
+	for _, sh := range s.shards {
+		sh.releaseH(h)
+	}
+}
+
+// LiveHandles returns the number of handles handed out and not yet
+// released (routed handles count once per shard). A serving Store should
+// see this stabilize at workers + pooled readers; growth proportional to
+// connections ever accepted is the leak ReleaseShardHandle exists to
+// prevent.
+func (s *Store) LiveHandles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.live()
+	}
+	return n
 }
 
 // Unreclaimed returns the store-wide retired-but-unfreed node count.
@@ -606,12 +687,18 @@ func (s *Store) Agitator() func() {
 // are individually linearizable but not atomic together — concurrent
 // puts to one key each win a step and the final value is one of the
 // contenders', which is the usual last-writer-wins cache contract.
+//
+// The loop retries until its own insert wins. Each failed round means
+// some operation on the key completed (our delete displaced a value, or a
+// concurrent insert/delete did), so the retry is lock-free system-wide —
+// an upsert can only lose a round to another contender's progress. The
+// old 8-round cap turned a lost race streak on a hot key into StatusErr
+// for a well-behaved client.
 func Put(h Handle, key, val uint64) bool {
-	for i := 0; i < 8; i++ {
+	for {
 		if h.Insert(key, val) {
 			return true
 		}
 		h.Delete(key)
 	}
-	return false
 }

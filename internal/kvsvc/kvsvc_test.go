@@ -194,6 +194,49 @@ func TestPutUpserts(t *testing.T) {
 	st.Drain()
 }
 
+// TestPutContendedHotKey: concurrent upserts on ONE key must all
+// succeed. The old Put gave up after 8 insert/delete attempts and
+// returned false, which the server surfaced as StatusErr — under real
+// contention a hot key made puts fail spuriously. Put now retries until
+// its insert wins.
+func TestPutContendedHotKey(t *testing.T) {
+	st, err := NewStore(Config{Shards: 1, Scheme: "hp++", Mode: arena.ModeDetect, Buckets: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		rounds  = 400
+		hotKey  = 42
+	)
+	var wg sync.WaitGroup
+	fails := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, h Handle) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if !Put(h, hotKey, uint64(w*rounds+i)) {
+					fails[w]++
+				}
+			}
+		}(w, st.NewHandle())
+	}
+	wg.Wait()
+	for w, n := range fails {
+		if n != 0 {
+			t.Fatalf("worker %d: %d puts failed on the hot key; Put must retry until it wins", w, n)
+		}
+	}
+	if _, ok := st.NewHandle().Get(hotKey); !ok {
+		t.Fatal("hot key missing after the storm")
+	}
+	st.Drain()
+	if uaf, df := st.BugCounts(); uaf != 0 || df != 0 {
+		t.Fatalf("arena violations: uaf=%d doublefree=%d", uaf, df)
+	}
+}
+
 func TestDrainIsIdempotent(t *testing.T) {
 	st, err := NewStore(Config{Shards: 2, Scheme: "pebr", Buckets: 16})
 	if err != nil {

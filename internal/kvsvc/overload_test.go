@@ -6,6 +6,10 @@ package kvsvc
 // adversary is a parked shard worker — the deref hook parks the worker
 // mid-traversal exactly like the stress harness's stalled reader, which
 // makes "the queue stays full" deterministic instead of a timing race.
+// Tests that park the worker with a GET set DisableReadFastPath so the
+// GET actually reaches the worker (with the fast path on, the deref hook
+// would park the connection's reader goroutine instead — that adversary
+// has its own coverage in fastpath_test.go).
 
 import (
 	"context"
@@ -85,10 +89,11 @@ func shutdownClean(t *testing.T, srv *Server, within time.Duration) {
 // the worker resumes.
 func TestDispatchShedsWhenQueueFull(t *testing.T) {
 	srv, st := startTuned(t, ServerConfig{
-		WorkersPerShard: 1,
-		QueueDepth:      1,
-		ConnBudget:      32,
-		DispatchTimeout: 5 * time.Millisecond,
+		WorkersPerShard:     1,
+		QueueDepth:          1,
+		ConnBudget:          32,
+		DispatchTimeout:     5 * time.Millisecond,
+		DisableReadFastPath: true,
 	})
 	tc := dialClient(t, srv.Addr())
 	tc.send(Request{Op: OpPut, ID: 1, Key: 1, Val: 11})
@@ -138,10 +143,11 @@ func TestDispatchShedsWhenQueueFull(t *testing.T) {
 // Non-blocking dispatch makes the drain bounded.
 func TestShutdownDrainsUnderFullQueue(t *testing.T) {
 	srv, st := startTuned(t, ServerConfig{
-		WorkersPerShard: 1,
-		QueueDepth:      1,
-		ConnBudget:      8,
-		DispatchTimeout: 5 * time.Millisecond,
+		WorkersPerShard:     1,
+		QueueDepth:          1,
+		ConnBudget:          8,
+		DispatchTimeout:     5 * time.Millisecond,
+		DisableReadFastPath: true,
 	})
 	tc := dialClient(t, srv.Addr())
 	tc.send(Request{Op: OpPut, ID: 1, Key: 1, Val: 11})
@@ -312,10 +318,11 @@ func TestSlowReaderEvictionKeepsShardProgressing(t *testing.T) {
 func TestBurstPastBudgetSheds(t *testing.T) {
 	preServer := runtime.NumGoroutine()
 	srv, st := startTuned(t, ServerConfig{
-		WorkersPerShard: 1,
-		QueueDepth:      64,
-		ConnBudget:      4,
-		DispatchTimeout: 100 * time.Millisecond,
+		WorkersPerShard:     1,
+		QueueDepth:          64,
+		ConnBudget:          4,
+		DispatchTimeout:     100 * time.Millisecond,
+		DisableReadFastPath: true,
 	})
 	tc := dialClient(t, srv.Addr())
 	tc.send(Request{Op: OpPut, ID: 1, Key: 1, Val: 11})

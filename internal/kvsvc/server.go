@@ -61,6 +61,17 @@ type ServerConfig struct {
 	// multi-megabyte send buffer fill. 0 selects the default (64 KiB);
 	// negative leaves the kernel default (autotuning).
 	ConnWriteBuffer int
+	// DisableReadFastPath forces GETs through the shard worker queues
+	// like mutations (the pre-fast-path behavior). The zero value serves
+	// GETs on the connection goroutine; this exists for A/B benchmarking
+	// and for tests that exercise the queue path deterministically.
+	DisableReadFastPath bool
+	// ReadHandleCache caps the idle per-shard read handles kept for
+	// handoff between connections (see readHandlePool). 0 selects the
+	// default (16 per shard); negative disables caching, so every
+	// connection teardown releases its handles straight back to the
+	// store's domains.
+	ReadHandleCache int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -88,6 +99,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.ConnWriteBuffer == 0 {
 		c.ConnWriteBuffer = 64 << 10
 	}
+	if c.ReadHandleCache == 0 {
+		c.ReadHandleCache = 16
+	}
 	return c
 }
 
@@ -104,9 +118,14 @@ type outMsg struct {
 // the per-connection response channel. The response send is credited and
 // therefore can never block (see serveConn's capacity invariant), which
 // is the property that keeps a slow client from stalling a shard worker.
+// pending, when non-nil, is the connection's mutation counter for the
+// target shard; the worker decrements it after executing the request (at
+// which point the mutation is applied), which is what lets the reader's
+// GET fast path prove it cannot overtake this connection's own writes.
 type request struct {
-	req Request
-	out chan<- outMsg
+	req     Request
+	out     chan<- outMsg
+	pending *atomic.Int64
 }
 
 // Server fronts a Store with the wire protocol: per-connection pipelined
@@ -136,15 +155,18 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	connWG sync.WaitGroup
 
+	readPool *readHandlePool
+
 	draining  atomic.Bool
 	accepted  atomic.Int64
 	served    atomic.Int64
+	fastGets  atomic.Int64 // GETs served on the connection goroutine
 	liveConns atomic.Int64
 
 	shedConns     atomic.Int64 // accepts closed at the MaxConns cap
 	shedBudget    atomic.Int64 // StatusOverloaded: connection budget exceeded
 	shedQueueFull atomic.Int64 // StatusOverloaded: shard queue full past DispatchTimeout
-	shedDropped   atomic.Int64 // budget sheds dropped because the writer is stalled too
+	shedDropped   atomic.Int64 // budget sheds and pings dropped because the writer is stalled too
 	evictedIdle   atomic.Int64 // connections evicted by the read (idle) deadline
 	evictedSlow   atomic.Int64 // connections evicted by the write deadline
 }
@@ -155,6 +177,7 @@ type Server struct {
 func NewServer(store *Store, cfg ServerConfig) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, store: store, conns: map[net.Conn]struct{}{}}
+	s.readPool = newReadHandlePool(store, cfg.ReadHandleCache)
 
 	var err error
 	if s.ln, err = net.Listen("tcp", cfg.Addr); err != nil {
@@ -229,11 +252,18 @@ func (s *Server) Serve() error {
 	}
 }
 
-// shardWorker executes requests for one shard with its own handle.
+// shardWorker executes requests for one shard with its own handle. The
+// pending decrement happens after execute and before the response send:
+// once it hits zero the mutation is already applied, so a fast-path read
+// that observes zero cannot miss it.
 func (s *Server) shardWorker(q <-chan request, h Handle) {
 	defer s.workerWG.Done()
 	for r := range q {
-		r.out <- outMsg{resp: execute(h, r.req), credited: true}
+		resp := execute(h, r.req)
+		if r.pending != nil {
+			r.pending.Add(-1)
+		}
+		r.out <- outMsg{resp: resp, credited: true}
 		s.served.Add(1)
 	}
 }
@@ -260,22 +290,40 @@ func execute(h Handle, r Request) Response {
 	return Response{ID: r.ID, Status: StatusErr}
 }
 
-// serveConn owns one connection: a read loop decoding pipelined frames
-// and dispatching them to shard queues, and a writer goroutine batching
-// responses back out.
+// serveConn owns one connection: a read loop decoding pipelined frames,
+// executing GETs in place (the read fast path) and dispatching mutations
+// to shard queues, and a writer goroutine batching responses back out.
 //
 // Capacity invariant (the no-stall guarantee): out has 2·B slots for a
-// budget of B. Credited messages — dispatched requests, pings, and
-// queue-full sheds — are gated by the credits semaphore, so at most B of
-// them exist between acquire and the writer's release; uncredited
-// budget-shed messages are capped at B by the uncredited counter (the
-// reader drops the shed, counted, when even that lane is full). Any
-// sender of a credited message therefore always finds a free slot:
-// credited-in-channel ≤ B−1 while it holds its own credit, and
+// budget of B. Credited messages — dispatched requests, fast-path gets,
+// and queue-full sheds — are gated by the credits semaphore, so at most B
+// of them exist between acquire and the writer's release; uncredited
+// messages (budget sheds and pings) are capped at B by the uncredited
+// counter (the reader drops the message, counted, when even that lane is
+// full). Any sender of a credited message therefore always finds a free
+// slot: credited-in-channel ≤ B−1 while it holds its own credit, and
 // uncredited-in-channel ≤ B. Shard workers send only credited messages,
 // so they can NEVER block on a connection, no matter how the peer
 // behaves — the service-layer analogue of the bounded-garbage guarantee
 // the reclamation schemes give against stalled threads.
+//
+// The fast path preserves the invariant with the same argument: the
+// reader executes the get only after taking a credit, so its send is a
+// credited send and finds a slot like any worker's would. Because the
+// reader is itself the sender, it cannot even race its own budget — the
+// send happens-before the next frame is read. The get must still never
+// *stall* the read loop: Get on every engine/scheme is a bounded
+// wait-free traversal (no helping, no unbounded retry; somap may lazily
+// insert bucket dummies, which is a bounded handle-local op), so the
+// reader returns to ReadFrame in bounded time.
+//
+// Ordering: a fast-path get may overtake *other* requests, but never this
+// connection's own mutations. The reader counts its in-queue mutations
+// per shard (pending); a get takes the fast path only when the target
+// shard's count is zero — the counter is decremented by the worker after
+// the mutation is applied, and only the reader increments it, so zero
+// means every mutation this connection sent to that shard has executed.
+// Otherwise the get rides the queue behind them, exactly as before.
 func (s *Server) serveConn(c net.Conn) {
 	defer s.connWG.Done()
 	defer func() {
@@ -294,8 +342,22 @@ func (s *Server) serveConn(c net.Conn) {
 	for i := 0; i < budget; i++ {
 		credits <- struct{}{}
 	}
-	var uncredited atomic.Int64 // uncredited sheds enqueued and not yet dequeued
+	var uncredited atomic.Int64 // uncredited messages enqueued and not yet dequeued
 	var inflight sync.WaitGroup
+
+	fastPath := !s.cfg.DisableReadFastPath
+	rh := newConnReadHandles(s.readPool)
+	// pending[i] counts this connection's mutations dispatched to shard i
+	// and not yet executed; only the reader increments, only workers
+	// decrement (after applying), so a zero read proves the fast path
+	// cannot overtake our own writes.
+	pending := make([]atomic.Int64, s.store.NumShards())
+	var dispatchTimer *time.Timer
+	defer func() {
+		if dispatchTimer != nil {
+			dispatchTimer.Stop()
+		}
+	}()
 
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
@@ -337,6 +399,14 @@ func (s *Server) serveConn(c net.Conn) {
 			inflight.Done()
 		}
 		if !broken {
+			// Fresh deadline for the final flush: the last per-response
+			// deadline may be nearly spent (or long expired on an idle
+			// teardown), and a peer that stalls exactly here would
+			// otherwise pin serveConn in writerWG.Wait for however much
+			// stale deadline happens to remain.
+			if s.cfg.WriteTimeout > 0 {
+				c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
 			bw.Flush()
 		}
 	}()
@@ -363,6 +433,24 @@ func (s *Server) serveConn(c net.Conn) {
 			break
 		}
 
+		if req.Op == OpPing {
+			// Pings ride the uncredited lane and never consume budget: a
+			// keepalive must not compete with data responses for credits,
+			// or a saturated-but-healthy connection would read
+			// StatusOverloaded for its liveness probe (see the OpPing
+			// contract in wire.go). The lane's B-bound still holds; if
+			// even it is full the writer is stalled and the ping is
+			// dropped, counted — the peer is not reading anyway.
+			if uncredited.Load() < int64(budget) {
+				uncredited.Add(1)
+				inflight.Add(1)
+				out <- outMsg{resp: Response{ID: req.ID, Status: StatusOK}}
+			} else {
+				s.shedDropped.Add(1)
+			}
+			continue
+		}
+
 		select {
 		case <-credits:
 		default:
@@ -381,24 +469,46 @@ func (s *Server) serveConn(c net.Conn) {
 			continue
 		}
 		inflight.Add(1)
-		if req.Op == OpPing {
-			out <- outMsg{resp: Response{ID: req.ID, Status: StatusOK}, credited: true}
+		i := s.store.ShardOf(req.Key)
+		if fastPath && req.Op == OpGet && pending[i].Load() == 0 {
+			// Read fast path: execute on this goroutine with the
+			// connection's own shard handle — no queue, no worker, no
+			// cross-goroutine hop. Credited send, same capacity proof as
+			// a worker's (see above).
+			out <- outMsg{resp: execute(rh.handle(i), req), credited: true}
+			s.served.Add(1)
+			s.fastGets.Add(1)
 			continue
 		}
-		q := s.queues[s.store.ShardOf(req.Key)]
+		if isMutation(req.Op) {
+			pending[i].Add(1)
+		}
+		q := s.queues[i]
+		r := request{req: req, out: out}
+		if isMutation(req.Op) {
+			r.pending = &pending[i]
+		}
 		select {
-		case q <- request{req: req, out: out}:
+		case q <- r:
 		default:
-			if !s.dispatchSlow(q, request{req: req, out: out}) {
+			if !s.dispatchSlow(q, r, &dispatchTimer) {
+				if r.pending != nil {
+					r.pending.Add(-1) // shed, never executed
+				}
 				s.shedQueueFull.Add(1)
 				out <- outMsg{resp: Response{ID: req.ID, Status: StatusOverloaded}, credited: true}
 			}
 		}
 	}
 	inflight.Wait() // all accepted requests answered (or shed) and handed to the writer
+	rh.release()    // hand the read handles to the pool for the next connection
 	close(out)
 	writerWG.Wait()
 }
+
+// isMutation reports whether op changes store state (and therefore rides
+// the worker queue and counts toward the per-shard pending counter).
+func isMutation(op byte) bool { return op == OpPut || op == OpDel }
 
 // dispatchSlow waits up to DispatchTimeout for space on a full shard
 // queue; false means the request must be shed. The wait is the only
@@ -406,17 +516,30 @@ func (s *Server) serveConn(c net.Conn) {
 // — a full queue can delay one reader by at most the timeout, never
 // wedge it (the pre-overload server blocked here forever, which let one
 // slow shard hold every connection's read loop and Shutdown hostage).
-func (s *Server) dispatchSlow(q chan<- request, r request) bool {
+//
+// t caches the connection's timer across calls: this path is hot exactly
+// when the server is overloaded (every frame meets a full queue), and a
+// fresh time.Timer per event put allocator and runtime-timer pressure on
+// the one code path that needed to stay cheap. The Stop/drain on the
+// send-won branch leaves the timer fully consumed, so the next Reset
+// starts clean under the pre-1.23 timer semantics this module targets.
+func (s *Server) dispatchSlow(q chan<- request, r request, t **time.Timer) bool {
 	d := s.cfg.DispatchTimeout
 	if d <= 0 {
 		return false
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
+	if *t == nil {
+		*t = time.NewTimer(d)
+	} else {
+		(*t).Reset(d)
+	}
 	select {
 	case q <- r:
+		if !(*t).Stop() {
+			<-(*t).C
+		}
 		return true
-	case <-t.C:
+	case <-(*t).C:
 		return false
 	}
 }
@@ -451,6 +574,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(q)
 	}
 	s.workerWG.Wait()
+	// Every connection has returned its read handles by now (connWG), so
+	// the pool holds all idle fast-path handles; release them before the
+	// store's final reclamation pass.
+	s.readPool.drain()
 	s.store.Drain()
 
 	var errs []error
@@ -470,8 +597,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// Served returns the number of requests executed by shard workers.
+// Served returns the number of requests executed (by shard workers or on
+// the connection-goroutine read fast path).
 func (s *Server) Served() int64 { return s.served.Load() }
+
+// FastGets returns the number of GETs served on the read fast path.
+func (s *Server) FastGets() int64 { return s.fastGets.Load() }
 
 // AdminStats is the JSON document served at the admin endpoint's /stats
 // (and scraped by kvload): store-wide totals, the overload/eviction
@@ -483,6 +614,8 @@ type AdminStats struct {
 	AcceptedConns   int64       `json:"accepted_conns"`
 	LiveConns       int64       `json:"live_conns"`
 	ServedOps       int64       `json:"served_ops"`
+	FastpathGets    int64       `json:"fastpath_gets"`
+	LiveHandles     int         `json:"live_handles"`
 	ShedConns       int64       `json:"shed_conns"`
 	ShedBudget      int64       `json:"shed_budget"`
 	ShedQueueFull   int64       `json:"shed_queue_full"`
@@ -510,6 +643,8 @@ func (s *Server) Snapshot() AdminStats {
 		AcceptedConns:   s.accepted.Load(),
 		LiveConns:       s.liveConns.Load(),
 		ServedOps:       s.served.Load(),
+		FastpathGets:    s.fastGets.Load(),
+		LiveHandles:     s.store.LiveHandles(),
 		ShedConns:       shedC,
 		ShedBudget:      shedB,
 		ShedQueueFull:   shedQ,

@@ -25,6 +25,19 @@ import (
 )
 
 // Opcodes.
+//
+// The OpPing contract: a ping is a liveness probe, not a data request.
+// It is answered on the connection's reader goroutine without consuming
+// an in-flight credit, so a ping succeeds (StatusOK, Val echoes the
+// request's Val) even when every credit is held by queued mutations and
+// data requests are being shed StatusOverloaded — a client at budget can
+// still distinguish "server alive but saturated" from "server gone".
+// Because pings skip the credit gate they are also excluded from
+// response-ordering guarantees: a ping's response may overtake earlier
+// data responses from the same connection. The one case a ping is
+// dropped (no response at all) is a connection whose writer is already
+// stalled past its uncredited headroom — the slow-writer eviction path
+// is about to kill that connection anyway.
 const (
 	OpGet uint8 = 1 + iota
 	OpPut

@@ -15,6 +15,7 @@ package pebr
 
 import (
 	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -62,7 +63,15 @@ type Domain struct {
 	g        smr.Garbage
 	sm       smr.ScanMeter
 	budget   smr.Budget
-	guards   atomic.Int64 // guards ever created: the H of the adaptive threshold
+	guards   atomic.Int64 // live (unfinished) guards: the H of the adaptive threshold
+
+	// orphans holds epoch-tagged bags abandoned by finished guards,
+	// adopted by the next Collect. See ebr.Domain for the design; the
+	// entries keep their retire epochs so adoption preserves the freeing
+	// rule, and shield scans cover them like any other bag entry.
+	orphanMu sync.Mutex
+	orphanN  atomic.Int32
+	orphans  []entry
 
 	// CollectEvery, if set > 0 before use, pins the fixed per-guard
 	// cadence: one collection attempt every CollectEvery retires. When
@@ -144,6 +153,41 @@ func (d *Domain) acquireRec() *rec {
 type entry struct {
 	r     smr.Retired
 	epoch uint64
+}
+
+// pushOrphans hands a finished guard's leftover bag to the domain.
+func (d *Domain) pushOrphans(bag []entry) {
+	d.orphanMu.Lock()
+	d.orphans = append(d.orphans, bag...)
+	d.orphanN.Store(int32(len(d.orphans)))
+	d.orphanMu.Unlock()
+}
+
+// adoptOrphans appends all orphaned entries to dst, clears the list, and
+// returns dst. The atomic count makes the common empty case lock-free.
+func (d *Domain) adoptOrphans(dst []entry) []entry {
+	if d.orphanN.Load() == 0 {
+		return dst
+	}
+	d.orphanMu.Lock()
+	dst = append(dst, d.orphans...)
+	d.orphans = d.orphans[:0]
+	d.orphanN.Store(0)
+	d.orphanMu.Unlock()
+	return dst
+}
+
+// Records reports the size of the guard-record list: total records ever
+// created and how many are currently held by live guards. See
+// ebr.Domain.Records.
+func (d *Domain) Records() (total, live int) {
+	for r := d.threads.Load(); r != nil; r = r.next {
+		total++
+		if r.inUse.Load() != 0 {
+			live++
+		}
+	}
+	return total, live
 }
 
 // Guard is a per-worker PEBR handle implementing smr.Guard.
@@ -230,6 +274,7 @@ func (g *Guard) shouldCollect(published bool) bool {
 func (g *Guard) Collect() {
 	d := g.d
 	start := time.Now()
+	g.bag = d.adoptOrphans(g.bag)
 	e := d.epoch.Load()
 	min := e
 	blocked := false
@@ -294,6 +339,27 @@ func (g *Guard) Collect() {
 	}
 	g.budget.Freed(freed)
 	d.sm.AddScan(time.Since(start).Nanoseconds())
+}
+
+// Finish retires the guard itself: shields are revoked (a finished guard
+// must not pin dead nodes forever), the final collection attempt runs, any
+// survivors go to the domain's orphan list, and the guard record is
+// released for reuse. The stale-lag counter is cleared so a recycled
+// record does not inherit its previous owner's ejection history. The
+// guard must not be used after Finish.
+func (g *Guard) Finish() {
+	g.ClearShields()
+	g.Unpin()
+	g.Collect() // also flushes the budget cache via Freed
+	if len(g.bag) > 0 {
+		g.d.pushOrphans(g.bag)
+		g.bag = nil
+	}
+	g.budget.Flush()
+	g.r.lag.Store(0)
+	g.d.guards.Add(-1)
+	g.r.inUse.Store(0)
+	g.r = nil
 }
 
 // BagLen returns the number of locally retired, unfreed nodes.

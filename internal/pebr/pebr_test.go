@@ -210,3 +210,104 @@ func TestStatsEpochLagIsCachedAndCorrect(t *testing.T) {
 		t.Fatalf("EpochLag = %d after the straggler unpinned and a Collect ran, want 0", st.EpochLag)
 	}
 }
+
+// TestFinishReleasesRecordAndOrphans: a finished guard's record must be
+// recyclable by the next guard and its leftover bag must be adopted (with
+// retire epochs intact) and eventually freed by a survivor.
+func TestFinishReleasesRecordAndOrphans(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("fin", arena.ModeDetect)
+
+	g := d.NewGuardPEBR(1)
+	g.Pin()
+	ref, _ := p.Alloc()
+	g.Retire(ref, p)
+	g.Unpin()
+	g.Finish() // the entry is too young to free inline -> orphaned
+
+	if total, live := d.Records(); total != 1 || live != 0 {
+		t.Fatalf("records after finish = (%d,%d), want (1,0)", total, live)
+	}
+
+	g2 := d.NewGuardPEBR(1)
+	if total, live := d.Records(); total != 1 || live != 1 {
+		t.Fatalf("record not recycled: (%d,%d), want (1,1)", total, live)
+	}
+	g2.Collect() // adopt the orphan
+	for i := 0; i < 6; i++ {
+		g2.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("orphaned entry never freed")
+	}
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed = %d", d.Unreclaimed())
+	}
+	g2.Finish()
+}
+
+// TestFinishReleasesShields: a guard that dies while announcing a shield
+// must not pin the shielded node forever — Finish revokes the shield and
+// the node becomes reclaimable.
+func TestFinishReleasesShields(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("fin-shield", arena.ModeDetect)
+
+	reader := d.NewGuardPEBR(1)
+	reader.Pin()
+	ref, _ := p.Alloc()
+	if !reader.Track(0, ref) {
+		t.Fatal("track failed with no ejection pending")
+	}
+
+	w := d.NewGuardPEBR(1)
+	w.Pin()
+	w.Retire(ref, p)
+	w.Unpin()
+	for i := 0; i < 10; i++ {
+		w.Collect() // reader may get ejected, but its shield still protects
+	}
+	if !p.Live(ref) {
+		t.Fatal("shielded node freed while its shield holder was live")
+	}
+
+	reader.Finish()
+	for i := 0; i < 6; i++ {
+		w.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("node not freed after its shield holder finished")
+	}
+	w.Finish()
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed = %d", d.Unreclaimed())
+	}
+}
+
+// TestGuardChurnRecyclesRecords: sequential guard churn (one guard per
+// network connection, say) must recycle a single record instead of
+// growing the record list with guards ever created.
+func TestGuardChurnRecyclesRecords(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("churn", arena.ModeReuse)
+	for i := 0; i < 100; i++ {
+		g := d.NewGuardPEBR(1)
+		g.Pin()
+		ref, _ := p.Alloc()
+		g.Track(0, ref)
+		g.Retire(ref, p)
+		g.Unpin()
+		g.Finish()
+	}
+	if total, live := d.Records(); total != 1 || live != 0 {
+		t.Fatalf("sequential churn records = (%d,%d), want (1,0)", total, live)
+	}
+	g := d.NewGuardPEBR(1)
+	for i := 0; i < 8; i++ {
+		g.Collect()
+	}
+	g.Finish()
+	if got := d.Unreclaimed(); got != 0 {
+		t.Fatalf("unreclaimed after churn drain = %d", got)
+	}
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# bench_kvsvc.sh: refresh BENCH_kvsvc.json with the read-fast-path matrix.
+#
+# Runs kvload against gosmrd for every (engine, read-fastpath) pair —
+# somap and hashmap, fast path on and off — with a 1M-key preload so the
+# somap cells measure the fully grown directory, under the Zipf read-most
+# mix. Each run is detect mode, so the numbers double as a safety gate:
+# kvload exits non-zero on any arena violation. The four single-cell
+# reports are merged (jq) into one BENCH_kvsvc.json at the repo root;
+# cells are distinguished by "engine" and the "fastpath=on|off" tag in
+# the workload string, and the on-cells must show nonzero fastpath_gets.
+#
+# Usage: scripts/bench_kvsvc.sh [requests] [preload]
+set -euo pipefail
+
+REQUESTS="${1:-200000}"
+PRELOAD="${2:-1000000}"
+ADDR="127.0.0.1:17170"
+ADMIN="127.0.0.1:17171"
+
+cd "$(dirname "$0")/.."
+BIN="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/gosmrd" ./cmd/gosmrd
+go build -o "$BIN/kvload" ./cmd/kvload
+
+CELLS=()
+for engine in somap hashmap; do
+    for fast in on off; do
+        [ "$fast" = on ] && FASTFLAG=true || FASTFLAG=false
+        echo "bench-kvsvc: engine=$engine fastpath=$fast ($PRELOAD preload, $REQUESTS requests)"
+        "$BIN/gosmrd" -addr "$ADDR" -admin "$ADMIN" -shards 8 -scheme hp++ -mode detect \
+            -engine "$engine" -read-fastpath="$FASTFLAG" \
+            >"$BIN/gosmrd_${engine}_${fast}.json" 2>"$BIN/gosmrd_${engine}_${fast}.log" &
+        SRV_PID=$!
+
+        OUT="$BIN/cell_${engine}_${fast}.json"
+        "$BIN/kvload" -addr "$ADDR" -admin "$ADMIN" \
+            -conns 8 -requests "$REQUESTS" -keys "$PRELOAD" -preload "$PRELOAD" \
+            -zipf 1.1 -note "fastpath=$fast" -out "$OUT"
+
+        kill -TERM "$SRV_PID"
+        if ! wait "$SRV_PID"; then
+            echo "bench-kvsvc: gosmrd drain FAILED (engine=$engine fastpath=$fast)" >&2
+            cat "$BIN/gosmrd_${engine}_${fast}.log" >&2
+            exit 1
+        fi
+        SRV_PID=""
+        grep -q "clean drain" "$BIN/gosmrd_${engine}_${fast}.log" || {
+            echo "bench-kvsvc: no clean drain (engine=$engine fastpath=$fast)" >&2
+            exit 1
+        }
+        if [ "$fast" = on ]; then
+            FG=$(jq '.cells[0].fastpath_gets // 0' "$OUT")
+            if [ "$FG" -eq 0 ]; then
+                echo "bench-kvsvc: fastpath=on run recorded zero fastpath_gets" >&2
+                exit 1
+            fi
+        fi
+        CELLS+=("$OUT")
+    done
+done
+
+jq -s '{generated_by: "kvload (scripts/bench_kvsvc.sh)", scan_microbench: .[0].scan_microbench, cells: map(.cells[0])}' \
+    "${CELLS[@]}" > BENCH_kvsvc.json
+echo "bench-kvsvc: wrote BENCH_kvsvc.json (${#CELLS[@]} cells)"
+jq -r '.cells[] | "\(.engine)\t\(.workload | capture("fastpath=(?<f>\\w+)").f)\tp50(get)=\(.p50_get_us)µs\tp99(get)=\(.p99_get_us)µs\tfastpath_gets=\(.fastpath_gets // 0)"' BENCH_kvsvc.json
