@@ -5,15 +5,15 @@
 
 GO ?= go
 
-.PHONY: check race test short stress bench bench-json bench-compare vet serve-smoke bench-kvsvc
+.PHONY: check race test short stress bench bench-json bench-compare bench-stall vet serve-smoke bench-kvsvc
 
 check: vet
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race -count=1 -run \
-		'ZeroValue|FrontierCache|StatsMonotone|ScanSet|ReleaseHint|Adaptive|Budget' \
-		./internal/hazards/ ./internal/hp/ ./internal/core/ \
-		./internal/ebr/ ./internal/pebr/ ./internal/arena/ ./internal/smr/
+		'ZeroValue|FrontierCache|StatsMonotone|ScanSet|ReleaseHint|Adaptive|Budget|Neutraliz|CheckpointProtects' \
+		./internal/hazards/ ./internal/hp/ ./internal/core/ ./internal/ebr/ \
+		./internal/pebr/ ./internal/nbr/ ./internal/arena/ ./internal/smr/
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,13 @@ bench-kvsvc:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=200ms ./internal/bench/
+
+# bench-stall regenerates BENCH_stall.json at the repo root — the §4.4
+# stalled-thread robustness artifact (per-scheme peak/final unreclaimed
+# with a writer parked mid-insert, plus the unstalled read-heavy
+# throughput companion) — and validates it with benchcompare -stall.
+bench-stall:
+	bash scripts/bench_stall.sh
 
 # bench-json regenerates BENCH_reclaim.json at the repo root: the pinned
 # reclaim-scan microbench plus one fig-8 read-write cell per scheme.

@@ -12,6 +12,18 @@
 // default band than the microbench and only warn unless -strictcells is
 // set. The scan microbench is single-threaded and tight, so it is always
 // enforced.
+//
+// With -stall it instead validates a BENCH_stall.json stalled-thread
+// report against absolute invariants rather than a fractional band —
+// robustness is a bound, not a trend:
+//
+//	benchcompare -stall BENCH_stall.json
+//
+// Gates: every robust scheme's peak unreclaimed stays under -stallbound;
+// EBR's peak is at least -stallratio times NBR's (the experiment must
+// actually demonstrate the unbounded-vs-bounded split); every cell's
+// final unreclaimed drains to zero after release; and NBR's unstalled
+// read-heavy throughput is within -stallnear of EBR's (warn-only, noisy).
 package main
 
 import (
@@ -21,6 +33,7 @@ import (
 	"os"
 
 	"github.com/gosmr/gosmr/internal/bench"
+	"github.com/gosmr/gosmr/internal/stress"
 )
 
 func main() {
@@ -30,8 +43,15 @@ func main() {
 		tolerance   = flag.Float64("tolerance", 0.05, "allowed fractional regression for the scan microbench (0.05 = 5%)")
 		cellTol     = flag.Float64("celltolerance", 0.25, "allowed fractional throughput drop per benchmark cell")
 		strictCells = flag.Bool("strictcells", false, "fail (not just warn) on cell throughput regressions")
+		stall       = flag.String("stall", "", "validate a BENCH_stall.json stalled-thread report against absolute bounds instead of diffing reports")
+		stallBound  = flag.Int64("stallbound", 4096, "peak-unreclaimed ceiling for the robust schemes' stall cells")
+		stallRatio  = flag.Float64("stallratio", 10, "minimum EBR-peak / NBR-peak ratio the stall report must demonstrate")
+		stallNear   = flag.Float64("stallnear", 0.15, "warn when NBR's unstalled read-heavy throughput trails EBR's by more than this fraction")
 	)
 	flag.Parse()
+	if *stall != "" {
+		os.Exit(validateStall(*stall, *stallBound, *stallRatio, *stallNear))
+	}
 	if *fresh == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -fresh is required")
 		flag.Usage()
@@ -104,6 +124,89 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// robustSchemes are the stall cells gated by the absolute peak bound:
+// everything except EBR (whose whole point in the report is to grow
+// without bound) and nr/rc (excluded from the default sweep).
+var robustSchemes = map[string]bool{"hp": true, "hp++": true, "hp++ef": true, "pebr": true, "nbr": true}
+
+// validateStall enforces the stalled-thread report's invariants and
+// returns the process exit code.
+func validateStall(path string, bound int64, ratio, near float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		return 2
+	}
+	var rep stress.StallReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s: %v\n", path, err)
+		return 2
+	}
+	if len(rep.Cells) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s: no stall cells\n", path)
+		return 2
+	}
+
+	failed := false
+	var ebrPeak, nbrPeak int64 = -1, -1
+	for _, c := range rep.Cells {
+		status := "ok"
+		switch {
+		case !c.ParkedStall:
+			// The trap timed out: the cell measured an unstalled run and
+			// none of its numbers mean anything.
+			status = "FAIL (participant never parked)"
+			failed = true
+		case c.UAF > 0 || c.DoubleFree > 0:
+			status = fmt.Sprintf("FAIL (uaf=%d double-free=%d)", c.UAF, c.DoubleFree)
+			failed = true
+		case c.FinalUnreclaimed != 0:
+			status = fmt.Sprintf("FAIL (final unreclaimed %d != 0 after release)", c.FinalUnreclaimed)
+			failed = true
+		case robustSchemes[c.Scheme] && c.PeakUnreclaimed > bound:
+			status = fmt.Sprintf("FAIL (peak %d > bound %d)", c.PeakUnreclaimed, bound)
+			failed = true
+		}
+		fmt.Printf("stall %s/%s: peak=%d stalled=%d final=%d retired=%d %s\n",
+			c.DS, c.Scheme, c.PeakUnreclaimed, c.StalledUnreclaimed, c.FinalUnreclaimed, c.TotalRetired, status)
+		switch c.Scheme {
+		case "ebr":
+			ebrPeak = c.PeakUnreclaimed
+		case "nbr":
+			nbrPeak = c.PeakUnreclaimed
+		}
+	}
+
+	if ebrPeak >= 0 && nbrPeak > 0 {
+		r := float64(ebrPeak) / float64(nbrPeak)
+		status := "ok"
+		if r < ratio {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("stall ebr/nbr peak ratio: %.1fx (minimum %.0fx) %s\n", r, ratio, status)
+	}
+
+	tp := map[string]float64{}
+	for _, c := range rep.Throughput {
+		tp[c.Scheme] = c.MopsPerSec
+	}
+	if ebr, nbr := tp["ebr"], tp["nbr"]; ebr > 0 && nbr > 0 {
+		gap := (ebr - nbr) / ebr
+		status := "ok"
+		if gap > near {
+			status = "WARN"
+		}
+		fmt.Printf("unstalled read-heavy throughput: ebr=%.3f nbr=%.3f gap=%+.1f%% (near %.0f%%) %s\n",
+			ebr, nbr, 100*gap, 100*near, status)
+	}
+
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 func load(path string) (bench.ReclaimReport, error) {

@@ -11,6 +11,11 @@
 //	smrbench -fig 12..23         # appendix figures
 //	smrbench -robustness hhslist # §4.4 stalled-thread scenario
 //
+// Regenerate the committed robustness artifact (BENCH_stall.json): one
+// parked-writer cell per scheme plus the unstalled read-heavy companion:
+//
+//	smrbench -stalljson BENCH_stall.json -dur 2s
+//
 // Or run a single free-form cell:
 //
 //	smrbench -ds hhslist -scheme hp++ -threads 4 -range 10000 \
@@ -28,6 +33,7 @@ import (
 
 	"github.com/gosmr/gosmr/internal/arena"
 	"github.com/gosmr/gosmr/internal/bench"
+	"github.com/gosmr/gosmr/internal/stress"
 )
 
 func main() {
@@ -41,11 +47,13 @@ func main() {
 		workload    = flag.String("workload", "read-write", "workload: write-only | read-write | read-most")
 		dur         = flag.Duration("dur", time.Second, "duration per benchmark cell")
 		threadsCSV  = flag.String("sweep", "1,2,4,8", "thread counts for figure sweeps")
-		schemesCSV  = flag.String("schemes", "nr,ebr,pebr,hp,hp++,rc", "schemes for figure sweeps")
+		schemesCSV  = flag.String("schemes", "nr,ebr,pebr,nbr,hp,hp++,rc", "schemes for figure sweeps")
 		lo          = flag.Uint("lo", 10, "figure 10: smallest log2 key range")
 		hi          = flag.Uint("hi", 16, "figure 10: largest log2 key range")
 		list        = flag.Bool("list", false, "list registered targets and exit")
 		reclaimJSON = flag.String("reclaimjson", "", "write the reclaim-path benchmark report (scan microbench + per-scheme fig-8 cells) to this file")
+		stallJSON   = flag.String("stalljson", "", "write the stalled-thread experiment report (per-scheme peak/final unreclaimed with a parked writer, plus unstalled read-heavy throughput) to this file")
+		stallOps    = flag.Int("stallops", 0, "per-worker write-only op count for -stalljson (0 = default)")
 		asJSON      = flag.Bool("json", false, "emit the free-form run's result (including smr_stats) as JSON")
 		fixedCad    = flag.Int("fixedcadence", 0, "pin the classic fixed per-thread reclaim cadence (0 = shared-budget adaptive); ablation knob for per-thread vs domain-wide accounting")
 	)
@@ -65,6 +73,15 @@ func main() {
 	}
 
 	switch {
+	case *stallJSON != "":
+		f, err := os.Create(*stallJSON)
+		check(err)
+		check(stress.StallJSON(f, stress.StallOptions{
+			Workers: *threads,
+			Ops:     *stallOps,
+		}, *dur))
+		check(f.Close())
+		fmt.Println("wrote", *stallJSON)
 	case *reclaimJSON != "":
 		f, err := os.Create(*reclaimJSON)
 		check(err)

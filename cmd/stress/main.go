@@ -42,6 +42,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		maxNodes = flag.Int64("maxnodes", 0, "linearizability search budget (0 = default)")
 		noStall  = flag.Bool("no-stall", false, "disable the parked stalled reader")
+		parked   = flag.Bool("parked", false, "upgrade the stalled participant to a writer parked mid-mutation (§4.4 adversary)")
 		delay    = flag.Int("delay", 4, "yields after each remove (0 = off)")
 		noStorm  = flag.Bool("no-storm", false, "disable the reclamation storm")
 		yield    = flag.Int("yield", 64, "scheduler yield every Nth deref (0 = off)")
@@ -76,11 +77,12 @@ func main() {
 		Seed:     *seed,
 		MaxNodes: *maxNodes,
 		Faults: stress.Faults{
-			StallReader: !*noStall,
-			DelayRetire: *delay,
-			Storm:       !*noStorm,
-			YieldEvery:  *yield,
-			ResizeStorm: !*noResize,
+			StallReader:  !*noStall,
+			ParkedWorker: *parked,
+			DelayRetire:  *delay,
+			Storm:        !*noStorm,
+			YieldEvery:   *yield,
+			ResizeStorm:  !*noResize,
 		},
 	}
 

@@ -94,6 +94,12 @@ type Target struct {
 	// section (or holds a protection) and never progresses — the
 	// robustness adversary of §4.4.
 	Stall func()
+	// StallRelease, if non-nil, finishes every participant Stall created,
+	// so a post-measurement drain can reach zero. RunWithStall calls it
+	// after recording the stalled-phase measurements; a Stall without a
+	// paired release would leave Finish running against a live pinned
+	// guard and the scenario could never assert recovery.
+	StallRelease func()
 	// Pools lists every arena pool backing the target, for UAF and
 	// double-free attribution in detect-mode stress runs.
 	Pools []PoolInfo
@@ -157,6 +163,10 @@ type Result struct {
 	PeakMemBytes int64 `json:"peak_mem_bytes"`
 	// FinalUnreclaimed is the unreclaimed count after Finish.
 	FinalUnreclaimed int64 `json:"final_unreclaimed"`
+	// StalledUnreclaimed is the unreclaimed count at measurement end while
+	// the stalled participant was still parked (before StallRelease and
+	// Finish). Only RunWithStall fills it.
+	StalledUnreclaimed int64 `json:"stalled_unreclaimed,omitempty"`
 	// Stats is the domain's smr.Stats snapshot taken after Finish, with
 	// the arena fields filled from the target's pools.
 	Stats smr.Stats `json:"smr_stats"`
@@ -217,6 +227,22 @@ func Prefill(h Handle, cfg Config) {
 // Run executes the configured workload against target and reports the
 // measurements.
 func Run(target Target, cfg Config) Result {
+	res := run(target, cfg)
+	finishResult(&res, target)
+	return res
+}
+
+// finishResult drains the target and fills the post-drain fields.
+func finishResult(res *Result, target Target) {
+	target.Finish()
+	res.FinalUnreclaimed = target.Unreclaimed()
+	res.Stats = target.SMRStats()
+}
+
+// run executes the workload and fills the measurement-phase fields,
+// leaving the target undrained so RunWithStall can release its stalled
+// participant before the single Finish.
+func run(target Target, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	handles := make([]Handle, cfg.Threads)
 	for i := range handles {
@@ -310,9 +336,6 @@ func Run(target Target, cfg Config) Result {
 	if samples > 0 {
 		res.AvgUnreclaimed = float64(sumUnr) / float64(samples)
 	}
-	target.Finish()
-	res.FinalUnreclaimed = target.Unreclaimed()
-	res.Stats = target.SMRStats()
 	return res
 }
 
@@ -411,20 +434,27 @@ func RunLongReads(target Target, cfg Config) Result {
 	if samples > 0 {
 		res.AvgUnreclaimed = float64(sumUnr) / float64(samples)
 	}
-	target.Finish()
-	res.FinalUnreclaimed = target.Unreclaimed()
-	res.Stats = target.SMRStats()
+	finishResult(&res, target)
 	return res
 }
 
 // RunWithStall is the §4.4 robustness scenario: before the normal run, a
 // scheme-specific stalled participant is created via target.Stall — a
-// guard that pins a critical section (EBR/PEBR) or a thread holding a
-// protection (HP/HP++) and never progresses. The interesting output is
-// PeakUnreclaimed: bounded for HP/HP++/PEBR, unbounded for EBR.
+// guard that pins a critical section (EBR/PEBR/NBR) or a thread holding a
+// protection (HP/HP++) and never progresses. The interesting outputs are
+// PeakUnreclaimed and StalledUnreclaimed — bounded for HP/HP++/PEBR/NBR,
+// unbounded for EBR — and FinalUnreclaimed, which must drain to zero for
+// every reclaiming scheme once the stalled participant is released via
+// target.StallRelease (recovery).
 func RunWithStall(target Target, cfg Config) Result {
 	if target.Stall != nil {
 		target.Stall()
 	}
-	return Run(target, cfg)
+	res := run(target, cfg)
+	res.StalledUnreclaimed = target.Unreclaimed()
+	if target.StallRelease != nil {
+		target.StallRelease()
+	}
+	finishResult(&res, target)
+	return res
 }

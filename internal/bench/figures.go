@@ -61,7 +61,11 @@ func (s SweepConfig) withDefaults() SweepConfig {
 		s.Duration = time.Second
 	}
 	if len(s.Schemes) == 0 {
-		s.Schemes = []string{"nr", "ebr", "pebr", "hp", "hp++", "rc"}
+		// Default to every registered scheme. A hand-maintained literal
+		// here once silently dropped hp++ef from all default sweeps when
+		// the epoch-fence variant was added to Schemes; copy the registry
+		// so the two can never diverge again.
+		s.Schemes = append([]string(nil), Schemes...)
 	}
 	if len(s.DSes) == 0 {
 		s.DSes = Registered()

@@ -10,6 +10,7 @@ import (
 	"github.com/gosmr/gosmr/internal/ds/hmlist"
 	"github.com/gosmr/gosmr/internal/ebr"
 	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nbr"
 	"github.com/gosmr/gosmr/internal/nr"
 	"github.com/gosmr/gosmr/internal/pebr"
 	"github.com/gosmr/gosmr/internal/rc"
@@ -18,7 +19,7 @@ import (
 )
 
 // Scheme names accepted by NewTarget.
-var Schemes = []string{"nr", "ebr", "pebr", "hp", "hp++", "hp++ef", "rc"}
+var Schemes = []string{"nr", "ebr", "pebr", "nbr", "hp", "hp++", "hp++ef", "rc"}
 
 // UnsafeScheme is the deliberately broken immediate-free "scheme". It is
 // accepted by NewTarget for every data structure with a critical-section
@@ -84,6 +85,10 @@ func guardDomain(scheme string) (smr.GuardDomain, smr.Domain) {
 		d := pebr.NewDomain()
 		d.CollectEvery = FixedReclaimEvery
 		return d, d
+	case "nbr":
+		d := nbr.NewDomain()
+		d.CollectEvery = FixedReclaimEvery
+		return d, d
 	case UnsafeScheme:
 		d := unsafefree.NewDomain()
 		return d, d
@@ -104,8 +109,87 @@ func agitatorFor(d smr.Domain) func() {
 	case *pebr.Domain:
 		g := dom.NewGuardPEBR(1)
 		return func() { g.Collect() }
+	case *nbr.Domain:
+		g := dom.NewGuardNBR(1)
+		return func() { g.Collect() }
 	}
 	return nil
+}
+
+// stallCS returns the paired Stall/StallRelease closures for CS-style
+// domains: Stall parks a fresh pinned guard (the §4.4 robustness
+// adversary), StallRelease finishes every parked guard so a
+// post-measurement drain can reach zero. Both closures must be called
+// from a single goroutine.
+func stallCS(gd smr.GuardDomain) (stall, release func()) {
+	var parked []smr.Guard
+	stall = func() {
+		g := gd.NewGuard(1)
+		g.Pin()
+		parked = append(parked, g)
+	}
+	release = func() {
+		for _, g := range parked {
+			switch gg := g.(type) {
+			case *ebr.Guard:
+				gg.Finish()
+			case *pebr.Guard:
+				gg.Finish()
+			case *nbr.Guard:
+				gg.Finish()
+			default: // nr, unsafefree: nothing held beyond the pin
+				g.Unpin()
+			}
+		}
+		parked = nil
+	}
+	return stall, release
+}
+
+// hazardThread is the slice of the hp.Thread / core.Thread surface the
+// stall pair needs.
+type hazardThread interface {
+	Protect(i int, ref uint64)
+	Clear(i int)
+	Finish()
+}
+
+// stallHazard is stallCS for hazard-slot schemes (HP and HP++): Stall
+// occupies a slot with a nonzero announcement, StallRelease clears it and
+// returns the slot to the registry.
+func stallHazard(newThread func() hazardThread) (stall, release func()) {
+	var parked []hazardThread
+	stall = func() {
+		th := newThread()
+		th.Protect(0, 1)
+		parked = append(parked, th)
+	}
+	release = func() {
+		for _, th := range parked {
+			th.Clear(0)
+			th.Finish()
+		}
+		parked = nil
+	}
+	return stall, release
+}
+
+// stallRC is stallCS for RC domains (the RC guard embeds an EBR guard,
+// so Finish both unpins and drains the deferred-decrement bag).
+func stallRC(dom *rc.Domain) (stall, release func()) {
+	var parked []*rc.Guard
+	stall = func() {
+		g := dom.NewGuard()
+		g.Pin()
+		parked = append(parked, g)
+	}
+	release = func() {
+		for _, g := range parked {
+			g.Finish()
+		}
+		parked = nil
+	}
+	return stall, release
 }
 
 // NewTarget builds a fresh benchmark target for one (ds, scheme) pair.
@@ -139,7 +223,7 @@ func NewTarget(ds, scheme string, mode arena.Mode) (Target, error) {
 func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "hmlist", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := hmlist.NewPool(mode)
 		l := hmlist.NewListCS(pool)
@@ -154,7 +238,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Stall, t.StallRelease = stallCS(gd)
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp":
@@ -177,7 +261,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
@@ -199,7 +283,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
@@ -224,7 +308,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Stall, t.StallRelease = stallRC(dom)
 		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
@@ -235,7 +319,7 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "hhslist", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := hhslist.NewPool(mode)
 		l := hhslist.NewListCS(pool)
@@ -250,7 +334,7 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Stall, t.StallRelease = stallCS(gd)
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp++", "hp++ef":
@@ -273,7 +357,7 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
@@ -298,7 +382,7 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Stall, t.StallRelease = stallRC(dom)
 		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to hhslist", scheme)
@@ -310,7 +394,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "hashmap", Scheme: scheme}
 	nb := hashmap.DefaultBuckets
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := hhslist.NewPool(mode)
 		m := hashmap.NewMapCS(pool, nb)
@@ -331,7 +415,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Stall, t.StallRelease = stallCS(gd)
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp":
@@ -354,7 +438,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
@@ -376,7 +460,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
@@ -401,7 +485,7 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Stall, t.StallRelease = stallRC(dom)
 		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
@@ -431,6 +515,8 @@ func drainGuards(gs []smr.Guard) {
 		switch gg := g.(type) {
 		case *pebr.Guard:
 			gg.ClearShields()
+		case *nbr.Guard:
+			gg.ClearCheckpoints()
 		}
 	}
 	for i := 0; i < 8; i++ {
@@ -439,6 +525,8 @@ func drainGuards(gs []smr.Guard) {
 			case *ebr.Guard:
 				gg.Collect()
 			case *pebr.Guard:
+				gg.Collect()
+			case *nbr.Guard:
 				gg.Collect()
 			}
 		}

@@ -39,6 +39,7 @@ func newKVMapTarget(scheme string, mode arena.Mode) (Target, error) {
 	t.Stats = st.StatsTotal
 	t.MemBytes = func() int64 { return st.ArenaTotals().Bytes }
 	t.Stall = st.Stall
+	t.StallRelease = st.StallRelease
 	for _, p := range st.Pools() {
 		t.Pools = append(t.Pools, p)
 	}

@@ -34,7 +34,7 @@ var QueueSchemes = []string{"hp", "hp++", "hp++ef"}
 // StackSchemes lists the schemes with a Treiber-stack variant: the HP
 // family plus every critical-section scheme (the CS stack works with any
 // smr.GuardDomain, including the unsafefree control).
-var StackSchemes = []string{"nr", "ebr", "pebr", "hp", "hp++", "hp++ef"}
+var StackSchemes = []string{"nr", "ebr", "pebr", "nbr", "hp", "hp++", "hp++ef"}
 
 // QueueTarget is one (msqueue, scheme) instance under test.
 type QueueTarget struct {
@@ -45,7 +45,9 @@ type QueueTarget struct {
 	Stats       func() smr.Stats
 	Pools       []PoolInfo
 	Stall       func()
-	Agitate     func()
+	// StallRelease finishes every participant Stall created.
+	StallRelease func()
+	Agitate      func()
 }
 
 // StackTarget is one (tstack, scheme) instance under test.
@@ -57,7 +59,9 @@ type StackTarget struct {
 	Stats       func() smr.Stats
 	Pools       []PoolInfo
 	Stall       func()
-	Agitate     func()
+	// StallRelease finishes every participant Stall created.
+	StallRelease func()
+	Agitate      func()
 }
 
 // NewQueueTarget builds a fresh MS-queue target for one scheme.
@@ -83,7 +87,7 @@ func NewQueueTarget(scheme string, mode arena.Mode) (QueueTarget, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.Stats = dom.Stats
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
 		q := msqueue.NewQueueHPP(pool)
@@ -101,7 +105,7 @@ func NewQueueTarget(scheme string, mode arena.Mode) (QueueTarget, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.Stats = dom.Stats
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to msqueue", scheme)
 	}
@@ -114,7 +118,7 @@ func NewStackTarget(scheme string, mode arena.Mode) (StackTarget, error) {
 	pool := tstack.NewPool(mode)
 	t.Pools = []PoolInfo{pool}
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		s := tstack.NewStackCS(pool)
 		var hs []*tstack.StackHandleCS
@@ -132,7 +136,7 @@ func NewStackTarget(scheme string, mode arena.Mode) (StackTarget, error) {
 		}
 		t.Unreclaimed = d.Unreclaimed
 		t.Stats = d.Stats
-		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Stall, t.StallRelease = stallCS(gd)
 		t.Agitate = agitatorFor(d)
 	case "hp":
 		dom := newHPDomain()
@@ -151,7 +155,7 @@ func NewStackTarget(scheme string, mode arena.Mode) (StackTarget, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.Stats = dom.Stats
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
 		s := tstack.NewStackHPP(pool)
@@ -169,7 +173,7 @@ func NewStackTarget(scheme string, mode arena.Mode) (StackTarget, error) {
 		}
 		t.Unreclaimed = dom.Unreclaimed
 		t.Stats = dom.Stats
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to tstack", scheme)
 	}

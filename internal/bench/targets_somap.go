@@ -31,7 +31,7 @@ func somapCfg() somap.Config {
 func newSomapTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "somap", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := hhslist.NewPool(mode)
 		m := somap.NewMapCS(pool, somapCfg())
@@ -52,7 +52,7 @@ func newSomapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Stall, t.StallRelease = stallCS(gd)
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp":
@@ -75,7 +75,7 @@ func newSomapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
@@ -97,7 +97,7 @@ func newSomapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to somap", scheme)

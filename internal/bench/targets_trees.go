@@ -20,7 +20,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 	var seed uint64 = 0x51ED5EED
 	nextSeed := func() uint64 { seed += 0x9E3779B97F4A7C15; return seed }
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := skiplist.NewPool(mode)
 		l := skiplist.NewListCS(pool)
@@ -36,7 +36,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Stall, t.StallRelease = stallCS(gd)
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp":
@@ -60,7 +60,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
@@ -83,7 +83,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
@@ -109,7 +109,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Stall, t.StallRelease = stallRC(dom)
 		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: unknown scheme %q", scheme)
@@ -120,7 +120,7 @@ func newSkipListTarget(scheme string, mode arena.Mode) (Target, error) {
 func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "nmtree", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := nmtree.NewPool(mode)
 		tr := nmtree.NewTreeCS(pool)
@@ -135,7 +135,7 @@ func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Stall, t.StallRelease = stallCS(gd)
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp++", "hp++ef":
@@ -158,7 +158,7 @@ func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to nmtree", scheme)
@@ -169,7 +169,7 @@ func newNMTreeTarget(scheme string, mode arena.Mode) (Target, error) {
 func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "efrbtree", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		nodes := efrbtree.NewNodePool(mode)
 		infos := efrbtree.NewInfoPool(mode)
@@ -185,7 +185,7 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
-		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Stall, t.StallRelease = stallCS(gd)
 		t.Pools = []PoolInfo{nodes, infos}
 		t.Agitate = agitatorFor(d)
 	case "hp":
@@ -209,7 +209,7 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{nodes, infos}
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
@@ -232,7 +232,7 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return nodes.Stats().Bytes + infos.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{nodes, infos}
 	default:
 		return t, fmt.Errorf("bench: scheme %q not applicable to efrbtree", scheme)
@@ -243,7 +243,7 @@ func newEFRBTarget(scheme string, mode arena.Mode) (Target, error) {
 func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 	t := Target{DS: "bonsai", Scheme: scheme}
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		gd, d := guardDomain(scheme)
 		pool := bonsai.NewPool(mode)
 		tr := bonsai.NewTreeCS(pool)
@@ -258,7 +258,7 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = d.PeakUnreclaimed
 		t.Stats = d.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { gd.NewGuard(1).Pin() }
+		t.Stall, t.StallRelease = stallCS(gd)
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
 	case "hp":
@@ -281,7 +281,7 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
@@ -303,7 +303,7 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewThread(1).Protect(0, 1) }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
 	case "rc":
 		dom := rc.NewDomain()
@@ -328,7 +328,7 @@ func newBonsaiTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.PeakUnreclaimed = dom.PeakUnreclaimed
 		t.Stats = dom.Stats
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
-		t.Stall = func() { dom.NewGuard().Pin() }
+		t.Stall, t.StallRelease = stallRC(dom)
 		t.Pools = []PoolInfo{pool}
 	default:
 		return t, fmt.Errorf("bench: unknown scheme %q", scheme)

@@ -94,6 +94,13 @@ type Domain struct {
 	orphans smr.OrphanList
 
 	fenceEpoch atomic.Uint64 // Algorithm 5 global fence epoch
+	// pendingRevoke counts epoched frontier hazard pointers awaiting lazy
+	// revocation across all threads. They occupy acquired registry slots,
+	// so without this correction the adaptive reclaim threshold 2·H would
+	// track the revocation backlog itself: every unlink grows H faster
+	// than the retired budget grows, Reclaim never fires, and a
+	// write-heavy run retains its entire retired set until Finish.
+	pendingRevoke atomic.Int64
 }
 
 // NewDomain creates an HP++ domain with the given options.
@@ -266,8 +273,18 @@ func (t *Thread) shouldReclaim(published bool) bool {
 	if every := t.d.opts.ReclaimEvery; every > 0 {
 		return (t.retires+t.unlinks)%every == 0
 	}
+	// H counts traversal and live frontier protections only: slots parked
+	// in the Algorithm 5 revocation backlog are garbage-proportional, not
+	// reader-proportional, and must not raise the bar for collecting the
+	// very garbage they follow.
+	h := t.d.reg.InUse()
+	if pending := int(t.d.pendingRevoke.Load()); pending >= h {
+		h = 0
+	} else {
+		h -= pending
+	}
 	return published &&
-		t.budget.Total() >= int64(hazards.ReclaimThreshold(t.d.reg.InUse(), DefaultReclaimEvery))
+		t.budget.Total() >= int64(hazards.ReclaimThreshold(h, DefaultReclaimEvery))
 }
 
 // invalidateEvery returns the deferred-invalidation cadence, clamping a
@@ -353,9 +370,11 @@ func (t *Thread) DoInvalidation() {
 	// between the two READEPOCH calls returning e and e+2 (Lemma A.2).
 	epoch := t.d.ReadEpoch()
 	kept := t.epochedHPs[:0]
+	revoked := 0
 	for _, eh := range t.epochedHPs {
 		if eh.epoch+2 <= epoch {
 			t.release(eh.s)
+			revoked++
 		} else {
 			kept = append(kept, eh)
 		}
@@ -364,6 +383,7 @@ func (t *Thread) DoInvalidation() {
 	for _, s := range hps {
 		t.epochedHPs = append(t.epochedHPs, epochedHP{epoch: epoch, s: s})
 	}
+	t.d.pendingRevoke.Add(int64(len(hps) - revoked))
 }
 
 // Reclaim scans the hazard slots and frees every retired (and invalidated)
@@ -378,6 +398,7 @@ func (t *Thread) Reclaim() {
 		for _, eh := range t.epochedHPs {
 			t.release(eh.s)
 		}
+		d.pendingRevoke.Add(-int64(len(t.epochedHPs)))
 		t.epochedHPs = t.epochedHPs[:0]
 	}
 	if len(t.retireds) == 0 {

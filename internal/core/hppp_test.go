@@ -394,3 +394,36 @@ func TestFrontierCacheBoundedByRegistryPressure(t *testing.T) {
 		t.Fatalf("cache %d exceeds registry free-slot allowance %d", got, free)
 	}
 }
+
+// TestAdaptiveCadenceExcludesRevocationBacklog pins the fix for a
+// feedback loop in Algorithm 5 under the adaptive cadence: epoched
+// frontier hazard pointers awaiting lazy revocation occupy acquired
+// registry slots, so if they count toward H the threshold 2·H grows
+// faster than the retired budget, Reclaim never fires, and a write-heavy
+// run retains its whole retired set until Finish. With the backlog
+// excluded the unreclaimed count must stay bounded mid-run.
+func TestAdaptiveCadenceExcludesRevocationBacklog(t *testing.T) {
+	d := NewDomain(Options{EpochFence: true}) // adaptive cadence (ReclaimEvery 0)
+	p := newPool(arena.ModeDetect)
+	th := d.NewThread(0)
+
+	const unlinks = 4096
+	peak := int64(0)
+	for i := 0; i < unlinks; i++ {
+		victim, _ := p.Alloc()
+		frontier, _ := p.Alloc()
+		th.TryUnlink([]uint64{frontier}, func() ([]smr.Retired, bool) {
+			return []smr.Retired{{Ref: victim, D: p}}, true
+		}, p)
+		th.Retire(frontier, p)
+		if u := d.Unreclaimed(); u > peak {
+			peak = u
+		}
+	}
+	// Each unlink retires 2 nodes; the bound is a few adaptive batches,
+	// far below the 2*unlinks a re-broken cadence would retain.
+	if bound := int64(4 * DefaultReclaimEvery); peak > bound {
+		t.Fatalf("unreclaimed peaked at %d (> bound %d): adaptive cadence is tracking the revocation backlog again", peak, bound)
+	}
+	th.Finish()
+}

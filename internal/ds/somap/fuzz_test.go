@@ -9,6 +9,7 @@ import (
 	"github.com/gosmr/gosmr/internal/ds/hmlist"
 	"github.com/gosmr/gosmr/internal/ebr"
 	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nbr"
 	"github.com/gosmr/gosmr/internal/nr"
 	"github.com/gosmr/gosmr/internal/pebr"
 )
@@ -108,6 +109,9 @@ func TestQuickCheckAllVariants(t *testing.T) {
 		},
 		"nr": func() mapHandle {
 			return NewMapCS(hhslist.NewPool(arena.ModeDetect), stormCfg).NewHandleCS(nr.NewDomain())
+		},
+		"nbr": func() mapHandle {
+			return NewMapCS(hhslist.NewPool(arena.ModeDetect), stormCfg).NewHandleCS(nbr.NewDomain())
 		},
 		"hp": func() mapHandle {
 			return NewMapHP(hmlist.NewPool(arena.ModeDetect), stormCfg).NewHandleHP(hp.NewDomain())

@@ -41,6 +41,7 @@ import (
 	"github.com/gosmr/gosmr/internal/ds/somap"
 	"github.com/gosmr/gosmr/internal/ebr"
 	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/nbr"
 	"github.com/gosmr/gosmr/internal/nr"
 	"github.com/gosmr/gosmr/internal/pebr"
 	"github.com/gosmr/gosmr/internal/smr"
@@ -50,7 +51,7 @@ import (
 // Schemes lists the reclamation schemes a Store can run on. RC is
 // excluded: its guards retain cross-bucket traces that the service's
 // long-lived worker handles would never drain promptly.
-var Schemes = []string{"nr", "ebr", "pebr", "hp", "hp++", "hp++ef"}
+var Schemes = []string{"nr", "ebr", "pebr", "nbr", "hp", "hp++", "hp++ef"}
 
 // UnsafeScheme is the deliberately broken immediate-free control. It is
 // accepted by NewStore so the stress harness can run the must-fail cell,
@@ -152,7 +153,11 @@ type shard struct {
 	live     func() int
 	finish   func()
 	stall    func()
-	agitate  func()
+	// stallRelease finishes every participant stall parked, paired so
+	// Drain (and post-stall experiments) can reach a fully reclaimed
+	// shard again.
+	stallRelease func()
+	agitate      func()
 }
 
 // wireHandles installs a shard's handle lifecycle. Handles live in a set
@@ -215,7 +220,7 @@ func newShardSomap(scheme string, mode arena.Mode, buckets int) (*shard, error) 
 	s := &shard{}
 	cfg := somap.Config{InitialBuckets: buckets}
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		var gd smr.GuardDomain
 		switch scheme {
 		case "nr":
@@ -224,6 +229,8 @@ func newShardSomap(scheme string, mode arena.Mode, buckets int) (*shard, error) 
 			gd = ebr.NewDomain()
 		case "pebr":
 			gd = pebr.NewDomain()
+		case "nbr":
+			gd = nbr.NewDomain()
 		default:
 			gd = unsafefree.NewDomain()
 		}
@@ -235,7 +242,7 @@ func newShardSomap(scheme string, mode arena.Mode, buckets int) (*shard, error) 
 			func() *somap.HandleCS { return m.NewHandleCS(gd) },
 			func(h *somap.HandleCS) { finishGuard(h.Guard()) },
 			drainDomainCS(gd))
-		s.stall = func() { gd.NewGuard(1).Pin() }
+		s.stall, s.stallRelease = stallCS(gd)
 		s.agitate = agitatorFor(gd)
 	case "hp":
 		dom := hp.NewDomain()
@@ -247,7 +254,7 @@ func newShardSomap(scheme string, mode arena.Mode, buckets int) (*shard, error) 
 			func() *somap.HandleHP { return m.NewHandleHP(dom) },
 			func(h *somap.HandleHP) { h.Thread().Finish() },
 			func() { dom.NewThread(0).Reclaim() })
-		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
+		s.stall, s.stallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := hhslist.NewPool(mode)
@@ -258,7 +265,7 @@ func newShardSomap(scheme string, mode arena.Mode, buckets int) (*shard, error) 
 			func() *somap.HandleHPP { return m.NewHandleHPP(dom) },
 			func(h *somap.HandleHPP) { h.Thread().Finish() },
 			func() { dom.NewThread(0).Reclaim() })
-		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
+		s.stall, s.stallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	default:
 		return nil, fmt.Errorf("kvsvc: unknown scheme %q", scheme)
 	}
@@ -268,7 +275,7 @@ func newShardSomap(scheme string, mode arena.Mode, buckets int) (*shard, error) 
 func newShardHashmap(scheme string, mode arena.Mode, buckets int) (*shard, error) {
 	s := &shard{}
 	switch scheme {
-	case "nr", "ebr", "pebr", UnsafeScheme:
+	case "nr", "ebr", "pebr", "nbr", UnsafeScheme:
 		var gd smr.GuardDomain
 		switch scheme {
 		case "nr":
@@ -277,6 +284,8 @@ func newShardHashmap(scheme string, mode arena.Mode, buckets int) (*shard, error
 			gd = ebr.NewDomain()
 		case "pebr":
 			gd = pebr.NewDomain()
+		case "nbr":
+			gd = nbr.NewDomain()
 		default:
 			gd = unsafefree.NewDomain()
 		}
@@ -288,7 +297,7 @@ func newShardHashmap(scheme string, mode arena.Mode, buckets int) (*shard, error
 			func() *hashmap.HandleCS { return m.NewHandleCS(gd) },
 			func(h *hashmap.HandleCS) { finishGuard(h.Guard()) },
 			drainDomainCS(gd))
-		s.stall = func() { gd.NewGuard(1).Pin() }
+		s.stall, s.stallRelease = stallCS(gd)
 		s.agitate = agitatorFor(gd)
 	case "hp":
 		dom := hp.NewDomain()
@@ -300,7 +309,7 @@ func newShardHashmap(scheme string, mode arena.Mode, buckets int) (*shard, error
 			func() *hashmap.HandleHP { return m.NewHandleHP(dom) },
 			func(h *hashmap.HandleHP) { h.Thread().Finish() },
 			func() { dom.NewThread(0).Reclaim() })
-		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
+		s.stall, s.stallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	case "hp++", "hp++ef":
 		dom := core.NewDomain(core.Options{EpochFence: scheme == "hp++ef"})
 		pool := hhslist.NewPool(mode)
@@ -311,7 +320,7 @@ func newShardHashmap(scheme string, mode arena.Mode, buckets int) (*shard, error
 			func() *hashmap.HandleHPP { return m.NewHandleHPP(dom) },
 			func(h *hashmap.HandleHPP) { h.Thread().Finish() },
 			func() { dom.NewThread(0).Reclaim() })
-		s.stall = func() { dom.NewThread(1).Protect(0, 1) }
+		s.stall, s.stallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	default:
 		return nil, fmt.Errorf("kvsvc: unknown scheme %q", scheme)
 	}
@@ -329,6 +338,9 @@ func agitatorFor(d smr.Domain) func() {
 	case *pebr.Domain:
 		g := dom.NewGuardPEBR(1)
 		return func() { g.Collect() }
+	case *nbr.Domain:
+		g := dom.NewGuardNBR(1)
+		return func() { g.Collect() }
 	}
 	return nil
 }
@@ -342,6 +354,8 @@ func finishGuard(g smr.Guard) {
 	case *ebr.Guard:
 		gg.Finish()
 	case *pebr.Guard:
+		gg.Finish()
+	case *nbr.Guard:
 		gg.Finish()
 	}
 }
@@ -376,8 +390,73 @@ func drainDomainCS(gd smr.GuardDomain) func() {
 			}
 			g.Finish()
 		}
+	case *nbr.Domain:
+		return func() {
+			g := dom.NewGuardNBR(1)
+			for i := 0; i < drainRounds; i++ {
+				g.Collect()
+			}
+			g.Finish()
+		}
 	}
 	return nil
+}
+
+// stallCS returns the paired park/release closures for CS domains: stall
+// pins a fresh guard that never progresses (the §4.4 robustness
+// adversary) and stallRelease finishes every guard stall parked so the
+// shard can drain afterwards. Both must be called from one goroutine.
+func stallCS(gd smr.GuardDomain) (stall, release func()) {
+	var parked []smr.Guard
+	stall = func() {
+		g := gd.NewGuard(1)
+		g.Pin()
+		parked = append(parked, g)
+	}
+	release = func() {
+		for _, g := range parked {
+			switch gg := g.(type) {
+			case *ebr.Guard:
+				gg.Finish()
+			case *pebr.Guard:
+				gg.Finish()
+			case *nbr.Guard:
+				gg.Finish()
+			default:
+				gg.Unpin()
+			}
+		}
+		parked = nil
+	}
+	return stall, release
+}
+
+// hazardThread is the slot surface shared by *hp.Thread and
+// *core.Thread, so one stall helper covers both hazard families.
+type hazardThread interface {
+	Protect(i int, ref uint64)
+	Clear(i int)
+	Finish()
+}
+
+// stallHazard is stallCS for the hazard families: stall occupies one
+// hazard slot with a never-cleared announcement, release clears the slot
+// and finishes the thread.
+func stallHazard(newThread func() hazardThread) (stall, release func()) {
+	var parked []hazardThread
+	stall = func() {
+		t := newThread()
+		t.Protect(0, 1)
+		parked = append(parked, t)
+	}
+	release = func() {
+		for _, t := range parked {
+			t.Clear(0)
+			t.Finish()
+		}
+		parked = nil
+	}
+	return stall, release
 }
 
 // Store is the sharded key-value store: Config.Shards independent
@@ -591,6 +670,8 @@ func AggregateStats(per []smr.Stats) smr.Stats {
 		t.HazardSlots += st.HazardSlots
 		t.HazardSlotsInUse += st.HazardSlotsInUse
 		t.Ejections += st.Ejections
+		t.Neutralizations += st.Neutralizations
+		t.NeutralizedStalled += st.NeutralizedStalled
 		t.ArenaLive += st.ArenaLive
 		t.ArenaQuarantined += st.ArenaQuarantined
 		if st.Epoch > t.Epoch {
@@ -661,6 +742,11 @@ func (s *Store) Drain() {
 // Stall parks a never-progressing participant on shard 0's domain (the
 // §4.4 robustness adversary, scoped to one shard by construction).
 func (s *Store) Stall() { s.shards[0].stall() }
+
+// StallRelease finishes every participant Stall parked, letting shard 0
+// reclaim its backlog; pair every Stall with a StallRelease before Drain
+// when the store must end fully reclaimed.
+func (s *Store) StallRelease() { s.shards[0].stallRelease() }
 
 // Agitator returns a reclamation-pressure pulse covering every shard, or
 // nil when the scheme has no external collection pulse (HP family, NR).

@@ -1,0 +1,418 @@
+// Package nbr implements neutralization-based reclamation in the
+// NBR/DEBRA+ lineage (Singh, Blelloch & Wen, PPoPP 2021; Brown, PODC
+// 2015), adapted to cooperative Go scheduling: readers traverse inside a
+// restartable section whose deref steps double as checkpoints, and a
+// reclaimer under retired-budget pressure *neutralizes* lagging readers
+// instead of waiting for them.
+//
+// The original NBR interrupts stalled threads with POSIX signals and
+// longjmps them back to a checkpoint. Go has no safe analogue — goroutines
+// cannot be signalled — so neutralization here is cooperative: the
+// reclaimer raises a per-record flag, and the reader observes it at its
+// next checkpoint (Track) and restarts its operation. Nodes already
+// announced in checkpoint slots remain protected across the restart
+// (reclaimers respect the slots exactly like hazard pointers), so the
+// reclaimer never needs to wait for the ack: it advances the epoch past
+// the flagged record immediately and frees everything not announced.
+//
+// Two regimes follow. Below the pressure threshold (NeutralizePressure ×
+// the adaptive collect threshold) nothing is ever flagged and the scheme
+// behaves exactly like EBR — same epoch rule, same throughput. Above it,
+// a lagging pinned reader is flagged and stops blocking advancement, so a
+// parked participant caps unreclaimed growth at roughly the pressure
+// threshold instead of the unbounded EBR backlog. A truly-dead goroutine
+// (one that never reaches another checkpoint) still pins at most its
+// MaxCheckpoints announced nodes forever and is surfaced as
+// NeutralizedStalled in smr.Stats.
+package nbr
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+const (
+	// DefaultCollectEvery is the number of retires between collections
+	// under the fixed cadence; it doubles as the floor of the adaptive
+	// threshold.
+	DefaultCollectEvery = 128
+	// DefaultNeutralizePressure scales the neutralization trigger: lagging
+	// pinned readers are flagged only once the domain-wide retired total
+	// reaches NeutralizePressure × the adaptive collect threshold. Below
+	// that the scheme is plain EBR; the factor keeps neutralization a
+	// pressure-relief valve rather than the steady state, so the restart
+	// tax stays off the common path.
+	DefaultNeutralizePressure = 4
+	// MaxCheckpoints is the number of checkpoint slots per guard, sized
+	// like pebr.MaxShields for the deepest users (skiplist levels, Bonsai
+	// build path).
+	MaxCheckpoints = 80
+)
+
+// rec state word: epoch<<2 | pinned | neutralized.
+const (
+	neutralizedBit = 1
+	pinnedBit      = 2
+)
+
+type rec struct {
+	state       atomic.Uint64
+	inUse       atomic.Uint32
+	next        *rec
+	checkpoints [MaxCheckpoints]atomic.Uint64
+}
+
+// Domain is an NBR reclamation domain.
+type Domain struct {
+	epoch atomic.Uint64
+	// minEpoch and stalled cache the last Collect walk's observations so
+	// Stats stays O(1) (see pebr.Domain.minEpoch for why).
+	minEpoch atomic.Uint64
+	stalled  atomic.Int64
+	threads  atomic.Pointer[rec]
+	g        smr.Garbage
+	sm       smr.ScanMeter
+	budget   smr.Budget
+	guards   atomic.Int64 // live (unfinished) guards: the H of the adaptive threshold
+
+	// orphans holds epoch-tagged bags abandoned by finished guards,
+	// adopted by the next Collect; see ebr.Domain for the design.
+	orphanMu sync.Mutex
+	orphanN  atomic.Int32
+	orphans  []entry
+
+	// CollectEvery, if set > 0 before use, pins the fixed per-guard
+	// cadence: one collection attempt every CollectEvery retires. When
+	// <= 0 (the zero value and the NewDomain default) the cadence is
+	// adaptive: a guard collects when the domain-wide retired total (the
+	// shared smr.Budget) reaches max(DefaultCollectEvery, k·guards).
+	// NeutralizePressure overrides DefaultNeutralizePressure if set > 0
+	// before use.
+	CollectEvery       int
+	NeutralizePressure int
+
+	// UnsafeIgnoreCheckpoints disables the checkpoint-slot scan during
+	// Collect, so a neutralized reader's announced nodes are freed out
+	// from under it. It exists only for the must-fail control that proves
+	// the slot scan is load-bearing; never set it outside that test.
+	UnsafeIgnoreCheckpoints bool
+
+	neutralizations atomic.Int64
+}
+
+// NewDomain creates an NBR domain with the adaptive collection cadence.
+func NewDomain() *Domain {
+	d := &Domain{}
+	d.epoch.Store(2) // start above 0 so "min ≥ e+2" arithmetic is uniform
+	d.minEpoch.Store(2)
+	return d
+}
+
+// Unreclaimed returns the number of retired-but-unfreed nodes.
+func (d *Domain) Unreclaimed() int64 { return d.g.Unreclaimed() }
+
+// PeakUnreclaimed returns the peak retired-but-unfreed count.
+func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
+
+// Epoch returns the current global epoch (for tests and diagnostics).
+func (d *Domain) Epoch() uint64 { return d.epoch.Load() }
+
+// Neutralizations returns the cumulative number of reader neutralizations.
+func (d *Domain) Neutralizations() int64 { return d.neutralizations.Load() }
+
+// pressure returns the retired-budget level at which lagging readers are
+// neutralized.
+func (d *Domain) pressure() int64 {
+	p := d.NeutralizePressure
+	if p <= 0 {
+		p = DefaultNeutralizePressure
+	}
+	return int64(p) * int64(smr.ReclaimThreshold(int(d.guards.Load()), DefaultCollectEvery))
+}
+
+// Stats returns an observability snapshot of the domain. EpochLag and
+// NeutralizedStalled read the values cached by the last Collect walk, so
+// snapshots are O(1); both are stale by at most one collection interval.
+// NeutralizedStalled counts guards that were neutralized and had not yet
+// re-pinned when Collect last looked — transiently nonzero for cooperative
+// readers mid-restart, persistently nonzero for a dead goroutine.
+func (d *Domain) Stats() smr.Stats {
+	e := d.epoch.Load()
+	min := d.minEpoch.Load()
+	if min == 0 || min > e {
+		min = e
+	}
+	st := smr.Stats{
+		Scheme:             "nbr",
+		RetiredBudget:      d.budget.Load(),
+		Epoch:              e,
+		EpochLag:           e - min,
+		Neutralizations:    d.neutralizations.Load(),
+		NeutralizedStalled: d.stalled.Load(),
+	}
+	smr.FillStats(&st, &d.g, &d.sm)
+	return st
+}
+
+func (d *Domain) acquireRec() *rec {
+	d.guards.Add(1)
+	// Lazy epoch init for zero-value &Domain{} literals; see
+	// ebr.Domain.acquireRec.
+	d.epoch.CompareAndSwap(0, 2)
+	for r := d.threads.Load(); r != nil; r = r.next {
+		if r.inUse.Load() == 0 && r.inUse.CompareAndSwap(0, 1) {
+			return r
+		}
+	}
+	r := &rec{}
+	r.inUse.Store(1)
+	for {
+		h := d.threads.Load()
+		r.next = h
+		if d.threads.CompareAndSwap(h, r) {
+			return r
+		}
+	}
+}
+
+type entry struct {
+	r     smr.Retired
+	epoch uint64
+}
+
+// pushOrphans hands a finished guard's leftover bag to the domain.
+func (d *Domain) pushOrphans(bag []entry) {
+	d.orphanMu.Lock()
+	d.orphans = append(d.orphans, bag...)
+	d.orphanN.Store(int32(len(d.orphans)))
+	d.orphanMu.Unlock()
+}
+
+// adoptOrphans appends all orphaned entries to dst, clears the list, and
+// returns dst. The atomic count makes the common empty case lock-free.
+func (d *Domain) adoptOrphans(dst []entry) []entry {
+	if d.orphanN.Load() == 0 {
+		return dst
+	}
+	d.orphanMu.Lock()
+	dst = append(dst, d.orphans...)
+	d.orphans = d.orphans[:0]
+	d.orphanN.Store(0)
+	d.orphanMu.Unlock()
+	return dst
+}
+
+// Records reports the size of the guard-record list: total records ever
+// created and how many are currently held by live guards. See
+// ebr.Domain.Records.
+func (d *Domain) Records() (total, live int) {
+	for r := d.threads.Load(); r != nil; r = r.next {
+		total++
+		if r.inUse.Load() != 0 {
+			live++
+		}
+	}
+	return total, live
+}
+
+// Guard is a per-worker NBR handle implementing smr.Guard.
+type Guard struct {
+	d       *Domain
+	r       *rec
+	bag     []entry
+	retires int
+	budget  smr.BudgetCache
+	scratch []uint64 // reusable sorted checkpoint snapshot
+}
+
+// NewGuard returns a guard with checkpoint slots for the smr.Guard
+// protocol. slots must be at most MaxCheckpoints.
+func (d *Domain) NewGuard(slots int) smr.Guard { return d.NewGuardNBR(slots) }
+
+// NewGuardNBR returns a concretely-typed guard.
+func (d *Domain) NewGuardNBR(slots int) *Guard {
+	if slots > MaxCheckpoints {
+		panic("nbr: too many checkpoint slots requested")
+	}
+	return &Guard{d: d, r: d.acquireRec(), budget: smr.NewBudgetCache(&d.budget)}
+}
+
+// Pin enters a restartable section at the current epoch. Storing a fresh
+// state word clears any pending neutralization flag — re-pinning is the
+// reader's acknowledgement that it has aborted to its checkpoint.
+func (g *Guard) Pin() {
+	e := g.d.epoch.Load()
+	g.r.state.Store(e<<2 | pinnedBit)
+}
+
+// Unpin leaves the restartable section.
+func (g *Guard) Unpin() {
+	g.r.state.Store(g.r.state.Load() &^ uint64(pinnedBit|neutralizedBit))
+}
+
+// Track announces that checkpoint slot i protects ref, then checks for a
+// pending neutralization. On false the caller must not dereference ref and
+// must abort to its checkpoint (Unpin, Pin, restart); nodes announced in
+// other slots remain protected across the abort. The SC ordering of the
+// slot store before the state load, against Collect's flag CAS before its
+// slot scan, guarantees that either the reader sees the flag or the
+// collector sees the announcement — never neither.
+func (g *Guard) Track(i int, ref uint64) bool {
+	g.r.checkpoints[i].Store(ref)
+	// fence(SC) — implicit; orders the checkpoint store before the state load.
+	return g.r.state.Load()&neutralizedBit == 0
+}
+
+// ClearCheckpoints revokes all checkpoint announcements. Call when a
+// worker goes idle so stale announcements do not pin dead nodes
+// indefinitely.
+func (g *Guard) ClearCheckpoints() {
+	for i := range g.r.checkpoints {
+		g.r.checkpoints[i].Store(0)
+	}
+}
+
+// Neutralized reports whether the guard has been flagged since Pin.
+func (g *Guard) Neutralized() bool { return g.r.state.Load()&neutralizedBit != 0 }
+
+// Retire schedules a node for freeing.
+func (g *Guard) Retire(ref uint64, dealloc smr.Deallocator) {
+	g.bag = append(g.bag, entry{smr.Retired{Ref: ref, D: dealloc}, g.d.epoch.Load()})
+	g.d.g.AddRetired(1)
+	g.retires++
+	if g.shouldCollect(g.budget.Retire()) {
+		g.Collect()
+	}
+}
+
+// shouldCollect decides the collection cadence: the fixed per-guard
+// modulus when CollectEvery is positive, otherwise the adaptive threshold
+// max(DefaultCollectEvery, k·guards) applied to the domain-wide retired
+// total, consulted only on the budget cache's batch boundaries (see
+// ebr.Guard.shouldCollect for the amortization argument).
+func (g *Guard) shouldCollect(published bool) bool {
+	if every := g.d.CollectEvery; every > 0 {
+		return g.retires%every == 0
+	}
+	return published &&
+		g.budget.Total() >= int64(smr.ReclaimThreshold(int(g.d.guards.Load()), DefaultCollectEvery))
+}
+
+// Collect attempts to advance the epoch — neutralizing lagging readers
+// once the retired budget passes the pressure threshold — and frees every
+// bag entry that is old enough and not announced in any checkpoint slot.
+func (g *Guard) Collect() {
+	d := g.d
+	start := time.Now()
+	g.bag = d.adoptOrphans(g.bag)
+	underPressure := d.budget.Load() >= d.pressure()
+	e := d.epoch.Load()
+	min := e
+	blocked := false
+	stalled := int64(0)
+	for r := d.threads.Load(); r != nil; r = r.next {
+		st := r.state.Load()
+		if st&pinnedBit == 0 {
+			continue
+		}
+		if st&neutralizedBit != 0 {
+			// Flagged and not yet re-pinned: does not block advance; its
+			// announced nodes are protected by the checkpoint scan below.
+			stalled++
+			continue
+		}
+		ep := st >> 2
+		if ep >= e {
+			continue
+		}
+		// Lagging pinned reader. Under pressure, flag it so it stops
+		// blocking advancement; otherwise wait, exactly like EBR.
+		if underPressure && r.state.CompareAndSwap(st, st|neutralizedBit) {
+			d.neutralizations.Add(1)
+			stalled++
+			continue
+		}
+		blocked = true
+		if ep < min {
+			min = ep
+		}
+	}
+	if !blocked {
+		if d.epoch.CompareAndSwap(e, e+1) {
+			min = e + 1 // nothing pinned behind; the new epoch has no lag
+		}
+	}
+	// Publish the walk's observations for O(1) Stats (last-writer-wins
+	// gauges; see pebr.Guard.Collect).
+	d.minEpoch.Store(min)
+	d.stalled.Store(stalled)
+	// Snapshot checkpoint slots into a reusable sorted buffer: neutralized
+	// (and all other) readers' announced nodes stay unreclaimed, like
+	// hazard pointers. Skipped only by the must-fail control.
+	g.scratch = g.scratch[:0]
+	if !d.UnsafeIgnoreCheckpoints {
+		for r := d.threads.Load(); r != nil; r = r.next {
+			for i := range r.checkpoints {
+				if v := r.checkpoints[i].Load(); v != 0 {
+					g.scratch = append(g.scratch, v)
+				}
+			}
+		}
+		slices.Sort(g.scratch)
+	}
+	kept := g.bag[:0]
+	freed := int64(0)
+	for _, en := range g.bag {
+		_, protected := slices.BinarySearch(g.scratch, en.r.Ref)
+		if !protected && en.epoch+2 <= min {
+			en.r.Free()
+			freed++
+		} else {
+			kept = append(kept, en)
+		}
+	}
+	g.bag = kept
+	if freed > 0 {
+		d.g.AddFreed(freed)
+	}
+	g.budget.Freed(freed)
+	d.sm.AddScan(time.Since(start).Nanoseconds())
+}
+
+// Drain repeatedly collects until the local bag is empty. The guard must
+// be unpinned, no other guard may be parked while pinned below the
+// pressure threshold, and no entry may sit in a live checkpoint slot,
+// otherwise Drain spins forever; it is intended for orderly shutdown in
+// tests and benchmarks.
+func (g *Guard) Drain() {
+	for len(g.bag) > 0 {
+		g.Collect()
+	}
+}
+
+// Finish retires the guard itself: checkpoints are revoked (a finished
+// guard must not pin dead nodes forever), the final collection attempt
+// runs, any survivors go to the domain's orphan list, and the guard record
+// is released for reuse. The guard must not be used after Finish.
+func (g *Guard) Finish() {
+	g.ClearCheckpoints()
+	g.Unpin()
+	g.Collect() // also flushes the budget cache via Freed
+	if len(g.bag) > 0 {
+		g.d.pushOrphans(g.bag)
+		g.bag = nil
+	}
+	g.budget.Flush()
+	g.d.guards.Add(-1)
+	g.r.inUse.Store(0)
+	g.r = nil
+}
+
+// BagLen returns the number of locally retired, unfreed nodes.
+func (g *Guard) BagLen() int { return len(g.bag) }
+
+var _ smr.GuardDomain = (*Domain)(nil)

@@ -1,0 +1,398 @@
+package nbr
+
+import (
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/smr"
+)
+
+func TestRetireEventuallyFrees(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	g := d.NewGuardNBR(2)
+	g.Pin()
+	ref, _ := p.Alloc()
+	g.Retire(ref, p)
+	g.Unpin()
+	for i := 0; i < 6; i++ {
+		g.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("retired node not freed")
+	}
+}
+
+// TestBelowPressureBehavesLikeEBR: without retired-budget pressure a
+// lagging pinned reader must never be neutralized — the scheme is plain
+// EBR and the reader legitimately blocks reclamation.
+func TestBelowPressureBehavesLikeEBR(t *testing.T) {
+	d := NewDomain()
+	d.NeutralizePressure = 1 << 20 // unreachable: never neutralize
+	p := arena.NewPool[uint64]("t", arena.ModeReuse)
+	lag := d.NewGuardNBR(2)
+	lag.Pin() // stalls at the starting epoch
+
+	w := d.NewGuardNBR(2)
+	ref, _ := p.Alloc()
+	w.Pin()
+	w.Retire(ref, p)
+	w.Unpin()
+	for i := 0; i < 20; i++ {
+		w.Pin()
+		w.Unpin()
+		w.Collect()
+	}
+	if d.Neutralizations() != 0 {
+		t.Fatalf("neutralizations = %d below pressure, want 0", d.Neutralizations())
+	}
+	if !lag.Track(0, 123) {
+		t.Fatal("Track failed with no neutralization pending")
+	}
+	if !p.Live(ref) {
+		t.Fatal("node freed while a pinned reader blocked the epoch — EBR rule broken")
+	}
+	lag.Unpin()
+	for i := 0; i < 6; i++ {
+		w.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("node not freed after the straggler unpinned")
+	}
+}
+
+// TestLaggingReaderNeutralizedUnderPressure: once the retired budget
+// passes the pressure threshold, the parked reader is flagged, observes it
+// at its next checkpoint, and reclamation proceeds without it.
+func TestLaggingReaderNeutralizedUnderPressure(t *testing.T) {
+	d := NewDomain()
+	d.NeutralizePressure = 1
+	p := arena.NewPool[uint64]("t", arena.ModeReuse)
+	lag := d.NewGuardNBR(2)
+	lag.Pin() // parks at the starting epoch
+
+	w := d.NewGuardNBR(2)
+	ref, _ := p.Alloc()
+	w.Pin()
+	w.Retire(ref, p)
+	w.Unpin()
+	// Push the budget past pressure and drive collections.
+	for i := 0; i < 600; i++ {
+		w.Pin()
+		r, _ := p.Alloc()
+		w.Retire(r, p)
+		w.Unpin()
+	}
+	for i := 0; i < 6; i++ {
+		w.Collect()
+	}
+	if d.Neutralizations() == 0 {
+		t.Fatal("parked reader was never neutralized under pressure")
+	}
+	if !lag.Neutralized() {
+		t.Fatal("guard does not observe its own neutralization")
+	}
+	if p.Live(ref) {
+		t.Fatal("neutralization did not unblock reclamation")
+	}
+	if lag.Track(0, 123) {
+		t.Fatal("Track must fail after neutralization")
+	}
+	// Recovery: the abort-to-checkpoint protocol (Unpin, Pin) acks the
+	// flag and the reader proceeds.
+	lag.Unpin()
+	lag.Pin()
+	if !lag.Track(0, 123) {
+		t.Fatal("Track must succeed after re-pin")
+	}
+	lag.Unpin()
+}
+
+// TestCheckpointProtectsAcrossNeutralization: a neutralized reader's
+// announced nodes must survive until it acknowledges, even while the
+// epoch advances past it.
+func TestCheckpointProtectsAcrossNeutralization(t *testing.T) {
+	d := NewDomain()
+	d.NeutralizePressure = 1
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	reader := d.NewGuardNBR(2)
+	w := d.NewGuardNBR(2)
+
+	ref, _ := p.Alloc()
+	reader.Pin()
+	if !reader.Track(0, ref) {
+		t.Fatal("track failed unexpectedly")
+	}
+
+	w.Pin()
+	w.Retire(ref, p)
+	w.Unpin()
+	for i := 0; i < 600; i++ {
+		w.Pin()
+		r, _ := p.Alloc()
+		w.Retire(r, p)
+		w.Unpin()
+	}
+	for i := 0; i < 20; i++ {
+		w.Pin()
+		w.Unpin()
+		w.Collect()
+	}
+	if !reader.Neutralized() {
+		t.Fatal("reader should have been neutralized by now")
+	}
+	if !p.Live(ref) {
+		t.Fatal("announced node freed after neutralization — NBR safety broken")
+	}
+
+	// Once the reader aborts to its checkpoint and moves on, the node can
+	// be reclaimed.
+	reader.Unpin()
+	reader.Pin()
+	reader.Track(0, 0)
+	reader.Unpin()
+	for i := 0; i < 6; i++ {
+		w.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("node not freed after checkpoint released")
+	}
+}
+
+// TestUnsafeIgnoreCheckpointsIsUnsafe is the unit-level must-fail control:
+// with the checkpoint scan disabled, the same parked-reader scenario frees
+// the announced node out from under the reader, proving the scan is the
+// load-bearing half of neutralization safety.
+func TestUnsafeIgnoreCheckpointsIsUnsafe(t *testing.T) {
+	d := NewDomain()
+	d.NeutralizePressure = 1
+	d.UnsafeIgnoreCheckpoints = true
+	p := arena.NewPool[uint64]("t", arena.ModeDetect)
+	reader := d.NewGuardNBR(2)
+	w := d.NewGuardNBR(2)
+
+	ref, _ := p.Alloc()
+	reader.Pin()
+	reader.Track(0, ref)
+
+	w.Pin()
+	w.Retire(ref, p)
+	w.Unpin()
+	for i := 0; i < 600; i++ {
+		w.Pin()
+		r, _ := p.Alloc()
+		w.Retire(r, p)
+		w.Unpin()
+	}
+	for i := 0; i < 20; i++ {
+		w.Pin()
+		w.Unpin()
+		w.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("control failed: announced node survived with the checkpoint scan disabled")
+	}
+}
+
+// TestGarbageBoundedDespiteStall is the robustness contrast with EBR: a
+// parked pinned reader is neutralized once pressure builds, so garbage
+// stays near the pressure threshold instead of growing without bound.
+func TestGarbageBoundedDespiteStall(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("t", arena.ModeReuse)
+	stalled := d.NewGuardNBR(2)
+	stalled.Pin()
+
+	w := d.NewGuardNBR(2)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		w.Pin()
+		ref, _ := p.Alloc()
+		w.Retire(ref, p)
+		w.Unpin()
+	}
+	w.Collect()
+	bound := d.pressure() + 3*int64(DefaultCollectEvery) + MaxCheckpoints
+	if d.Unreclaimed() > bound {
+		t.Fatalf("unreclaimed = %d > bound %d despite neutralization; not robust",
+			d.Unreclaimed(), bound)
+	}
+	if d.Neutralizations() == 0 {
+		t.Fatal("stalled reader never neutralized")
+	}
+}
+
+// TestStatsGauges: Neutralizations counts flag raises and
+// NeutralizedStalled tracks flagged-but-unacknowledged guards, dropping
+// back to zero once the reader acks by re-pinning.
+func TestStatsGauges(t *testing.T) {
+	d := NewDomain()
+	d.NeutralizePressure = 1
+	p := arena.NewPool[uint64]("t", arena.ModeReuse)
+	lag := d.NewGuardNBR(2)
+	lag.Pin()
+
+	w := d.NewGuardNBR(2)
+	for i := 0; i < 600; i++ {
+		w.Pin()
+		ref, _ := p.Alloc()
+		w.Retire(ref, p)
+		w.Unpin()
+	}
+	for i := 0; i < 6; i++ {
+		w.Pin()
+		w.Unpin()
+		w.Collect()
+	}
+	st := d.Stats()
+	if st.Scheme != "nbr" {
+		t.Fatalf("scheme = %q", st.Scheme)
+	}
+	if st.Neutralizations == 0 {
+		t.Fatal("Stats.Neutralizations = 0 after a neutralization")
+	}
+	if st.NeutralizedStalled != 1 {
+		t.Fatalf("NeutralizedStalled = %d with one parked flagged reader, want 1", st.NeutralizedStalled)
+	}
+
+	// Ack: abort to checkpoint, then let a Collect refresh the gauge.
+	lag.Unpin()
+	lag.Pin()
+	w.Collect()
+	if st := d.Stats(); st.NeutralizedStalled != 0 {
+		t.Fatalf("NeutralizedStalled = %d after the reader re-pinned, want 0", st.NeutralizedStalled)
+	}
+	lag.Unpin()
+}
+
+// TestZeroValueDomainCollects mirrors the ebr/pebr regression: a
+// zero-value &Domain{} literal must select the adaptive cadence and
+// lazily initialize its epoch.
+func TestZeroValueDomainCollects(t *testing.T) {
+	d := &Domain{}
+	p := arena.NewPool[uint64]("zv", arena.ModeReuse)
+	g := d.NewGuardNBR(2)
+	for i := 0; i < 2*DefaultCollectEvery; i++ {
+		g.Pin()
+		ref, _ := p.Alloc()
+		g.Retire(ref, p)
+		g.Unpin()
+	}
+	for i := 0; i < 6; i++ {
+		g.Collect()
+	}
+	if got := d.Unreclaimed(); got != 0 {
+		t.Fatalf("unreclaimed after collect = %d, want 0", got)
+	}
+	if got := d.epoch.Load(); got < 2 {
+		t.Fatalf("zero-value domain epoch = %d, want lazy init to >= 2", got)
+	}
+}
+
+// TestFinishReleasesRecordAndOrphans: a finished guard's record must be
+// recyclable and its leftover bag adopted and freed by a survivor.
+func TestFinishReleasesRecordAndOrphans(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("fin", arena.ModeDetect)
+
+	g := d.NewGuardNBR(1)
+	g.Pin()
+	ref, _ := p.Alloc()
+	g.Retire(ref, p)
+	g.Unpin()
+	g.Finish() // the entry is too young to free inline -> orphaned
+
+	if total, live := d.Records(); total != 1 || live != 0 {
+		t.Fatalf("records after finish = (%d,%d), want (1,0)", total, live)
+	}
+
+	g2 := d.NewGuardNBR(1)
+	if total, live := d.Records(); total != 1 || live != 1 {
+		t.Fatalf("record not recycled: (%d,%d), want (1,1)", total, live)
+	}
+	for i := 0; i < 6; i++ {
+		g2.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("orphaned entry never freed")
+	}
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed = %d", d.Unreclaimed())
+	}
+	g2.Finish()
+}
+
+// TestFinishReleasesCheckpoints: a guard that dies while announcing a
+// checkpoint must not pin the node forever.
+func TestFinishReleasesCheckpoints(t *testing.T) {
+	d := NewDomain()
+	d.NeutralizePressure = 1
+	p := arena.NewPool[uint64]("fin-ckpt", arena.ModeDetect)
+
+	reader := d.NewGuardNBR(1)
+	reader.Pin()
+	ref, _ := p.Alloc()
+	if !reader.Track(0, ref) {
+		t.Fatal("track failed with no neutralization pending")
+	}
+
+	w := d.NewGuardNBR(1)
+	w.Pin()
+	w.Retire(ref, p)
+	w.Unpin()
+	for i := 0; i < 600; i++ {
+		w.Pin()
+		r, _ := p.Alloc()
+		w.Retire(r, p)
+		w.Unpin()
+	}
+	for i := 0; i < 10; i++ {
+		w.Pin()
+		w.Unpin()
+		w.Collect()
+	}
+	if !p.Live(ref) {
+		t.Fatal("announced node freed while its announcer was live")
+	}
+
+	reader.Finish()
+	for i := 0; i < 6; i++ {
+		w.Collect()
+	}
+	if p.Live(ref) {
+		t.Fatal("node not freed after its announcer finished")
+	}
+	w.Finish()
+	if d.Unreclaimed() != 0 {
+		t.Fatalf("unreclaimed = %d", d.Unreclaimed())
+	}
+}
+
+// TestGuardChurnRecyclesRecords: sequential guard churn must recycle one
+// record instead of growing the list with guards ever created.
+func TestGuardChurnRecyclesRecords(t *testing.T) {
+	d := NewDomain()
+	p := arena.NewPool[uint64]("churn", arena.ModeReuse)
+	for i := 0; i < 100; i++ {
+		g := d.NewGuardNBR(1)
+		g.Pin()
+		ref, _ := p.Alloc()
+		g.Track(0, ref)
+		g.Retire(ref, p)
+		g.Unpin()
+		g.Finish()
+	}
+	if total, live := d.Records(); total != 1 || live != 0 {
+		t.Fatalf("sequential churn records = (%d,%d), want (1,0)", total, live)
+	}
+	g := d.NewGuardNBR(1)
+	for i := 0; i < 8; i++ {
+		g.Collect()
+	}
+	g.Finish()
+	if got := d.Unreclaimed(); got != 0 {
+		t.Fatalf("unreclaimed after churn drain = %d", got)
+	}
+}
+
+var _ smr.Guard = (*Guard)(nil)

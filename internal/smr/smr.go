@@ -36,8 +36,9 @@ type Guard interface {
 	Unpin()
 	// Track announces that protection slot i covers ref and reports
 	// whether the traversal may continue. It returns false only when the
-	// guard has been neutralized (PEBR ejection); the caller must then
-	// Unpin, Pin and restart from the data structure's entry point.
+	// guard has been neutralized (PEBR ejection, NBR checkpoint abort);
+	// the caller must then Unpin, Pin and restart from the data
+	// structure's entry point.
 	// For EBR and NR it is a no-op returning true.
 	Track(i int, ref uint64) bool
 	// Retire hands an unlinked node to the scheme for eventual freeing.

@@ -12,7 +12,7 @@ import "sync/atomic"
 // has hazard slots, only the epoch family has epochs, only PEBR ejects.
 type Stats struct {
 	// Scheme is the implementing scheme's short name ("hp", "hp++",
-	// "ebr", "pebr", "rc", "nr", "unsafefree").
+	// "ebr", "pebr", "nbr", "rc", "nr", "unsafefree").
 	Scheme string `json:"scheme"`
 
 	// Unreclaimed / PeakUnreclaimed are the current and high-water
@@ -47,6 +47,14 @@ type Stats struct {
 
 	// Ejections counts PEBR neutralizations of lagging guards.
 	Ejections int64 `json:"ejections,omitempty"`
+
+	// Neutralizations counts NBR flag raises against lagging readers;
+	// NeutralizedStalled is a gauge of guards that were flagged and had
+	// not re-pinned (acknowledged) as of the last Collect walk — a
+	// persistently nonzero value means a dead participant whose announced
+	// checkpoints pin up to MaxCheckpoints nodes forever.
+	Neutralizations    int64 `json:"neutralizations,omitempty"`
+	NeutralizedStalled int64 `json:"neutralized_stalled,omitempty"`
 
 	// ArenaLive / ArenaQuarantined are filled by the harness from the
 	// target's arena pools: live slots still allocated, and slots parked

@@ -79,6 +79,14 @@ type Faults struct {
 	// StallReader parks one reader goroutine mid-traversal (inside a
 	// deref, guard held) for the whole run.
 	StallReader bool
+	// ParkedWorker upgrades the stalled participant from a reader to a
+	// writer: the parked goroutine is caught mid-*mutation* (map insert,
+	// queue enqueue, stack push), pinned with whatever protection its
+	// scheme grants a destructive op. This is the §4.4 robustness
+	// adversary in its strongest form — the parked worker may hold
+	// hazard announcements or an epoch pin acquired on the write path.
+	// Implies the stall machinery even when StallReader is false.
+	ParkedWorker bool
 	// DelayRetire makes destructive workers yield this many times after
 	// every successful remove.
 	DelayRetire int
@@ -247,6 +255,11 @@ func Run(cell Cell, opts Options) (CellResult, error) {
 		}
 		sh := bench.NewRecorded(target.NewHandle(), newRec())
 		stallOp = func() { sh.Get(0) }
+		if opts.Faults.ParkedWorker {
+			// Park mid-insert: the key is outside the worked range so the
+			// traversal walks (and derefs) the whole shared prefix first.
+			stallOp = func() { sh.Insert(opts.Keys+1, 42) }
+		}
 	case "queue":
 		target, err := bench.NewQueueTarget(cell.Scheme, arena.ModeDetect)
 		if err != nil {
@@ -284,6 +297,9 @@ func Run(cell Cell, opts Options) (CellResult, error) {
 		}
 		sh := bench.NewRecordedQueue(target.NewHandle(), newRec())
 		stallOp = func() { sh.Dequeue() }
+		if opts.Faults.ParkedWorker {
+			stallOp = func() { sh.Enqueue(uint64(1)<<49 | 7) }
+		}
 	case "stack":
 		target, err := bench.NewStackTarget(cell.Scheme, arena.ModeDetect)
 		if err != nil {
@@ -321,24 +337,28 @@ func Run(cell Cell, opts Options) (CellResult, error) {
 		}
 		sh := bench.NewRecordedStack(target.NewHandle(), newRec())
 		stallOp = func() { sh.Pop() }
+		if opts.Faults.ParkedWorker {
+			stallOp = func() { sh.Push(uint64(1)<<49 | 7) }
+		}
 	default:
 		return res, fmt.Errorf("stress: unknown cell kind %q", cell.Kind)
 	}
 
 	// Detect mode panics on the first bug by default; the harness wants
 	// counts so unsafe cells run to completion and report attribution.
+	stalling := opts.Faults.StallReader || opts.Faults.ParkedWorker
 	for _, p := range pools {
 		p.SetCount()
-		if opts.Faults.YieldEvery > 0 || opts.Faults.StallReader {
+		if opts.Faults.YieldEvery > 0 || stalling {
 			p.SetDerefHook(in.hook)
 		}
 	}
 
 	prefill()
 
-	// Stalled reader: armed while it is the only deref-ing goroutine.
+	// Stalled participant: armed while it is the only deref-ing goroutine.
 	var stallWG sync.WaitGroup
-	if opts.Faults.StallReader {
+	if stalling {
 		in.arm()
 		stallWG.Add(1)
 		go func() {

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench_stall.sh: refresh BENCH_stall.json, the stalled-thread robustness
+# artifact (§4.4), and gate it.
+#
+# smrbench -stalljson runs one parked-writer cell per reclaiming scheme on
+# hmlist — a writer is caught mid-insert on a detect-mode deref hook and
+# held while the other workers run a deterministic write-only storm — and
+# records the exact peak/final retired-but-unfreed counts, plus the
+# unstalled read-heavy throughput companion cells. benchcompare -stall
+# then enforces the report's invariants: the participant really parked,
+# zero UAF/double-free, every scheme drains to zero after release, every
+# robust scheme's peak stays under the absolute bound, and EBR's peak is
+# at least 10x NBR's (the unbounded-vs-bounded split the experiment
+# exists to demonstrate).
+#
+# Usage: scripts/bench_stall.sh [out.json] [duration]
+set -euo pipefail
+
+OUT="${1:-BENCH_stall.json}"
+DUR="${2:-2s}"
+
+cd "$(dirname "$0")/.."
+go run ./cmd/smrbench -stalljson "$OUT" -dur "$DUR"
+go run ./cmd/benchcompare -stall "$OUT"
