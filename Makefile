@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check race test short stress bench bench-json bench-compare bench-stall vet serve-smoke bench-kvsvc
+.PHONY: check race test short stress bench bench-json bench-compare bench-stall vet serve-smoke bench-kvsvc bench-conns
 
 check: vet
 	$(GO) build ./...
@@ -14,6 +14,8 @@ check: vet
 		'ZeroValue|FrontierCache|StatsMonotone|ScanSet|ReleaseHint|Adaptive|Budget|Neutraliz|CheckpointProtects' \
 		./internal/hazards/ ./internal/hp/ ./internal/core/ ./internal/ebr/ \
 		./internal/pebr/ ./internal/nbr/ ./internal/arena/ ./internal/smr/
+	$(GO) test -race -count=1 ./internal/netpoll/
+	$(GO) test -race -count=1 -run 'Netpoll|FrameReader' ./internal/kvsvc/
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +40,14 @@ serve-smoke:
 # detect mode throughout.
 bench-kvsvc:
 	bash scripts/bench_kvsvc.sh
+
+# bench-conns regenerates BENCH_conns.json at the repo root: the
+# idle-fleet capacity artifact — a netpoll cell with an fd-limit-scaled
+# mostly-idle fleet (min(100000, ulimit-5000)) plus a goroutine-baseline
+# cell, validated by benchcompare -conns (bounded bytes-per-conn,
+# conn-independent goroutines, flat handle census, hot p99 band).
+bench-conns:
+	bash scripts/bench_conns.sh
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=200ms ./internal/bench/

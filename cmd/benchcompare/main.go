@@ -24,6 +24,21 @@
 // actually demonstrate the unbounded-vs-bounded split); every cell's
 // final unreclaimed drains to zero after release; and NBR's unstalled
 // read-heavy throughput is within -stallnear of EBR's (warn-only, noisy).
+//
+// With -conns it validates a BENCH_conns.json idle-fleet report (from
+// scripts/bench_conns.sh) against absolute bounds plus one relative
+// band:
+//
+//	benchcompare -conns BENCH_conns.json
+//
+// Gates: the netpoll cell's goroutine count stays under -gorbound (i.e.
+// independent of the parked conn count), its post-GC memory cost stays
+// under -connbytes per idle conn, its live fast-path handle census
+// stays under -handlebound (the per-poller handle rule: O(pollers ×
+// shards), never O(conns)), and — when the report also carries a
+// goroutine-mode baseline cell — the netpoll hot-subset GET p99 is
+// within -connp99band of the baseline's (warn-only unless
+// -strictcells, shared-runner latency is noisy).
 package main
 
 import (
@@ -47,10 +62,18 @@ func main() {
 		stallBound  = flag.Int64("stallbound", 4096, "peak-unreclaimed ceiling for the robust schemes' stall cells")
 		stallRatio  = flag.Float64("stallratio", 10, "minimum EBR-peak / NBR-peak ratio the stall report must demonstrate")
 		stallNear   = flag.Float64("stallnear", 0.15, "warn when NBR's unstalled read-heavy throughput trails EBR's by more than this fraction")
+		connsRep    = flag.String("conns", "", "validate a BENCH_conns.json idle-fleet report against absolute bounds instead of diffing reports")
+		gorBound    = flag.Int("gorbound", 256, "goroutine ceiling for netpoll idle-fleet cells (must be independent of conn count)")
+		connBytes   = flag.Float64("connbytes", 16384, "post-GC server bytes-per-idle-conn ceiling for netpoll cells")
+		handleBound = flag.Int("handlebound", 256, "live fast-path handle ceiling for netpoll cells (O(pollers x shards), never O(conns))")
+		connP99Band = flag.Float64("connp99band", 1.0, "allowed fractional hot-subset GET p99 excess of the netpoll cell over the goroutine baseline (warn-only unless -strictcells)")
 	)
 	flag.Parse()
 	if *stall != "" {
 		os.Exit(validateStall(*stall, *stallBound, *stallRatio, *stallNear))
+	}
+	if *connsRep != "" {
+		os.Exit(validateConns(*connsRep, *gorBound, *connBytes, *handleBound, *connP99Band, *strictCells))
 	}
 	if *fresh == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -fresh is required")
@@ -201,6 +224,83 @@ func validateStall(path string, bound int64, ratio, near float64) int {
 		}
 		fmt.Printf("unstalled read-heavy throughput: ebr=%.3f nbr=%.3f gap=%+.1f%% (near %.0f%%) %s\n",
 			ebr, nbr, 100*gap, 100*near, status)
+	}
+
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// validateConns enforces the idle-fleet report's invariants and returns
+// the process exit code. Netpoll cells (netpoll_kind set) carry the
+// absolute bounds; a goroutine-mode cell with the same idle_conns, if
+// present, anchors the relative hot-p99 band.
+func validateConns(path string, gorBound int, connBytes float64, handleBound int, p99Band float64, strict bool) int {
+	rep, err := load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		return 2
+	}
+	var netpollCells, baseCells []bench.CellResult
+	for _, c := range rep.Cells {
+		if c.IdleConns == 0 {
+			continue
+		}
+		if c.NetpollKind != "" {
+			netpollCells = append(netpollCells, c)
+		} else {
+			baseCells = append(baseCells, c)
+		}
+	}
+	if len(netpollCells) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s: no netpoll idle-fleet cells\n", path)
+		return 2
+	}
+
+	// Arena UAF/double-free zero-ness is enforced by kvload itself before
+	// it writes a cell, so a report that exists at all is violation-free;
+	// the gates here are the capacity bounds.
+	failed := false
+	for _, c := range netpollCells {
+		status := "ok"
+		switch {
+		case c.Goroutines > gorBound:
+			status = fmt.Sprintf("FAIL (goroutines %d > bound %d: not conn-independent)", c.Goroutines, gorBound)
+			failed = true
+		case c.BytesPerConn > connBytes:
+			status = fmt.Sprintf("FAIL (bytes/conn %.0f > bound %.0f)", c.BytesPerConn, connBytes)
+			failed = true
+		case c.LiveHandles > handleBound:
+			status = fmt.Sprintf("FAIL (live handles %d > bound %d: handle census scales with conns)", c.LiveHandles, handleBound)
+			failed = true
+		}
+		fmt.Printf("conns %s/%s idle=%d: goroutines=%d bytes/conn=%.0f handles=%d p99(get)=%.1fµs %s\n",
+			c.NetpollKind, c.Scheme, c.IdleConns, c.Goroutines, c.BytesPerConn, c.LiveHandles, c.P99GetUs, status)
+	}
+
+	// Hot-subset p99 band vs the goroutine baseline, matched on scheme.
+	// An idle fleet must not make the hot path slower than the same
+	// traffic served by dedicated goroutines (within a generous band —
+	// poller dispatch adds some latency by design).
+	for _, np := range netpollCells {
+		for _, b := range baseCells {
+			if b.Scheme != np.Scheme || b.P99GetUs <= 0 || np.P99GetUs <= 0 {
+				continue
+			}
+			excess := (np.P99GetUs - b.P99GetUs) / b.P99GetUs
+			status := "ok"
+			if excess > p99Band {
+				if strict {
+					status = "REGRESSION"
+					failed = true
+				} else {
+					status = "WARN"
+				}
+			}
+			fmt.Printf("conns hot p99(get): netpoll=%.1fµs baseline=%.1fµs excess=%+.1f%% (band %.0f%%) %s\n",
+				np.P99GetUs, b.P99GetUs, 100*excess, 100*p99Band, status)
+		}
 	}
 
 	if failed {

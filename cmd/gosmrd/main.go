@@ -51,6 +51,10 @@ func main() {
 
 		readFast  = flag.Bool("read-fastpath", true, "execute GETs on the connection goroutine instead of the worker pipeline")
 		readCache = flag.Int("read-handle-cache", 0, "idle fast-path read handles pooled per shard across connections (0 = default, negative disables pooling)")
+
+		netpollF        = flag.Bool("netpoll", false, "serve connections on the event-driven poller layer (internal/netpoll) instead of per-connection goroutines")
+		pollers         = flag.Int("pollers", 0, "poller goroutines when -netpoll is set (0 = min(8, GOMAXPROCS))")
+		netpollPortable = flag.Bool("netpoll-portable", false, "with -netpoll, force the portable net.Conn backend even where epoll is available")
 	)
 	flag.Parse()
 
@@ -98,14 +102,22 @@ func main() {
 
 		DisableReadFastPath: !*readFast,
 		ReadHandleCache:     *readCache,
+
+		Netpoll:         *netpollF,
+		Pollers:         *pollers,
+		NetpollPortable: *netpollPortable,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gosmrd:", err)
 		os.Exit(2)
 	}
 
-	fmt.Fprintf(os.Stderr, "gosmrd: serving %d shards (%s engine, %s, %s mode) on %s, admin on %s\n",
-		*shards, *engine, *scheme, *mode, srv.Addr(), srv.AdminAddr())
+	connLayer := "goroutine-per-conn"
+	if *netpollF {
+		connLayer = "netpoll/" + srv.Snapshot().NetpollKind
+	}
+	fmt.Fprintf(os.Stderr, "gosmrd: serving %d shards (%s engine, %s, %s mode, %s) on %s, admin on %s\n",
+		*shards, *engine, *scheme, *mode, connLayer, srv.Addr(), srv.AdminAddr())
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()

@@ -28,9 +28,22 @@
 // their full doubling cascade, so the measured mix — and the separately
 // reported GET-only p99 — observes the resized map.
 //
+// With -idle-conns N, kvload additionally parks N silent connections
+// (one ping handshake each, source addresses rotated over 127.0.0.x by
+// -src-ips) before the measured phase, and reads the server's post-GC
+// memory and goroutine gauges with the fleet up: the -conns hot subset
+// then measures latency while the fleet idles. The resulting cell
+// carries idle_conns / bytes_per_conn / goroutines / live_handles /
+// netpoll_kind, which `benchcompare -conns` gates — mostly-idle fleets
+// must cost bounded bytes per conn, a conn-independent goroutine count,
+// and a flat fast-path handle census.
+//
 // With -out, kvload writes a bench.ReclaimReport-shaped JSON artifact
 // (one service-layer cell with latency percentiles and the store-wide
-// smr.Stats) that cmd/benchcompare can diff against a previous run.
+// smr.Stats) that cmd/benchcompare can diff against a previous run;
+// -append merges the new cell into an existing report so the netpoll
+// and goroutine-baseline phases of scripts/bench_conns.sh share one
+// BENCH_conns.json.
 package main
 
 import (
@@ -39,6 +52,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"net/http"
@@ -73,6 +87,12 @@ func main() {
 		maxRetries = flag.Int("retries", 10, "max resends of a request answered StatusOverloaded")
 		backoff    = flag.Duration("backoff", 2*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
 		backoffMax = flag.Duration("backoff-max", 200*time.Millisecond, "retry backoff cap")
+
+		idleConns = flag.Int("idle-conns", 0, "park this many extra idle connections while the -conns hot subset runs the measured mix (requires -admin)")
+		idleHold  = flag.Duration("idle-hold", 2*time.Second, "settle time between the fleet coming up and the memory/goroutine reading")
+		srcIPs    = flag.Int("src-ips", 1, "rotate fleet source addresses over 127.0.0.1..127.0.0.N (loopback only) to stretch the ephemeral port space")
+		dialers   = flag.Int("dialers", 64, "parallel dial workers bringing the idle fleet up")
+		appendOut = flag.Bool("append", false, "append the result cell to an existing -out report instead of overwriting it")
 	)
 	flag.Parse()
 	if *conns < 1 || *requests < 1 || *pipeline < 1 || *keys < 2 {
@@ -135,6 +155,64 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("kvload: preloaded %d keys in %v\n", *preload, time.Since(pStart).Round(time.Millisecond))
+	}
+
+	// Idle-fleet phase: park -idle-conns extra connections (each completes
+	// one ping handshake, then goes silent) and read the server's post-GC
+	// memory and goroutine gauges with the fleet up but BEFORE the hot
+	// subset runs, so bytes-per-conn isolates connection cost from both
+	// the preloaded store and the hot traffic's allocations.
+	var (
+		fleet []net.Conn
+		idle  *idleCell
+	)
+	if *idleConns > 0 {
+		if *admin == "" {
+			fmt.Fprintln(os.Stderr, "kvload: -idle-conns requires -admin for the memory/goroutine gauges")
+			os.Exit(2)
+		}
+		// The pre-fleet scrape is the first contact with the daemon, so it
+		// retries like the first wire dial does (the scripts start kvload
+		// and gosmrd together).
+		var base *kvsvc.AdminStats
+		for deadline := time.Now().Add(*dialT); ; time.Sleep(50 * time.Millisecond) {
+			var err error
+			if base, err = scrapeGC(*admin); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintln(os.Stderr, "kvload: admin scrape (pre-fleet):", err)
+				os.Exit(1)
+			}
+		}
+		fStart := time.Now()
+		var err error
+		fleet, err = openIdleFleet(*addr, *idleConns, *srcIPs, *dialers, *dialT)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvload: idle fleet:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("kvload: idle fleet of %d conns up in %v (%d source ips)\n",
+			len(fleet), time.Since(fStart).Round(time.Millisecond), *srcIPs)
+		time.Sleep(*idleHold)
+		with, err := scrapeGC(*admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kvload: admin scrape (fleet up):", err)
+			os.Exit(1)
+		}
+		if with.LiveConns < int64(*idleConns) {
+			fmt.Fprintf(os.Stderr, "kvload: fleet eroded: live_conns=%d < idle fleet %d (idle-evicted? raise gosmrd -idle-timeout)\n",
+				with.LiveConns, *idleConns)
+			os.Exit(1)
+		}
+		idle = &idleCell{
+			conns:      *idleConns,
+			goroutines: with.Goroutines,
+			bytesPerConn: float64((with.HeapInuseBytes+with.StackInuseBytes)-
+				(base.HeapInuseBytes+base.StackInuseBytes)) / float64(*idleConns),
+		}
+		fmt.Printf("kvload: fleet gauges: goroutines=%d bytes_per_conn=%.1f (heap+stack delta) netpoll=%v/%s\n",
+			idle.goroutines, idle.bytesPerConn, with.Netpoll, with.NetpollKind)
 	}
 
 	var (
@@ -240,8 +318,39 @@ func main() {
 		}
 	}
 
+	// Fleet teardown: the post-hot-phase scrape above already captured
+	// the handle census with fleet AND hot traffic live; now close every
+	// parked conn and insist the server's accounting drains to zero —
+	// the client-side half of the flat-registry contract.
+	if fleet != nil {
+		if adminStats != nil {
+			idle.liveHandles = adminStats.LiveHandles
+			idle.netpollKind = adminStats.NetpollKind
+		}
+		for _, c := range fleet {
+			c.Close()
+		}
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			st, err := scrape(*admin)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "kvload: admin scrape (teardown):", err)
+				os.Exit(1)
+			}
+			if st.LiveConns == 0 {
+				fmt.Printf("kvload: fleet torn down, live_conns=0 live_handles=%d\n", st.LiveHandles)
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintf(os.Stderr, "kvload: fleet teardown stalled: live_conns=%d after 60s\n", st.LiveConns)
+				os.Exit(1)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
 	if *out != "" {
-		if err := writeReport(*out, adminStats, *conns, *keys, *preload, workload, opsPerSec, p50, p95, p99, p50Get, p99Get); err != nil {
+		if err := writeReport(*out, *appendOut, adminStats, idle, *conns, *keys, *preload, workload, opsPerSec, p50, p95, p99, p50Get, p99Get); err != nil {
 			fmt.Fprintln(os.Stderr, "kvload: write report:", err)
 			os.Exit(1)
 		}
@@ -535,6 +644,129 @@ func dialRetry(addr string, d time.Duration) net.Conn {
 	}
 }
 
+// idleCell accumulates the idle-fleet gauges that end up on the report
+// cell: how many conns were parked, what each cost in post-GC server
+// memory, the server goroutine count with the fleet live, and the
+// fast-path handle census after the hot phase.
+type idleCell struct {
+	conns        int
+	bytesPerConn float64
+	goroutines   int
+	liveHandles  int
+	netpollKind  string
+}
+
+// openIdleFleet dials n connections, completes one ping handshake on
+// each (so every conn is registered server-side and provably working),
+// and leaves them parked. With srcIPs > 1 the fleet's source addresses
+// rotate over 127.0.0.1..127.0.0.srcIPs — every 127/8 address is local
+// on loopback — so the ephemeral port space stops being the conn-count
+// ceiling long before 100k.
+func openIdleFleet(addr string, n, srcIPs, dialers int, dialT time.Duration) ([]net.Conn, error) {
+	if dialers < 1 {
+		dialers = 1
+	}
+	if srcIPs < 1 {
+		srcIPs = 1
+	}
+	fleet := make([]net.Conn, n)
+	var (
+		wg      sync.WaitGroup
+		firstMu sync.Mutex
+		first   error
+	)
+	fail := func(err error) {
+		firstMu.Lock()
+		if first == nil {
+			first = err
+		}
+		firstMu.Unlock()
+	}
+	ping := kvsvc.AppendRequest(nil, kvsvc.Request{Op: kvsvc.OpPing})
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < dialers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var hdr [4]byte
+			payload := make([]byte, 64)
+			for i := range next {
+				firstMu.Lock()
+				bail := first != nil
+				firstMu.Unlock()
+				if bail {
+					return
+				}
+				d := net.Dialer{Timeout: dialT}
+				if srcIPs > 1 {
+					d.LocalAddr = &net.TCPAddr{IP: net.IPv4(127, 0, 0, byte(1+i%srcIPs))}
+				}
+				c, err := d.Dial("tcp", addr)
+				if err != nil {
+					fail(fmt.Errorf("dial conn %d: %w", i, err))
+					return
+				}
+				c.SetDeadline(time.Now().Add(dialT))
+				if _, err := c.Write(ping); err != nil {
+					fail(fmt.Errorf("conn %d ping: %w", i, err))
+					c.Close()
+					return
+				}
+				if _, err := io.ReadFull(c, hdr[:]); err != nil {
+					fail(fmt.Errorf("conn %d pong header: %w", i, err))
+					c.Close()
+					return
+				}
+				ln := int(uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3]))
+				if ln <= 0 || ln > len(payload) {
+					fail(fmt.Errorf("conn %d pong length %d", i, ln))
+					c.Close()
+					return
+				}
+				if _, err := io.ReadFull(c, payload[:ln]); err != nil {
+					fail(fmt.Errorf("conn %d pong body: %w", i, err))
+					c.Close()
+					return
+				}
+				c.SetDeadline(time.Time{})
+				fleet[i] = c
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		for _, c := range fleet {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, first
+	}
+	return fleet, nil
+}
+
+// scrapeGC scrapes /stats?gc=1: the server collects first, so
+// heap_inuse_bytes is live memory rather than allocator float.
+func scrapeGC(admin string) (*kvsvc.AdminStats, error) {
+	resp, err := http.Get("http://" + admin + "/stats?gc=1")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("admin /stats?gc=1: HTTP %d", resp.StatusCode)
+	}
+	var st kvsvc.AdminStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
 func scrape(admin string) (*kvsvc.AdminStats, error) {
 	resp, err := http.Get("http://" + admin + "/stats")
 	if err != nil {
@@ -565,7 +797,7 @@ func percentileUs(sorted []int64, p float64) float64 {
 // The scan section is left zero: there is no in-process scan microbench
 // in a network run, and benchcompare skips the scan gate when both
 // reports agree it is absent.
-func writeReport(path string, admin *kvsvc.AdminStats, conns int, keys, preloaded uint64, workload string, opsPerSec, p50, p95, p99, p50Get, p99Get float64) error {
+func writeReport(path string, appendCell bool, admin *kvsvc.AdminStats, idle *idleCell, conns int, keys, preloaded uint64, workload string, opsPerSec, p50, p95, p99, p50Get, p99Get float64) error {
 	cell := bench.CellResult{
 		DS:            "kvsvc",
 		Scheme:        "unknown",
@@ -587,9 +819,29 @@ func writeReport(path string, admin *kvsvc.AdminStats, conns int, keys, preloade
 		cell.FastpathGets = admin.FastpathGets
 		cell.Stats = admin.Total
 	}
+	if idle != nil {
+		cell.IdleConns = idle.conns
+		cell.BytesPerConn = idle.bytesPerConn
+		cell.Goroutines = idle.goroutines
+		cell.LiveHandles = idle.liveHandles
+		cell.NetpollKind = idle.netpollKind
+	}
 	report := bench.ReclaimReport{
 		GeneratedBy: "kvload",
 		Cells:       []bench.CellResult{cell},
+	}
+	if appendCell {
+		if data, err := os.ReadFile(path); err == nil {
+			var prev bench.ReclaimReport
+			if err := json.Unmarshal(data, &prev); err != nil {
+				return fmt.Errorf("-append: %s: %w", path, err)
+			}
+			prev.GeneratedBy = report.GeneratedBy
+			prev.Cells = append(prev.Cells, cell)
+			report = prev
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
 	}
 	f, err := os.Create(path)
 	if err != nil {

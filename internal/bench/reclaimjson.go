@@ -64,6 +64,17 @@ type CellResult struct {
 	// PreloadedKeys is how many keys were bulk-loaded before the
 	// measured phase (0 = none).
 	PreloadedKeys uint64 `json:"preloaded_keys,omitempty"`
+	// Idle-fleet cells (kvload -idle-conns against gosmrd): the parked
+	// connection count, the post-GC server memory delta per parked conn,
+	// the server goroutine count with the fleet live, the fast-path
+	// handle census, and which connection layer served ("" = goroutine
+	// mode, else the netpoll backend). cmd/benchcompare -conns gates on
+	// these.
+	IdleConns    int     `json:"idle_conns,omitempty"`
+	BytesPerConn float64 `json:"bytes_per_conn,omitempty"`
+	Goroutines   int     `json:"goroutines,omitempty"`
+	LiveHandles  int     `json:"live_handles,omitempty"`
+	NetpollKind  string  `json:"netpoll_kind,omitempty"`
 	// Stats is the domain's post-run smr.Stats snapshot (scan counts,
 	// freed-per-scan, occupancy) plus the arena live/quarantine totals.
 	Stats smr.Stats `json:"smr_stats"`

@@ -46,6 +46,36 @@ func FuzzCodec(f *testing.F) {
 			}
 		}
 
+		// Incremental decoding: FrameReader fed the same stream one
+		// byte at a time, and split at a data-derived boundary, must
+		// decode the identical frame sequence with the identical
+		// outcome as the one-shot reference above.
+		wantP, wantErr, wantTrunc := oneShotDecode(data)
+		want := classifyDecode(wantErr, wantTrunc)
+		var bytewise [][]byte
+		for i := range data {
+			bytewise = append(bytewise, data[i:i+1])
+		}
+		splits := [][][]byte{bytewise, {data}}
+		if len(data) > 0 {
+			mid := int(data[0]) % (len(data) + 1)
+			splits = append(splits, [][]byte{data[:mid], data[mid:]})
+		}
+		for _, chunks := range splits {
+			gotP, gotErr, gotTrunc := feedDecode(chunks)
+			if got := classifyDecode(gotErr, gotTrunc); got != want {
+				t.Fatalf("FrameReader outcome %q, one-shot %q (input %x)", got, want, data)
+			}
+			if len(gotP) != len(wantP) {
+				t.Fatalf("FrameReader decoded %d frames, one-shot %d (input %x)", len(gotP), len(wantP), data)
+			}
+			for i := range wantP {
+				if !bytes.Equal(gotP[i], wantP[i]) {
+					t.Fatalf("FrameReader frame %d mismatch (input %x)", i, data)
+				}
+			}
+		}
+
 		// Raw payload decoders on the unframed input.
 		if req, err := DecodeRequest(data); err == nil {
 			if re := AppendRequest(nil, req); !bytes.Equal(re[4:], data) {

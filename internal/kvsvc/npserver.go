@@ -1,0 +1,282 @@
+// Netpoll-mode serving: the event-driven connection layer.
+//
+// In goroutine mode every connection costs a reader + writer goroutine
+// plus bufio buffers. In netpoll mode (ServerConfig.Netpoll) a fixed
+// set of poller goroutines owns readiness for every connection:
+// OnData feeds an incremental FrameReader, decoded frames run the same
+// dispatch as serveConn — ping lane, credit gate, GET fast path, shard
+// queues — and responses leave through the conn's nonblocking outbound
+// buffer. Per-connection state shrinks to an npConn (a few words plus a
+// lazily-grown decode carry), which is what makes 100k mostly-idle
+// conns cost megabytes instead of gigabytes.
+//
+// Capacity proof delta vs serveConn (see DESIGN.md "Event-driven
+// connection layer"): the credit/budget invariant is preserved with the
+// same B-bound per lane, but the 2B response channel becomes a byte
+// buffer bounded by (2B messages) × 17 bytes, and credits are released
+// by OnFlushed when a credited response's bytes have fully reached the
+// kernel — a strictly stronger release point than the goroutine
+// writer's post-bufio.Write. Two behavioral deltas: (1) DispatchTimeout
+// does not apply — a poller must never sleep on a full shard queue, so
+// queue-full sheds StatusOverloaded immediately; (2) the GET fast path
+// uses per-POLLER handle sets (pollerRH), not per-conn ones, so the
+// registry holds O(pollers × shards) fast-path handles no matter how
+// many conns are parked — the idle-fleet twin of the paper's
+// bounded-garbage guarantee.
+package kvsvc
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/netpoll"
+)
+
+// Outbound message tags (netpoll.Conn.WriteMsg → Handler.OnFlushed):
+// which budget lane the flushed response releases.
+const (
+	tagUncredited uint8 = iota
+	tagCredited
+)
+
+// errServerDraining closes conns at shutdown; it is neither an idle nor
+// a slow-reader eviction, so OnClose counts nothing for it.
+var errServerDraining = errors.New("kvsvc: server draining")
+
+// npConn is one netpoll-mode connection: the Handler plus the protocol
+// state serveConn used to keep on its goroutine's stack.
+type npConn struct {
+	s *Server
+	c netpoll.Conn
+
+	fr FrameReader // incremental decode state; poller-owned
+
+	// credits is the in-flight budget: decremented by dispatch (CAS,
+	// only on the conn's poller), incremented by OnFlushed when a
+	// credited response has fully reached the kernel.
+	credits atomic.Int64
+	// uncredited bounds the shed/ping lane, exactly as in serveConn.
+	uncredited atomic.Int64
+	// inflight counts requests handed to shard queues whose response
+	// has not yet been buffered; drain waits for zero.
+	inflight atomic.Int64
+
+	// pending[i] counts this conn's not-yet-executed mutations on shard
+	// i (the read-your-writes gate, as in serveConn). Allocated on the
+	// first mutation: parked idle conns — the 100k case — never pay for
+	// it. Poller-owned for writes on the dispatch side; workers only
+	// decrement through the *atomic.Int64 they were handed.
+	pending []atomic.Int64
+}
+
+// OnRegister runs inside Poll.Register: bind the Conn and make the
+// handler visible to drain before any event can fire.
+func (nc *npConn) OnRegister(c netpoll.Conn) {
+	nc.c = c
+	s := nc.s
+	s.npMu.Lock()
+	s.npConns[nc] = struct{}{}
+	s.npMu.Unlock()
+}
+
+// OnData feeds raw bytes to the frame reader; complete frames dispatch
+// inline on the poller. Any error (malformed frame, garbage payload)
+// closes the connection, matching serveConn's treatment of a poisoned
+// byte stream.
+func (nc *npConn) OnData(_ netpoll.Conn, p []byte) error {
+	return nc.fr.Feed(p, nc.dispatch)
+}
+
+// dispatch is serveConn's per-frame logic on the poller callback.
+func (nc *npConn) dispatch(payload []byte) error {
+	s := nc.s
+	req, err := DecodeRequest(payload)
+	if err != nil {
+		return err
+	}
+	budget := int64(s.cfg.ConnBudget)
+
+	if req.Op == OpPing {
+		// Uncredited lane, same B-bound and drop rule as serveConn.
+		if nc.uncredited.Load() < budget {
+			nc.uncredited.Add(1)
+			nc.send(Response{ID: req.ID, Status: StatusOK}, false)
+		} else {
+			s.shedDropped.Add(1)
+		}
+		return nil
+	}
+
+	if !nc.takeCredit() {
+		s.shedBudget.Add(1)
+		if nc.uncredited.Load() < budget {
+			nc.uncredited.Add(1)
+			nc.send(Response{ID: req.ID, Status: StatusOverloaded}, false)
+		} else {
+			s.shedDropped.Add(1)
+		}
+		return nil
+	}
+
+	i := s.store.ShardOf(req.Key)
+	if !s.cfg.DisableReadFastPath && req.Op == OpGet &&
+		(nc.pending == nil || nc.pending[i].Load() == 0) {
+		// GET fast path on the poller callback: the handle comes from
+		// the POLLER's lazily-filled per-shard set — never blocking,
+		// never per-conn. OnData serialization makes the set
+		// single-owner; see pollerRH.
+		h := s.pollerRH[nc.c.Poller()].handle(i)
+		nc.send(execute(h, req), true)
+		s.served.Add(1)
+		s.fastGets.Add(1)
+		return nil
+	}
+
+	if isMutation(req.Op) {
+		if nc.pending == nil {
+			nc.pending = make([]atomic.Int64, s.store.NumShards())
+		}
+		nc.pending[i].Add(1)
+	}
+	r := request{req: req, nc: nc}
+	if isMutation(req.Op) {
+		r.pending = &nc.pending[i]
+	}
+	nc.inflight.Add(1)
+	select {
+	case s.queues[i] <- r:
+	default:
+		// A poller goroutine must never sleep on a full shard queue —
+		// it is multiplexing thousands of other conns — so netpoll mode
+		// sheds immediately where serveConn would wait DispatchTimeout.
+		nc.inflight.Add(-1)
+		if r.pending != nil {
+			r.pending.Add(-1) // shed, never executed
+		}
+		s.shedQueueFull.Add(1)
+		nc.send(Response{ID: req.ID, Status: StatusOverloaded}, true)
+	}
+	return nil
+}
+
+// takeCredit claims one budget credit if any remain.
+func (nc *npConn) takeCredit() bool {
+	for {
+		v := nc.credits.Load()
+		if v <= 0 {
+			return false
+		}
+		if nc.credits.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+// send buffers one response on the conn. Never blocks: WriteMsg pushes
+// what the kernel takes and keeps the rest in the bounded outbound
+// buffer (≤ 2B messages by the capacity invariant). A closed conn eats
+// the response — its requester is gone.
+func (nc *npConn) send(resp Response, credited bool) {
+	var b [hdrLen + respLen]byte
+	tag := tagUncredited
+	if credited {
+		tag = tagCredited
+	}
+	nc.c.WriteMsg(AppendResponse(b[:0], resp), tag) //nolint:errcheck // ErrClosed only
+}
+
+// OnFlushed releases budget lanes for responses whose bytes have fully
+// reached the kernel. May run on any goroutine; atomics only.
+func (nc *npConn) OnFlushed(_ netpoll.Conn, tags []uint8) {
+	for _, t := range tags {
+		if t == tagCredited {
+			nc.credits.Add(1)
+		} else {
+			nc.uncredited.Add(-1)
+		}
+	}
+}
+
+// OnClose classifies the eviction, samples the unread backlog for slow
+// readers (the socket is still open here), and unlinks the conn.
+func (nc *npConn) OnClose(c netpoll.Conn, err error) {
+	s := nc.s
+	switch {
+	case errors.Is(err, netpoll.ErrIdleTimeout):
+		s.evictedIdle.Add(1)
+	case errors.Is(err, netpoll.ErrWriteStall):
+		s.evictedSlow.Add(1)
+		if q, ok := c.Outq(); ok {
+			s.recordEvictedOutq(q)
+		}
+	}
+	s.npMu.Lock()
+	delete(s.npConns, nc)
+	s.npMu.Unlock()
+	s.liveConns.Add(-1)
+	s.npWG.Done()
+}
+
+// acceptNetpoll hands an accepted conn to the poll. The accept loop has
+// already counted it in liveConns.
+func (s *Server) acceptNetpoll(c net.Conn) {
+	nc := &npConn{s: s}
+	nc.credits.Store(int64(s.cfg.ConnBudget))
+	s.npWG.Add(1)
+	if _, err := s.poll.Register(c, nc); err != nil {
+		// Register closed the socket; OnRegister may or may not have
+		// linked the handler (delete is a no-op if not).
+		s.npMu.Lock()
+		delete(s.npConns, nc)
+		s.npMu.Unlock()
+		s.liveConns.Add(-1)
+		s.npWG.Done()
+	}
+}
+
+// drainNetpoll is Shutdown's netpoll branch: wait (bounded by ctx) for
+// every accepted request to execute and every buffered response byte to
+// reach the kernel, then close all conns and join the pollers. After it
+// returns no poller or worker can touch a conn, so the shard queues can
+// close.
+func (s *Server) drainNetpoll(ctx context.Context) {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+waitQuiesce:
+	for !s.npQuiesced() {
+		select {
+		case <-ctx.Done():
+			break waitQuiesce
+		case <-tick.C:
+		}
+	}
+	s.npMu.Lock()
+	conns := make([]*npConn, 0, len(s.npConns))
+	for nc := range s.npConns {
+		conns = append(conns, nc)
+	}
+	s.npMu.Unlock()
+	for _, nc := range conns {
+		nc.c.Close(errServerDraining)
+	}
+	s.npWG.Wait()
+	s.poll.Close()
+}
+
+// npQuiesced reports whether every live conn has zero in-flight
+// requests and an empty outbound buffer. inflight is decremented AFTER
+// the worker buffers the response (see shardWorker), so "inflight==0
+// then Buffered()==0" cannot race a response into a closing conn.
+func (s *Server) npQuiesced() bool {
+	s.npMu.Lock()
+	defer s.npMu.Unlock()
+	for nc := range s.npConns {
+		if nc.inflight.Load() != 0 || nc.c.Buffered() > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -9,10 +9,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/gosmr/gosmr/internal/netpoll"
 	"github.com/gosmr/gosmr/internal/smr"
 )
 
@@ -72,6 +74,20 @@ type ServerConfig struct {
 	// connection teardown releases its handles straight back to the
 	// store's domains.
 	ReadHandleCache int
+	// Netpoll serves connections on the event-driven layer
+	// (internal/netpoll): a fixed set of poller goroutines instead of a
+	// reader+writer goroutine pair per connection. Designed for
+	// mostly-idle fleets of 100k+ conns; see npserver.go for the
+	// contract deltas (DispatchTimeout does not apply — full shard
+	// queues shed immediately).
+	Netpoll bool
+	// Pollers is the netpoll poller-goroutine count. 0 selects the
+	// netpoll default (min(8, GOMAXPROCS)).
+	Pollers int
+	// NetpollPortable forces netpoll's portable goroutine backend even
+	// where epoll is available (A/B testing and the cross-backend test
+	// matrix).
+	NetpollPortable bool
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -122,9 +138,13 @@ type outMsg struct {
 // target shard; the worker decrements it after executing the request (at
 // which point the mutation is applied), which is what lets the reader's
 // GET fast path prove it cannot overtake this connection's own writes.
+// Exactly one of out (goroutine mode) and nc (netpoll mode) is set; in
+// netpoll mode the worker answers through the conn's nonblocking
+// outbound buffer instead of a response channel.
 type request struct {
 	req     Request
 	out     chan<- outMsg
+	nc      *npConn
 	pending *atomic.Int64
 }
 
@@ -155,6 +175,17 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	connWG sync.WaitGroup
 
+	// Netpoll mode (cfg.Netpoll): poll owns every conn's readiness and
+	// I/O; npConns tracks live handlers for drain; pollerRH is one
+	// lazily-filled per-shard read-handle set per poller — the GET fast
+	// path's handles are owned per poller, not per conn, which is what
+	// keeps Registry.Len() flat at idle-fleet scale.
+	poll     netpoll.Poll
+	pollerRH []*connReadHandles
+	npMu     sync.Mutex
+	npConns  map[*npConn]struct{}
+	npWG     sync.WaitGroup
+
 	readPool *readHandlePool
 
 	draining  atomic.Bool
@@ -169,6 +200,13 @@ type Server struct {
 	shedDropped   atomic.Int64 // budget sheds and pings dropped because the writer is stalled too
 	evictedIdle   atomic.Int64 // connections evicted by the read (idle) deadline
 	evictedSlow   atomic.Int64 // connections evicted by the write deadline
+
+	// Unread-backlog gauges (SIOCOUTQ), sampled at each slow-reader
+	// eviction: the explicit staleness signal that keeps working once
+	// responses outgrow tiny frames (ROADMAP). Zero where the platform
+	// can't answer.
+	evictedSlowOutqLast atomic.Int64
+	evictedSlowOutqMax  atomic.Int64
 }
 
 // NewServer binds the listeners and starts the shard worker pools; call
@@ -180,7 +218,26 @@ func NewServer(store *Store, cfg ServerConfig) (*Server, error) {
 	s.readPool = newReadHandlePool(store, cfg.ReadHandleCache)
 
 	var err error
+	if cfg.Netpoll {
+		s.npConns = map[*npConn]struct{}{}
+		pcfg := netpoll.Config{
+			Pollers:           cfg.Pollers,
+			IdleTimeout:       cfg.IdleTimeout,
+			WriteStallTimeout: cfg.WriteTimeout,
+			ForcePortable:     cfg.NetpollPortable,
+		}
+		if s.poll, err = netpoll.New(pcfg); err != nil {
+			return nil, err
+		}
+		s.pollerRH = make([]*connReadHandles, len(s.poll.ConnCounts()))
+		for i := range s.pollerRH {
+			s.pollerRH[i] = newConnReadHandles(s.readPool)
+		}
+	}
 	if s.ln, err = net.Listen("tcp", cfg.Addr); err != nil {
+		if s.poll != nil {
+			s.poll.Close()
+		}
 		return nil, err
 	}
 	if cfg.AdminAddr != "" {
@@ -244,6 +301,10 @@ func (s *Server) Serve() error {
 			tc.SetWriteBuffer(s.cfg.ConnWriteBuffer)
 		}
 		s.liveConns.Add(1)
+		if s.poll != nil {
+			s.acceptNetpoll(c)
+			continue
+		}
 		s.connMu.Lock()
 		s.conns[c] = struct{}{}
 		s.connMu.Unlock()
@@ -263,7 +324,16 @@ func (s *Server) shardWorker(q <-chan request, h Handle) {
 		if r.pending != nil {
 			r.pending.Add(-1)
 		}
-		r.out <- outMsg{resp: resp, credited: true}
+		if r.nc != nil {
+			// Netpoll mode: answer through the conn's nonblocking
+			// outbound buffer. The inflight decrement comes after the
+			// send so drain's inflight==0 ∧ Buffered()==0 check cannot
+			// miss a response that is about to be buffered.
+			r.nc.send(resp, true)
+			r.nc.inflight.Add(-1)
+		} else {
+			r.out <- outMsg{resp: resp, credited: true}
+		}
 		s.served.Add(1)
 	}
 }
@@ -369,6 +439,9 @@ func (s *Server) serveConn(c net.Conn) {
 			broken = true
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				s.evictedSlow.Add(1)
+				if q, ok := netpoll.SockOutq(c); ok {
+					s.recordEvictedOutq(q)
+				}
 			}
 			// Evict: closing the connection kicks the read loop out of
 			// its blocking read, so the whole connection tears down
@@ -554,26 +627,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.ln.Close()
 
-	done := make(chan struct{})
-	go func() {
-		s.connWG.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		s.connMu.Lock()
-		for c := range s.conns {
-			c.Close()
+	if s.poll != nil {
+		s.drainNetpoll(ctx)
+	} else {
+		done := make(chan struct{})
+		go func() {
+			s.connWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.connMu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.connMu.Unlock()
+			<-done
 		}
-		s.connMu.Unlock()
-		<-done
 	}
 
 	for _, q := range s.queues {
 		close(q)
 	}
 	s.workerWG.Wait()
+	// Netpoll mode: the pollers are gone, so the per-poller fast-path
+	// handle sets can go back to the pool before the final pass.
+	for _, rh := range s.pollerRH {
+		rh.release()
+	}
 	// Every connection has returned its read handles by now (connWG), so
 	// the pool holds all idle fast-path handles; release them before the
 	// store's final reclamation pass.
@@ -608,21 +690,37 @@ func (s *Server) FastGets() int64 { return s.fastGets.Load() }
 // (and scraped by kvload): store-wide totals, the overload/eviction
 // counters, plus one smr.Stats row per shard with arena gauges filled.
 type AdminStats struct {
-	Scheme          string      `json:"scheme"`
-	Engine          string      `json:"engine"`
-	Shards          int         `json:"shards"`
-	AcceptedConns   int64       `json:"accepted_conns"`
-	LiveConns       int64       `json:"live_conns"`
-	ServedOps       int64       `json:"served_ops"`
-	FastpathGets    int64       `json:"fastpath_gets"`
-	LiveHandles     int         `json:"live_handles"`
-	ShedConns       int64       `json:"shed_conns"`
-	ShedBudget      int64       `json:"shed_budget"`
-	ShedQueueFull   int64       `json:"shed_queue_full"`
-	ShedDropped     int64       `json:"shed_dropped"`
-	ShedTotal       int64       `json:"shed_total"`
-	EvictedIdle     int64       `json:"evicted_idle"`
-	EvictedSlow     int64       `json:"evicted_slow"`
+	Scheme        string `json:"scheme"`
+	Engine        string `json:"engine"`
+	Shards        int    `json:"shards"`
+	AcceptedConns int64  `json:"accepted_conns"`
+	LiveConns     int64  `json:"live_conns"`
+	ServedOps     int64  `json:"served_ops"`
+	FastpathGets  int64  `json:"fastpath_gets"`
+	LiveHandles   int    `json:"live_handles"`
+	ShedConns     int64  `json:"shed_conns"`
+	ShedBudget    int64  `json:"shed_budget"`
+	ShedQueueFull int64  `json:"shed_queue_full"`
+	ShedDropped   int64  `json:"shed_dropped"`
+	ShedTotal     int64  `json:"shed_total"`
+	EvictedIdle   int64  `json:"evicted_idle"`
+	EvictedSlow   int64  `json:"evicted_slow"`
+	// Unread-backlog (SIOCOUTQ) sampled at the most recent / worst
+	// slow-reader eviction; 0 where unsupported.
+	EvictedSlowOutqBytes    int64 `json:"evicted_slow_outq_bytes"`
+	EvictedSlowOutqMaxBytes int64 `json:"evicted_slow_outq_max_bytes"`
+	// Process-level gauges for the idle-fleet accounting: kvload derives
+	// bytes-per-conn and the O(pollers+workers) goroutine check from
+	// these (request /stats?gc=1 for a post-GC heap reading).
+	Goroutines      int   `json:"goroutines"`
+	HeapInuseBytes  int64 `json:"heap_inuse_bytes"`
+	StackInuseBytes int64 `json:"stack_inuse_bytes"`
+	// Netpoll reports whether the event-driven connection layer is
+	// serving; PollerConns is live conns per poller (empty when off).
+	Netpoll     bool   `json:"netpoll"`
+	NetpollKind string `json:"netpoll_kind,omitempty"`
+	PollerConns []int  `json:"poller_conns,omitempty"`
+
 	ArenaLiveBytes  int64       `json:"arena_live_bytes"`
 	ArenaPeakBytes  int64       `json:"arena_peak_bytes"`
 	ArenaUAF        int64       `json:"arena_uaf"`
@@ -631,37 +729,70 @@ type AdminStats struct {
 	PerShard        []smr.Stats `json:"per_shard"`
 }
 
+// recordEvictedOutq updates the slow-eviction unread-backlog gauges.
+func (s *Server) recordEvictedOutq(q int) {
+	s.evictedSlowOutqLast.Store(int64(q))
+	for {
+		m := s.evictedSlowOutqMax.Load()
+		if int64(q) <= m || s.evictedSlowOutqMax.CompareAndSwap(m, int64(q)) {
+			return
+		}
+	}
+}
+
 // Snapshot builds the AdminStats document.
 func (s *Server) Snapshot() AdminStats {
 	per := s.store.ShardStats()
 	at := s.store.ArenaTotals()
 	shedB, shedQ, shedC := s.shedBudget.Load(), s.shedQueueFull.Load(), s.shedConns.Load()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	var pollerConns []int
+	kind := ""
+	if s.poll != nil {
+		pollerConns = s.poll.ConnCounts()
+		kind = s.poll.Kind()
+	}
 	return AdminStats{
-		Scheme:          s.store.Scheme(),
-		Engine:          s.store.Engine(),
-		Shards:          s.store.NumShards(),
-		AcceptedConns:   s.accepted.Load(),
-		LiveConns:       s.liveConns.Load(),
-		ServedOps:       s.served.Load(),
-		FastpathGets:    s.fastGets.Load(),
-		LiveHandles:     s.store.LiveHandles(),
-		ShedConns:       shedC,
-		ShedBudget:      shedB,
-		ShedQueueFull:   shedQ,
-		ShedDropped:     s.shedDropped.Load(),
-		ShedTotal:       shedB + shedQ + shedC,
-		EvictedIdle:     s.evictedIdle.Load(),
-		EvictedSlow:     s.evictedSlow.Load(),
-		ArenaLiveBytes:  at.Bytes,
-		ArenaPeakBytes:  at.PeakBytes,
-		ArenaUAF:        at.UAF,
-		ArenaDoubleFree: at.DoubleFree,
-		Total:           AggregateStats(per),
-		PerShard:        per,
+		Scheme:                  s.store.Scheme(),
+		Engine:                  s.store.Engine(),
+		Shards:                  s.store.NumShards(),
+		AcceptedConns:           s.accepted.Load(),
+		LiveConns:               s.liveConns.Load(),
+		ServedOps:               s.served.Load(),
+		FastpathGets:            s.fastGets.Load(),
+		LiveHandles:             s.store.LiveHandles(),
+		ShedConns:               shedC,
+		ShedBudget:              shedB,
+		ShedQueueFull:           shedQ,
+		ShedDropped:             s.shedDropped.Load(),
+		ShedTotal:               shedB + shedQ + shedC,
+		EvictedIdle:             s.evictedIdle.Load(),
+		EvictedSlow:             s.evictedSlow.Load(),
+		EvictedSlowOutqBytes:    s.evictedSlowOutqLast.Load(),
+		EvictedSlowOutqMaxBytes: s.evictedSlowOutqMax.Load(),
+		Goroutines:              runtime.NumGoroutine(),
+		HeapInuseBytes:          int64(ms.HeapInuse),
+		StackInuseBytes:         int64(ms.StackInuse),
+		Netpoll:                 s.poll != nil,
+		NetpollKind:             kind,
+		PollerConns:             pollerConns,
+		ArenaLiveBytes:          at.Bytes,
+		ArenaPeakBytes:          at.PeakBytes,
+		ArenaUAF:                at.UAF,
+		ArenaDoubleFree:         at.DoubleFree,
+		Total:                   AggregateStats(per),
+		PerShard:                per,
 	}
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// ?gc=1 forces a collection first so heap_inuse_bytes measures live
+	// memory, not float — the difference between "bytes per conn" and
+	// "bytes the allocator hasn't gotten to yet" at idle-fleet scale.
+	if r.URL.Query().Get("gc") == "1" {
+		runtime.GC()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -153,6 +153,76 @@ func DecodeResponse(p []byte) (Response, error) {
 	return r, nil
 }
 
+// FrameReader incrementally decodes length-prefixed frames from a byte
+// stream delivered in arbitrary chunks — the netpoll read path, where
+// each poller wake-up hands over whatever the kernel had and a frame
+// may be split at any byte boundary across wake-ups. Feed consumes one
+// chunk and invokes emit once per complete frame payload, in order; an
+// incomplete tail is buffered (bounded by hdrLen+MaxFrame plus the
+// chunk that completed it) until later chunks finish the frame. The
+// result is byte-for-byte identical to running ReadFrame over the
+// concatenated stream: same payloads, same typed errors at the same
+// positions.
+//
+// The payload slice passed to emit is only valid during the call. A
+// zero FrameReader is ready to use. After Feed returns an error —
+// either a malformed header (ErrFrameTooLarge, ErrBadLength) or an
+// error from emit — the stream is poisoned and the reader must not be
+// fed again; the server closes the connection, exactly as it does for
+// the same errors from ReadFrame.
+type FrameReader struct {
+	pend []byte
+}
+
+// Feed consumes one chunk of the byte stream.
+func (fr *FrameReader) Feed(p []byte, emit func(payload []byte) error) error {
+	buf := p
+	owned := false // buf aliases fr.pend, not the caller's chunk
+	if len(fr.pend) > 0 {
+		fr.pend = append(fr.pend, p...)
+		buf = fr.pend
+		owned = true
+	}
+	for len(buf) >= hdrLen {
+		n := binary.BigEndian.Uint32(buf)
+		if n > MaxFrame {
+			return fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, MaxFrame)
+		}
+		if n == 0 {
+			return fmt.Errorf("%w: zero-length frame", ErrBadLength)
+		}
+		end := hdrLen + int(n)
+		if len(buf) < end {
+			break
+		}
+		if err := emit(buf[hdrLen:end:end]); err != nil {
+			return err
+		}
+		buf = buf[end:]
+	}
+	switch {
+	case len(buf) == 0:
+		fr.pend = fr.pend[:0]
+		if cap(fr.pend) > 4<<10 {
+			// A large burst grew the carry buffer; don't let a now-idle
+			// conn pin it.
+			fr.pend = nil
+		}
+	case owned:
+		// Slide the incomplete tail to the front of its own buffer
+		// (overlapping copy is fine).
+		fr.pend = fr.pend[:copy(fr.pend, buf)]
+	default:
+		fr.pend = append(fr.pend[:0], buf...)
+	}
+	return nil
+}
+
+// Buffered reports bytes held for an incomplete frame. Nonzero at
+// connection close means the peer hung up mid-frame (the FrameReader
+// analogue of ReadFrame's ErrTruncated).
+func (fr *FrameReader) Buffered() int { return len(fr.pend) }
+
 // ReadFrame reads one length-prefixed payload from br into buf (which is
 // grown as needed and returned re-sliced). A clean close at a frame
 // boundary returns io.EOF; a close inside a frame returns ErrTruncated;

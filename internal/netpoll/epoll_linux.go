@@ -1,0 +1,584 @@
+//go:build linux
+
+// The epoll backend: the real event-driven layer. Each poller goroutine
+// owns an epoll instance, a wake pipe, a timing wheel, and a shared
+// scratch read buffer; connections are assigned round-robin at Register
+// and never migrate. Level-triggered mode throughout: EPOLLIN stays
+// asserted while unread bytes remain (so capping read rounds per wake
+// cannot lose data), and EPOLLOUT is armed only while the outbound
+// buffer is nonempty (otherwise a writable idle socket would spin the
+// loop).
+//
+// Locking: a conn's mutex (epollConn.mu) may be held while taking the
+// poller mutex (epoller.mu), never the reverse. The poller loop
+// therefore snapshots conn pointers under its own mutex and releases it
+// before touching any conn.
+//
+// Teardown is poller-serialized: Close (any goroutine) marks the conn
+// closed, enqueues it on the poller's close queue and wakes the pipe;
+// the poller performs EPOLL_CTL_DEL → OnClose → fd close. The fd is
+// thus guaranteed live for the whole OnClose callback (Outq works) and
+// can never be recycled into a new Register while stale epoll events
+// for it are still in flight.
+package netpoll
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+func newPlatform(cfg Config) (Poll, error) { return newEpoll(cfg) }
+
+type epollPoll struct {
+	cfg     Config
+	pollers []*epoller
+	next    atomic.Uint64
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+func newEpoll(cfg Config) (*epollPoll, error) {
+	p := &epollPoll{cfg: cfg}
+	for i := 0; i < cfg.Pollers; i++ {
+		ep, err := newEpoller(i, cfg)
+		if err != nil {
+			for _, prev := range p.pollers {
+				prev.closeFDs()
+			}
+			return nil, err
+		}
+		p.pollers = append(p.pollers, ep)
+	}
+	for _, ep := range p.pollers {
+		ep := ep
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			ep.loop(p)
+		}()
+	}
+	return p, nil
+}
+
+func (p *epollPoll) Kind() string { return "epoll" }
+
+func (p *epollPoll) ConnCounts() []int {
+	out := make([]int, len(p.pollers))
+	for i, ep := range p.pollers {
+		out[i] = int(ep.nconns.Load())
+	}
+	return out
+}
+
+func (p *epollPoll) Register(nc net.Conn, h Handler) (Conn, error) {
+	if p.closed.Load() {
+		nc.Close()
+		return nil, ErrPollClosed
+	}
+	filer, ok := nc.(interface{ File() (*os.File, error) })
+	if !ok {
+		nc.Close()
+		return nil, fmt.Errorf("netpoll: %T does not expose a file descriptor", nc)
+	}
+	f, err := filer.File()
+	nc.Close() // the dup owns the socket from here on
+	if err != nil {
+		return nil, err
+	}
+	fd := int(f.Fd())
+	if err := syscall.SetNonblock(fd, true); err != nil {
+		f.Close()
+		return nil, err
+	}
+	ep := p.pollers[p.next.Add(1)%uint64(len(p.pollers))]
+	c := &epollConn{ep: ep, f: f, fd: fd, h: h}
+	c.lastRead.Store(mono())
+	h.OnRegister(c)
+	ep.mu.Lock()
+	ep.conns[int32(fd)] = c
+	if ep.cfg.IdleTimeout > 0 {
+		c.idleQueued = true
+		ep.wheel.push(wheelEntry{c, wheelIdle}, c.lastRead.Load()+int64(ep.cfg.IdleTimeout))
+	}
+	ep.mu.Unlock()
+	ep.nconns.Add(1)
+	ev := syscall.EpollEvent{Events: epollInFlags, Fd: int32(fd)}
+	if err := syscall.EpollCtl(ep.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		ep.mu.Lock()
+		delete(ep.conns, int32(fd))
+		ep.mu.Unlock()
+		ep.nconns.Add(-1)
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *epollPoll) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, ep := range p.pollers {
+		ep.wake()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+const (
+	epollInFlags  = uint32(syscall.EPOLLIN | syscall.EPOLLRDHUP)
+	epollOutFlags = epollInFlags | uint32(syscall.EPOLLOUT)
+	epollErrMask  = uint32(syscall.EPOLLHUP | syscall.EPOLLERR)
+)
+
+type epoller struct {
+	id     int
+	cfg    Config
+	epfd   int
+	wakeR  int
+	wakeW  int
+	woken  atomic.Bool // coalesces wake-pipe writes between loop passes
+	nconns atomic.Int64
+
+	mu     sync.Mutex // guards conns, wheel, closeq, and conn timer flags
+	conns  map[int32]*epollConn
+	wheel  *wheel
+	closeq []*epollConn
+
+	scratch []byte // read buffer shared by every conn on this poller
+}
+
+func newEpoller(id int, cfg Config) (*epoller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, fmt.Errorf("netpoll: epoll_create1: %w", err)
+	}
+	var pfd [2]int
+	if err := syscall.Pipe2(pfd[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, fmt.Errorf("netpoll: pipe2: %w", err)
+	}
+	ep := &epoller{
+		id:      id,
+		cfg:     cfg,
+		epfd:    epfd,
+		wakeR:   pfd[0],
+		wakeW:   pfd[1],
+		conns:   make(map[int32]*epollConn),
+		scratch: make([]byte, cfg.ReadChunk),
+	}
+	// 256 slots x the tick: deadlines beyond ~25s (at the default
+	// 100ms tick) just re-push lazily from the last slot.
+	ep.wheel = newWheel(int64(cfg.Tick), 256, mono())
+	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN), Fd: int32(ep.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, ep.wakeR, &ev); err != nil {
+		ep.closeFDs()
+		return nil, fmt.Errorf("netpoll: epoll_ctl wake: %w", err)
+	}
+	return ep, nil
+}
+
+func (ep *epoller) closeFDs() {
+	syscall.Close(ep.epfd)
+	syscall.Close(ep.wakeR)
+	syscall.Close(ep.wakeW)
+}
+
+// wake nudges the poller out of epoll_wait. Coalesced: one pipe byte
+// per loop pass no matter how many wakers.
+func (ep *epoller) wake() {
+	if ep.woken.CompareAndSwap(false, true) {
+		var b [1]byte
+		syscall.Write(ep.wakeW, b[:]) //nolint:errcheck // pipe full means a wake is already pending
+	}
+}
+
+func (ep *epoller) drainWake() {
+	ep.woken.Store(false)
+	var b [64]byte
+	for {
+		n, err := syscall.Read(ep.wakeR, b[:])
+		if n < len(b) || err != nil {
+			return
+		}
+	}
+}
+
+func (ep *epoller) loop(p *epollPoll) {
+	events := make([]syscall.EpollEvent, 128)
+	due := make([]wheelEntry, 0, 64)
+	tickMS := int(ep.cfg.Tick / time.Millisecond)
+	if tickMS <= 0 {
+		tickMS = 1
+	}
+	for {
+		n, err := syscall.EpollWait(ep.epfd, events, tickMS)
+		if err != nil && err != syscall.EINTR {
+			// epfd gone: nothing left to poll.
+			ep.shutdown()
+			return
+		}
+		if p.closed.Load() {
+			ep.shutdown()
+			return
+		}
+		now := mono()
+		for i := 0; i < n; i++ {
+			fd := events[i].Fd
+			if int(fd) == ep.wakeR {
+				ep.drainWake()
+				continue
+			}
+			ep.mu.Lock()
+			c := ep.conns[fd]
+			ep.mu.Unlock()
+			if c == nil {
+				continue // torn down earlier this pass; stale event
+			}
+			ev := events[i].Events
+			if ev&uint32(syscall.EPOLLOUT) != 0 {
+				ep.flushConn(c)
+			}
+			if ev&(epollInFlags|epollErrMask) != 0 {
+				ep.readConn(c, now)
+			}
+		}
+		ep.processCloseq()
+		ep.mu.Lock()
+		due = ep.wheel.advance(now, due[:0])
+		ep.mu.Unlock()
+		for _, e := range due {
+			ep.fireTimer(e, now)
+		}
+		ep.processCloseq()
+	}
+}
+
+// readConn drains the socket into the shared scratch buffer, feeding
+// the handler. Rounds are capped so one firehose conn cannot starve its
+// poller siblings; level-triggered EPOLLIN re-fires for the remainder.
+func (ep *epoller) readConn(c *epollConn, now int64) {
+	for rounds := 0; rounds < 8; rounds++ {
+		if c.isClosed() {
+			return
+		}
+		n, err := syscall.Read(c.fd, ep.scratch)
+		if n > 0 {
+			c.lastRead.Store(now)
+			ep.armIdle(c)
+			if herr := c.h.OnData(c, ep.scratch[:n]); herr != nil {
+				c.Close(herr)
+				return
+			}
+			if n < len(ep.scratch) {
+				return // socket drained
+			}
+			continue
+		}
+		switch {
+		case n == 0 && err == nil:
+			c.Close(io.EOF)
+			return
+		case err == syscall.EINTR:
+			continue
+		case err == syscall.EAGAIN:
+			return
+		default:
+			c.Close(err)
+			return
+		}
+	}
+}
+
+// flushConn handles EPOLLOUT: push buffered bytes into the kernel.
+func (ep *epoller) flushConn(c *epollConn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	tags, err := c.flushLocked()
+	c.mu.Unlock()
+	if len(tags) > 0 {
+		c.h.OnFlushed(c, tags)
+	}
+	if err != nil {
+		c.Close(err)
+	}
+}
+
+// armIdle files (or lazily keeps) the conn's idle-deadline wheel entry.
+// At most one live entry per conn per kind, deduped by the flag.
+func (ep *epoller) armIdle(c *epollConn) {
+	if ep.cfg.IdleTimeout <= 0 {
+		return
+	}
+	ep.mu.Lock()
+	if !c.idleQueued && !c.tornDown {
+		c.idleQueued = true
+		ep.wheel.push(wheelEntry{c, wheelIdle}, c.lastRead.Load()+int64(ep.cfg.IdleTimeout))
+	}
+	ep.mu.Unlock()
+}
+
+// armWrite files the conn's write-stall wheel entry. Called from
+// WriteMsg (any goroutine) after buffering bytes the kernel refused.
+func (c *epollConn) armWrite() {
+	ep := c.ep
+	if ep.cfg.WriteStallTimeout <= 0 {
+		return
+	}
+	ep.mu.Lock()
+	if !c.writeQueued && !c.tornDown {
+		c.writeQueued = true
+		ep.wheel.push(wheelEntry{c, wheelWrite}, mono()+int64(ep.cfg.WriteStallTimeout))
+	}
+	ep.mu.Unlock()
+	ep.wake() // ensure a parked poller advances its wheel
+}
+
+// fireTimer re-checks a due wheel entry against the live deadline:
+// activity since filing re-pushes instead of evicting.
+func (ep *epoller) fireTimer(e wheelEntry, now int64) {
+	c := e.c
+	switch e.kind {
+	case wheelIdle:
+		if c.isClosed() {
+			ep.mu.Lock()
+			c.idleQueued = false
+			ep.mu.Unlock()
+			return
+		}
+		due := c.lastRead.Load() + int64(ep.cfg.IdleTimeout)
+		if now >= due {
+			ep.mu.Lock()
+			c.idleQueued = false
+			ep.mu.Unlock()
+			c.Close(ErrIdleTimeout)
+			return
+		}
+		ep.mu.Lock()
+		if !c.tornDown {
+			ep.wheel.push(e, due) // idleQueued stays true
+		} else {
+			c.idleQueued = false
+		}
+		ep.mu.Unlock()
+	case wheelWrite:
+		c.mu.Lock()
+		if c.closed || c.out.buffered() == 0 {
+			c.mu.Unlock()
+			ep.mu.Lock()
+			c.writeQueued = false
+			ep.mu.Unlock()
+			return
+		}
+		due := c.progress + int64(ep.cfg.WriteStallTimeout)
+		c.mu.Unlock()
+		if now >= due {
+			ep.mu.Lock()
+			c.writeQueued = false
+			ep.mu.Unlock()
+			c.Close(ErrWriteStall)
+			return
+		}
+		ep.mu.Lock()
+		if !c.tornDown {
+			ep.wheel.push(e, due)
+		} else {
+			c.writeQueued = false
+		}
+		ep.mu.Unlock()
+	}
+}
+
+func (ep *epoller) processCloseq() {
+	for {
+		ep.mu.Lock()
+		if len(ep.closeq) == 0 {
+			ep.mu.Unlock()
+			return
+		}
+		q := ep.closeq
+		ep.closeq = nil
+		ep.mu.Unlock()
+		for _, c := range q {
+			ep.teardown(c)
+		}
+	}
+}
+
+// teardown finishes a close on the poller goroutine. Exactly once per
+// conn: the tornDown flag under ep.mu is the gate.
+func (ep *epoller) teardown(c *epollConn) {
+	ep.mu.Lock()
+	if c.tornDown {
+		ep.mu.Unlock()
+		return
+	}
+	c.tornDown = true
+	delete(ep.conns, int32(c.fd))
+	ep.mu.Unlock()
+	ep.nconns.Add(-1)
+	syscall.EpollCtl(ep.epfd, syscall.EPOLL_CTL_DEL, c.fd, nil) //nolint:errcheck
+	c.mu.Lock()
+	reason := c.closeErr
+	c.mu.Unlock()
+	c.h.OnClose(c, reason) // fd still open: Outq() works here
+	c.f.Close()
+}
+
+// shutdown tears down every remaining conn and releases the poller's
+// fds. Runs on the poller goroutine, once, as the loop exits.
+func (ep *epoller) shutdown() {
+	ep.processCloseq()
+	ep.mu.Lock()
+	all := make([]*epollConn, 0, len(ep.conns))
+	for _, c := range ep.conns {
+		all = append(all, c)
+	}
+	ep.mu.Unlock()
+	for _, c := range all {
+		c.mu.Lock()
+		if !c.closed {
+			c.closed = true
+			c.closeErr = ErrPollClosed
+		}
+		c.mu.Unlock()
+		ep.teardown(c)
+	}
+	ep.processCloseq()
+	ep.closeFDs()
+}
+
+type epollConn struct {
+	ep *epoller
+	f  *os.File // owns the dup'd fd; closed only in teardown
+	fd int
+	h  Handler
+
+	lastRead atomic.Int64 // mono ns of the most recent inbound bytes
+
+	mu        sync.Mutex // ordered BEFORE ep.mu
+	out       outbuf
+	progress  int64 // mono ns of last outbound progress while nonempty
+	wantWrite bool  // EPOLLOUT currently armed
+	closed    bool
+	closeErr  error
+
+	// Wheel bookkeeping, guarded by ep.mu (not c.mu):
+	idleQueued  bool
+	writeQueued bool
+	tornDown    bool
+}
+
+func (c *epollConn) Poller() int { return c.ep.id }
+
+func (c *epollConn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *epollConn) Buffered() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.out.buffered()
+}
+
+func (c *epollConn) Outq() (int, bool) { return outqFD(c.fd) }
+
+func (c *epollConn) WriteMsg(p []byte, tag uint8) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.out.buffered() == 0 {
+		c.progress = mono()
+	}
+	c.out.push(p, tag)
+	tags, err := c.flushLocked()
+	pending := c.out.buffered() > 0
+	c.mu.Unlock()
+	if len(tags) > 0 {
+		c.h.OnFlushed(c, tags)
+	}
+	if err != nil {
+		c.Close(err)
+		return err
+	}
+	if pending {
+		c.armWrite()
+	}
+	return nil
+}
+
+// flushLocked writes as much as the kernel accepts without blocking,
+// arming or disarming EPOLLOUT to match the buffer state. Returns the
+// tags of fully flushed messages and a non-nil error if the socket is
+// broken. Caller holds c.mu.
+func (c *epollConn) flushLocked() (tags []uint8, err error) {
+	for c.out.buffered() > 0 {
+		n, werr := syscall.Write(c.fd, c.out.pending())
+		if n > 0 {
+			c.progress = mono()
+			tags = c.out.advance(n, tags)
+			if werr == nil {
+				continue
+			}
+		}
+		switch werr {
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			c.armEpollOutLocked(true)
+			return tags, nil
+		case nil:
+			return tags, io.ErrUnexpectedEOF // n <= 0 with no error: treat as torn
+		default:
+			return tags, werr
+		}
+	}
+	c.armEpollOutLocked(false)
+	return tags, nil
+}
+
+func (c *epollConn) armEpollOutLocked(want bool) {
+	if c.wantWrite == want {
+		return
+	}
+	flags := epollInFlags
+	if want {
+		flags = epollOutFlags
+	}
+	ev := syscall.EpollEvent{Events: flags, Fd: int32(c.fd)}
+	if syscall.EpollCtl(c.ep.epfd, syscall.EPOLL_CTL_MOD, c.fd, &ev) == nil {
+		c.wantWrite = want
+	}
+}
+
+func (c *epollConn) Close(reason error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	if reason == nil {
+		reason = ErrClosed
+	}
+	c.closeErr = reason
+	c.mu.Unlock()
+	ep := c.ep
+	ep.mu.Lock()
+	ep.closeq = append(ep.closeq, c)
+	ep.mu.Unlock()
+	ep.wake()
+}

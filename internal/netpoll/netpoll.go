@@ -1,0 +1,163 @@
+// Package netpoll is the event-driven connection layer: a small fixed
+// set of poller goroutines multiplexing many mostly-idle connections,
+// instead of a reader+writer goroutine pair per connection.
+//
+// On Linux the backend is epoll (level-triggered, via raw syscalls — no
+// external deps), with a wake pipe per poller and a hashed timing wheel
+// replacing per-conn SetDeadline timers. Everywhere else (and under
+// Config.ForcePortable) a portable backend keeps the same API on plain
+// net.Conn goroutines so the package — and everything built on it —
+// tests identically on any platform.
+//
+// Ownership model: each connection belongs to exactly one poller.
+// OnData always runs on (or serialized as if on) that poller, so a
+// handler needs no locking for per-connection decode state and may use
+// per-poller resources (e.g. cached shard read handles) without
+// synchronization. OnFlushed and OnClose can run on other goroutines;
+// their contracts are documented on Handler.
+package netpoll
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"time"
+)
+
+// Sentinel close reasons. Handlers see these (possibly wrapped) as the
+// err argument of OnClose and classify evictions from them.
+var (
+	// ErrClosed: the connection was closed locally via Conn.Close or
+	// written after close.
+	ErrClosed = errors.New("netpoll: connection closed")
+	// ErrPollClosed: the poll instance shut down underneath the conn.
+	ErrPollClosed = errors.New("netpoll: poll closed")
+	// ErrIdleTimeout: no inbound bytes for Config.IdleTimeout.
+	ErrIdleTimeout = errors.New("netpoll: idle timeout")
+	// ErrWriteStall: buffered outbound bytes made no progress into the
+	// kernel for Config.WriteStallTimeout (a slow or stuck reader).
+	ErrWriteStall = errors.New("netpoll: write stalled")
+)
+
+// Config sizes a Poll. The zero value is usable: NewConfig-style
+// normalization happens inside New.
+type Config struct {
+	// Pollers is the number of poller goroutines (and event loops).
+	// Default min(8, GOMAXPROCS).
+	Pollers int
+	// Tick is the timer-wheel granularity; idle/write deadlines fire
+	// within one tick of their due time. Default 100ms.
+	Tick time.Duration
+	// IdleTimeout evicts conns with no inbound bytes for this long.
+	// <= 0 disables idle eviction.
+	IdleTimeout time.Duration
+	// WriteStallTimeout evicts conns whose outbound buffer made no
+	// progress for this long. <= 0 disables write-stall eviction.
+	WriteStallTimeout time.Duration
+	// ReadChunk is the per-poller scratch read buffer size (shared by
+	// all conns on that poller, not per-conn). Default 64KiB.
+	ReadChunk int
+	// ForcePortable selects the portable goroutine backend even on
+	// Linux. Used by tests to run both backends on one platform.
+	ForcePortable bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pollers <= 0 {
+		c.Pollers = runtime.GOMAXPROCS(0)
+		if c.Pollers > 8 {
+			c.Pollers = 8
+		}
+	}
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.ReadChunk <= 0 {
+		c.ReadChunk = 64 << 10
+	}
+	return c
+}
+
+// Handler receives a connection's events. One handler instance per
+// connection.
+type Handler interface {
+	// OnRegister runs synchronously inside Poll.Register, before any
+	// other callback can fire, handing the handler its Conn. Anything
+	// the other callbacks need (maps, waitgroups) must be set up before
+	// OnRegister returns.
+	OnRegister(c Conn)
+	// OnData delivers freshly read bytes. It runs on the conn's poller
+	// (or serialized equivalently on the portable backend), so decode
+	// state needs no locking and per-poller resources are safe to use.
+	// The slice is only valid during the call. A non-nil error closes
+	// the connection with that error as the OnClose reason.
+	OnData(c Conn, p []byte) error
+	// OnFlushed reports messages whose bytes have fully reached the
+	// kernel, identified by the tags passed to WriteMsg, in write
+	// order. It may run on any goroutine (including inside WriteMsg)
+	// and must not call Conn methods or block.
+	OnFlushed(c Conn, tags []uint8)
+	// OnClose fires exactly once per registered conn. The socket is
+	// still open when it runs, so Conn.Outq is meaningful. On the epoll
+	// backend it runs on the poller after all OnData calls; on the
+	// portable backend it may overlap an in-flight OnData for the same
+	// conn, so handlers must only touch state that tolerates that
+	// (atomics, locked maps).
+	OnClose(c Conn, err error)
+}
+
+// Conn is one registered connection. All methods are safe for
+// concurrent use.
+type Conn interface {
+	// WriteMsg queues one message for writing and flushes as much as
+	// the kernel will take without blocking. The tag comes back via
+	// OnFlushed when the message's bytes have fully left the buffer.
+	// The payload is copied; p is free for reuse on return. Returns
+	// ErrClosed after close.
+	WriteMsg(p []byte, tag uint8) error
+	// Buffered reports outbound bytes accepted by WriteMsg but not yet
+	// written to the kernel.
+	Buffered() int
+	// Poller reports the index of the poller that owns this conn, in
+	// [0, Config.Pollers).
+	Poller() int
+	// Outq reports the kernel's unsent send-queue depth in bytes
+	// (SIOCOUTQ). ok is false where unsupported.
+	Outq() (n int, ok bool)
+	// Close asynchronously tears the connection down; OnClose receives
+	// reason (nil becomes ErrClosed). Idempotent — the first reason
+	// wins.
+	Close(reason error)
+}
+
+// Poll multiplexes connections onto poller goroutines.
+type Poll interface {
+	// Register hands nc to a poller. On success netpoll owns the
+	// socket; on failure nc is closed. Register must not be called
+	// concurrently with or after Close.
+	Register(nc net.Conn, h Handler) (Conn, error)
+	// ConnCounts reports live conns per poller.
+	ConnCounts() []int
+	// Kind names the backend: "epoll" or "portable".
+	Kind() string
+	// Close tears down every conn (OnClose reason ErrPollClosed,
+	// unless already closing with its own reason) and joins the poller
+	// goroutines.
+	Close() error
+}
+
+// New builds the platform backend (epoll on Linux), or the portable
+// fallback if forced.
+func New(cfg Config) (Poll, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ForcePortable {
+		return newPortable(cfg)
+	}
+	return newPlatform(cfg)
+}
+
+// start anchors the package's monotonic clock; mono() durations are
+// nanoseconds since it.
+var start = time.Now()
+
+func mono() int64 { return int64(time.Since(start)) }

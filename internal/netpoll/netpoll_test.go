@@ -1,0 +1,431 @@
+package netpoll
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// backendConfigs returns one config per backend available on this
+// platform; the epoll/portable matrix on Linux, portable-only elsewhere.
+func backendConfigs(base Config) []Config {
+	portable := base
+	portable.ForcePortable = true
+	if runtime.GOOS != "linux" {
+		return []Config{portable}
+	}
+	return []Config{base, portable}
+}
+
+// recHandler records events for assertions.
+type recHandler struct {
+	mu      sync.Mutex
+	conn    Conn
+	got     bytes.Buffer
+	flushed []uint8
+	echo    bool // write received bytes back, one message per OnData
+
+	closed   chan error
+	dataSeen chan struct{} // closed once on first OnData
+	dataOnce sync.Once
+}
+
+func newRecHandler(echo bool) *recHandler {
+	return &recHandler{echo: echo, closed: make(chan error, 1), dataSeen: make(chan struct{})}
+}
+
+func (h *recHandler) OnRegister(c Conn) { h.conn = c }
+
+func (h *recHandler) OnData(c Conn, p []byte) error {
+	h.mu.Lock()
+	h.got.Write(p)
+	h.mu.Unlock()
+	h.dataOnce.Do(func() { close(h.dataSeen) })
+	if h.echo {
+		return c.WriteMsg(p, uint8(len(p)%251))
+	}
+	return nil
+}
+
+func (h *recHandler) OnFlushed(_ Conn, tags []uint8) {
+	h.mu.Lock()
+	h.flushed = append(h.flushed, tags...)
+	h.mu.Unlock()
+}
+
+func (h *recHandler) OnClose(_ Conn, err error) { h.closed <- err }
+
+// serve starts a listener whose accepted conns are registered on p with
+// handlers from mk. Returns the dial address.
+func serve(t *testing.T, p Poll, mk func() Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if _, err := p.Register(c, mk()); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	for _, cfg := range backendConfigs(Config{Pollers: 2, Tick: 10 * time.Millisecond}) {
+		cfg := cfg
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(p.Kind(), func(t *testing.T) {
+			defer p.Close()
+			var hmu sync.Mutex
+			var handlers []*recHandler
+			addr := serve(t, p, func() Handler {
+				h := newRecHandler(true)
+				hmu.Lock()
+				handlers = append(handlers, h)
+				hmu.Unlock()
+				return h
+			})
+			const conns = 4
+			var cmu sync.Mutex
+			var clients []net.Conn
+			defer func() {
+				cmu.Lock()
+				defer cmu.Unlock()
+				for _, c := range clients {
+					c.Close()
+				}
+			}()
+			var wg sync.WaitGroup
+			for i := 0; i < conns; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					c, err := net.Dial("tcp", addr)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					cmu.Lock()
+					clients = append(clients, c)
+					cmu.Unlock()
+					msg := []byte(fmt.Sprintf("hello-%d-%s", i, string(make([]byte, 100+i))))
+					if _, err := c.Write(msg); err != nil {
+						t.Error(err)
+						return
+					}
+					back := make([]byte, len(msg))
+					c.SetReadDeadline(time.Now().Add(5 * time.Second))
+					if _, err := io.ReadFull(c, back); err != nil {
+						t.Errorf("conn %d: echo read: %v", i, err)
+						return
+					}
+					if !bytes.Equal(back, msg) {
+						t.Errorf("conn %d: echo mismatch", i)
+					}
+				}(i)
+			}
+			wg.Wait()
+			total := 0
+			for _, n := range p.ConnCounts() {
+				total += n
+			}
+			if total != conns {
+				t.Errorf("ConnCounts sum = %d, want %d", total, conns)
+			}
+			// Every handler must have seen at least one flush tag.
+			hmu.Lock()
+			defer hmu.Unlock()
+			for i, h := range handlers {
+				h.mu.Lock()
+				nf := len(h.flushed)
+				h.mu.Unlock()
+				if nf == 0 {
+					t.Errorf("handler %d: no flush tags", i)
+				}
+			}
+		})
+	}
+}
+
+func TestIdleEviction(t *testing.T) {
+	for _, cfg := range backendConfigs(Config{
+		Pollers: 1, Tick: 10 * time.Millisecond, IdleTimeout: 80 * time.Millisecond,
+	}) {
+		cfg := cfg
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(p.Kind(), func(t *testing.T) {
+			defer p.Close()
+			h := newRecHandler(false)
+			addr := serve(t, p, func() Handler { return h })
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			// A touch of traffic first: eviction must measure from the
+			// LAST read, not registration.
+			if _, err := c.Write([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case err := <-h.closed:
+				if !errors.Is(err, ErrIdleTimeout) {
+					t.Fatalf("close reason = %v, want ErrIdleTimeout", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("idle conn never evicted")
+			}
+			total := 0
+			for _, n := range p.ConnCounts() {
+				total += n
+			}
+			if total != 0 {
+				t.Errorf("ConnCounts sum = %d after eviction, want 0", total)
+			}
+		})
+	}
+}
+
+func TestWriteStallEviction(t *testing.T) {
+	for _, cfg := range backendConfigs(Config{
+		Pollers: 1, Tick: 10 * time.Millisecond, WriteStallTimeout: 150 * time.Millisecond,
+	}) {
+		cfg := cfg
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(p.Kind(), func(t *testing.T) {
+			defer p.Close()
+			h := newRecHandler(false)
+			addr := serve(t, p, func() Handler { return h })
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Write([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			<-h.dataSeen
+			// Flood a reader that never reads until well past any
+			// plausible kernel buffering (loopback autotune tops out
+			// around 10MB send+recv), so the writer must stall.
+			payload := make([]byte, 64<<10)
+			deadline := time.Now().Add(10 * time.Second)
+			for h.conn.Buffered() < 16<<20 && time.Now().Before(deadline) {
+				if err := h.conn.WriteMsg(payload, 7); err != nil {
+					break
+				}
+			}
+			if h.conn.Buffered() == 0 {
+				t.Skip("kernel swallowed every write; cannot provoke a stall here")
+			}
+			select {
+			case err := <-h.closed:
+				if !errors.Is(err, ErrWriteStall) {
+					t.Fatalf("close reason = %v, want ErrWriteStall", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("stalled writer never evicted")
+			}
+		})
+	}
+}
+
+func TestCloseReasonAndWriteAfterClose(t *testing.T) {
+	reason := errors.New("custom reason")
+	for _, cfg := range backendConfigs(Config{Pollers: 1, Tick: 10 * time.Millisecond}) {
+		cfg := cfg
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(p.Kind(), func(t *testing.T) {
+			defer p.Close()
+			h := newRecHandler(false)
+			addr := serve(t, p, func() Handler { return h })
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := c.Write([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			<-h.dataSeen
+			h.conn.Close(reason)
+			select {
+			case err := <-h.closed:
+				if !errors.Is(err, reason) {
+					t.Fatalf("close reason = %v, want custom reason", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("OnClose never fired")
+			}
+			if err := h.conn.WriteMsg([]byte("y"), 0); !errors.Is(err, ErrClosed) {
+				t.Fatalf("WriteMsg after close = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+func TestPeerHangupCloses(t *testing.T) {
+	for _, cfg := range backendConfigs(Config{Pollers: 1, Tick: 10 * time.Millisecond}) {
+		cfg := cfg
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(p.Kind(), func(t *testing.T) {
+			defer p.Close()
+			h := newRecHandler(false)
+			addr := serve(t, p, func() Handler { return h })
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Write([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			<-h.dataSeen
+			c.Close()
+			select {
+			case <-h.closed:
+			case <-time.After(5 * time.Second):
+				t.Fatal("hangup never noticed")
+			}
+		})
+	}
+}
+
+func TestPollCloseFiresOnClose(t *testing.T) {
+	for _, cfg := range backendConfigs(Config{Pollers: 2, Tick: 10 * time.Millisecond}) {
+		cfg := cfg
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kind := p.Kind()
+		t.Run(kind, func(t *testing.T) {
+			var hmu sync.Mutex
+			var handlers []*recHandler
+			addr := serve(t, p, func() Handler {
+				h := newRecHandler(false)
+				hmu.Lock()
+				handlers = append(handlers, h)
+				hmu.Unlock()
+				return h
+			})
+			var clients []net.Conn
+			for i := 0; i < 3; i++ {
+				c, err := net.Dial("tcp", addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				if _, err := c.Write([]byte("x")); err != nil {
+					t.Fatal(err)
+				}
+				clients = append(clients, c)
+			}
+			_ = clients
+			// Wait for all three registrations to land.
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				hmu.Lock()
+				n := len(handlers)
+				hmu.Unlock()
+				if n == 3 {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if err := p.Close(); err != nil {
+				t.Fatal(err)
+			}
+			hmu.Lock()
+			defer hmu.Unlock()
+			if len(handlers) != 3 {
+				t.Fatalf("registered %d handlers, want 3", len(handlers))
+			}
+			for i, h := range handlers {
+				select {
+				case err := <-h.closed:
+					if !errors.Is(err, ErrPollClosed) {
+						t.Errorf("handler %d: close reason = %v, want ErrPollClosed", i, err)
+					}
+				default:
+					t.Errorf("handler %d: OnClose never fired by Poll.Close return", i)
+				}
+			}
+		})
+	}
+}
+
+func TestOutbufMarks(t *testing.T) {
+	var b outbuf
+	b.push([]byte("abcd"), 1)
+	b.push([]byte("efg"), 2)
+	if b.buffered() != 7 {
+		t.Fatalf("buffered = %d, want 7", b.buffered())
+	}
+	tags := b.advance(3, nil) // mid-message: nothing complete
+	if len(tags) != 0 {
+		t.Fatalf("tags after 3 bytes = %v, want none", tags)
+	}
+	tags = b.advance(1, tags) // completes msg 1
+	if len(tags) != 1 || tags[0] != 1 {
+		t.Fatalf("tags after 4 bytes = %v, want [1]", tags)
+	}
+	b.push([]byte("hi"), 3)
+	tags = b.advance(b.buffered(), nil) // rest: msgs 2 and 3 in order
+	if len(tags) != 2 || tags[0] != 2 || tags[1] != 3 {
+		t.Fatalf("tags = %v, want [2 3]", tags)
+	}
+	if b.buffered() != 0 {
+		t.Fatalf("buffered = %d after full drain", b.buffered())
+	}
+	// Interleave partial writes with pushes; byte accounting must hold.
+	total := 0
+	var flushed []uint8
+	for i := 0; i < 100; i++ {
+		b.push(make([]byte, i%13+1), uint8(i))
+		total += i%13 + 1
+		step := i % 7
+		if step > b.buffered() {
+			step = b.buffered()
+		}
+		flushed = b.advance(step, flushed)
+		total -= step
+	}
+	flushed = b.advance(b.buffered(), flushed)
+	if len(flushed) != 100 {
+		t.Fatalf("flushed %d tags, want 100", len(flushed))
+	}
+	for i, tag := range flushed {
+		if tag != uint8(i) {
+			t.Fatalf("flush order broken at %d: tag %d", i, tag)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package netpoll
+
+// outbuf is the per-conn outbound byte buffer with message-boundary
+// marks. Messages are appended contiguously; each push records the
+// logical end offset of the message plus its caller tag, and advance
+// pops every mark the written byte count crosses so the conn can report
+// fully flushed messages (the credit-release signal upstairs).
+//
+// Offsets are int64 logical stream positions (monotone over the conn's
+// lifetime), so compaction of the physical buffer never disturbs marks.
+// Not goroutine-safe; callers hold the conn mutex.
+type outbuf struct {
+	store []byte // physical buffer; pending bytes are store[off:]
+	off   int    // consumed prefix of store
+	base  int64  // logical stream position of store[0]
+	marks []mark // message ends not yet fully written, in order
+	mhead int    // consumed prefix of marks
+}
+
+type mark struct {
+	end int64 // logical stream position one past the message's last byte
+	tag uint8
+}
+
+// push appends one message.
+func (b *outbuf) push(p []byte, tag uint8) {
+	// Compact before growing: reclaim the consumed prefix when it
+	// dominates the buffer, instead of letting append copy it along.
+	if b.off > 0 && (len(b.store)+len(p) > cap(b.store) || b.off == len(b.store)) {
+		n := copy(b.store, b.store[b.off:])
+		b.store = b.store[:n]
+		b.base += int64(b.off)
+		b.off = 0
+	}
+	b.store = append(b.store, p...)
+	b.marks = append(b.marks, mark{end: b.base + int64(len(b.store)), tag: tag})
+}
+
+// pending returns the unwritten bytes. Valid until the next push.
+func (b *outbuf) pending() []byte { return b.store[b.off:] }
+
+// buffered reports unwritten byte count.
+func (b *outbuf) buffered() int { return len(b.store) - b.off }
+
+// advance consumes n written bytes and appends the tags of every
+// message that is now fully flushed to tags, returning it.
+func (b *outbuf) advance(n int, tags []uint8) []uint8 {
+	b.off += n
+	pos := b.base + int64(b.off)
+	for b.mhead < len(b.marks) && b.marks[b.mhead].end <= pos {
+		tags = append(tags, b.marks[b.mhead].tag)
+		b.mhead++
+	}
+	if b.mhead == len(b.marks) {
+		b.marks = b.marks[:0]
+		b.mhead = 0
+	}
+	if b.off == len(b.store) {
+		// Empty: reset, and drop an outsized buffer so a one-off burst
+		// doesn't pin memory on an otherwise idle conn.
+		b.base += int64(b.off)
+		b.off = 0
+		b.store = b.store[:0]
+		if cap(b.store) > 16<<10 {
+			b.store = nil
+		}
+		if cap(b.marks) > 256 {
+			b.marks = nil
+		}
+	}
+	return tags
+}

@@ -1,0 +1,9 @@
+package netpoll
+
+import "net"
+
+// SockOutq reports the kernel's unsent send-queue depth (SIOCOUTQ) for
+// a live net.Conn; ok is false where the platform or conn type can't
+// answer. Exported for goroutine-mode kvsvc, which samples the backlog
+// at slow-reader eviction without going through a netpoll Conn.
+func SockOutq(nc net.Conn) (int, bool) { return sockOutq(nc) }

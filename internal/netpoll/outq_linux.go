@@ -1,0 +1,42 @@
+//go:build linux
+
+package netpoll
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// outqFD reads the kernel's unsent send-queue depth for a socket fd via
+// the SIOCOUTQ ioctl (numerically TIOCOUTQ, 0x5411). This is the
+// explicit unread-backlog signal for slow-reader eviction: unlike
+// SO_SNDBUF fill it keeps working when responses outgrow tiny frames.
+func outqFD(fd int) (int, bool) {
+	var n int32
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, uintptr(fd),
+		uintptr(syscall.TIOCOUTQ), uintptr(unsafe.Pointer(&n)))
+	if errno != 0 {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// sockOutq is outqFD for a live net.Conn (used by the portable backend
+// and by goroutine-mode callers that never extracted a raw fd).
+func sockOutq(nc net.Conn) (int, bool) {
+	sc, ok := nc.(syscall.Conn)
+	if !ok {
+		return 0, false
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return 0, false
+	}
+	var q int
+	var qok bool
+	if rc.Control(func(fd uintptr) { q, qok = outqFD(int(fd)) }) != nil {
+		return 0, false
+	}
+	return q, qok
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package netpoll
+
+import "net"
+
+// No portable unread-backlog probe exists off Linux; callers degrade to
+// "unknown" and skip the gauge.
+func sockOutq(net.Conn) (int, bool) { return 0, false }

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package netpoll
+
+// Non-Linux platforms always get the portable goroutine backend.
+func newPlatform(cfg Config) (Poll, error) { return newPortable(cfg) }

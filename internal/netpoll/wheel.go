@@ -1,0 +1,63 @@
+//go:build linux
+
+package netpoll
+
+// wheel is the hashed timing wheel the epoll backend uses for idle and
+// write-stall deadlines: one wheel per poller, advanced from the poller
+// loop, replacing O(conns) runtime timers with O(1) slot appends.
+//
+// Entries are lazy: a slot firing only means "this conn's deadline MAY
+// be due" — the poller re-checks the live deadline (last-read time,
+// write-progress time) and re-pushes if activity moved it. That way a
+// busy conn never touches the wheel on the hot path; it re-arms at most
+// once per wheel rotation. Deadlines farther out than the wheel's span
+// park in the last slot and re-push on fire (same lazy check).
+//
+// Not goroutine-safe; the owning poller guards it with its mutex.
+type wheel struct {
+	tick  int64 // ns per slot
+	slots [][]wheelEntry
+	cur   int   // slot whose time has most recently arrived
+	base  int64 // mono ns corresponding to slot cur
+}
+
+type wheelKind uint8
+
+const (
+	wheelIdle wheelKind = iota
+	wheelWrite
+)
+
+type wheelEntry struct {
+	c    *epollConn
+	kind wheelKind
+}
+
+func newWheel(tick int64, slots int, now int64) *wheel {
+	return &wheel{tick: tick, slots: make([][]wheelEntry, slots), base: now}
+}
+
+// push files e to fire at (or one slot after) mono time due.
+func (w *wheel) push(e wheelEntry, due int64) {
+	off := (due-w.base)/w.tick + 1
+	if off < 1 {
+		off = 1
+	}
+	if max := int64(len(w.slots) - 1); off > max {
+		off = max
+	}
+	i := (w.cur + int(off)) % len(w.slots)
+	w.slots[i] = append(w.slots[i], e)
+}
+
+// advance rotates the wheel up to mono time now, appending every
+// entry whose slot has arrived to out.
+func (w *wheel) advance(now int64, out []wheelEntry) []wheelEntry {
+	for w.base+w.tick <= now {
+		w.cur = (w.cur + 1) % len(w.slots)
+		w.base += w.tick
+		out = append(out, w.slots[w.cur]...)
+		w.slots[w.cur] = w.slots[w.cur][:0]
+	}
+	return out
+}

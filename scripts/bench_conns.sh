@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# bench_conns.sh: refresh BENCH_conns.json — the idle-fleet capacity
+# artifact for the event-driven connection layer.
+#
+# Phase 1 (netpoll): gosmrd -netpoll (hp++, detect mode, idle eviction
+# off so the fleet survives) takes an O(10k-100k) mostly-idle fleet from
+# kvload -idle-conns while a small hot subset runs the measured Zipf
+# mix. The cell records bytes-per-conn (post-GC heap+stack delta over
+# the fleet), the server goroutine count with the fleet live, the
+# fast-path handle census after the hot phase, and the hot GET p99.
+# kvload then closes every conn and insists live_conns drains to zero;
+# SIGTERM must still produce a clean drain with zero arena violations.
+#
+# Phase 2 (goroutine baseline): the same hot mix on the per-connection
+# goroutine layer with a smaller parked fleet (two goroutines per conn
+# make 100k baseline conns pointless — the point of phase 2 is the hot
+# p99 anchor, not fleet capacity), appended to the same report.
+#
+# The report then has to pass `benchcompare -conns`: bounded
+# bytes-per-conn, conn-independent goroutines, flat handle census, hot
+# p99 within the band of the baseline.
+#
+# The fleet auto-scales to the fd limit: min(100000, ulimit -n - 5000),
+# raised to the hard cap first when the soft limit allows.
+#
+# Usage: scripts/bench_conns.sh [idle_conns] [requests]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Best-effort soft-limit raise before sizing the fleet.
+ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+NOFILE=$(ulimit -n)
+
+IDLE="${1:-0}"
+REQUESTS="${2:-50000}"
+if [ "$IDLE" -eq 0 ]; then
+    IDLE=$(( NOFILE - 5000 ))
+    [ "$IDLE" -gt 100000 ] && IDLE=100000
+    if [ "$IDLE" -lt 1000 ]; then
+        echo "bench-conns: fd limit $NOFILE leaves no room for a fleet" >&2
+        exit 2
+    fi
+fi
+# One loopback source address per ~20k conns keeps the fleet clear of
+# the ~28k ephemeral ports available per (src, dst) pair.
+SRC_IPS=$(( IDLE / 20000 + 1 ))
+# Baseline fleet: capped — goroutine mode pays 2 goroutines + bufio per
+# conn, and phase 2 exists to anchor the hot p99, not to prove capacity.
+BASE_IDLE=$IDLE
+[ "$BASE_IDLE" -gt 2000 ] && BASE_IDLE=2000
+
+ADDR="127.0.0.1:17270"
+ADMIN="127.0.0.1:17271"
+OUT="BENCH_conns.json"
+
+BIN="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN/gosmrd" ./cmd/gosmrd
+go build -o "$BIN/kvload" ./cmd/kvload
+
+rm -f "$OUT"
+
+# run_phase <name> <idle_conns> <kvload-append?> <gosmrd flags...>
+run_phase() {
+    local name="$1" fleet="$2" append="$3"
+    shift 3
+    echo "bench-conns: phase $name: $fleet idle conns + hot mix ($REQUESTS requests, $SRC_IPS source ips)"
+    "$BIN/gosmrd" -addr "$ADDR" -admin "$ADMIN" -shards 8 -scheme hp++ -mode detect \
+        -max-conns -1 -idle-timeout -1ns "$@" \
+        >"$BIN/gosmrd_$name.json" 2>"$BIN/gosmrd_$name.log" &
+    SRV_PID=$!
+
+    local extra=()
+    [ "$append" = append ] && extra+=(-append)
+    "$BIN/kvload" -addr "$ADDR" -admin "$ADMIN" \
+        -idle-conns "$fleet" -src-ips "$SRC_IPS" \
+        -conns 8 -requests "$REQUESTS" -keys 4096 -zipf 1.1 \
+        -note "idle-fleet $name" -out "$OUT" "${extra[@]}" \
+        | tee "$BIN/kvload_$name.log"
+
+    kill -TERM "$SRV_PID"
+    if ! wait "$SRV_PID"; then
+        echo "bench-conns: gosmrd drain FAILED (phase $name)" >&2
+        cat "$BIN/gosmrd_$name.log" >&2
+        exit 1
+    fi
+    SRV_PID=""
+    grep -q "clean drain" "$BIN/gosmrd_$name.log" || {
+        echo "bench-conns: no clean drain (phase $name)" >&2
+        cat "$BIN/gosmrd_$name.log" >&2
+        exit 1
+    }
+    echo "bench-conns: phase $name OK (clean drain, zero arena violations)"
+}
+
+run_phase netpoll "$IDLE" fresh -netpoll
+run_phase goroutine "$BASE_IDLE" append
+
+go run ./cmd/benchcompare -conns "$OUT"
+echo "bench-conns: wrote $OUT (gates passed)"
+jq -r '.cells[] | "\(.netpoll_kind // "goroutine")\tidle=\(.idle_conns)\tbytes/conn=\(.bytes_per_conn)\tgoroutines=\(.goroutines)\thandles=\(.live_handles)\tp99(get)=\(.p99_get_us)µs"' "$OUT"

@@ -21,12 +21,24 @@
 # mode traffic — then runs a measured mix over the grown map. The drain
 # must stay clean with zero unreclaimed nodes and zero violations.
 #
+# NETPOLL=1 reruns every phase with gosmrd on the event-driven
+# connection layer (-netpoll) instead of per-connection goroutines; the
+# drain/overload/resize contracts are mode-independent and must hold on
+# both, so CI runs the script twice.
+#
 # Usage: scripts/serve_smoke.sh [requests]
 set -euo pipefail
 
 REQUESTS="${1:-10000}"
 ADDR="127.0.0.1:17070"
 ADMIN="127.0.0.1:17071"
+NETPOLL_FLAG=""
+MODE_NAME="goroutine"
+if [ "${NETPOLL:-0}" = 1 ]; then
+    NETPOLL_FLAG="-netpoll"
+    MODE_NAME="netpoll"
+fi
+echo "serve-smoke: connection layer: $MODE_NAME"
 
 cd "$(dirname "$0")/.."
 BIN="$(mktemp -d)"
@@ -41,6 +53,7 @@ go build -o "$BIN/gosmrd" ./cmd/gosmrd
 go build -o "$BIN/kvload" ./cmd/kvload
 
 "$BIN/gosmrd" -addr "$ADDR" -admin "$ADMIN" -shards 8 -scheme hp++ -mode detect \
+    $NETPOLL_FLAG \
     >"$BIN/gosmrd.json" 2>"$BIN/gosmrd.log" &
 SRV_PID=$!
 
@@ -71,6 +84,7 @@ echo "serve-smoke: phase 1 OK ($REQUESTS requests, clean drain, zero arena viola
 # to grind it to 100% completion anyway.
 "$BIN/gosmrd" -addr "$ADDR" -admin "$ADMIN" -shards 1 -workers 1 -queue 4 \
     -dispatch-timeout -1ns -scheme hp++ -mode detect \
+    $NETPOLL_FLAG \
     >"$BIN/gosmrd2.json" 2>"$BIN/gosmrd2.log" &
 SRV_PID=$!
 
@@ -105,6 +119,7 @@ echo "serve-smoke: phase 2 OK (shed_total=$SHED, 100% completion via retries, cl
 PRELOAD=200000
 "$BIN/gosmrd" -addr "$ADDR" -admin "$ADMIN" -shards 8 -scheme hp++ -mode detect \
     -engine somap -buckets 8 \
+    $NETPOLL_FLAG \
     >"$BIN/gosmrd3.json" 2>"$BIN/gosmrd3.log" &
 SRV_PID=$!
 
