@@ -16,6 +16,8 @@ check: vet
 		./internal/pebr/ ./internal/nbr/ ./internal/arena/ ./internal/smr/
 	$(GO) test -race -count=1 ./internal/netpoll/
 	$(GO) test -race -count=1 -run 'Netpoll|FrameReader' ./internal/kvsvc/
+	$(GO) test -race -count=1 -run 'Scot|SCOT' \
+		./internal/hp/ ./internal/ds/hhslist/ ./internal/ds/hmlist/ ./internal/ds/somap/
 
 vet:
 	$(GO) vet ./...

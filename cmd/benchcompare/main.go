@@ -152,7 +152,7 @@ func main() {
 // robustSchemes are the stall cells gated by the absolute peak bound:
 // everything except EBR (whose whole point in the report is to grow
 // without bound) and nr/rc (excluded from the default sweep).
-var robustSchemes = map[string]bool{"hp": true, "hp++": true, "hp++ef": true, "pebr": true, "nbr": true}
+var robustSchemes = map[string]bool{"hp": true, "hp++": true, "hp++ef": true, "hp-scot": true, "pebr": true, "nbr": true}
 
 // validateStall enforces the stalled-thread report's invariants and
 // returns the process exit code.

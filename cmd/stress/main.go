@@ -35,7 +35,7 @@ func main() {
 		ds       = flag.String("ds", "", "restrict to one data structure")
 		scheme   = flag.String("scheme", "", "restrict to one scheme")
 		kind     = flag.String("kind", "", "restrict to one kind: map | queue | stack")
-		unsafe   = flag.Bool("unsafe", false, "include the unsafefree must-fail control cells")
+		unsafe   = flag.Bool("unsafe", false, "include the must-fail control cells (unsafefree + hp-scot-novalidate)")
 		workers  = flag.Int("workers", 4, "worker goroutines per cell")
 		ops      = flag.Int("ops", 1200, "operations per worker")
 		keys     = flag.Uint64("keys", 8, "shared key range (map cells)")
@@ -52,7 +52,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cells := stress.Matrix(*unsafe || *scheme == bench.UnsafeScheme)
+	cells := stress.Matrix(*unsafe || *scheme == bench.UnsafeScheme || *scheme == bench.ScotUnsafeScheme)
 	var selected []stress.Cell
 	for _, c := range cells {
 		if (*ds == "" || c.DS == *ds) && (*scheme == "" || c.Scheme == *scheme) && (*kind == "" || c.Kind == *kind) {
@@ -97,7 +97,7 @@ func main() {
 			os.Exit(1)
 		}
 		results = append(results, res)
-		mustFail := c.Scheme == bench.UnsafeScheme
+		mustFail := c.Scheme == bench.UnsafeScheme || c.Scheme == bench.ScotUnsafeScheme
 		verdict := res.Outcome
 		switch {
 		case mustFail && res.Passed():

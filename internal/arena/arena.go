@@ -226,6 +226,16 @@ func (p *Pool[T]) Deref(ref Ref) *T {
 	return &s.val
 }
 
+// State returns ref's raw state word (sequence<<1 | live) for use as a
+// birth/identity tag: Alloc bumps the sequence and Free clears the live
+// bit, so a slot's word changes on every free and every recycle. Two
+// equal State reads therefore prove the slot was not freed in between.
+// Reading the word is always safe — slabs are never unmapped and the
+// read is not an access for deref-hook or use-after-free accounting.
+func (p *Pool[T]) State(ref Ref) uint64 {
+	return p.slotOf(ref).state.Load()
+}
+
 // Live reports whether ref currently addresses a live (allocated,
 // un-freed) slot.
 func (p *Pool[T]) Live(ref Ref) bool {

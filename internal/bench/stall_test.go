@@ -172,7 +172,7 @@ func runParkedWriter(t *testing.T, scheme string) (frees, backlog int64) {
 // the scan cadence — the parked announcement protects a handful of nodes,
 // not the epoch.
 func TestParkedWriterBoundsRobustSchemes(t *testing.T) {
-	for _, scheme := range []string{"hp", "hp++", "hp++ef", "pebr", "nbr"} {
+	for _, scheme := range []string{"hp", "hp++", "hp++ef", "hp-scot", "pebr", "nbr"} {
 		t.Run(scheme, func(t *testing.T) {
 			frees, backlog := runParkedWriter(t, scheme)
 			if frees == 0 {

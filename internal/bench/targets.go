@@ -19,7 +19,7 @@ import (
 )
 
 // Scheme names accepted by NewTarget.
-var Schemes = []string{"nr", "ebr", "pebr", "nbr", "hp", "hp++", "hp++ef", "rc"}
+var Schemes = []string{"nr", "ebr", "pebr", "nbr", "hp", "hp++", "hp++ef", "hp-scot", "rc"}
 
 // UnsafeScheme is the deliberately broken immediate-free "scheme". It is
 // accepted by NewTarget for every data structure with a critical-section
@@ -27,6 +27,13 @@ var Schemes = []string{"nr", "ebr", "pebr", "nbr", "hp", "hp++", "hp++ef", "rc"}
 // must-fail control for detect-mode stress runs, never as a benchmark
 // subject.
 const UnsafeScheme = "unsafefree"
+
+// ScotUnsafeScheme is hp-scot with the SCOT handshake elided
+// (hhslist.ListSCOT.SkipValidation): hazards are announced but never
+// validated, reproducing the unsound naive-HP optimistic walk the HP++
+// paper rules out in §2.3. Like UnsafeScheme it is kept out of Schemes
+// and exists only as a must-fail control for detect-mode stress runs.
+const ScotUnsafeScheme = "hp-scot-novalidate"
 
 // DataStructures lists the registered data structures.
 func DataStructures() []string {
@@ -41,6 +48,13 @@ func Applicable(ds, scheme string) bool {
 	switch scheme {
 	case "hp":
 		return ds != "hhslist" && ds != "nmtree"
+	case "hp-scot":
+		// SCOT rewrites the optimistic traversal so plain HP suffices; it
+		// is implemented for the two lists and the maps built from them.
+		// The remaining optimistic structures (skiplist, nmtree, efrbtree,
+		// bonsai) have no SCOT variant yet.
+		return ds == "hmlist" || ds == "hhslist" || ds == "hashmap" ||
+			ds == "somap" || ds == "kvmap"
 	case "rc":
 		// kvmap (the kvsvc service store) additionally excludes RC: its
 		// long-lived worker handles would retain cross-bucket traces that
@@ -63,6 +77,14 @@ var FixedReclaimEvery int
 func newHPDomain() *hp.Domain {
 	d := hp.NewDomain()
 	d.ReclaimEvery = FixedReclaimEvery
+	return d
+}
+
+// newSCOTDomain is newHPDomain relabelled: SCOT runs on an unmodified
+// plain-HP domain, distinguished only in stats output.
+func newSCOTDomain() *hp.Domain {
+	d := newHPDomain()
+	d.Name = "hp-scot"
 	return d
 }
 
@@ -263,6 +285,28 @@ func newHMListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
+	case "hp-scot":
+		dom := newSCOTDomain()
+		pool := hmlist.NewPool(mode)
+		l := hmlist.NewListSCOT(pool)
+		var hs []*hmlist.HandleSCOT
+		t.NewHandle = func() Handle {
+			h := l.NewHandleSCOT(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
+		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
 		pool := hmlist.NewPool(mode)
@@ -337,6 +381,31 @@ func newHHSListTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.Stall, t.StallRelease = stallCS(gd)
 		t.Pools = []PoolInfo{pool}
 		t.Agitate = agitatorFor(d)
+	case "hp-scot", ScotUnsafeScheme:
+		dom := newSCOTDomain()
+		pool := hhslist.NewPool(mode)
+		l := hhslist.NewListSCOT(pool)
+		// The novalidate control announces hazards but skips the SCOT
+		// handshake — detect-mode stress must flag it.
+		l.SkipValidation = scheme == ScotUnsafeScheme
+		var hs []*hhslist.HandleSCOT
+		t.NewHandle = func() Handle {
+			h := l.NewHandleSCOT(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
+		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
 		pool := hhslist.NewPool(mode)
@@ -425,6 +494,28 @@ func newHashMapTarget(scheme string, mode arena.Mode) (Target, error) {
 		var hs []*hashmap.HandleHP
 		t.NewHandle = func() Handle {
 			h := m.NewHandleHP(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
+		t.Pools = []PoolInfo{pool}
+	case "hp-scot":
+		dom := newSCOTDomain()
+		pool := hhslist.NewPool(mode)
+		m := hashmap.NewMapSCOT(pool, nb)
+		var hs []*hashmap.HandleSCOT
+		t.NewHandle = func() Handle {
+			h := m.NewHandleSCOT(dom)
 			hs = append(hs, h)
 			return h
 		}

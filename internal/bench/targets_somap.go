@@ -77,6 +77,28 @@ func newSomapTarget(scheme string, mode arena.Mode) (Target, error) {
 		t.MemBytes = func() int64 { return pool.Stats().Bytes }
 		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 		t.Pools = []PoolInfo{pool}
+	case "hp-scot":
+		dom := newSCOTDomain()
+		pool := hhslist.NewPool(mode)
+		m := somap.NewMapSCOT(pool, somapCfg())
+		var hs []*somap.HandleSCOT
+		t.NewHandle = func() Handle {
+			h := m.NewHandleSCOT(dom)
+			hs = append(hs, h)
+			return h
+		}
+		t.Finish = func() {
+			for _, h := range hs {
+				h.Thread().Finish()
+			}
+			dom.NewThread(0).Reclaim()
+		}
+		t.Unreclaimed = dom.Unreclaimed
+		t.PeakUnreclaimed = dom.PeakUnreclaimed
+		t.Stats = dom.Stats
+		t.MemBytes = func() int64 { return pool.Stats().Bytes }
+		t.Stall, t.StallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
+		t.Pools = []PoolInfo{pool}
 	case "hp++", "hp++ef":
 		dom := newHPPDomain(scheme == "hp++ef")
 		pool := hhslist.NewPool(mode)

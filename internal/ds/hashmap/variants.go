@@ -134,6 +134,57 @@ func (h *HandleHPP) Insert(key, val uint64) bool { return h.at(key).Insert(key, 
 // Delete removes key, reporting whether it was present.
 func (h *HandleHPP) Delete(key uint64) bool { return h.at(key).Delete(key) }
 
+// MapSCOT is the chaining hash map on plain hazard pointers with the
+// SCOT traversal discipline, with optimistic HHS-list buckets — the
+// combination classic HP validation cannot support.
+type MapSCOT struct {
+	buckets []*hhslist.ListSCOT
+}
+
+// NewMapSCOT creates a map with n buckets sharing pool.
+func NewMapSCOT(pool hhslist.Pool, n int) *MapSCOT {
+	m := &MapSCOT{buckets: make([]*hhslist.ListSCOT, n)}
+	for i := range m.buckets {
+		m.buckets[i] = hhslist.NewListSCOT(pool)
+	}
+	return m
+}
+
+// SetSkipValidation toggles the must-fail control knob on every bucket
+// list (see hhslist.ListSCOT.SkipValidation).
+func (m *MapSCOT) SetSkipValidation(v bool) {
+	for _, b := range m.buckets {
+		b.SkipValidation = v
+	}
+}
+
+// NewHandleSCOT returns a per-worker handle.
+func (m *MapSCOT) NewHandleSCOT(dom *hp.Domain) *HandleSCOT {
+	return &HandleSCOT{m: m, h: m.buckets[0].NewHandleSCOT(dom)}
+}
+
+// HandleSCOT is a per-worker handle; not safe for concurrent use.
+type HandleSCOT struct {
+	m *MapSCOT
+	h *hhslist.HandleSCOT
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleSCOT) Thread() *hp.Thread { return h.h.Thread() }
+
+func (h *HandleSCOT) at(key uint64) *hhslist.HandleSCOT {
+	return h.h.Rebind(h.m.buckets[bucket(key, len(h.m.buckets))])
+}
+
+// Get returns the value stored under key.
+func (h *HandleSCOT) Get(key uint64) (uint64, bool) { return h.at(key).Get(key) }
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleSCOT) Insert(key, val uint64) bool { return h.at(key).Insert(key, val) }
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleSCOT) Delete(key uint64) bool { return h.at(key).Delete(key) }
+
 // MapRC is the chaining hash map under deferred reference counting, with
 // HHS-list buckets.
 type MapRC struct {

@@ -8,15 +8,18 @@
 // chain with a single CAS on the anchor's next field once it reaches an
 // unmarked node. get() ignores marks entirely.
 //
-// This traversal is fundamentally incompatible with original hazard
-// pointers (§2.3 of the paper): validating "prev still points at cur,
+// This traversal is incompatible with the *classic* hazard-pointer
+// validation (§2.3 of the paper): re-checking "prev still points at cur,
 // untagged" fails on every marked hop, and restarting instead would break
-// lock-freedom. The package therefore provides no HP variant — exactly the
-// applicability gap HP++ closes:
+// lock-freedom — the applicability gap HP++ closes. SCOT (see
+// internal/hp/scot.go) closes it differently, by rewriting the validation
+// to target the anchor instead of the immediate predecessor, so plain HP
+// suffices after all:
 //
-//	ListCS  — critical-section schemes (EBR, PEBR, NR)
-//	ListHPP — HP++ (Algorithm 4 of the paper)
-//	ListRC  — deferred reference counting
+//	ListCS   — critical-section schemes (EBR, PEBR, NR)
+//	ListHPP  — HP++ (Algorithm 4 of the paper)
+//	ListSCOT — plain HP with the SCOT traversal discipline (scot.go)
+//	ListRC   — deferred reference counting
 package hhslist
 
 import (

@@ -9,6 +9,7 @@ import (
 	"github.com/gosmr/gosmr/internal/arena"
 	"github.com/gosmr/gosmr/internal/core"
 	"github.com/gosmr/gosmr/internal/ebr"
+	"github.com/gosmr/gosmr/internal/hp"
 	"github.com/gosmr/gosmr/internal/nr"
 	"github.com/gosmr/gosmr/internal/pebr"
 	"github.com/gosmr/gosmr/internal/rc"
@@ -87,6 +88,22 @@ func variants() []variant {
 			var hs []*HandleHPP
 			return func() handle {
 					h := l.NewHandleHPP(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					dom.NewThread(0).Reclaim()
+				}
+		}},
+		{"SCOT", func(mode arena.Mode) (func() handle, func()) {
+			dom := hp.NewDomain()
+			dom.Name = "hp-scot"
+			l := NewListSCOT(NewPool(mode))
+			var hs []*HandleSCOT
+			return func() handle {
+					h := l.NewHandleSCOT(dom)
 					hs = append(hs, h)
 					return h
 				}, func() {

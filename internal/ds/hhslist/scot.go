@@ -1,0 +1,293 @@
+package hhslist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Hazard slot indices for the SCOT traversal: the anchor (last unmarked
+// node), the marked-chain entry, and the current candidate. Readers use
+// only (anchor, cur) — the chain entry stays protected only inside
+// trySearch, where its slot also guards the unlink CAS against ABA.
+const (
+	scotAnchor = iota
+	scotEntry
+	scotCur
+	scotSlots
+)
+
+// ListSCOT is Harris's list with the SCOT traversal discipline
+// (hp.ScotChain) on plain hazard pointers: optimistic walks through
+// marked chains validate against the *anchor's* link and the chain
+// entry's arena birth tag instead of the immediate predecessor, so no
+// TryProtect/invalidate machinery is needed. See internal/hp/scot.go
+// for the full safety argument.
+type ListSCOT struct {
+	pool Pool
+	head atomic.Uint64
+
+	// SkipValidation elides the post-announcement handshake, turning the
+	// traversal into the unsound naive-HP walk the HP++ paper's §2.3
+	// argument is about: hazards are announced but dereferences proceed
+	// without any reachability proof, so a node retired between the link
+	// read and the hazard store is freed underneath the reader. It exists
+	// only as the stress harness's must-fail control.
+	SkipValidation bool
+}
+
+// NewListSCOT creates an empty list over pool.
+func NewListSCOT(pool Pool) *ListSCOT { return &ListSCOT{pool: pool} }
+
+// linkOf returns the link to traverse from: the list head for start 0,
+// otherwise the next field of the start node. A non-zero start must be a
+// sentinel — never marked, unlinked, or freed — which is why it needs no
+// hazard before serving as the initial anchor.
+func (l *ListSCOT) linkOf(start uint64) *atomic.Uint64 {
+	if start == 0 {
+		return &l.head
+	}
+	return &l.pool.Deref(start).next
+}
+
+// NewHandleSCOT returns a per-worker handle over a plain HP domain.
+func (l *ListSCOT) NewHandleSCOT(dom *hp.Domain) *HandleSCOT {
+	return &HandleSCOT{l: l, t: dom.NewThread(scotSlots)}
+}
+
+// HandleSCOT is a per-worker handle; not safe for concurrent use.
+type HandleSCOT struct {
+	l *ListSCOT
+	t *hp.Thread
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleSCOT) Thread() *hp.Thread { return h.t }
+
+// Rebind points the handle at another list sharing the same pool and
+// domain; used by bucket containers (internal/ds/hashmap).
+func (h *HandleSCOT) Rebind(l *ListSCOT) *HandleSCOT { h.l = l; return h }
+
+type posSCOT struct {
+	prevLink *atomic.Uint64
+	cur      uint64
+	found    bool
+}
+
+// trySearch is the SCOT counterpart of Algorithm 4's TRYSEARCH: traverse
+// optimistically through marked chains keeping only the anchor and the
+// chain entry protected, validate every hop with the ScotChain handshake,
+// and unlink the chain immediately preceding the destination with one CAS
+// on the anchor. ok=false means a validation or an unlink CAS failed; the
+// caller must restart.
+func (h *HandleSCOT) trySearch(key, aux, start uint64) (posSCOT, bool) {
+	l, t := h.l, h.t
+	var chain hp.ScotChain
+	chain.Reset(l.linkOf(start))
+	cur := tagptr.RefOf(chain.AnchorLink().Load())
+	found := false
+
+	for cur != 0 {
+		t.Protect(scotCur, cur)
+		// fence(SC) — implicit; validation below is the SCOT handshake.
+		if !l.SkipValidation && !chain.Validate(l.pool, cur) {
+			return posSCOT{}, false
+		}
+		node := l.pool.Deref(cur)
+		nextW := node.next.Load()
+		next := tagptr.RefOf(nextW)
+		if tagptr.IsMarked(nextW) {
+			// cur is logically deleted: step through it optimistically.
+			// The first marked node after the anchor becomes the chain
+			// entry; it keeps its hazard (slot scotEntry) so the unlink
+			// CAS below cannot suffer ABA through slot reuse. Interior
+			// chain nodes drop protection — the handshake's chain-intact
+			// proof covers them.
+			if !chain.On() {
+				chain.Enter(l.pool, cur)
+				t.Swap(scotEntry, scotCur)
+			}
+			cur = next
+			continue
+		}
+		if pairBefore(node.key, node.aux, key, aux) {
+			// Unmarked and before the destination: new anchor. A marked
+			// chain strictly before the destination is skipped without
+			// unlinking, exactly as in Algorithm 4.
+			t.Swap(scotAnchor, scotCur)
+			chain.Reset(&node.next)
+			cur = next
+			continue
+		}
+		found = node.key == key && node.aux == aux
+		break
+	}
+
+	anchorLink := chain.AnchorLink()
+	if chain.On() {
+		// Unlink the whole marked chain entry .. cur with one CAS on the
+		// anchor. Success proves the anchor was attached and unmarked and
+		// the frozen chain intact, so the detached nodes are exactly
+		// entry .. pred(cur); we are their unique detacher, hence the
+		// only retirer, and they stay un-freed (nobody else may retire
+		// them) for the duration of the collection walk.
+		entry, target := chain.Entry(), cur
+		if !anchorLink.CompareAndSwap(tagptr.Pack(entry, 0), tagptr.Pack(target, 0)) {
+			return posSCOT{}, false
+		}
+		for r := entry; r != target; {
+			nextR := tagptr.RefOf(l.pool.Deref(r).next.Load())
+			t.Retire(r, l.pool)
+			r = nextR
+		}
+	}
+	if cur != 0 && tagptr.IsMarked(l.pool.Deref(cur).next.Load()) {
+		return posSCOT{}, false // destination got deleted; retry
+	}
+	return posSCOT{prevLink: anchorLink, cur: cur, found: found}, true
+}
+
+// Get is the Herlihy-Shavit read walking straight through marked nodes.
+// Under SCOT it needs only two live hazards (anchor, cur): chain hops
+// validate against the anchor word plus the chain entry's birth tag, and
+// a failed validation resumes from the still-attached anchor instead of
+// the head whenever possible.
+func (h *HandleSCOT) Get(key uint64) (uint64, bool) { return h.GetFrom(0, key, 0) }
+
+// GetFrom is Get entering the list at the sentinel start (0 = head) and
+// matching the (key, aux) pair.
+func (h *HandleSCOT) GetFrom(start, key, aux uint64) (uint64, bool) {
+	l, t := h.l, h.t
+	defer t.ClearAll()
+	var chain hp.ScotChain
+restart:
+	chain.Reset(l.linkOf(start))
+	cur := tagptr.RefOf(chain.AnchorLink().Load())
+	for {
+		if cur == 0 {
+			return 0, false
+		}
+		t.Protect(scotCur, cur)
+		// fence(SC) — implicit.
+		if !l.SkipValidation && !chain.Validate(l.pool, cur) {
+			resumed, ok := chain.Resume()
+			if !ok {
+				goto restart
+			}
+			cur = resumed
+			continue
+		}
+		node := l.pool.Deref(cur)
+		nextW := node.next.Load()
+		next := tagptr.RefOf(nextW)
+		if tagptr.IsMarked(nextW) {
+			// Capture the chain certificate while cur is still protected
+			// and validated; after this hop the reader's hazard moves on
+			// and only the birth tag keeps the entry's identity honest.
+			if !chain.On() {
+				chain.Enter(l.pool, cur)
+			}
+			cur = next
+			continue
+		}
+		if !pairBefore(node.key, node.aux, key, aux) {
+			if node.key == key && node.aux == aux {
+				return node.val, true
+			}
+			return 0, false
+		}
+		t.Swap(scotAnchor, scotCur)
+		chain.Reset(&node.next)
+		cur = next
+	}
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleSCOT) Insert(key, val uint64) bool { return h.InsertFrom(0, key, 0, val) }
+
+// InsertFrom is Insert entering the list at the sentinel start (0 = head)
+// with the full (key, aux) ordering pair.
+func (h *HandleSCOT) InsertFrom(start, key, aux, val uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos, ok := h.trySearch(key, aux, start)
+		if !ok {
+			continue
+		}
+		if pos.found {
+			return false
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.aux, n.val = key, aux, val
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return true
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// EnsureFrom returns the node holding (key, aux=0), inserting it with a
+// zero value if absent — the get-or-insert hook behind somap's dummy
+// nodes. Insertion races converge on a single winner, so every caller
+// sees the same ref. The returned node must be treated as a sentinel:
+// callers must never Delete it, so the ref outlives the protections
+// dropped by ClearAll on return.
+func (h *HandleSCOT) EnsureFrom(start, key uint64) uint64 {
+	defer h.t.ClearAll()
+	for {
+		pos, ok := h.trySearch(key, 0, start)
+		if !ok {
+			continue
+		}
+		if pos.found {
+			return pos.cur
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.aux, n.val = key, 0, 0
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return ref
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleSCOT) Delete(key uint64) bool { return h.DeleteFrom(0, key, 0) }
+
+// DeleteFrom is Delete entering the list at the sentinel start (0 = head)
+// and matching the (key, aux) pair.
+func (h *HandleSCOT) DeleteFrom(start, key, aux uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos, ok := h.trySearch(key, aux, start)
+		if !ok {
+			continue
+		}
+		if !pos.found {
+			return false
+		}
+		node := h.l.pool.Deref(pos.cur)
+		nextW := node.next.Load()
+		if tagptr.IsMarked(nextW) {
+			continue // someone else is deleting it; re-search decides
+		}
+		if !node.next.CompareAndSwap(nextW, tagptr.WithTag(nextW, tagptr.Mark)) {
+			continue
+		}
+		// Logically deleted: attempt our own physical unlink. Unlike
+		// HP++'s Algorithm 4 no frontier protection is needed — the
+		// successor is never dereferenced here, and traversals passing
+		// through it re-validate with the handshake. A failed attempt is
+		// fine: some traversal's chain unlink will cover it. Success
+		// makes us the unique detacher (the expected word is exact and
+		// unmarked), so we retire exactly once.
+		next := tagptr.RefOf(nextW)
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(next, 0)) {
+			h.t.Retire(pos.cur, h.l.pool)
+		}
+		return true
+	}
+}

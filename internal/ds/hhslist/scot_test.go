@@ -1,0 +1,220 @@
+package hhslist
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// parkNthDeref arms a counting trap on the pool: the goroutine performing
+// the nth deref parks until release is called. The caller must guarantee
+// the target goroutine is the only one deref-ing between arm and park,
+// and clear the hook after the park before resuming mutators.
+func parkNthDeref(p Pool, n int64) (parked <-chan struct{}, release func()) {
+	pk := make(chan struct{})
+	rl := make(chan struct{})
+	var cnt atomic.Int64
+	p.SetDerefHook(func(arena.Ref) {
+		if cnt.Add(1) == n {
+			close(pk)
+			<-rl
+		}
+	})
+	var released atomic.Bool
+	return pk, func() {
+		if released.CompareAndSwap(false, true) {
+			close(rl)
+		}
+	}
+}
+
+// TestScotChainUnlinkSingleCAS is the ListCS test of the same shape run
+// against the SCOT list: a hand-marked chain of five nodes must be
+// detached by ONE anchor CAS during the next search, and the retire-walk
+// must retire exactly the chain.
+func TestScotChainUnlinkSingleCAS(t *testing.T) {
+	dom := hp.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	l := NewListSCOT(p)
+	h := l.NewHandleSCOT(dom)
+
+	for k := uint64(0); k < 10; k++ {
+		h.Insert(k, k)
+	}
+	refs := map[uint64]uint64{} // key -> ref
+	cur := tagptr.RefOf(l.head.Load())
+	for cur != 0 {
+		refs[p.Key(cur)] = cur
+		cur = tagptr.RefOf(p.NextWord(cur))
+	}
+	// Logically delete 3..7 by hand: five stalled deleters that marked but
+	// never unlinked.
+	for k := uint64(3); k <= 7; k++ {
+		n := p.Pool.Deref(refs[k])
+		w := n.next.Load()
+		if !n.next.CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark)) {
+			t.Fatalf("marking %d failed", k)
+		}
+	}
+
+	// One search to 8 (Insert finds it present) must unlink all five at
+	// once: node 2's next jumps straight to node 8.
+	if h.Insert(8, 0) {
+		t.Fatal("insert(8) succeeded over an existing key")
+	}
+	if got := tagptr.RefOf(p.NextWord(refs[2])); got != refs[8] {
+		t.Fatalf("node 2 points at ref %d, want node 8 (ref %d) — chain not unlinked at once", got, refs[8])
+	}
+	for k := uint64(3); k <= 7; k++ {
+		if _, ok := h.Get(k); ok {
+			t.Fatalf("get(%d) found a logically deleted key", k)
+		}
+	}
+	// The unique detacher retired exactly the chain: after a drain the
+	// five chain nodes are freed and the five survivors live.
+	h.Thread().Finish()
+	dom.NewThread(0).Reclaim()
+	if live := p.Stats().Live; live != 5 {
+		t.Fatalf("live nodes = %d after drain, want 5", live)
+	}
+	if st := p.Stats(); st.UAF != 0 || st.DoubleFree != 0 {
+		t.Fatalf("memory violations: uaf=%d doublefree=%d", st.UAF, st.DoubleFree)
+	}
+}
+
+// TestScotGetTraversesMarkedChain: the read must walk straight through a
+// fully marked prefix — anchored at the list head — without restarting
+// or unlinking anything.
+func TestScotGetTraversesMarkedChain(t *testing.T) {
+	dom := hp.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	l := NewListSCOT(p)
+	h := l.NewHandleSCOT(dom)
+	for k := uint64(0); k < 6; k++ {
+		h.Insert(k, k+100)
+	}
+	cur := tagptr.RefOf(l.head.Load())
+	for cur != 0 {
+		n := p.Pool.Deref(cur)
+		if n.key < 5 {
+			w := n.next.Load()
+			n.next.CompareAndSwap(w, tagptr.WithTag(w, tagptr.Mark))
+		}
+		cur = tagptr.RefOf(n.next.Load())
+	}
+	if v, ok := h.Get(5); !ok || v != 105 {
+		t.Fatalf("Get(5) = (%d,%v) through marked chain", v, ok)
+	}
+	h.Thread().Finish()
+}
+
+// scotParkedSchedule is the shared deterministic schedule of the two
+// parked-reader tests: park a reader mid-traversal (inside a deref, two
+// hazards published), churn thousands of retires around the parked
+// position at a fixed reclaim cadence, then release and drain. It
+// returns the frees and retired backlog observed while the reader was
+// still parked, plus the reader's result.
+func scotParkedSchedule(t *testing.T, skipValidation bool) (freesParked, backlogParked int64, val uint64, ok bool, p Pool) {
+	t.Helper()
+	dom := hp.NewDomain()
+	dom.Name = "hp-scot"
+	dom.ReclaimEvery = 32 // deterministic cadence
+	p = NewPool(arena.ModeDetect)
+	p.SetCount() // count violations instead of panicking
+	l := NewListSCOT(p)
+	l.SkipValidation = skipValidation
+	writer := l.NewHandleSCOT(dom)
+	reader := l.NewHandleSCOT(dom)
+
+	const hot = uint64(42)
+	for k := uint64(0); k < 64; k++ {
+		writer.Insert(k, k+1000)
+	}
+
+	// Park the reader on its second deref: one node past the head, anchor
+	// and cur hazards published, liveness not yet validated.
+	parked, release := parkNthDeref(p, 2)
+	defer release()
+	type got struct {
+		val uint64
+		ok  bool
+	}
+	done := make(chan got)
+	go func() {
+		v, k := reader.Get(hot)
+		done <- got{v, k}
+	}()
+	select {
+	case <-parked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader never parked on the deref hook")
+	}
+	p.SetDerefHook(nil)
+
+	// Retire the reader's whole neighbourhood (every prefill key except
+	// the target) and then churn ~2000 more retires through the fixed
+	// cadence, so everything the parked hazards do not pin is freed.
+	for k := uint64(0); k < 64; k++ {
+		if k != hot {
+			writer.Delete(k)
+		}
+	}
+	for i := uint64(0); i < 2000; i++ {
+		writer.Insert(100+i, i)
+	}
+	for i := uint64(0); i < 2000; i++ {
+		writer.Delete(100 + i)
+	}
+
+	freesParked = p.Stats().Frees
+	backlogParked = dom.Unreclaimed()
+
+	release()
+	r := <-done
+	writer.Thread().Finish()
+	reader.Thread().Finish()
+	dom.NewThread(0).Reclaim()
+	if unr := dom.Unreclaimed(); unr != 0 {
+		t.Fatalf("%d nodes unreclaimed after drain", unr)
+	}
+	return freesParked, backlogParked, r.val, r.ok, p
+}
+
+// TestScotParkedReaderBoundedAndSafe is the stalled-reader regression for
+// hp-scot: a reader parked mid-traversal pins at most its announced
+// hazards, so reclamation keeps running (frees > 0), the retired backlog
+// stays bounded near the reclaim cadence, the resumed read restarts
+// through the handshake to a correct result, and nothing is ever
+// dereferenced after free.
+func TestScotParkedReaderBoundedAndSafe(t *testing.T) {
+	frees, backlog, val, ok, p := scotParkedSchedule(t, false)
+	if frees == 0 {
+		t.Fatal("nothing freed while the reader was parked; reclamation stalled on two hazards")
+	}
+	if backlog > 512 {
+		t.Fatalf("retired backlog %d while parked; want bounded near the cadence (32) plus pinned hazards", backlog)
+	}
+	if !ok || val != 42+1000 {
+		t.Fatalf("resumed reader Get = (%d,%v), want (1042,true)", val, ok)
+	}
+	if st := p.Stats(); st.UAF != 0 || st.DoubleFree != 0 {
+		t.Fatalf("memory violations: uaf=%d doublefree=%d", st.UAF, st.DoubleFree)
+	}
+}
+
+// TestScotNoValidateParkedReaderUAF is the unit-level must-fail control:
+// the identical schedule with the handshake elided resumes the parked
+// reader straight through links frozen while its chain was unlinked,
+// retired and freed around it — the walk dereferences freed slots and the
+// detect-mode arena must count it. This is the test that proves the
+// validation in TestScotParkedReaderBoundedAndSafe is doing the work.
+func TestScotNoValidateParkedReaderUAF(t *testing.T) {
+	_, _, _, _, p := scotParkedSchedule(t, true)
+	if p.Stats().UAF == 0 {
+		t.Fatal("no use-after-free detected with the SCOT handshake skipped; the control lost its teeth")
+	}
+}

@@ -120,6 +120,23 @@ func variants() []variant {
 					fin.Finish()
 				}, dom.Unreclaimed
 		}},
+		{"SCOT", func(mode arena.Mode) (func() handle, func(), func() int64) {
+			dom := hp.NewDomain()
+			dom.Name = "hp-scot"
+			l := NewListSCOT(NewPool(mode))
+			var hs []*HandleSCOT
+			return func() handle {
+					h := l.NewHandleSCOT(dom)
+					hs = append(hs, h)
+					return h
+				}, func() {
+					for _, h := range hs {
+						h.Thread().Finish()
+					}
+					fin := dom.NewThread(0)
+					fin.Reclaim()
+				}, dom.Unreclaimed
+		}},
 		{"RC", func(mode arena.Mode) (func() handle, func(), func() int64) {
 			dom := rc.NewDomain()
 			l := NewListRC(NewPoolRC(mode))
@@ -357,6 +374,13 @@ func TestNoLeaksAfterDrain(t *testing.T) {
 					p := NewPool(arena.ModeDetect)
 					l := NewListHPP(p)
 					h := l.NewHandleHPP(dom)
+					return h, func() { h.Thread().Finish(); dom.NewThread(0).Reclaim() }, p.Stats
+				case "SCOT":
+					dom := hp.NewDomain()
+					dom.Name = "hp-scot"
+					p := NewPool(arena.ModeDetect)
+					l := NewListSCOT(p)
+					h := l.NewHandleSCOT(dom)
 					return h, func() { h.Thread().Finish(); dom.NewThread(0).Reclaim() }, p.Stats
 				case "RC":
 					dom := rc.NewDomain()

@@ -1,0 +1,100 @@
+package hmlist
+
+import (
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// TestFindHelpsStalledDelete is the regression test for the PR-1 livelock
+// pattern: a find() that restarts on every marked node *without helping to
+// unlink it* spins forever once a deleter stalls between its mark CAS and
+// its unlink CAS — the marked node stays reachable and every retry
+// re-encounters it. ListHP.find must instead unlink the node itself
+// (Figure 3's helping step) and keep going.
+//
+// The test is deterministic: everything runs on one goroutine, and the
+// stalled deleter is simulated from the arena deref hook — when the
+// traversal first dereferences the trigger node, the hook marks the
+// victim node's next word and "stalls" (never unlinks). The hook also
+// trips a panic on a generous deref budget so the buggy pattern fails
+// fast instead of hanging the test.
+func TestFindHelpsStalledDelete(t *testing.T) {
+	dom := hp.NewDomain()
+	p := NewPool(arena.ModeDetect)
+	l := NewListHP(p)
+	h := l.NewHandleHP(dom)
+
+	const n = 10
+	const trigKey, victimKey = 2, 5
+	for k := uint64(0); k < n; k++ {
+		if !h.Insert(k, k*10) {
+			t.Fatalf("prefill Insert(%d) failed", k)
+		}
+	}
+	refOf := func(key uint64) uint64 {
+		for cur := tagptr.RefOf(l.head.Load()); cur != 0; {
+			node := p.Deref(cur)
+			if node.key == key {
+				return cur
+			}
+			cur = tagptr.RefOf(node.next.Load())
+		}
+		t.Fatalf("key %d not in list", key)
+		return 0
+	}
+	trigRef := refOf(trigKey)
+	victim := p.Deref(refOf(victimKey))
+
+	const maxDerefs = 64 * n
+	derefs, armed := 0, true
+	p.SetDerefHook(func(r arena.Ref) {
+		derefs++
+		if derefs > maxDerefs {
+			panic("find() retries past a stalled delete without helping (PR-1 livelock pattern)")
+		}
+		if armed && r == trigRef {
+			armed = false
+			// The stalled deleter: mark the victim, never unlink it.
+			victim.next.Store(tagptr.WithTag(victim.next.Load(), tagptr.Mark))
+		}
+	})
+	defer p.SetDerefHook(nil)
+
+	// Traverse past the victim. find() must meet the marked node, unlink
+	// and retire it itself, and still reach the target.
+	if v, ok := h.Get(n - 1); !ok || v != (n-1)*10 {
+		t.Fatalf("Get(%d) = (%d, %v) past a marked node, want (%d, true)", n-1, v, ok, (n-1)*10)
+	}
+	if derefs > 8*n {
+		t.Fatalf("one Get over %d nodes took %d derefs — retrying instead of helping", n, derefs)
+	}
+	if armed {
+		t.Fatal("trap never fired: trigger node not dereferenced")
+	}
+
+	// The victim must now be fully unlinked: gone from the list, every
+	// remaining key intact, and its node retired (freed after a drain).
+	if _, ok := h.Get(victimKey); ok {
+		t.Fatalf("Get(%d) found the helped-unlinked victim", victimKey)
+	}
+	for k := uint64(0); k < n; k++ {
+		if k == victimKey {
+			continue
+		}
+		if v, ok := h.Get(k); !ok || v != k*10 {
+			t.Fatalf("Get(%d) = (%d, %v) after helping, want (%d, true)", k, v, ok, k*10)
+		}
+	}
+	p.SetDerefHook(nil)
+	h.Thread().Finish()
+	dom.NewThread(0).Reclaim()
+	if live := p.Stats().Live; live != n-1 {
+		t.Fatalf("live nodes = %d after drain, want %d (victim retired+freed)", live, n-1)
+	}
+	if st := p.Stats(); st.UAF != 0 || st.DoubleFree != 0 {
+		t.Fatalf("memory violations: uaf=%d doublefree=%d", st.UAF, st.DoubleFree)
+	}
+}

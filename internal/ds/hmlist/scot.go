@@ -1,0 +1,257 @@
+package hmlist
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/hp"
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// Hazard slot indices for the SCOT traversal: the anchor (last unmarked
+// node), the marked-chain entry, and the current candidate.
+const (
+	scotAnchor = iota
+	scotEntry
+	scotCur
+	scotSlots
+)
+
+// ListSCOT runs the *optimistic* SCOT traversal discipline
+// (internal/hp/scot.go) over Harris-Michael nodes on plain hazard
+// pointers: marked chains are walked through and unlinked wholesale at
+// the anchor, with the handshake (anchor word + chain-entry birth tag)
+// substituting for ListHP's per-hop predecessor validation. It exists as
+// the apples-to-apples hmlist row next to ListHP and ListHPP.
+type ListSCOT struct {
+	pool Pool
+	head atomic.Uint64
+
+	// SkipValidation elides the handshake — the stress harness's
+	// must-fail control (see hhslist.ListSCOT).
+	SkipValidation bool
+}
+
+// NewListSCOT creates an empty list over pool.
+func NewListSCOT(pool Pool) *ListSCOT { return &ListSCOT{pool: pool} }
+
+// linkOf returns the link to traverse from: the list head for start 0,
+// otherwise the next field of the start node. A non-zero start must be a
+// sentinel — never marked, unlinked, or freed — so it needs no hazard
+// before serving as the initial anchor.
+func (l *ListSCOT) linkOf(start uint64) *atomic.Uint64 {
+	if start == 0 {
+		return &l.head
+	}
+	return &l.pool.Deref(start).next
+}
+
+// NewHandleSCOT returns a per-worker handle over a plain HP domain.
+func (l *ListSCOT) NewHandleSCOT(dom *hp.Domain) *HandleSCOT {
+	return &HandleSCOT{l: l, t: dom.NewThread(scotSlots)}
+}
+
+// HandleSCOT is a per-worker handle; not safe for concurrent use.
+type HandleSCOT struct {
+	l *ListSCOT
+	t *hp.Thread
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleSCOT) Thread() *hp.Thread { return h.t }
+
+// Rebind points the handle at another list sharing the same pool and
+// domain; used by bucket containers (internal/ds/hashmap).
+func (h *HandleSCOT) Rebind(l *ListSCOT) *HandleSCOT { h.l = l; return h }
+
+type posSCOT struct {
+	prevLink *atomic.Uint64
+	cur      uint64
+	found    bool
+}
+
+// trySearch traverses optimistically through marked chains keeping only
+// the anchor and the chain entry protected, validates every hop with the
+// ScotChain handshake, and unlinks the chain immediately preceding the
+// destination with one CAS on the anchor. ok=false means a validation or
+// an unlink CAS failed; the caller must restart. See
+// hhslist.HandleSCOT.trySearch for the commented original.
+func (h *HandleSCOT) trySearch(key, aux, start uint64) (posSCOT, bool) {
+	l, t := h.l, h.t
+	var chain hp.ScotChain
+	chain.Reset(l.linkOf(start))
+	cur := tagptr.RefOf(chain.AnchorLink().Load())
+	found := false
+
+	for cur != 0 {
+		t.Protect(scotCur, cur)
+		// fence(SC) — implicit.
+		if !l.SkipValidation && !chain.Validate(l.pool, cur) {
+			return posSCOT{}, false
+		}
+		node := l.pool.Deref(cur)
+		nextW := node.next.Load()
+		next := tagptr.RefOf(nextW)
+		if tagptr.IsMarked(nextW) {
+			if !chain.On() {
+				chain.Enter(l.pool, cur)
+				t.Swap(scotEntry, scotCur)
+			}
+			cur = next
+			continue
+		}
+		if pairBefore(node.key, node.aux, key, aux) {
+			t.Swap(scotAnchor, scotCur)
+			chain.Reset(&node.next)
+			cur = next
+			continue
+		}
+		found = node.key == key && node.aux == aux
+		break
+	}
+
+	anchorLink := chain.AnchorLink()
+	if chain.On() {
+		entry, target := chain.Entry(), cur
+		if !anchorLink.CompareAndSwap(tagptr.Pack(entry, 0), tagptr.Pack(target, 0)) {
+			return posSCOT{}, false
+		}
+		for r := entry; r != target; {
+			nextR := tagptr.RefOf(l.pool.Deref(r).next.Load())
+			t.Retire(r, l.pool)
+			r = nextR
+		}
+	}
+	if cur != 0 && tagptr.IsMarked(l.pool.Deref(cur).next.Load()) {
+		return posSCOT{}, false // destination got deleted; retry
+	}
+	return posSCOT{prevLink: anchorLink, cur: cur, found: found}, true
+}
+
+// Get walks straight through marked nodes with two live hazards
+// (anchor, cur), resuming from the still-attached anchor on a failed
+// validation whenever possible.
+func (h *HandleSCOT) Get(key uint64) (uint64, bool) { return h.GetFrom(0, key, 0) }
+
+// GetFrom is Get entering the list at the sentinel start (0 = head) and
+// matching the (key, aux) pair.
+func (h *HandleSCOT) GetFrom(start, key, aux uint64) (uint64, bool) {
+	l, t := h.l, h.t
+	defer t.ClearAll()
+	var chain hp.ScotChain
+restart:
+	chain.Reset(l.linkOf(start))
+	cur := tagptr.RefOf(chain.AnchorLink().Load())
+	for {
+		if cur == 0 {
+			return 0, false
+		}
+		t.Protect(scotCur, cur)
+		// fence(SC) — implicit.
+		if !l.SkipValidation && !chain.Validate(l.pool, cur) {
+			resumed, ok := chain.Resume()
+			if !ok {
+				goto restart
+			}
+			cur = resumed
+			continue
+		}
+		node := l.pool.Deref(cur)
+		nextW := node.next.Load()
+		next := tagptr.RefOf(nextW)
+		if tagptr.IsMarked(nextW) {
+			if !chain.On() {
+				chain.Enter(l.pool, cur)
+			}
+			cur = next
+			continue
+		}
+		if !pairBefore(node.key, node.aux, key, aux) {
+			if node.key == key && node.aux == aux {
+				return node.val, true
+			}
+			return 0, false
+		}
+		t.Swap(scotAnchor, scotCur)
+		chain.Reset(&node.next)
+		cur = next
+	}
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleSCOT) Insert(key, val uint64) bool { return h.InsertFrom(0, key, 0, val) }
+
+// InsertFrom is Insert entering the list at the sentinel start (0 = head)
+// with the full (key, aux) ordering pair.
+func (h *HandleSCOT) InsertFrom(start, key, aux, val uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos, ok := h.trySearch(key, aux, start)
+		if !ok {
+			continue
+		}
+		if pos.found {
+			return false
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.aux, n.val = key, aux, val
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return true
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// EnsureFrom returns the node holding (key, aux=0), inserting it with a
+// zero value if absent. The returned node must be treated as a sentinel:
+// callers must never Delete it, which keeps the ref stable forever.
+func (h *HandleSCOT) EnsureFrom(start, key uint64) uint64 {
+	defer h.t.ClearAll()
+	for {
+		pos, ok := h.trySearch(key, 0, start)
+		if !ok {
+			continue
+		}
+		if pos.found {
+			return pos.cur
+		}
+		ref, n := h.l.pool.Alloc()
+		n.key, n.aux, n.val = key, 0, 0
+		n.next.Store(tagptr.Pack(pos.cur, 0))
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(ref, 0)) {
+			return ref
+		}
+		h.l.pool.Free(ref)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleSCOT) Delete(key uint64) bool { return h.DeleteFrom(0, key, 0) }
+
+// DeleteFrom is Delete entering the list at the sentinel start (0 = head)
+// and matching the (key, aux) pair.
+func (h *HandleSCOT) DeleteFrom(start, key, aux uint64) bool {
+	defer h.t.ClearAll()
+	for {
+		pos, ok := h.trySearch(key, aux, start)
+		if !ok {
+			continue
+		}
+		if !pos.found {
+			return false
+		}
+		node := h.l.pool.Deref(pos.cur)
+		nextW := node.next.Load()
+		if tagptr.IsMarked(nextW) {
+			continue // someone else is deleting it; re-search decides
+		}
+		if !node.next.CompareAndSwap(nextW, tagptr.WithTag(nextW, tagptr.Mark)) {
+			continue
+		}
+		next := tagptr.RefOf(nextW)
+		if pos.prevLink.CompareAndSwap(tagptr.Pack(pos.cur, 0), tagptr.Pack(next, 0)) {
+			h.t.Retire(pos.cur, h.l.pool)
+		}
+		return true
+	}
+}

@@ -1,0 +1,58 @@
+package hmlist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/arena"
+	"github.com/gosmr/gosmr/internal/hp"
+)
+
+// TestScotConcurrentStress hammers the hmlist SCOT variant from several
+// goroutines over a small key range with a detect-mode arena: any
+// use-after-free panics. The variants() table covers SCOT in the model
+// tests; this top-level name also puts the hmlist twin in the race
+// subset (`make check` runs -race -run 'Scot|SCOT').
+func TestScotConcurrentStress(t *testing.T) {
+	const (
+		workers = 4
+		iters   = 6000
+		keys    = 32
+	)
+	dom := hp.NewDomain()
+	dom.Name = "hp-scot"
+	p := NewPool(arena.ModeDetect)
+	l := NewListSCOT(p)
+	handles := make([]*HandleSCOT, workers)
+	for i := range handles {
+		handles[i] = l.NewHandleSCOT(dom)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(h *HandleSCOT, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				k := uint64(rng.Intn(keys))
+				switch rng.Intn(4) {
+				case 0:
+					h.Insert(k, k)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Get(k)
+				}
+			}
+		}(handles[w], int64(w+1))
+	}
+	wg.Wait()
+	for _, h := range handles {
+		h.Thread().Finish()
+	}
+	dom.NewThread(0).Reclaim()
+	if st := p.Stats(); st.UAF != 0 || st.DoubleFree != 0 {
+		t.Fatalf("memory violations: uaf=%d doublefree=%d", st.UAF, st.DoubleFree)
+	}
+}

@@ -122,6 +122,9 @@ func TestQuickCheckAllVariants(t *testing.T) {
 		"hp++ef": func() mapHandle {
 			return NewMapHPP(hhslist.NewPool(arena.ModeDetect), stormCfg).NewHandleHPP(core.NewDomain(core.Options{EpochFence: true}))
 		},
+		"hp-scot": func() mapHandle {
+			return NewMapSCOT(hhslist.NewPool(arena.ModeDetect), stormCfg).NewHandleSCOT(hp.NewDomain())
+		},
 	}
 	for name, mk := range newHandles {
 		name, mk := name, mk

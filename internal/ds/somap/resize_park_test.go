@@ -165,6 +165,18 @@ func TestParkedReaderResizeHPP(t *testing.T) {
 	}
 }
 
+// TestParkedReaderResizeSCOT: plain HP with the SCOT traversal must match
+// HP++'s robustness here — the parked reader pins only its announced
+// hazards (anchor, chain entry, cur), so reclamation keeps freeing across
+// the directory swap, and the resumed read revalidates through the
+// handshake to the correct result.
+func TestParkedReaderResizeSCOT(t *testing.T) {
+	frees, _ := runParkedResize(t, "hp-scot")
+	if frees == 0 {
+		t.Fatal("hp-scot freed nothing while the reader was parked; reclamation stalled")
+	}
+}
+
 // TestParkedReaderResizeEBRStalls: the identical schedule under EBR
 // frees nothing while the reader is parked (the pinned guard holds the
 // epoch), and the retired backlog is visible in Unreclaimed. It still

@@ -1,0 +1,97 @@
+package somap
+
+import (
+	"github.com/gosmr/gosmr/internal/ds/hhslist"
+	"github.com/gosmr/gosmr/internal/hp"
+)
+
+// MapSCOT is the split-ordered map on plain hazard pointers with the
+// SCOT traversal discipline (internal/hp/scot.go), over one optimistic
+// HHS list — the combination classic HP validation cannot support.
+// Dummies are never marked, unlinked, or freed, so a bucket's dummy is a
+// sound initial SCOT anchor at every entry point, exactly as the head
+// sentinel is.
+type MapSCOT struct {
+	dir  directory
+	list *hhslist.ListSCOT
+}
+
+// NewMapSCOT creates a map over pool.
+func NewMapSCOT(pool hhslist.Pool, cfg Config) *MapSCOT {
+	m := &MapSCOT{list: hhslist.NewListSCOT(pool)}
+	m.dir.init(cfg.withDefaults())
+	return m
+}
+
+// List exposes the underlying list (for the stress harness's
+// skip-validation control knob).
+func (m *MapSCOT) List() *hhslist.ListSCOT { return m.list }
+
+// Buckets returns the current directory size.
+func (m *MapSCOT) Buckets() uint64 { return m.dir.Buckets() }
+
+// Len returns the current item count.
+func (m *MapSCOT) Len() int64 { return m.dir.Len() }
+
+// NewHandleSCOT returns a per-worker handle.
+func (m *MapSCOT) NewHandleSCOT(dom *hp.Domain) *HandleSCOT {
+	return &HandleSCOT{m: m, h: m.list.NewHandleSCOT(dom)}
+}
+
+// HandleSCOT is a per-worker handle; not safe for concurrent use.
+type HandleSCOT struct {
+	m *MapSCOT
+	h *hhslist.HandleSCOT
+}
+
+// Thread exposes the underlying HP thread.
+func (h *HandleSCOT) Thread() *hp.Thread { return h.h.Thread() }
+
+// bucket returns the dummy ref of the bucket owning hash, initializing
+// the bucket (and, recursively, its ancestors) on first touch.
+func (h *HandleSCOT) bucket(hash uint64) uint64 {
+	b := h.m.dir.bucketOf(hash)
+	if r := h.m.dir.load(b); r != 0 {
+		return r
+	}
+	return h.initBucket(b)
+}
+
+func (h *HandleSCOT) initBucket(b uint64) uint64 {
+	if r := h.m.dir.load(b); r != 0 {
+		return r
+	}
+	start := uint64(0)
+	if b != 0 {
+		start = h.initBucket(parentBucket(b))
+	}
+	ref := h.h.EnsureFrom(start, soDummy(b))
+	h.m.dir.publish(b, ref)
+	return ref
+}
+
+// Get returns the value stored under key.
+func (h *HandleSCOT) Get(key uint64) (uint64, bool) {
+	hv := mix(key)
+	return h.h.GetFrom(h.bucket(hv), soRegular(hv), key)
+}
+
+// Insert adds key→val; it fails if key is already present.
+func (h *HandleSCOT) Insert(key, val uint64) bool {
+	hv := mix(key)
+	if !h.h.InsertFrom(h.bucket(hv), soRegular(hv), key, val) {
+		return false
+	}
+	h.m.dir.added()
+	return true
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HandleSCOT) Delete(key uint64) bool {
+	hv := mix(key)
+	if !h.h.DeleteFrom(h.bucket(hv), soRegular(hv), key) {
+		return false
+	}
+	h.m.dir.removed()
+	return true
+}

@@ -7,7 +7,10 @@
 //
 // Validation by over-approximating unreachability is exactly what makes HP
 // inapplicable to optimistically traversing data structures — the
-// limitation HP++ (internal/core) lifts.
+// limitation HP++ (internal/core) lifts. That inapplicability is about
+// the *validation*, not the hazards themselves: scot.go in this package
+// rewrites the traversal-side validation (SCOT) so optimistic walks run
+// on this domain unmodified, as scheme "hp-scot".
 //
 // Note on fences: the paper places an SC fence between hazard announcement
 // and validation, and between retired-set retrieval and the hazard scan.
@@ -41,6 +44,12 @@ type Domain struct {
 	budget  smr.Budget
 	orphans smr.OrphanList
 
+	// Name, if non-empty, overrides the scheme label in Stats snapshots.
+	// The SCOT traversal discipline (scot.go) runs on an unmodified HP
+	// domain; labelling its domains "hp-scot" keeps the two usages
+	// distinguishable in aggregated reports.
+	Name string
+
 	// ReclaimEvery, if set > 0 before use, pins the old fixed cadence:
 	// one reclamation pass every ReclaimEvery retires per thread. When
 	// <= 0 (the zero value and the NewDomain default) the cadence is
@@ -61,8 +70,12 @@ func (d *Domain) PeakUnreclaimed() int64 { return d.g.PeakUnreclaimed() }
 
 // Stats returns an observability snapshot of the domain.
 func (d *Domain) Stats() smr.Stats {
+	name := d.Name
+	if name == "" {
+		name = "hp"
+	}
 	st := smr.Stats{
-		Scheme:           "hp",
+		Scheme:           name,
 		RetiredBudget:    d.budget.Load(),
 		HazardSlots:      d.reg.Len(),
 		HazardSlotsInUse: d.reg.InUse(),

@@ -1,0 +1,132 @@
+// SCOT — safe optimistic traversal on plain hazard pointers.
+//
+// The HP++ paper argues (§2.3) that original HP cannot protect
+// optimistic traversals: the usual validation "pred still points at cur"
+// fails on every marked hop, and restarting there forfeits lock-freedom.
+// SCOT (Arovi; see PAPERS.md) counters that a *rewritten* validation
+// makes plain HP suffice — no TryProtect, no invalidation bit, no
+// frontier protection.
+//
+// The discipline tracked by ScotChain:
+//
+//   - The traversal remembers its anchor A — the last unmarked node seen
+//     (or the start sentinel), kept continuously hazard-protected by the
+//     caller — and A's next link.
+//
+//   - While walking a chain of marked nodes hanging off A, it remembers
+//     the chain entry E (the first marked node after A), the exact link
+//     word Pack(E, 0) it observed in A, and E's arena birth tag
+//     (arena.Pool.State) captured while E was still protected+validated.
+//
+//   - After announcing a hazard on the next candidate cur, instead of
+//     re-checking the immediate predecessor's link (which is marked and
+//     may already be unlinked), it validates:
+//
+//     off chain:  A.next == Pack(cur, 0)            (exact, unmarked)
+//     on  chain:  A.next == Pack(E, 0)  &&  State(E) == birth(E)
+//
+// Why this is sound: unmarked nodes are never detached (unlinking
+// requires marking first), so an exact unmarked word in A proves A is
+// still attached. Retired refs are never re-linked, so with E proven
+// un-freed (birth tag unchanged) the word Pack(E, 0) in A can only mean
+// the same E is still A's successor. A chain of marked nodes can only be
+// cut *at its anchor* — every unlink CAS in this package's list variants
+// requires an exact unmarked expected word, and all interior chain nodes
+// are marked — so an intact A→E edge means the frozen chain E..cur is
+// intact and cur was still reachable (hence un-retired) at the moment of
+// validation, which is after the hazard store. From there the standard
+// HP scan argument keeps cur un-freed for as long as the hazard is held.
+//
+// The birth tag is what closes the 2-slot reader's ABA hole: a reader
+// that protects only (anchor, cur) drops its hazard on E after passing
+// it, so E could be unlinked, retired, freed, recycled, and re-inserted
+// right after A — restoring the word Pack(E, 0) while the old chain
+// behind it is gone. Any free bumps the slot's state word, so
+// State(E) == birth(E) refutes exactly that interleaving. (A recycled
+// *cur* re-inserted after A is benign: validation then passes only when
+// cur is the genuine live successor, which is a correct observation of
+// the current list state.)
+package hp
+
+import (
+	"sync/atomic"
+
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// ScotPool is the arena surface SCOT validation needs: the raw slot
+// state word used as a birth/identity tag. Reading it is never a deref
+// (safe on freed slots, no use-after-free accounting).
+type ScotPool interface {
+	State(ref uint64) uint64
+}
+
+// ScotChain is one optimistic traversal's reachability certificate: the
+// anchor's link plus, while on a marked chain, the chain-entry identity.
+// The zero value is not ready for use; call Reset first.
+type ScotChain struct {
+	anchorLink *atomic.Uint64
+	anchorWord tagptr.Word
+	entry      uint64
+	birth      uint64
+	on         bool
+}
+
+// Reset re-bases the certificate on a new unmarked anchor (identified by
+// its next link; for the start sentinel, the list head). The anchor must
+// be hazard-protected by the caller, or be a sentinel that is never
+// retired.
+func (c *ScotChain) Reset(anchorLink *atomic.Uint64) {
+	c.anchorLink = anchorLink
+	c.on = false
+	c.entry = 0
+}
+
+// Enter records entry as the first marked node after the anchor. It must
+// be called while entry is hazard-protected and validated (so the word
+// and birth tag captured here are those of the attached node).
+func (c *ScotChain) Enter(p ScotPool, entry uint64) {
+	c.anchorWord = tagptr.Pack(entry, 0)
+	c.entry = entry
+	c.birth = p.State(entry)
+	c.on = true
+}
+
+// On reports whether the traversal is currently on a marked chain.
+func (c *ScotChain) On() bool { return c.on }
+
+// Entry returns the chain entry ref (zero when off chain).
+func (c *ScotChain) Entry() uint64 { return c.entry }
+
+// AnchorLink returns the current anchor's next link.
+func (c *ScotChain) AnchorLink() *atomic.Uint64 { return c.anchorLink }
+
+// Validate is the SCOT handshake: called after announcing a hazard on
+// cur, it reports whether cur was still reachable from the anchor at
+// some instant after the announcement. On true, dereferencing cur is
+// safe while the hazard is held. On false the caller must not deref cur;
+// it may Resume from the anchor or restart the traversal.
+func (c *ScotChain) Validate(p ScotPool, cur uint64) bool {
+	if !c.on {
+		// A marked anchor word carries the Mark tag and fails the exact
+		// comparison, so this also detects the anchor's own deletion.
+		return c.anchorLink.Load() == tagptr.Pack(cur, 0)
+	}
+	return c.anchorLink.Load() == c.anchorWord && p.State(c.entry) == c.birth
+}
+
+// Resume is the recovery step after a failed Validate: re-read the
+// anchor's link and, if the anchor itself is still unmarked (hence still
+// attached), resume the traversal from its current successor instead of
+// restarting from the list head. It returns that successor and true, or
+// zero and false when the anchor was deleted and a full restart is the
+// only safe continuation.
+func (c *ScotChain) Resume() (uint64, bool) {
+	w := c.anchorLink.Load()
+	if tagptr.TagOf(w) != 0 {
+		return 0, false
+	}
+	c.on = false
+	c.entry = 0
+	return tagptr.RefOf(w), true
+}

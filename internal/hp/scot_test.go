@@ -1,0 +1,94 @@
+package hp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/gosmr/gosmr/internal/tagptr"
+)
+
+// fakeScotPool is a ScotPool whose state words the test mutates directly:
+// bumping a ref's word simulates the arena's free/recycle sequence bump.
+type fakeScotPool map[uint64]uint64
+
+func (p fakeScotPool) State(ref uint64) uint64 { return p[ref] }
+
+// TestScotChainHandshake drives the certificate through the full
+// off-chain / on-chain / recovery state machine against a fake pool.
+func TestScotChainHandshake(t *testing.T) {
+	const (
+		entry = uint64(7)
+		cur   = uint64(9)
+		other = uint64(11)
+	)
+	pool := fakeScotPool{entry: 100}
+	var link atomic.Uint64
+	var c ScotChain
+
+	// Off chain: only the exact unmarked word for cur validates.
+	c.Reset(&link)
+	link.Store(tagptr.Pack(cur, 0))
+	if !c.Validate(pool, cur) {
+		t.Fatal("off-chain validate rejected the attached successor")
+	}
+	if c.Validate(pool, other) {
+		t.Fatal("off-chain validate accepted a node the anchor does not point at")
+	}
+	link.Store(tagptr.WithTag(tagptr.Pack(cur, 0), tagptr.Mark))
+	if c.Validate(pool, cur) {
+		t.Fatal("off-chain validate accepted a marked (deleted) anchor")
+	}
+
+	// On chain: the anchor word must still name the entry AND the entry's
+	// birth tag must be unchanged.
+	link.Store(tagptr.Pack(entry, 0))
+	c.Reset(&link)
+	c.Enter(pool, entry)
+	if !c.On() || c.Entry() != entry {
+		t.Fatalf("chain state after Enter: on=%v entry=%d", c.On(), c.Entry())
+	}
+	if !c.Validate(pool, cur) {
+		t.Fatal("on-chain validate rejected an intact chain")
+	}
+	link.Store(tagptr.Pack(other, 0))
+	if c.Validate(pool, cur) {
+		t.Fatal("on-chain validate accepted a cut chain (anchor word changed)")
+	}
+
+	// The recycle ABA: the anchor word is restored but the entry slot was
+	// freed in between (state bump). The birth tag must refute it.
+	link.Store(tagptr.Pack(entry, 0))
+	pool[entry] = 102
+	if c.Validate(pool, cur) {
+		t.Fatal("on-chain validate accepted a freed+recycled chain entry (ABA)")
+	}
+
+	// Resume from an unmarked anchor continues at its live successor and
+	// leaves the chain; from a marked anchor it demands a full restart.
+	link.Store(tagptr.Pack(other, 0))
+	if got, ok := c.Resume(); !ok || got != other {
+		t.Fatalf("Resume = (%d,%v), want (%d,true)", got, ok, other)
+	}
+	if c.On() {
+		t.Fatal("still on chain after Resume")
+	}
+	link.Store(tagptr.WithTag(tagptr.Pack(other, 0), tagptr.Mark))
+	if _, ok := c.Resume(); ok {
+		t.Fatal("Resume succeeded from a deleted anchor")
+	}
+}
+
+// TestScotDomainName pins the Stats label override: SCOT runs on an
+// unmodified HP domain, and the only per-domain distinction is the name
+// used in aggregated reports.
+func TestScotDomainName(t *testing.T) {
+	d := NewDomain()
+	if got := d.Stats().Scheme; got != "hp" {
+		t.Fatalf("default domain stats scheme = %q, want hp", got)
+	}
+	d2 := NewDomain()
+	d2.Name = "hp-scot"
+	if got := d2.Stats().Scheme; got != "hp-scot" {
+		t.Fatalf("named domain stats scheme = %q, want hp-scot", got)
+	}
+}

@@ -31,6 +31,7 @@ package kvsvc
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"github.com/gosmr/gosmr/internal/arena"
@@ -48,10 +49,12 @@ import (
 	"github.com/gosmr/gosmr/internal/unsafefree"
 )
 
-// Schemes lists the reclamation schemes a Store can run on. RC is
-// excluded: its guards retain cross-bucket traces that the service's
-// long-lived worker handles would never drain promptly.
-var Schemes = []string{"nr", "ebr", "pebr", "nbr", "hp", "hp++", "hp++ef"}
+// Schemes lists the reclamation schemes a Store can run on — the bench
+// registry (bench.Schemes) minus RC, whose guards retain cross-bucket
+// traces that the service's long-lived worker handles would never drain
+// promptly. A pin test (schemes_test.go) enforces the "registry minus
+// rc" relation so new schemes cannot be silently dropped here.
+var Schemes = []string{"nr", "ebr", "pebr", "nbr", "hp", "hp++", "hp++ef", "hp-scot"}
 
 // UnsafeScheme is the deliberately broken immediate-free control. It is
 // accepted by NewStore so the stress harness can run the must-fail cell,
@@ -266,8 +269,21 @@ func newShardSomap(scheme string, mode arena.Mode, buckets int) (*shard, error) 
 			func(h *somap.HandleHPP) { h.Thread().Finish() },
 			func() { dom.NewThread(0).Reclaim() })
 		s.stall, s.stallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
+	case "hp-scot":
+		dom := hp.NewDomain()
+		dom.Name = "hp-scot"
+		pool := hhslist.NewPool(mode)
+		m := somap.NewMapSCOT(pool, cfg)
+		s.dom = dom
+		s.pools = []ArenaPool{pool}
+		wireHandles(s,
+			func() *somap.HandleSCOT { return m.NewHandleSCOT(dom) },
+			func(h *somap.HandleSCOT) { h.Thread().Finish() },
+			func() { dom.NewThread(0).Reclaim() })
+		s.stall, s.stallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	default:
-		return nil, fmt.Errorf("kvsvc: unknown scheme %q", scheme)
+		return nil, fmt.Errorf("kvsvc: unknown scheme %q (valid: %s)",
+			scheme, strings.Join(Schemes, ", "))
 	}
 	return s, nil
 }
@@ -321,8 +337,21 @@ func newShardHashmap(scheme string, mode arena.Mode, buckets int) (*shard, error
 			func(h *hashmap.HandleHPP) { h.Thread().Finish() },
 			func() { dom.NewThread(0).Reclaim() })
 		s.stall, s.stallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
+	case "hp-scot":
+		dom := hp.NewDomain()
+		dom.Name = "hp-scot"
+		pool := hhslist.NewPool(mode)
+		m := hashmap.NewMapSCOT(pool, buckets)
+		s.dom = dom
+		s.pools = []ArenaPool{pool}
+		wireHandles(s,
+			func() *hashmap.HandleSCOT { return m.NewHandleSCOT(dom) },
+			func(h *hashmap.HandleSCOT) { h.Thread().Finish() },
+			func() { dom.NewThread(0).Reclaim() })
+		s.stall, s.stallRelease = stallHazard(func() hazardThread { return dom.NewThread(1) })
 	default:
-		return nil, fmt.Errorf("kvsvc: unknown scheme %q", scheme)
+		return nil, fmt.Errorf("kvsvc: unknown scheme %q (valid: %s)",
+			scheme, strings.Join(Schemes, ", "))
 	}
 	return s, nil
 }

@@ -54,11 +54,7 @@ func (o StallOptions) withDefaults() StallOptions {
 		o.DS = "hmlist"
 	}
 	if len(o.Schemes) == 0 {
-		for _, s := range []string{"ebr", "pebr", "nbr", "hp", "hp++", "hp++ef"} {
-			if bench.Applicable(o.DS, s) {
-				o.Schemes = append(o.Schemes, s)
-			}
-		}
+		o.Schemes = DefaultStallSchemes(o.DS)
 	}
 	if o.Workers <= 0 {
 		o.Workers = 4
@@ -73,6 +69,27 @@ func (o StallOptions) withDefaults() StallOptions {
 		o.Seed = 0x57A11
 	}
 	return o
+}
+
+// DefaultStallSchemes derives the stall sweep's scheme list from the
+// bench.Schemes registry: every reclaiming scheme applicable to ds, in
+// registry order. It is intentionally NOT a literal — PR 8's hp++ef
+// incident (a hand-maintained copy that silently dropped the new scheme
+// from BENCH_stall.json) is the bug class this derivation removes; a pin
+// test mirrors TestDefaultSweepSchemesMatchRegistry against it.
+func DefaultStallSchemes(ds string) []string {
+	var out []string
+	for _, s := range bench.Schemes {
+		// nr never frees, so "peak unreclaimed" is meaningless; rc's
+		// traces make the comparison apples-to-oranges (see StallOptions).
+		if s == "nr" || s == "rc" {
+			continue
+		}
+		if bench.Applicable(ds, s) {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // StallCell is one scheme's stalled-thread measurement.

@@ -1,0 +1,109 @@
+package stress
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/gosmr/gosmr/internal/bench"
+)
+
+// TestStallSchemesMatchRegistry pins the stall artifact's default scheme
+// list to the bench.Schemes registry, mirroring the bench package's
+// TestDefaultSweepSchemesMatchRegistry: RunStallCell/StallJSON once
+// carried a hand-maintained literal, the exact bug class that silently
+// dropped hp++ef from the default figure sweeps when it was added to the
+// registry. Adding a ninth scheme with no other edits must land a row in
+// BENCH_stall.json (unless it is nr/rc-like and documented in
+// StallOptions), and this test is what enforces that.
+func TestStallSchemesMatchRegistry(t *testing.T) {
+	got := StallOptions{}.withDefaults().Schemes
+	var want []string
+	for _, s := range bench.Schemes {
+		if s == "nr" || s == "rc" {
+			continue // documented exclusions: never frees / apples-to-oranges
+		}
+		if bench.Applicable("hmlist", s) {
+			want = append(want, s)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("default stall schemes %v diverge from registry-derived %v", got, want)
+	}
+	// Every current registry scheme outside the documented exclusions
+	// must be present by *name* too, so a scheme inapplicable to the
+	// default DS fails loudly here instead of dropping out silently.
+	for _, s := range bench.Schemes {
+		if s == "nr" || s == "rc" {
+			continue
+		}
+		found := false
+		for _, g := range got {
+			if g == s {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry scheme %q missing from the default stall sweep %v", s, got)
+		}
+	}
+}
+
+// TestStallCellScot is a quick end-to-end of the new hp-scot stall row:
+// the parked writer bounds the backlog and the cell drains to zero.
+func TestStallCellScot(t *testing.T) {
+	opts := StallOptions{Workers: 2, Ops: 2000, Keys: 32}
+	cell, err := RunStallCell("hp-scot", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.ParkedStall {
+		t.Fatal("participant did not park")
+	}
+	if cell.UAF != 0 || cell.DoubleFree != 0 {
+		t.Fatalf("memory violations: uaf=%d doublefree=%d", cell.UAF, cell.DoubleFree)
+	}
+	if cell.FinalUnreclaimed != 0 {
+		t.Fatalf("did not drain: final unreclaimed %d", cell.FinalUnreclaimed)
+	}
+	if cell.PeakUnreclaimed <= 0 || cell.PeakUnreclaimed > 4096 {
+		t.Fatalf("peak unreclaimed %d outside the robust bound", cell.PeakUnreclaimed)
+	}
+}
+
+// TestStallJSONContainsRegistrySchemes runs a minimal StallJSON sweep and
+// asserts every default scheme produced both a stall cell and a
+// throughput row — the artifact-level half of the registry pin.
+func TestStallJSONContainsRegistrySchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact sweep in long mode only")
+	}
+	opts := StallOptions{Workers: 2, Ops: 400, Keys: 16}
+	var buf bytes.Buffer
+	if err := StallJSON(&buf, opts, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var rep StallReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultStallSchemes("hmlist")
+	cells := map[string]bool{}
+	for _, c := range rep.Cells {
+		cells[c.Scheme] = true
+	}
+	thr := map[string]bool{}
+	for _, c := range rep.Throughput {
+		thr[c.Scheme] = true
+	}
+	for _, s := range want {
+		if !cells[s] {
+			t.Errorf("scheme %q missing from stall cells", s)
+		}
+		if !thr[s] {
+			t.Errorf("scheme %q missing from throughput companion", s)
+		}
+	}
+}

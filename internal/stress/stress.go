@@ -60,6 +60,12 @@ func Matrix(includeUnsafe bool) []Cell {
 		}
 		if includeUnsafe {
 			cells = append(cells, Cell{ds, bench.UnsafeScheme, "map"})
+			if ds == "hhslist" {
+				// The SCOT must-fail control: hp-scot with the handshake
+				// elided. One cell suffices — somap and hashmap reuse the
+				// same list code.
+				cells = append(cells, Cell{ds, bench.ScotUnsafeScheme, "map"})
+			}
 		}
 	}
 	for _, s := range bench.QueueSchemes {

@@ -16,8 +16,9 @@ func TestMatrixShape(t *testing.T) {
 	if len(all) <= len(safe) {
 		t.Fatalf("Matrix(true) added no unsafe cells: %d vs %d", len(all), len(safe))
 	}
-	// Unsafe controls: one per map structure plus the CS stack.
-	wantUnsafe := len(bench.DataStructures()) + 1
+	// Unsafe controls: one per map structure, the CS stack, and the
+	// hhslist SCOT skip-validation control.
+	wantUnsafe := len(bench.DataStructures()) + 2
 	if got := len(all) - len(safe); got != wantUnsafe {
 		t.Fatalf("unsafe cell count = %d, want %d", got, wantUnsafe)
 	}
@@ -34,7 +35,7 @@ func TestMatrixShape(t *testing.T) {
 		t.Fatalf("matrix missing a kind: %v", kinds)
 	}
 	for _, c := range safe {
-		if c.Scheme == bench.UnsafeScheme {
+		if c.Scheme == bench.UnsafeScheme || c.Scheme == bench.ScotUnsafeScheme {
 			t.Fatalf("Matrix(false) contains unsafe cell %v", c)
 		}
 	}
@@ -75,9 +76,12 @@ func TestSafeCellsSubsample(t *testing.T) {
 		{"skiplist", "hp", "map"},
 		{"bonsai", "rc", "map"},
 		{"hhslist", "pebr", "map"},
+		{"hhslist", "hp-scot", "map"},
+		{"hmlist", "hp-scot", "map"},
 		{"hashmap", "ebr", "map"},
 		{"somap", "hp++", "map"},
 		{"somap", "hp", "map"},
+		{"somap", "hp-scot", "map"},
 		{"nmtree", "hp++ef", "map"},
 		{"efrbtree", "pebr", "map"},
 		{"msqueue", "hp++", "queue"},
@@ -120,6 +124,11 @@ func TestUnsafeCellsFlagged(t *testing.T) {
 		{"hmlist", bench.UnsafeScheme, "map"},
 		{"somap", bench.UnsafeScheme, "map"},
 		{"tstack", bench.UnsafeScheme, "stack"},
+		// The SCOT control: hazards announced, handshake skipped. The
+		// parked reader resumes through links frozen while the chain was
+		// unlinked, retired and freed around it — validation is the only
+		// thing standing between that walk and a use-after-free.
+		{"hhslist", bench.ScotUnsafeScheme, "map"},
 	}
 	for _, c := range cells {
 		c := c
